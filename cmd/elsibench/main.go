@@ -1,0 +1,63 @@
+// Command elsibench regenerates the tables and figures of the ELSI
+// paper's evaluation (Section VII) on the scaled surrogate data sets.
+//
+// Usage:
+//
+//	elsibench -exp table2 -n 200000 -queries 1000
+//	elsibench -exp all
+//	elsibench -list
+//
+// The -exp flag names the paper artifact (fig6a..fig16, table1,
+// table2, or all). The environment preparation (method scorer and
+// rebuild predictor training) runs once per invocation and its cost is
+// reported separately, mirroring the paper's offline one-off
+// preparation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elsi/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "table2", "experiment id (figNN, tableN, or \"all\")")
+		n       = flag.Int("n", 200000, "data set cardinality")
+		queries = flag.Int("queries", 1000, "queries per measurement")
+		seed    = flag.Int64("seed", 1, "random seed")
+		epochs  = flag.Int("epochs", 60, "FFN training epochs for the base indices")
+		cache   = flag.String("prep-cache", "", "path prefix for caching the offline preparation")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "preparing environment (n=%d, seed=%d)...\n", *n, *seed)
+	env, err := bench.NewEnv(bench.Options{
+		N:         *n,
+		Queries:   *queries,
+		Seed:      *seed,
+		FFNEpochs: *epochs,
+		CachePath: *cache,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elsibench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "scorer preparation took %v (%d ground-truth samples)\n",
+		env.ScorerPrepTime.Round(1e6), len(env.ScorerSamples))
+
+	if err := bench.Run(*exp, os.Stdout, env); err != nil {
+		fmt.Fprintln(os.Stderr, "elsibench:", err)
+		os.Exit(1)
+	}
+}

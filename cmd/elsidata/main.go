@@ -1,0 +1,72 @@
+// Command elsidata emits the synthetic surrogate data sets to disk for
+// inspection or external use. Points are written as CSV (x,y) or as a
+// little-endian binary stream of float64 pairs.
+//
+// Usage:
+//
+//	elsidata -dataset osm1 -n 1000000 -o osm1.csv
+//	elsidata -dataset nyc -n 500000 -format bin -o nyc.bin
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"elsi/internal/dataset"
+)
+
+func main() {
+	var (
+		name   = flag.String("dataset", "osm1", "data set name (uniform, skewed, osm1, osm2, tpch, nyc)")
+		n      = flag.Int("n", 100000, "number of points")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "csv", "output format: csv or bin")
+		out    = flag.String("o", "-", "output path (- for stdout)")
+	)
+	flag.Parse()
+
+	pts, err := dataset.Generate(*name, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elsidata:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elsidata:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	switch *format {
+	case "csv":
+		fmt.Fprintln(bw, "x,y")
+		for _, p := range pts {
+			fmt.Fprintf(bw, "%g,%g\n", p.X, p.Y)
+		}
+	case "bin":
+		buf := make([]byte, 16)
+		for _, p := range pts {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(p.X))
+			binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(p.Y))
+			if _, err := bw.Write(buf); err != nil {
+				fmt.Fprintln(os.Stderr, "elsidata:", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "elsidata: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}

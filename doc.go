@@ -1,0 +1,14 @@
+// Package elsi is a from-scratch Go reproduction of "Efficiently
+// Learning Spatial Indices" (Liu, Qi, Jensen, Bailey, Kulik — ICDE
+// 2023): a system that accelerates the building and rebuilding of
+// learned spatial indices by engineering small, distribution-
+// preserving training sets.
+//
+// The implementation lives under internal/: the ELSI core
+// (internal/core), the six index building methods (internal/methods),
+// the four learned base indices ZM, ML-Index, RSMI, and LISA, the four
+// traditional baselines Grid, KDB, HRR, and RR*, and the experiment
+// harness (internal/bench) that regenerates every table and figure of
+// the paper's evaluation. See README.md for a tour, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package elsi

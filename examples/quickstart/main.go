@@ -1,0 +1,86 @@
+// Quickstart: build a learned spatial index with ELSI and compare its
+// build time and query behaviour against the same index trained the
+// original way (OG, full-data training).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"elsi/internal/base"
+	"elsi/internal/bench"
+	"elsi/internal/core"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/rmi"
+	"elsi/internal/scorer"
+	"elsi/internal/zm"
+)
+
+func main() {
+	const n = 100000
+	fmt.Printf("generating %d OSM-like points...\n", n)
+	pts := dataset.MustGenerate(dataset.OSM1, n, 1)
+
+	// The base index's model family: a small FFN, as in the paper.
+	trainer := rmi.FFNTrainer(rmi.FFNConfig{Hidden: 16, Epochs: 60, Seed: 1})
+
+	// Offline, one-off ELSI preparation: train the method scorer on a
+	// small grid of synthetic data sets.
+	fmt.Println("training the ELSI method scorer (offline preparation)...")
+	gen := scorer.GenConfig{
+		Cardinalities: []int{1000, 5000, 25000},
+		Dists:         []float64{0, 0.3, 0.6, 0.9},
+		Trainer:       trainer,
+		Queries:       100,
+		Seed:          1,
+	}
+	sc, _, err := core.TrainScorer(gen, scorer.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ELSI as a drop-in model builder for the ZM index.
+	elsi := core.MustNewSystem(core.Config{
+		Trainer:  trainer,
+		Lambda:   0.8, // prioritize build time, the paper's default
+		WQ:       1,
+		Selector: core.SelectorLearned,
+		Scorer:   sc,
+		Seed:     1,
+	})
+
+	build := func(name string, builder base.ModelBuilder) *zm.Index {
+		ix := zm.New(zm.Config{Space: geo.UnitRect, Builder: builder, Fanout: 4})
+		t0 := time.Now()
+		if err := ix.Build(pts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s build: %8v", name, time.Since(t0).Round(time.Millisecond))
+		q := bench.PointQueryTime(ix, pts, 500, 7)
+		fmt.Printf("   point query: %v\n", q.Round(time.Nanosecond))
+		return ix
+	}
+
+	fmt.Println("\nbuilding the ZM index twice:")
+	og := build("OG", &base.Direct{Trainer: trainer})
+	fast := build("ELSI", elsi)
+
+	fmt.Printf("\nELSI chose methods: %v\n", elsi.Selections())
+
+	// Queries behave identically (point and window queries are exact).
+	q := pts[42]
+	fmt.Printf("\npoint query %v: OG=%v ELSI=%v\n", q, og.PointQuery(q), fast.PointQuery(q))
+	win := geo.Rect{MinX: q.X - 0.01, MinY: q.Y - 0.01, MaxX: q.X + 0.01, MaxY: q.Y + 0.01}
+	fmt.Printf("window %v: OG=%d points, ELSI=%d points\n", win, len(og.WindowQuery(win)), len(fast.WindowQuery(win)))
+	knn := fast.KNN(q, 5)
+	fmt.Printf("5 nearest neighbours of %v:\n", q)
+	for _, p := range knn {
+		fmt.Printf("  %v (dist %.5f)\n", p, p.Dist(q))
+	}
+}

@@ -1,0 +1,84 @@
+// Taxi dispatch: the kNN workload of Section VII-G3 on NYC-taxi-like
+// pickup points — "find the k nearest available pickups to a rider".
+// The example builds LISA through ELSI (with the LISA-restricted
+// method pool: CL and RL do not apply) and serves k-nearest queries,
+// then demonstrates LISA's built-in insertion path as new pickups
+// stream in.
+//
+// Run with:
+//
+//	go run ./examples/taxi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"elsi/internal/core"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/lisa"
+	"elsi/internal/rmi"
+	"elsi/internal/scorer"
+)
+
+func main() {
+	const n = 150000
+	fmt.Printf("indexing %d taxi pickups with LISA + ELSI...\n", n)
+	pts := dataset.MustGenerate(dataset.NYC, n, 3)
+
+	trainer := rmi.FFNTrainer(rmi.FFNConfig{Hidden: 16, Epochs: 50, Seed: 3})
+	sc, _, err := core.TrainScorer(scorer.GenConfig{
+		Cardinalities: []int{1000, 10000},
+		Dists:         []float64{0, 0.4, 0.8},
+		Trainer:       trainer,
+		Queries:       100,
+		Seed:          3,
+	}, scorer.Config{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elsi := core.MustNewSystem(core.Config{
+		Trainer: trainer, Lambda: 0.8, WQ: 1,
+		Selector: core.SelectorLearned, Scorer: sc, Seed: 3,
+		Pool: core.PoolForIndex("LISA"), // CL and RL are inapplicable
+	})
+
+	ix := lisa.New(lisa.Config{Space: geo.UnitRect, Builder: elsi})
+	t0 := time.Now()
+	if err := ix.Build(pts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built in %v over %d pages (method: %v)\n",
+		time.Since(t0).Round(time.Millisecond), ix.Pages(), elsi.Selections())
+
+	// serve some rider requests
+	riders := []geo.Point{
+		{X: 0.50, Y: 0.55}, // midtown
+		{X: 0.46, Y: 0.35}, // downtown
+		{X: 0.52, Y: 0.75}, // uptown
+	}
+	const k = 5
+	fmt.Printf("\nnearest %d pickups per rider:\n", k)
+	for _, r := range riders {
+		t0 := time.Now()
+		nearest := ix.KNN(r, k)
+		fmt.Printf("  rider at %v (%v):\n", r, time.Since(t0).Round(time.Microsecond))
+		for _, p := range nearest {
+			fmt.Printf("    pickup %v  dist %.5f\n", p, p.Dist(r))
+		}
+	}
+
+	// new pickups stream in through LISA's built-in insertion
+	fmt.Println("\nstreaming 10,000 new pickups...")
+	rng := rand.New(rand.NewSource(4))
+	fresh := dataset.NYCPoints(rng, 10000)
+	t0 = time.Now()
+	for _, p := range fresh {
+		ix.Insert(p)
+	}
+	fmt.Printf("inserted in %v (now %d points, %d pages, max shard %d entries)\n",
+		time.Since(t0).Round(time.Millisecond), ix.Len(), ix.Pages(), ix.MaxShardLen())
+}

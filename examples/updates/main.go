@@ -1,0 +1,69 @@
+// Updates: the rebuild story of Figures 15 and 16 — a check-in stream
+// skews the data distribution until the learned index degrades, and
+// ELSI's update processor decides, with the learned rebuild predictor,
+// when a full rebuild pays off. The example prints the CDF drift
+// sim(D', D), the query latency, and the rebuild decisions as the
+// stream progresses.
+//
+// Run with:
+//
+//	go run ./examples/updates
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"elsi/internal/base"
+	"elsi/internal/bench"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/rebuild"
+	"elsi/internal/rmi"
+	"elsi/internal/zm"
+)
+
+func main() {
+	const n = 50000
+	fmt.Printf("building ZM on %d uniform points, then streaming skewed check-ins...\n\n", n)
+	pts := dataset.MustGenerate(dataset.Uniform, n, 5)
+
+	trainer := rmi.FFNTrainer(rmi.FFNConfig{Hidden: 16, Epochs: 40, Seed: 5})
+	ix := zm.New(zm.Config{Space: geo.UnitRect, Builder: &base.Direct{Trainer: trainer}, Fanout: 4})
+
+	// rebuild predictor trained on the qualitative ground truth
+	pred, err := rebuild.TrainPredictor(
+		rebuild.HeuristicSamples(rand.New(rand.NewSource(5)), 1000),
+		rebuild.PredictorConfig{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	proc, err := rebuild.NewProcessor(ix, pred, pts, ix.MapKey, n/10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	fmt.Printf("%8s  %10s  %8s  %12s  %s\n", "inserted", "sim(D',D)", "rebuilds", "point query", "pending")
+	report := func(inserted int) {
+		all := make([]geo.Point, 0, proc.Len())
+		q := bench.PointQueryTime(proc, append(all, pts...), 300, 9)
+		fmt.Printf("%8d  %10.4f  %8d  %12v  %d\n",
+			inserted, proc.CurrentSim(), proc.Rebuilds(), q.Round(time.Nanosecond), proc.PendingUpdates())
+	}
+	report(0)
+	total := 0
+	for _, batch := range []int{n / 10, n / 4, n / 2, n} {
+		for i := 0; i < batch; i++ {
+			// check-ins from one hot neighbourhood: maximal drift
+			proc.Insert(geo.Point{X: rng.Float64() * 0.05, Y: rng.Float64() * 0.05})
+			total++
+		}
+		report(total)
+	}
+	fmt.Printf("\nfinal state: %d points, %d full rebuilds, sim(D',D)=%.4f\n",
+		proc.Len(), proc.Rebuilds(), proc.CurrentSim())
+}

@@ -1,0 +1,3 @@
+module elsi
+
+go 1.22

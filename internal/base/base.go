@@ -1,0 +1,130 @@
+// Package base defines the contract between ELSI and the learned
+// spatial indices it accelerates. A base index following the
+// map-and-sort paradigm prepares a SortedData (points sorted by their
+// 1-D mapped keys) for every index model it needs, and asks a
+// ModelBuilder to produce the model. The ModelBuilder is the plug-in
+// point: the OG builder trains directly on the full data (the index's
+// original behaviour), while the ELSI system selects an index building
+// method that trains on a reduced set.
+package base
+
+import (
+	"sort"
+	"time"
+
+	"elsi/internal/geo"
+	"elsi/internal/rmi"
+)
+
+// SortedData is a data set (or partition) prepared for model building:
+// points sorted ascending by their mapped keys.
+type SortedData struct {
+	// Pts are the data points, sorted by Keys.
+	Pts []geo.Point
+	// Keys are the mapped 1-D keys, sorted ascending, parallel to Pts.
+	Keys []float64
+	// Space is the data-space rectangle of the partition.
+	Space geo.Rect
+	// Map computes the mapped key of an arbitrary point. Building
+	// methods that synthesize points not in the data set (CL, RL) use
+	// it to place their synthetic training points in the key space.
+	Map func(geo.Point) float64
+}
+
+// Len returns the partition cardinality.
+func (d *SortedData) Len() int { return len(d.Keys) }
+
+// BuildStats records the cost decomposition of one model build — the
+// quantities of Table I.
+type BuildStats struct {
+	// Method is the index building method used ("SP", "CL", ..., "OG").
+	Method string
+	// TrainSetSize is |Ds|.
+	TrainSetSize int
+	// ReduceTime is the method-specific extra cost of computing Ds.
+	ReduceTime time.Duration
+	// TrainTime is T(|Ds|), the model training cost.
+	TrainTime time.Duration
+	// BoundsTime is M(n), the cost of predicting every point of D to
+	// derive the empirical error bounds.
+	BoundsTime time.Duration
+	// ErrWidth is err_l + err_u.
+	ErrWidth int
+}
+
+// Total returns the summed model-build time (excluding the shared
+// map-and-sort data preparation, which is identical across methods).
+func (s BuildStats) Total() time.Duration {
+	return s.ReduceTime + s.TrainTime + s.BoundsTime
+}
+
+// ModelBuilder builds a bounded rank model for a prepared partition.
+type ModelBuilder interface {
+	// Name identifies the builder ("OG", "ELSI", or a method name).
+	Name() string
+	// BuildModel trains a model for d and computes its empirical error
+	// bounds over all of d.Keys.
+	BuildModel(d *SortedData) (*rmi.Bounded, BuildStats)
+}
+
+// Direct is the OG builder: it trains on the full key set, which is
+// what the base indices do without ELSI.
+type Direct struct {
+	Trainer rmi.Trainer
+}
+
+// Name implements ModelBuilder.
+func (b *Direct) Name() string { return "OG" }
+
+// BuildModel implements ModelBuilder.
+func (b *Direct) BuildModel(d *SortedData) (*rmi.Bounded, BuildStats) {
+	stats := BuildStats{Method: "OG", TrainSetSize: d.Len()}
+	t0 := time.Now()
+	m := b.Trainer(d.Keys)
+	stats.TrainTime = time.Since(t0)
+	t0 = time.Now()
+	lo, hi := rmi.ErrorBounds(m, d.Keys)
+	stats.BoundsTime = time.Since(t0)
+	stats.ErrWidth = lo + hi
+	return &rmi.Bounded{Model: m, N: d.Len(), ErrLo: lo, ErrHi: hi}, stats
+}
+
+// FromKeys finishes a model build given the reduced training keys:
+// train on trainKeys, bound against the full d.Keys. Building methods
+// share this tail of the pipeline.
+func FromKeys(method string, trainer rmi.Trainer, trainKeys []float64, d *SortedData, reduceTime time.Duration) (*rmi.Bounded, BuildStats) {
+	stats := BuildStats{Method: method, TrainSetSize: len(trainKeys), ReduceTime: reduceTime}
+	t0 := time.Now()
+	m := trainer(trainKeys)
+	stats.TrainTime = time.Since(t0)
+	t0 = time.Now()
+	lo, hi := rmi.ErrorBounds(m, d.Keys)
+	stats.BoundsTime = time.Since(t0)
+	stats.ErrWidth = lo + hi
+	return &rmi.Bounded{Model: m, N: d.Len(), ErrLo: lo, ErrHi: hi}, stats
+}
+
+// Prepare maps and sorts pts into a SortedData using mapKey — the
+// shared data-preparation step (lines 1-2 of Algorithm 1).
+func Prepare(pts []geo.Point, space geo.Rect, mapKey func(geo.Point) float64) *SortedData {
+	type keyed struct {
+		k float64
+		p geo.Point
+	}
+	ks := make([]keyed, len(pts))
+	for i, p := range pts {
+		ks[i] = keyed{mapKey(p), p}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].k < ks[j].k })
+	d := &SortedData{
+		Pts:   make([]geo.Point, len(pts)),
+		Keys:  make([]float64, len(pts)),
+		Space: space,
+		Map:   mapKey,
+	}
+	for i, kp := range ks {
+		d.Pts[i] = kp.p
+		d.Keys[i] = kp.k
+	}
+	return d
+}

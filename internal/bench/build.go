@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"elsi/internal/base"
+	"elsi/internal/core"
+	"elsi/internal/dataset"
+)
+
+// ogBuilder returns the OG builder for a base index.
+func (e *Env) ogBuilder() base.ModelBuilder {
+	return &base.Direct{Trainer: e.Trainer}
+}
+
+// Fig8 reproduces Figure 8: index build times across the six data
+// sets for the traditional indices, the learned indices without ELSI,
+// and the ELSI-built variants (ML-F, RSMI-F, LISA-F) at lambda = 0.8.
+func Fig8(w io.Writer, e *Env) error {
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "dataset", "index", "build_time")
+	for _, ds := range dataset.All() {
+		pts := dataset.MustGenerate(ds, e.N, e.Seed)
+		for _, name := range TraditionalNames() {
+			ix, err := NewTraditional(name)
+			if err != nil {
+				return err
+			}
+			bt, err := BuildTimed(ix, pts)
+			if err != nil {
+				return err
+			}
+			row(tw, ds, name, secs(bt))
+		}
+		for _, name := range LearnedNames() {
+			// without ELSI
+			ix, err := NewLearned(name, e.ogBuilder(), e.N)
+			if err != nil {
+				return err
+			}
+			bt, err := BuildTimed(ix, pts)
+			if err != nil {
+				return err
+			}
+			row(tw, ds, name, secs(bt))
+			// with ELSI
+			fix, err := NewLearned(name, e.System(name, 0.8, core.SelectorLearned, ""), e.N)
+			if err != nil {
+				return err
+			}
+			bt, err = BuildTimed(fix, pts)
+			if err != nil {
+				return err
+			}
+			row(tw, ds, name+"-F", secs(bt))
+		}
+	}
+	return nil
+}
+
+// Fig9 reproduces Figure 9: ELSI-built index build times as lambda
+// varies, on Skewed and OSM1, with RR* and RSMI (no ELSI) as fixed
+// reference lines.
+func Fig9(w io.Writer, e *Env) error {
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "dataset", "index", "lambda", "build_time")
+	for _, ds := range []string{dataset.Skewed, dataset.OSM1} {
+		pts := dataset.MustGenerate(ds, e.N, e.Seed)
+		// reference lines
+		rr, err := NewTraditional(NameRR)
+		if err != nil {
+			return err
+		}
+		bt, err := BuildTimed(rr, pts)
+		if err != nil {
+			return err
+		}
+		row(tw, ds, NameRR, "-", secs(bt))
+		rsmiOG, err := NewLearned(NameRSMI, e.ogBuilder(), e.N)
+		if err != nil {
+			return err
+		}
+		bt, err = BuildTimed(rsmiOG, pts)
+		if err != nil {
+			return err
+		}
+		row(tw, ds, NameRSMI, "-", secs(bt))
+		for _, lambda := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+			for _, name := range LearnedNames() {
+				ix, err := NewLearned(name, e.System(name, lambda, core.SelectorLearned, ""), e.N)
+				if err != nil {
+					return err
+				}
+				bt, err := BuildTimed(ix, pts)
+				if err != nil {
+					return err
+				}
+				row(tw, ds, name+"-F", fmt.Sprintf("%.1f", lambda), secs(bt))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+)
+
+// TestExactIndicesAgree builds every exact index on the same data and
+// cross-checks their window and kNN answers against each other — a
+// differential test that catches errors no single-oracle test can.
+func TestExactIndicesAgree(t *testing.T) {
+	e := tinyEnv(t)
+	pts := dataset.MustGenerate(dataset.OSM1, 3000, 21)
+	rng := rand.New(rand.NewSource(22))
+
+	// exact indices: the four traditional ones plus ZM and ML
+	var names []string
+	var idxs []index.Index
+	for _, name := range TraditionalNames() {
+		ix, err := NewTraditional(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Build(pts); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		idxs = append(idxs, ix)
+	}
+	for _, name := range []string{NameZM, NameML} {
+		ix, err := NewLearned(name, e.ogBuilder(), len(pts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Build(pts); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		idxs = append(idxs, ix)
+	}
+
+	canonical := func(ps []geo.Point) []geo.Point {
+		out := append([]geo.Point(nil), ps...)
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].X != out[j].X {
+				return out[i].X < out[j].X
+			}
+			return out[i].Y < out[j].Y
+		})
+		return out
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		half := 0.005 + rng.Float64()*0.08
+		win := geo.Rect{MinX: c.X - half, MinY: c.Y - half, MaxX: c.X + half, MaxY: c.Y + half}
+		ref := canonical(idxs[0].WindowQuery(win))
+		for i := 1; i < len(idxs); i++ {
+			got := canonical(idxs[i].WindowQuery(win))
+			if len(got) != len(ref) {
+				t.Fatalf("window %v: %s returned %d, %s returned %d",
+					win, names[i], len(got), names[0], len(ref))
+			}
+			for j := range ref {
+				if got[j] != ref[j] {
+					t.Fatalf("window %v: %s and %s disagree at result %d", win, names[i], names[0], j)
+				}
+			}
+		}
+	}
+
+	// kNN: the k-th distance must agree across all exact indices
+	for trial := 0; trial < 15; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		k := 1 + rng.Intn(20)
+		ref := idxs[0].KNN(q, k)
+		refKth := ref[len(ref)-1].Dist2(q)
+		for i := 1; i < len(idxs); i++ {
+			got := idxs[i].KNN(q, k)
+			if len(got) != len(ref) {
+				t.Fatalf("kNN k=%d: %s returned %d, want %d", k, names[i], len(got), len(ref))
+			}
+			kth := got[len(got)-1].Dist2(q)
+			if kth > refKth+1e-12 || kth < refKth-1e-12 {
+				t.Fatalf("kNN k=%d: %s k-th dist2 %v vs %s %v", k, names[i], kth, names[0], refKth)
+			}
+		}
+	}
+}
+
+// TestAllIndicesCountConsistency asserts that for any index (exact or
+// approximate), a window covering the whole space returns at most n
+// points and every returned point is stored.
+func TestAllIndicesCountConsistency(t *testing.T) {
+	e := tinyEnv(t)
+	pts := dataset.MustGenerate(dataset.Skewed, 2000, 23)
+	stored := map[geo.Point]int{}
+	for _, p := range pts {
+		stored[p]++
+	}
+	check := func(name string, ix index.Index) {
+		got := ix.WindowQuery(geo.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2})
+		if len(got) > len(pts) {
+			t.Fatalf("%s: full-space window returned %d > n=%d", name, len(got), len(pts))
+		}
+		seen := map[geo.Point]int{}
+		for _, p := range got {
+			seen[p]++
+			if seen[p] > stored[p] {
+				t.Fatalf("%s: returned %v more times than stored", name, p)
+			}
+		}
+	}
+	for _, name := range TraditionalNames() {
+		ix, _ := NewTraditional(name)
+		ix.Build(pts)
+		check(name, ix)
+	}
+	for _, name := range append(LearnedNames(), NameZM) {
+		ix, err := NewLearned(name, e.ogBuilder(), len(pts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Build(pts)
+		check(name, ix)
+	}
+}

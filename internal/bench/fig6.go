@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"elsi/internal/rmi"
+	"elsi/internal/scorer"
+)
+
+// Fig6a reproduces Figure 6(a): method selector accuracy as the
+// preparation scale u grows. The paper sweeps the maximum training
+// cardinality 10^u for u in 4..8; at the harness scale u maps onto a
+// geometric ladder of maximum cardinalities (see DESIGN.md).
+func Fig6a(w io.Writer, e *Env) error {
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "u", "max_cardinality", "prep_time", "accuracy(lambda=0.8)")
+	for u := 4; u <= 8; u++ {
+		maxCard := e.N / 2 >> (2 * (8 - u)) // each u step quarters the scale
+		if maxCard < 200 {
+			maxCard = 200
+		}
+		cards := []int{maxCard / 16, maxCard / 8, maxCard / 4, maxCard / 2, maxCard}
+		for i := range cards {
+			if cards[i] < 100 {
+				cards[i] = 100
+			}
+		}
+		t0 := time.Now()
+		gen := scorer.GenConfig{
+			Cardinalities: cards,
+			Dists:         []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+			Trainer:       fastPrepTrainer(e),
+			Queries:       100,
+			Seed:          e.Seed,
+		}
+		samples := scorer.GenerateSamples(gen)
+		sc, err := scorer.Train(samples, scorer.Config{Hidden: 24, Epochs: 300, Seed: e.Seed})
+		if err != nil {
+			return err
+		}
+		prep := time.Since(t0)
+		sel := &scorer.Selector{Scorer: sc, Lambda: 0.8, WQ: 1}
+		acc := scorer.Accuracy(sel, samples, 0.8, 1)
+		row(tw, u, maxCard, secs(prep), fmt.Sprintf("%.3f", acc))
+	}
+	return nil
+}
+
+// fastPrepTrainer returns a reduced-epoch FFN trainer for the
+// preparation sweeps, whose cost the paper amortizes offline.
+func fastPrepTrainer(e *Env) rmi.Trainer {
+	return rmi.FFNTrainer(rmi.FFNConfig{Hidden: 8, Epochs: 15, Seed: e.Seed})
+}
+
+// Fig6b reproduces Figure 6(b): selector accuracy vs lambda for the
+// FFN scorer and the four tree-based comparators (RFR, RFC, DTR, DTC).
+func Fig6b(w io.Writer, e *Env) error {
+	samples := e.ScorerSamples
+	if len(samples) == 0 {
+		return fmt.Errorf("bench: environment has no scorer samples")
+	}
+	// Hold out 30% of the data-set groups: without a split, the tree
+	// learners memorize the preparation grid and the comparison says
+	// nothing about generalization.
+	train, test := scorer.SplitSamples(samples, 0.3, e.Seed)
+	if len(test) == 0 {
+		train, test = samples, samples
+	}
+	ffn, err := scorer.Train(train, scorer.Config{Hidden: 24, Epochs: 300, Seed: e.Seed})
+	if err != nil {
+		return err
+	}
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "lambda", "FFN", "RFR", "RFC", "DTR", "DTC")
+	for _, lambda := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		ffnSel := &scorer.Selector{Scorer: ffn, Lambda: lambda, WQ: 1}
+		cells := []interface{}{fmt.Sprintf("%.1f", lambda),
+			fmt.Sprintf("%.3f", scorer.Accuracy(ffnSel, test, lambda, 1))}
+		for _, fam := range []scorer.Family{scorer.FamilyRFR, scorer.FamilyRFC, scorer.FamilyDTR, scorer.FamilyDTC} {
+			sel := scorer.TrainComparator(fam, train, lambda, 1, e.Seed)
+			cells = append(cells, fmt.Sprintf("%.3f", scorer.Accuracy(sel, test, lambda, 1)))
+		}
+		row(tw, cells...)
+	}
+	return nil
+}

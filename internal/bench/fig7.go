@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/methods"
+)
+
+// sweepPoint is one parameter setting of a build method in the Pareto
+// sweep of Figure 7.
+type sweepPoint struct {
+	method string
+	param  string
+	build  func(e *Env) base.ModelBuilder
+}
+
+// fig7Sweeps enumerates the method-specific parameter grids of Figure
+// 7: rho for SP/RSP, C for CL, epsilon for MR, beta for RS, eta for
+// RL, plus the OG reference.
+func fig7Sweeps(e *Env) []sweepPoint {
+	var sweeps []sweepPoint
+	for _, rho := range []float64{0.0001, 0.001, 0.01} {
+		rho := rho
+		sweeps = append(sweeps, sweepPoint{methods.NameSP, fmt.Sprintf("rho=%g", rho), func(e *Env) base.ModelBuilder {
+			return &methods.SP{Rho: rho, Trainer: e.Trainer}
+		}})
+		sweeps = append(sweeps, sweepPoint{methods.NameRSP, fmt.Sprintf("rho=%g", rho), func(e *Env) base.ModelBuilder {
+			return &methods.RSP{Rho: rho, Trainer: e.Trainer, Seed: e.Seed}
+		}})
+	}
+	for _, c := range []int{100, 1000, 10000} {
+		c := c
+		sweeps = append(sweeps, sweepPoint{methods.NameCL, fmt.Sprintf("C=%d", c), func(e *Env) base.ModelBuilder {
+			return &methods.CL{C: c, Iterations: 10, Trainer: e.Trainer, Seed: e.Seed}
+		}})
+	}
+	for _, eps := range []float64{0.5, 0.25, 0.1} {
+		eps := eps
+		sweeps = append(sweeps, sweepPoint{methods.NameMR, fmt.Sprintf("eps=%g", eps), func(e *Env) base.ModelBuilder {
+			return &methods.MR{Epsilon: eps, SynthSize: 2000, Trainer: e.Trainer, Seed: e.Seed}
+		}})
+	}
+	for _, beta := range []int{10000, 1000, 100} {
+		beta := beta
+		sweeps = append(sweeps, sweepPoint{methods.NameRS, fmt.Sprintf("beta=%d", beta), func(e *Env) base.ModelBuilder {
+			return &methods.RS{Beta: beta, Trainer: e.Trainer}
+		}})
+	}
+	for _, eta := range []int{8, 16, 32} {
+		eta := eta
+		sweeps = append(sweeps, sweepPoint{methods.NameRL, fmt.Sprintf("eta=%d", eta), func(e *Env) base.ModelBuilder {
+			return &methods.RLM{Eta: eta, Steps: 1000, Trainer: e.Trainer, Seed: e.Seed}
+		}})
+	}
+	sweeps = append(sweeps, sweepPoint{methods.NameOG, "full", func(e *Env) base.ModelBuilder {
+		return &base.Direct{Trainer: e.Trainer}
+	}})
+	return sweeps
+}
+
+// Fig7 reproduces Figure 7: the build-time / point-query-time Pareto
+// positions of every build method under its parameter sweep, on the
+// OSM1 surrogate, for all four base indices.
+func Fig7(w io.Writer, e *Env) error {
+	pts := dataset.MustGenerate(dataset.OSM1, e.N, e.Seed)
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "index", "method", "param", "build_time", "point_query")
+	for _, indexName := range []string{NameZM, NameML, NameRSMI, NameLISA} {
+		for _, sp := range fig7Sweeps(e) {
+			// CL and RL do not apply to LISA (Section VII-A)
+			if indexName == NameLISA && (sp.method == methods.NameCL || sp.method == methods.NameRL) {
+				continue
+			}
+			ix, err := NewLearned(indexName, sp.build(e), e.N)
+			if err != nil {
+				return err
+			}
+			buildTime, err := BuildTimed(ix, pts)
+			if err != nil {
+				return err
+			}
+			q := PointQueryTime(ix, pts, e.Queries, e.Seed+7)
+			row(tw, indexName, sp.method, sp.param, secs(buildTime), micros(q))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+
+	"elsi/internal/base"
+	"elsi/internal/geo"
+	"elsi/internal/grid"
+	"elsi/internal/index"
+	"elsi/internal/kdb"
+	"elsi/internal/lisa"
+	"elsi/internal/mlindex"
+	"elsi/internal/rsmi"
+	"elsi/internal/rtree"
+	"elsi/internal/zm"
+)
+
+// Index names used across the experiment tables. The "-F" suffix marks
+// an ELSI-built variant, following the paper's notation.
+const (
+	NameGrid = "Grid"
+	NameKDB  = "KDB"
+	NameHRR  = "HRR"
+	NameRR   = "RR*"
+	NameZM   = "ZM"
+	NameML   = "ML"
+	NameRSMI = "RSMI"
+	NameLISA = "LISA"
+)
+
+// TraditionalNames lists the four traditional baselines.
+func TraditionalNames() []string {
+	return []string{NameGrid, NameKDB, NameHRR, NameRR}
+}
+
+// LearnedNames lists the learned base indices in the experiments'
+// order (ZM only appears in the method studies, per Section VII-A).
+func LearnedNames() []string {
+	return []string{NameML, NameLISA, NameRSMI}
+}
+
+// NewTraditional constructs a traditional index by name.
+func NewTraditional(name string) (index.Index, error) {
+	switch name {
+	case NameGrid:
+		return grid.New(geo.UnitRect), nil
+	case NameKDB:
+		return kdb.New(geo.UnitRect), nil
+	case NameHRR:
+		return rtree.NewHRR(geo.UnitRect), nil
+	case NameRR:
+		return rtree.NewRRStar(geo.UnitRect), nil
+	}
+	return nil, fmt.Errorf("bench: unknown traditional index %q", name)
+}
+
+// StatsIndex is a learned index exposing its per-model build stats.
+type StatsIndex interface {
+	index.Index
+	Stats() []base.BuildStats
+}
+
+// NewLearned constructs a learned index by name wired to a model
+// builder (OG or an ELSI system). Structural parameters are scaled to
+// the working cardinality n.
+func NewLearned(name string, builder base.ModelBuilder, n int) (StatsIndex, error) {
+	fanout := n / 25000
+	if fanout < 1 {
+		fanout = 1
+	}
+	if fanout > 32 {
+		fanout = 32
+	}
+	switch name {
+	case NameZM:
+		return zm.New(zm.Config{Space: geo.UnitRect, Builder: builder, Fanout: fanout}), nil
+	case NameML:
+		return mlindex.New(mlindex.Config{Space: geo.UnitRect, Builder: builder, Refs: 16, Fanout: fanout, Seed: 1}), nil
+	case NameRSMI:
+		leafCap := n / 16
+		if leafCap < 500 {
+			leafCap = 500
+		}
+		if leafCap > 25000 {
+			leafCap = 25000
+		}
+		return rsmi.New(rsmi.Config{Space: geo.UnitRect, Builder: builder, Fanout: 8, LeafCap: leafCap}), nil
+	case NameLISA:
+		return lisa.New(lisa.Config{Space: geo.UnitRect, Builder: builder}), nil
+	}
+	return nil, fmt.Errorf("bench: unknown learned index %q", name)
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/kdb"
+	"elsi/internal/stats"
+)
+
+// BuildTimed builds idx on pts and returns the wall-clock build time.
+func BuildTimed(idx index.Index, pts []geo.Point) (time.Duration, error) {
+	t0 := time.Now()
+	err := idx.Build(pts)
+	return time.Since(t0), err
+}
+
+// Querier is anything answering the three query types (an index or a
+// rebuild.Processor).
+type Querier interface {
+	PointQuery(p geo.Point) bool
+	WindowQuery(win geo.Rect) []geo.Point
+	KNN(q geo.Point, k int) []geo.Point
+}
+
+// PointQueryTime measures the average point-query latency over queries
+// drawn from the data distribution (the paper queries every indexed
+// point; the sample keeps the harness fast at large scale).
+func PointQueryTime(q Querier, pts []geo.Point, queries int, seed int64) time.Duration {
+	if len(pts) == 0 || queries <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	qs := dataset.QueriesFromData(rng, pts, queries)
+	t0 := time.Now()
+	for _, p := range qs {
+		q.PointQuery(p)
+	}
+	return time.Since(t0) / time.Duration(len(qs))
+}
+
+// WindowResult aggregates a window-query measurement.
+type WindowResult struct {
+	AvgTime time.Duration
+	Recall  float64
+}
+
+// WindowQueryTime measures average window-query latency and recall
+// (vs. brute force) for windows following the data distribution
+// covering areaFrac of the space.
+func WindowQueryTime(q Querier, pts []geo.Point, queries int, areaFrac float64, seed int64) WindowResult {
+	if len(pts) == 0 || queries <= 0 {
+		return WindowResult{Recall: 1}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	wins := dataset.WindowsFromData(rng, pts, geo.UnitRect, queries, areaFrac)
+	t0 := time.Now()
+	results := make([][]geo.Point, len(wins))
+	for i, w := range wins {
+		results[i] = q.WindowQuery(w)
+	}
+	avg := time.Since(t0) / time.Duration(len(wins))
+	truth := exactIndex(pts)
+	sum, cnt := 0.0, 0
+	for i, w := range wins {
+		want := truth.WindowQuery(w)
+		if len(want) == 0 {
+			continue
+		}
+		sum += index.Recall(results[i], want)
+		cnt++
+	}
+	recall := 1.0
+	if cnt > 0 {
+		recall = sum / float64(cnt)
+	}
+	return WindowResult{AvgTime: avg, Recall: recall}
+}
+
+// exactIndex builds the exact ground-truth index used for recall
+// computation (a KDB-tree: exact and fast at harness scale).
+func exactIndex(pts []geo.Point) index.Index {
+	t := kdb.New(geo.UnitRect)
+	t.Build(pts)
+	return t
+}
+
+// KNNQueryTime measures average kNN latency and recall for k-NN
+// queries following the data distribution.
+func KNNQueryTime(q Querier, pts []geo.Point, queries, k int, seed int64) WindowResult {
+	if len(pts) == 0 || queries <= 0 {
+		return WindowResult{Recall: 1}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	qs := dataset.QueriesFromData(rng, pts, queries)
+	t0 := time.Now()
+	results := make([][]geo.Point, len(qs))
+	for i, p := range qs {
+		results[i] = q.KNN(p, k)
+	}
+	avg := time.Since(t0) / time.Duration(len(qs))
+	truth := exactIndex(pts)
+	sum := 0.0
+	for i, p := range qs {
+		want := truth.KNN(p, k)
+		sum += index.KNNRecall(results[i], want, p)
+	}
+	return WindowResult{AvgTime: avg, Recall: sum / float64(len(qs))}
+}
+
+// PointQueryLatencies measures per-query latencies and returns their
+// full summary — tail behaviour (P95/P99) exposes the regions where a
+// model's error bounds blow up, which averages hide.
+func PointQueryLatencies(q Querier, pts []geo.Point, queries int, seed int64) stats.Summary {
+	if len(pts) == 0 || queries <= 0 {
+		return stats.Summary{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	qs := dataset.QueriesFromData(rng, pts, queries)
+	samples := make([]time.Duration, len(qs))
+	for i, p := range qs {
+		t0 := time.Now()
+		q.PointQuery(p)
+		samples[i] = time.Since(t0)
+	}
+	return stats.Summarize(samples)
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"elsi/internal/core"
+	"elsi/internal/dataset"
+)
+
+// variantSet builds the comparison set of the query experiments on a
+// data set: the four traditional baselines, the learned indices
+// without ELSI, and their ELSI variants (lambda 0.8).
+func (e *Env) variantSet(ds string, n int, seed int64) ([]string, []Querier, error) {
+	pts := dataset.MustGenerate(ds, n, seed)
+	var names []string
+	var qs []Querier
+	for _, name := range TraditionalNames() {
+		ix, err := NewTraditional(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ix.Build(pts); err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name)
+		qs = append(qs, ix)
+	}
+	for _, name := range LearnedNames() {
+		ix, err := NewLearned(name, e.ogBuilder(), n)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ix.Build(pts); err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name)
+		qs = append(qs, ix)
+
+		fix, err := NewLearned(name, e.System(name, 0.8, core.SelectorLearned, ""), n)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := fix.Build(pts); err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name+"-F")
+		qs = append(qs, fix)
+	}
+	return names, qs, nil
+}
+
+// Fig10 reproduces Figure 10: point query times across data sets for
+// all indices, with and without ELSI.
+func Fig10(w io.Writer, e *Env) error {
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "dataset", "index", "point_query")
+	for _, ds := range dataset.All() {
+		pts := dataset.MustGenerate(ds, e.N, e.Seed)
+		names, qs, err := e.variantSet(ds, e.N, e.Seed)
+		if err != nil {
+			return err
+		}
+		for i, name := range names {
+			row(tw, ds, name, micros(PointQueryTime(qs[i], pts, e.Queries, e.Seed+17)))
+		}
+	}
+	return nil
+}
+
+// Fig11 reproduces Figure 11: point query times vs lambda on OSM1 and
+// TPC-H, with RR* and RSMI references.
+func Fig11(w io.Writer, e *Env) error {
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "dataset", "index", "lambda", "point_query")
+	for _, ds := range []string{dataset.OSM1, dataset.TPCH} {
+		pts := dataset.MustGenerate(ds, e.N, e.Seed)
+		rr, err := NewTraditional(NameRR)
+		if err != nil {
+			return err
+		}
+		rr.Build(pts)
+		row(tw, ds, NameRR, "-", micros(PointQueryTime(rr, pts, e.Queries, e.Seed+19)))
+		rsmiOG, err := NewLearned(NameRSMI, e.ogBuilder(), e.N)
+		if err != nil {
+			return err
+		}
+		rsmiOG.Build(pts)
+		row(tw, ds, NameRSMI, "-", micros(PointQueryTime(rsmiOG, pts, e.Queries, e.Seed+19)))
+		for _, lambda := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+			for _, name := range LearnedNames() {
+				ix, err := NewLearned(name, e.System(name, lambda, core.SelectorLearned, ""), e.N)
+				if err != nil {
+					return err
+				}
+				if err := ix.Build(pts); err != nil {
+					return err
+				}
+				row(tw, ds, name+"-F", fmt.Sprintf("%.1f", lambda),
+					micros(PointQueryTime(ix, pts, e.Queries, e.Seed+19)))
+			}
+		}
+	}
+	return nil
+}
+
+// Fig12 reproduces Figure 12: window query times (a) and recall (b)
+// across data sets at window size 0.01% of the space.
+func Fig12(w io.Writer, e *Env) error {
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "dataset", "index", "window_query", "recall")
+	wq := e.Queries / 4
+	if wq < 10 {
+		wq = 10
+	}
+	for _, ds := range dataset.All() {
+		pts := dataset.MustGenerate(ds, e.N, e.Seed)
+		names, qs, err := e.variantSet(ds, e.N, e.Seed)
+		if err != nil {
+			return err
+		}
+		for i, name := range names {
+			r := WindowQueryTime(qs[i], pts, wq, 0.0001, e.Seed+23)
+			row(tw, ds, name, micros(r.AvgTime), fmt.Sprintf("%.3f", r.Recall))
+		}
+	}
+	return nil
+}
+
+// Fig13 reproduces Figure 13: window query time vs lambda on OSM1 (a)
+// and vs window size (b).
+func Fig13(w io.Writer, e *Env) error {
+	pts := dataset.MustGenerate(dataset.OSM1, e.N, e.Seed)
+	wq := e.Queries / 4
+	if wq < 10 {
+		wq = 10
+	}
+	tw := table(w)
+	row(tw, "part", "index", "x", "window_query", "recall")
+	// (a) vs lambda
+	for _, lambda := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		for _, name := range LearnedNames() {
+			ix, err := NewLearned(name, e.System(name, lambda, core.SelectorLearned, ""), e.N)
+			if err != nil {
+				return err
+			}
+			if err := ix.Build(pts); err != nil {
+				return err
+			}
+			r := WindowQueryTime(ix, pts, wq, 0.0001, e.Seed+29)
+			row(tw, "a:lambda", name+"-F", fmt.Sprintf("%.1f", lambda), micros(r.AvgTime), fmt.Sprintf("%.3f", r.Recall))
+		}
+	}
+	// (b) vs window size, fixed lambda 0.8, with RR* and RSMI refs
+	names, qs, err := e.variantSet(dataset.OSM1, e.N, e.Seed)
+	if err != nil {
+		return err
+	}
+	for _, frac := range []float64{0.000006, 0.000025, 0.0001, 0.0004, 0.0016} {
+		for i, name := range names {
+			r := WindowQueryTime(qs[i], pts, wq, frac, e.Seed+31)
+			row(tw, "b:size", name, fmt.Sprintf("%.4f%%", frac*100), micros(r.AvgTime), fmt.Sprintf("%.3f", r.Recall))
+		}
+	}
+	tw.Flush()
+	return nil
+}
+
+// Fig14 reproduces Figure 14: kNN query times (a) and recall (b)
+// across data sets at k = 25.
+func Fig14(w io.Writer, e *Env) error {
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "dataset", "index", "knn_query", "recall")
+	kq := e.Queries / 4
+	if kq < 10 {
+		kq = 10
+	}
+	for _, ds := range dataset.All() {
+		pts := dataset.MustGenerate(ds, e.N, e.Seed)
+		names, qs, err := e.variantSet(ds, e.N, e.Seed)
+		if err != nil {
+			return err
+		}
+		for i, name := range names {
+			r := KNNQueryTime(qs[i], pts, kq, 25, e.Seed+37)
+			row(tw, ds, name, micros(r.AvgTime), fmt.Sprintf("%.3f", r.Recall))
+		}
+	}
+	return nil
+}

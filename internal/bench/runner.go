@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is a named driver reproducing one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, e *Env) error
+}
+
+// Experiments returns the full driver catalog keyed by experiment ID.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig6a", "Figure 6(a): selector accuracy vs preparation scale u", Fig6a},
+		{"fig6b", "Figure 6(b): selector accuracy vs lambda (FFN vs RF/DT)", Fig6b},
+		{"fig7", "Figure 7: build-method Pareto sweep on OSM1", Fig7},
+		{"table1", "Table I: build cost decomposition on OSM1 + ZM", Table1},
+		{"table2", "Table II: ELSI vs Rand vs fixed methods", Table2},
+		{"fig8", "Figure 8: build time vs data distribution", Fig8},
+		{"fig9", "Figure 9: build time vs lambda", Fig9},
+		{"fig10", "Figure 10: point query time vs data distribution", Fig10},
+		{"fig11", "Figure 11: point query time vs lambda", Fig11},
+		{"fig12", "Figure 12: window query time and recall vs distribution", Fig12},
+		{"fig13", "Figure 13: window query time vs lambda and window size", Fig13},
+		{"fig14", "Figure 14: kNN query time and recall (k=25)", Fig14},
+		{"fig15", "Figure 15: insertion and point query times under skewed inserts", Fig15},
+		{"fig16", "Figure 16: window query time and recall under skewed inserts", Fig16},
+		{"ext-delete", "Extension: deletion workloads through the update processor", ExtDelete},
+		{"ext-parallel", "Extension: parallel leaf-model bulk building", ExtParallel},
+		{"ext-theory", "Extension: theoretical (PGM-style) vs empirical error bounds", ExtTheory},
+		{"ext-window", "Extension: window-aware method scorer (Sec. IV-B1 remark)", ExtWindow},
+		{"ext-latency", "Extension: point-query tail latencies (P50/P95/P99)", ExtLatency},
+		{"ext-perindex", "Extension: per-index scorer ground truth (Sec. VII-B2)", ExtPerIndex},
+		{"ext-3d", "Extension: d=3 build study (OG vs RS-reduced training)", Ext3D},
+	}
+}
+
+// Run executes the experiment with the given ID ("all" runs every
+// driver in order).
+func Run(id string, w io.Writer, e *Env) error {
+	if id == "all" {
+		for _, exp := range Experiments() {
+			fmt.Fprintf(w, "\n=== %s — %s ===\n", exp.ID, exp.Title)
+			if err := exp.Run(w, e); err != nil {
+				return fmt.Errorf("%s: %w", exp.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, exp := range Experiments() {
+		if exp.ID == id {
+			fmt.Fprintf(w, "=== %s — %s ===\n", exp.ID, exp.Title)
+			return exp.Run(w, e)
+		}
+	}
+	ids := make([]string, 0, len(Experiments()))
+	for _, exp := range Experiments() {
+		ids = append(ids, exp.ID)
+	}
+	sort.Strings(ids)
+	return fmt.Errorf("bench: unknown experiment %q (known: %v, plus \"all\")", id, ids)
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"elsi/internal/base"
+	"elsi/internal/core"
+	"elsi/internal/curve"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/methods"
+	"elsi/internal/scorer"
+)
+
+// Table1 reproduces Table I: the build-cost decomposition (training
+// time, method-specific extra time, |error| bounds) of every pool
+// method on the OSM1 surrogate with ZM as the base index, plus the
+// shared map-and-sort data preparation cost.
+func Table1(w io.Writer, e *Env) error {
+	pts := dataset.MustGenerate(dataset.OSM1, e.N, e.Seed)
+	t0 := time.Now()
+	d := base.Prepare(pts, geo.UnitRect, func(p geo.Point) float64 {
+		return float64(curve.ZEncode(p, geo.UnitRect))
+	})
+	prep := time.Since(t0)
+	fmt.Fprintf(w, "shared map-and-sort data preparation: %s (n=%d)\n", secs(prep), d.Len())
+
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "method", "|Ds|", "train_time", "extra_time", "bounds_time(M(n))", "|error|")
+	builders := scorer.PoolBuilders(e.Trainer, e.Seed)
+	for _, name := range methods.PoolNames() {
+		b := builders[name]
+		if mr, ok := b.(interface{ Prepare() }); ok {
+			mr.Prepare() // MR's pool pre-training is offline (Sec. VII-B2)
+		}
+		_, stats := b.BuildModel(d)
+		row(tw, stats.Method, stats.TrainSetSize, secs(stats.TrainTime), secs(stats.ReduceTime), secs(stats.BoundsTime), stats.ErrWidth)
+	}
+	return nil
+}
+
+// Table2 reproduces Table II: build times and point query times of
+// every base index under the full ELSI system, the random selector
+// ablation ("Rand"), every fixed single method, and OG — at the
+// default lambda = 0.8. Inapplicable combinations print NA.
+func Table2(w io.Writer, e *Env) error {
+	pts := dataset.MustGenerate(dataset.OSM1, e.N, e.Seed)
+	type variant struct {
+		name string
+		mk   func(indexName string) base.ModelBuilder
+	}
+	variants := []variant{
+		{"ELSI", func(in string) base.ModelBuilder { return e.System(in, 0.8, core.SelectorLearned, "") }},
+		{"Rand", func(in string) base.ModelBuilder { return e.System(in, 0.8, core.SelectorRandom, "") }},
+	}
+	for _, m := range methods.PoolNames() {
+		m := m
+		variants = append(variants, variant{m, func(in string) base.ModelBuilder {
+			if !applicable(in, m) {
+				return nil
+			}
+			return e.System(in, 0.8, core.SelectorFixed, m)
+		}})
+	}
+	indexNames := []string{NameZM, NameRSMI, NameML, NameLISA}
+
+	tw := table(w)
+	defer tw.Flush()
+	header := []interface{}{"metric", "index"}
+	for _, v := range variants {
+		header = append(header, v.name)
+	}
+	row(tw, header...)
+
+	type cellPair struct{ build, query string }
+	results := map[string]map[string]cellPair{}
+	for _, in := range indexNames {
+		results[in] = map[string]cellPair{}
+		for _, v := range variants {
+			b := v.mk(in)
+			if b == nil {
+				results[in][v.name] = cellPair{"NA", "NA"}
+				continue
+			}
+			ix, err := NewLearned(in, b, e.N)
+			if err != nil {
+				return err
+			}
+			buildTime, err := BuildTimed(ix, pts)
+			if err != nil {
+				return err
+			}
+			q := PointQueryTime(ix, pts, e.Queries, e.Seed+13)
+			results[in][v.name] = cellPair{secs(buildTime), micros(q)}
+		}
+	}
+	for _, in := range indexNames {
+		cells := []interface{}{"build", in}
+		for _, v := range variants {
+			cells = append(cells, results[in][v.name].build)
+		}
+		row(tw, cells...)
+	}
+	for _, in := range indexNames {
+		cells := []interface{}{"point_query", in}
+		for _, v := range variants {
+			cells = append(cells, results[in][v.name].query)
+		}
+		row(tw, cells...)
+	}
+	return nil
+}
+
+// applicable reports whether a fixed method applies to an index.
+func applicable(indexName, method string) bool {
+	for _, m := range core.PoolForIndex(indexName) {
+		if m == method {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+// Package core is ELSI itself: the build processor of Section IV. The
+// System implements base.ModelBuilder, so any map-and-sort learned
+// index plugs it in where its original training step ran. For every
+// index model requested, the System summarizes the partition
+// (cardinality and KS distance to uniform), asks the method selector
+// for the best index building method under the preference factor
+// lambda (Equation 2), runs that method to obtain the reduced training
+// set Ds, trains on Ds, and computes the empirical error bounds over
+// the full partition — Algorithm 1, lines 3-7.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"elsi/internal/base"
+	"elsi/internal/kstest"
+	"elsi/internal/methods"
+	"elsi/internal/rmi"
+	"elsi/internal/scorer"
+)
+
+// SelectorKind chooses how the System picks a build method.
+type SelectorKind int
+
+const (
+	// SelectorLearned uses the trained FFN method scorer (the ELSI
+	// default).
+	SelectorLearned SelectorKind = iota
+	// SelectorRandom picks a pool method uniformly at random — the
+	// "Rand" ablation of Table II.
+	SelectorRandom
+	// SelectorFixed always uses Config.Fixed.
+	SelectorFixed
+)
+
+// Config assembles an ELSI system.
+type Config struct {
+	// Trainer is the base index's model family (train() of Alg. 1).
+	Trainer rmi.Trainer
+	// Lambda is the build/query preference of Equation 2 (default 0.8,
+	// the experiments' default).
+	Lambda float64
+	// WQ is the query-frequency weight (paper: 1.0).
+	WQ float64
+	// Pool lists the applicable methods for the base index; empty
+	// means all six. LISA-style indices exclude the point-synthesizing
+	// methods (CL, RL).
+	Pool []string
+	// Selector picks the selection policy.
+	Selector SelectorKind
+	// Fixed names the method used with SelectorFixed.
+	Fixed string
+	// Scorer is the trained method scorer (required for
+	// SelectorLearned).
+	Scorer *scorer.Scorer
+	// Seed drives the random selector and the stochastic methods.
+	Seed int64
+	// Builders overrides the default method builders (keyed by method
+	// name); nil entries fall back to PoolBuilders defaults.
+	Builders map[string]base.ModelBuilder
+}
+
+// System is the ELSI build processor.
+type System struct {
+	cfg      Config
+	builders map[string]base.ModelBuilder
+	rng      *rand.Rand
+
+	mu         sync.Mutex
+	selections map[string]int
+}
+
+// NewSystem validates cfg and returns a System.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Trainer == nil {
+		return nil, fmt.Errorf("core: Trainer is required")
+	}
+	if cfg.Lambda == 0 && cfg.Selector == SelectorLearned {
+		cfg.Lambda = 0.8
+	}
+	if cfg.WQ <= 0 {
+		cfg.WQ = 1
+	}
+	if len(cfg.Pool) == 0 {
+		cfg.Pool = methods.PoolNames()
+	}
+	if cfg.Selector == SelectorLearned && cfg.Scorer == nil {
+		return nil, fmt.Errorf("core: SelectorLearned requires a trained Scorer")
+	}
+	if cfg.Selector == SelectorFixed {
+		found := false
+		for _, m := range cfg.Pool {
+			if m == cfg.Fixed {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: fixed method %q not in pool %v", cfg.Fixed, cfg.Pool)
+		}
+	}
+	builders := scorer.PoolBuilders(cfg.Trainer, cfg.Seed)
+	for name, b := range cfg.Builders {
+		builders[name] = b
+	}
+	// MR's synthetic pool is pre-trained offline (Section VII-B2);
+	// warming it here keeps that cost out of the measured builds.
+	for _, b := range builders {
+		if p, ok := b.(interface{ Prepare() }); ok {
+			p.Prepare()
+		}
+	}
+	return &System{
+		cfg:        cfg,
+		builders:   builders,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		selections: map[string]int{},
+	}, nil
+}
+
+// MustNewSystem is NewSystem panicking on error (for tests and
+// examples).
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements base.ModelBuilder.
+func (s *System) Name() string { return "ELSI" }
+
+// BuildModel implements base.ModelBuilder: summarize, select, reduce,
+// train, bound.
+func (s *System) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
+	method := s.selectMethod(d)
+	s.mu.Lock()
+	s.selections[method]++
+	s.mu.Unlock()
+	b, ok := s.builders[method]
+	if !ok {
+		b = &base.Direct{Trainer: s.cfg.Trainer}
+	}
+	return b.BuildModel(d)
+}
+
+// selectMethod runs the configured selection policy on the partition
+// summary.
+func (s *System) selectMethod(d *base.SortedData) string {
+	switch s.cfg.Selector {
+	case SelectorFixed:
+		return s.cfg.Fixed
+	case SelectorRandom:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.cfg.Pool[s.rng.Intn(len(s.cfg.Pool))]
+	default:
+		dist := 0.0
+		if d.Len() > 0 {
+			dist = kstest.DistanceToUniform(d.Keys, d.Keys[0], d.Keys[d.Len()-1])
+		}
+		sel := &scorer.Selector{Scorer: s.cfg.Scorer, Lambda: s.cfg.Lambda, WQ: s.cfg.WQ, Pool: s.cfg.Pool}
+		return sel.Select(d.Len(), dist)
+	}
+}
+
+// Selections returns how often each method has been chosen since
+// construction (for the experiment reports).
+func (s *System) Selections() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.selections))
+	for k, v := range s.selections {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetSelections clears the selection counters.
+func (s *System) ResetSelections() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.selections = map[string]int{}
+}
+
+// Lambda returns the configured preference factor.
+func (s *System) Lambda() float64 { return s.cfg.Lambda }
+
+// PoolForIndex returns the applicable method pool for a base index by
+// name: LISA excludes the methods that synthesize points outside the
+// data set (Section VII-A).
+func PoolForIndex(indexName string) []string {
+	if indexName == "LISA" {
+		var pool []string
+		for _, m := range methods.PoolNames() {
+			if !methods.SynthesizesPoints(m) || m == methods.NameMR {
+				// MR reuses models rather than feeding synthetic points
+				// into the index's grid construction, so it remains
+				// applicable (the paper only excludes CL and RL).
+				pool = append(pool, m)
+			}
+		}
+		return pool
+	}
+	return methods.PoolNames()
+}
+
+// TrainScorer generates ground truth and trains the method scorer in
+// one step — the offline "system preparation" of Section VII-B2.
+func TrainScorer(gen scorer.GenConfig, cfg scorer.Config) (*scorer.Scorer, []scorer.Sample, error) {
+	samples := scorer.GenerateSamples(gen)
+	sc, err := scorer.Train(samples, cfg)
+	return sc, samples, err
+}

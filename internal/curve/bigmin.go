@@ -1,0 +1,91 @@
+package curve
+
+// This file implements the BIGMIN operation of Tropf & Herzog (1981)
+// for the 2-D Morton curve: given a query box's Morton-key range
+// [zmin, zmax] and a key z inside that range whose cell lies OUTSIDE
+// the box, BigMin returns the smallest key > z whose cell is inside
+// the box. A window scan can then skip the out-of-box runs between
+// Z-curve visits instead of filtering through them — the "skip-scan"
+// alternative to the recursive range decomposition of ZRanges.
+
+// BigMin returns the smallest Morton key greater than z that lies
+// inside the box whose minimum and maximum cells encode to zmin and
+// zmax. It requires zmin <= z <= zmax; when no key inside the box is
+// greater than z it returns zmax+1 (one past the end).
+func BigMin(z, zmin, zmax uint64) uint64 {
+	var bigmin uint64
+	haveBigmin := false
+	for p := 2*Order - 1; p >= 0; p-- {
+		zb := z >> uint(p) & 1
+		minb := zmin >> uint(p) & 1
+		maxb := zmax >> uint(p) & 1
+		switch {
+		case zb == 0 && minb == 0 && maxb == 0:
+			// all agree: continue
+		case zb == 0 && minb == 0 && maxb == 1:
+			// the box spans both halves of this dimension's split:
+			// remember the best candidate in the upper half, restrict
+			// the search to the lower half
+			bigmin = withOneZerosBelow(zmin, p)
+			haveBigmin = true
+			zmax = withZeroOnesBelow(zmax, p)
+		case zb == 0 && minb == 1:
+			// everything in the box is greater than z
+			return zmin
+		case zb == 1 && maxb == 0:
+			// everything in the box is smaller than z
+			if haveBigmin {
+				return bigmin
+			}
+			return zmax + 1
+		case zb == 1 && minb == 0 && maxb == 1:
+			// z is in the upper half: the lower half is all < z
+			zmin = withOneZerosBelow(zmin, p)
+		case zb == 1 && minb == 1 && maxb == 1:
+			// all agree: continue
+		default:
+			// minb == 1 && maxb == 0 would mean zmin > zmax
+			panic("curve: BigMin requires zmin <= zmax")
+		}
+	}
+	// z itself is inside the box; the next inside key is z+1 if still
+	// within range
+	if haveBigmin {
+		return bigmin
+	}
+	return zmax + 1
+}
+
+// sameDimBelow returns the mask of bit positions below p belonging to
+// the same dimension as p (Morton bits alternate dimensions, so same-
+// dimension bits are at p-2, p-4, ...).
+func sameDimBelow(p int) uint64 {
+	// 0x5555... has bits at even positions; shift to align with p's parity
+	mask := uint64(0x5555555555555555)
+	if p&1 == 1 {
+		mask <<= 1
+	}
+	// keep only bits strictly below p
+	return mask & (uint64(1)<<uint(p) - 1)
+}
+
+// withOneZerosBelow returns v with bit p set to 1 and the same-
+// dimension bits below p cleared ("LOAD 1000..." of the paper).
+func withOneZerosBelow(v uint64, p int) uint64 {
+	return (v | uint64(1)<<uint(p)) &^ sameDimBelow(p)
+}
+
+// withZeroOnesBelow returns v with bit p cleared and the same-
+// dimension bits below p set ("LOAD 0111...").
+func withZeroOnesBelow(v uint64, p int) uint64 {
+	return (v &^ (uint64(1) << uint(p))) | sameDimBelow(p)
+}
+
+// ZCellInBox reports whether key's cell lies inside the cell box
+// spanned per dimension by the corner keys zmin and zmax.
+func ZCellInBox(key, zmin, zmax uint64) bool {
+	kx, ky := ZDecodeCell(key)
+	lx, ly := ZDecodeCell(zmin)
+	hx, hy := ZDecodeCell(zmax)
+	return kx >= lx && kx <= hx && ky >= ly && ky <= hy
+}

@@ -1,0 +1,236 @@
+// Package curve implements the space-filling curves used by the
+// map-and-sort indices: the Z-order (Morton) curve used by ZM and RSMI
+// and the Hilbert curve used by the HRR bulk-loaded R-tree. Both curves
+// map a 2-dimensional point in a reference rectangle to a one-dimensional
+// uint64 key; sorting by the key yields the storage order the learned
+// index models are trained on.
+package curve
+
+import (
+	"elsi/internal/geo"
+)
+
+// Order is the number of bits used per dimension. 2*Order bits of key
+// are produced, so Order must be at most 31 to fit a uint64 with room
+// for arithmetic.
+const Order = 20
+
+// cells is the number of grid cells per dimension at the chosen order.
+const cells = 1 << Order
+
+// MaxKey is the largest key either curve can produce.
+const MaxKey = uint64(cells)*uint64(cells) - 1
+
+// quantize maps v in [lo, hi] to an integer cell in [0, cells-1].
+func quantize(v, lo, hi float64) uint32 {
+	if hi <= lo {
+		return 0
+	}
+	f := (v - lo) / (hi - lo)
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return cells - 1
+	}
+	c := uint32(f * cells)
+	if c >= cells {
+		c = cells - 1
+	}
+	return c
+}
+
+// dequantize returns the low edge of cell c mapped back into [lo, hi].
+func dequantize(c uint32, lo, hi float64) float64 {
+	return lo + (float64(c)/float64(cells))*(hi-lo)
+}
+
+// interleave spreads the low Order bits of v so that there is a zero
+// bit between every pair of consecutive bits.
+func interleave(v uint32) uint64 {
+	x := uint64(v) & 0x00000000ffffffff
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// deinterleave compacts every other bit of x back into a uint32.
+func deinterleave(x uint64) uint32 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return uint32(x)
+}
+
+// ZEncodeCell packs integer grid coordinates into a Morton key.
+func ZEncodeCell(cx, cy uint32) uint64 {
+	return interleave(cx) | interleave(cy)<<1
+}
+
+// ZDecodeCell unpacks a Morton key into grid coordinates.
+func ZDecodeCell(key uint64) (cx, cy uint32) {
+	return deinterleave(key), deinterleave(key >> 1)
+}
+
+// ZEncode maps p, interpreted relative to the data-space rectangle
+// space, to its Z-order key.
+func ZEncode(p geo.Point, space geo.Rect) uint64 {
+	cx := quantize(p.X, space.MinX, space.MaxX)
+	cy := quantize(p.Y, space.MinY, space.MaxY)
+	return ZEncodeCell(cx, cy)
+}
+
+// ZDecode maps a Z-order key back to the low corner of its grid cell.
+func ZDecode(key uint64, space geo.Rect) geo.Point {
+	cx, cy := ZDecodeCell(key)
+	return geo.Point{
+		X: dequantize(cx, space.MinX, space.MaxX),
+		Y: dequantize(cy, space.MinY, space.MaxY),
+	}
+}
+
+// HEncode maps p to its Hilbert-curve key relative to space. The
+// Hilbert curve preserves locality better than the Z curve and is used
+// for bulk-loading the HRR R-tree.
+func HEncode(p geo.Point, space geo.Rect) uint64 {
+	cx := quantize(p.X, space.MinX, space.MaxX)
+	cy := quantize(p.Y, space.MinY, space.MaxY)
+	return HEncodeCell(cx, cy)
+}
+
+// HEncodeCell converts integer grid coordinates to the Hilbert index
+// using the classical rotate-and-fold construction.
+func HEncodeCell(cx, cy uint32) uint64 {
+	x, y := uint64(cx), uint64(cy)
+	var rx, ry, d uint64
+	for s := uint64(cells / 2); s > 0; s /= 2 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		// rotate
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+// HDecodeCell converts a Hilbert index back to grid coordinates.
+func HDecodeCell(d uint64) (cx, cy uint32) {
+	var x, y uint64
+	t := d
+	for s := uint64(1); s < cells; s *= 2 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		// rotate
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return uint32(x), uint32(y)
+}
+
+// KeyRange is a contiguous, inclusive range [Lo, Hi] of curve keys.
+type KeyRange struct {
+	Lo, Hi uint64
+}
+
+// ZRanges decomposes a query window into a small set of Z-key ranges
+// that together cover every grid cell intersecting the window. It
+// recursively subdivides the key space quadrant by quadrant, emitting a
+// whole subtree as one range when its cell region is fully inside the
+// window, and stopping at maxDepth by over-approximating with the
+// subtree's full range. The returned ranges are sorted and merged.
+//
+// Predict-and-scan indices use the ranges to restrict the portion of
+// the sorted array a window query must visit.
+func ZRanges(window geo.Rect, space geo.Rect, maxDepth int) []KeyRange {
+	if !window.Intersects(space) {
+		return nil
+	}
+	if maxDepth > Order {
+		maxDepth = Order
+	}
+	var out []KeyRange
+	var rec func(cx, cy uint32, level int, cell geo.Rect)
+	rec = func(cx, cy uint32, level int, cell geo.Rect) {
+		if !window.Intersects(cell) {
+			return
+		}
+		// Keys of the subtree rooted at this cell: the cell coordinates
+		// fix the top 2*level bits of the key.
+		shift := uint(2 * (Order - level))
+		base := ZEncodeCell(cx<<(Order-level), cy<<(Order-level))
+		span := uint64(1)<<shift - 1
+		if window.ContainsRect(cell) || level >= maxDepth {
+			out = append(out, KeyRange{base, base + span})
+			return
+		}
+		mx := (cell.MinX + cell.MaxX) / 2
+		my := (cell.MinY + cell.MaxY) / 2
+		rec(cx*2, cy*2, level+1, geo.Rect{MinX: cell.MinX, MinY: cell.MinY, MaxX: mx, MaxY: my})
+		rec(cx*2+1, cy*2, level+1, geo.Rect{MinX: mx, MinY: cell.MinY, MaxX: cell.MaxX, MaxY: my})
+		rec(cx*2, cy*2+1, level+1, geo.Rect{MinX: cell.MinX, MinY: my, MaxX: mx, MaxY: cell.MaxY})
+		rec(cx*2+1, cy*2+1, level+1, geo.Rect{MinX: mx, MinY: my, MaxX: cell.MaxX, MaxY: cell.MaxY})
+	}
+	rec(0, 0, 0, space)
+	return MergeRanges(out)
+}
+
+// MergeRanges sorts ranges by Lo and merges adjacent or overlapping
+// entries. The input slice is modified in place.
+func MergeRanges(rs []KeyRange) []KeyRange {
+	if len(rs) <= 1 {
+		return rs
+	}
+	// Ranges produced by the recursive decomposition above arrive in
+	// key order already, but sort defensively for other callers.
+	sortRanges(rs)
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		// a range ending at MaxUint64 covers every later range
+		if last.Hi == ^uint64(0) || r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortRanges(rs []KeyRange) {
+	// insertion sort: range lists are short (tens of entries).
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Lo < rs[j-1].Lo; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

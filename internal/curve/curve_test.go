@@ -1,0 +1,242 @@
+package curve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elsi/internal/geo"
+)
+
+func TestZEncodeCellRoundTrip(t *testing.T) {
+	cases := []struct{ x, y uint32 }{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {cells - 1, cells - 1}, {12345, 54321},
+	}
+	for _, c := range cases {
+		k := ZEncodeCell(c.x, c.y)
+		gx, gy := ZDecodeCell(k)
+		if gx != c.x || gy != c.y {
+			t.Errorf("ZDecodeCell(ZEncodeCell(%d,%d)) = (%d,%d)", c.x, c.y, gx, gy)
+		}
+	}
+}
+
+func TestZEncodeKnown(t *testing.T) {
+	// Interleaving (x=1, y=0) puts the bit in position 0; (x=0, y=1) in position 1.
+	if k := ZEncodeCell(1, 0); k != 1 {
+		t.Errorf("ZEncodeCell(1,0) = %d, want 1", k)
+	}
+	if k := ZEncodeCell(0, 1); k != 2 {
+		t.Errorf("ZEncodeCell(0,1) = %d, want 2", k)
+	}
+	if k := ZEncodeCell(1, 1); k != 3 {
+		t.Errorf("ZEncodeCell(1,1) = %d, want 3", k)
+	}
+}
+
+func TestQuickZRoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x %= cells
+		y %= cells
+		gx, gy := ZDecodeCell(ZEncodeCell(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHilbertRoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		x %= cells
+		y %= cells
+		gx, gy := HDecodeCell(HEncodeCell(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertBijective(t *testing.T) {
+	// On a tiny sub-grid, successive Hilbert indices must be unique.
+	seen := map[uint64]bool{}
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			d := HEncodeCell(x, y)
+			if seen[d] {
+				t.Fatalf("duplicate Hilbert index %d at (%d,%d)", d, x, y)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestHilbertLocality(t *testing.T) {
+	// Adjacent cells along the curve must be adjacent in the grid
+	// (the defining property of the Hilbert curve). Verify along a
+	// stretch of the curve at full order by decoding consecutive keys.
+	prevX, prevY := HDecodeCell(0)
+	for d := uint64(1); d < 4096; d++ {
+		x, y := HDecodeCell(d)
+		dx := int64(x) - int64(prevX)
+		dy := int64(y) - int64(prevY)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("Hilbert step %d jumps from (%d,%d) to (%d,%d)", d, prevX, prevY, x, y)
+		}
+		prevX, prevY = x, y
+	}
+}
+
+func TestZEncodeMonotoneInSpace(t *testing.T) {
+	space := geo.UnitRect
+	// A point and the same point shifted by a full cell in x must map
+	// to different keys; identical points map to identical keys.
+	p := geo.Point{X: 0.25, Y: 0.75}
+	if ZEncode(p, space) != ZEncode(p, space) {
+		t.Error("ZEncode not deterministic")
+	}
+	q := geo.Point{X: 0.25 + 2.0/cells, Y: 0.75}
+	if ZEncode(p, space) == ZEncode(q, space) {
+		t.Error("distinct cells map to the same Z key")
+	}
+}
+
+func TestZEncodeClamps(t *testing.T) {
+	space := geo.UnitRect
+	k := ZEncode(geo.Point{X: -5, Y: -5}, space)
+	if k != 0 {
+		t.Errorf("below-space point key = %d, want 0", k)
+	}
+	k = ZEncode(geo.Point{X: 5, Y: 5}, space)
+	if k != MaxKey {
+		t.Errorf("above-space point key = %d, want MaxKey", k)
+	}
+}
+
+func TestZDecodeInSpace(t *testing.T) {
+	space := geo.Rect{MinX: -3, MinY: 2, MaxX: 7, MaxY: 12}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := geo.Point{
+			X: space.MinX + rng.Float64()*space.Width(),
+			Y: space.MinY + rng.Float64()*space.Height(),
+		}
+		k := ZEncode(p, space)
+		q := ZDecode(k, space)
+		cellW := space.Width() / cells
+		cellH := space.Height() / cells
+		if q.X > p.X || p.X-q.X > cellW*1.0001 {
+			t.Fatalf("decode X off: p=%v q=%v", p, q)
+		}
+		if q.Y > p.Y || p.Y-q.Y > cellH*1.0001 {
+			t.Fatalf("decode Y off: p=%v q=%v", p, q)
+		}
+	}
+}
+
+func TestZRangesCoverWindow(t *testing.T) {
+	space := geo.UnitRect
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		w := rng.Float64() * 0.2
+		win := geo.Rect{MinX: cx - w, MinY: cy - w, MaxX: cx + w, MaxY: cy + w}
+		ranges := ZRanges(win, space, 8)
+		if len(ranges) == 0 {
+			t.Fatalf("no ranges for window %v", win)
+		}
+		// every point in the window must have its key covered
+		for i := 0; i < 100; i++ {
+			p := geo.Point{
+				X: win.MinX + rng.Float64()*win.Width(),
+				Y: win.MinY + rng.Float64()*win.Height(),
+			}
+			if !space.Contains(p) {
+				continue
+			}
+			k := ZEncode(p, space)
+			if !rangesCover(ranges, k) {
+				t.Fatalf("key %d of %v not covered by %d ranges", k, p, len(ranges))
+			}
+		}
+		// ranges must be sorted and non-overlapping
+		for i := 1; i < len(ranges); i++ {
+			if ranges[i].Lo <= ranges[i-1].Hi {
+				t.Fatalf("ranges overlap: %v", ranges)
+			}
+		}
+	}
+}
+
+func TestZRangesDisjointWindow(t *testing.T) {
+	win := geo.Rect{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}
+	if got := ZRanges(win, geo.UnitRect, 8); got != nil {
+		t.Errorf("disjoint window produced ranges: %v", got)
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	in := []KeyRange{{10, 20}, {0, 5}, {6, 9}, {30, 40}, {35, 50}}
+	got := MergeRanges(in)
+	want := []KeyRange{{0, 20}, {30, 50}}
+	if len(got) != len(want) {
+		t.Fatalf("MergeRanges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MergeRanges = %v, want %v", got, want)
+		}
+	}
+}
+
+func rangesCover(rs []KeyRange, k uint64) bool {
+	for _, r := range rs {
+		if k >= r.Lo && k <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+func BenchmarkZEncode(b *testing.B) {
+	space := geo.UnitRect
+	p := geo.Point{X: 0.37, Y: 0.61}
+	for i := 0; i < b.N; i++ {
+		_ = ZEncode(p, space)
+	}
+}
+
+func BenchmarkHEncode(b *testing.B) {
+	space := geo.UnitRect
+	p := geo.Point{X: 0.37, Y: 0.61}
+	for i := 0; i < b.N; i++ {
+		_ = HEncode(p, space)
+	}
+}
+
+func TestMergeRangesOverflowGuard(t *testing.T) {
+	// a range ending at MaxUint64 must not wrap when merging
+	in := []KeyRange{{0, ^uint64(0)}, {5, 10}}
+	got := MergeRanges(in)
+	if len(got) != 1 || got[0].Lo != 0 || got[0].Hi != ^uint64(0) {
+		t.Errorf("MergeRanges with MaxUint64 = %v", got)
+	}
+}
+
+func TestZCellInBox(t *testing.T) {
+	zmin := ZEncodeCell(2, 3)
+	zmax := ZEncodeCell(6, 8)
+	if !ZCellInBox(ZEncodeCell(4, 5), zmin, zmax) {
+		t.Error("inside cell reported outside")
+	}
+	if ZCellInBox(ZEncodeCell(1, 5), zmin, zmax) {
+		t.Error("x-outside cell reported inside")
+	}
+	if ZCellInBox(ZEncodeCell(4, 9), zmin, zmax) {
+		t.Error("y-outside cell reported inside")
+	}
+	if !ZCellInBox(zmin, zmin, zmax) || !ZCellInBox(zmax, zmin, zmax) {
+		t.Error("corners must be inside")
+	}
+}

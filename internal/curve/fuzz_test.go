@@ -1,0 +1,86 @@
+package curve
+
+import (
+	"testing"
+
+	"elsi/internal/geo"
+)
+
+func FuzzZRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(cells-1), uint32(cells-1))
+	f.Add(uint32(12345), uint32(54321))
+	f.Fuzz(func(t *testing.T, x, y uint32) {
+		x %= cells
+		y %= cells
+		gx, gy := ZDecodeCell(ZEncodeCell(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("Z round trip (%d,%d) -> (%d,%d)", x, y, gx, gy)
+		}
+	})
+}
+
+func FuzzHilbertRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(cells-1), uint32(0))
+	f.Add(uint32(7), uint32(1023))
+	f.Fuzz(func(t *testing.T, x, y uint32) {
+		x %= cells
+		y %= cells
+		gx, gy := HDecodeCell(HEncodeCell(x, y))
+		if gx != x || gy != y {
+			t.Fatalf("Hilbert round trip (%d,%d) -> (%d,%d)", x, y, gx, gy)
+		}
+	})
+}
+
+func FuzzZRangesCoverage(f *testing.F) {
+	f.Add(0.1, 0.1, 0.3, 0.3, 0.15, 0.15)
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.5, 0.5)
+	f.Add(0.9, 0.9, 0.95, 0.95, 0.91, 0.94)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, px, py float64) {
+		clamp := func(v float64) float64 {
+			if v != v || v < 0 { // NaN or negative
+				return 0
+			}
+			if v > 1 {
+				return 1
+			}
+			return v
+		}
+		x1, y1, x2, y2 = clamp(x1), clamp(y1), clamp(x2), clamp(y2)
+		px, py = clamp(px), clamp(py)
+		win := geo.Rect{
+			MinX: min64(x1, x2), MinY: min64(y1, y2),
+			MaxX: max64(x1, x2), MaxY: max64(y1, y2),
+		}
+		p := geo.Point{X: px, Y: py}
+		ranges := ZRanges(win, geo.UnitRect, 8)
+		if win.Contains(p) {
+			k := ZEncode(p, geo.UnitRect)
+			if !rangesCover(ranges, k) {
+				t.Fatalf("window %v: key of %v not covered", win, p)
+			}
+		}
+		// ranges are sorted and disjoint
+		for i := 1; i < len(ranges); i++ {
+			if ranges[i].Lo <= ranges[i-1].Hi {
+				t.Fatalf("overlapping ranges: %v", ranges)
+			}
+		}
+	})
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"elsi/internal/curve"
+	"elsi/internal/geo"
+	"elsi/internal/kstest"
+)
+
+func TestGenerateAllNames(t *testing.T) {
+	for _, name := range All() {
+		pts, err := Generate(name, 1000, 1)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		if len(pts) != 1000 {
+			t.Fatalf("Generate(%s) returned %d points", name, len(pts))
+		}
+		for _, p := range pts {
+			if !geo.UnitRect.Contains(p) {
+				t.Fatalf("Generate(%s) point %v outside unit square", name, p)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", 10, 1); err == nil {
+		t.Error("expected error for unknown data set")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(OSM1, 500, 7)
+	b := MustGenerate(OSM1, 500, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across same-seed generations", i)
+		}
+	}
+	c := MustGenerate(OSM1, 500, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// zKeyDistToUniform measures the KS distance of a data set's Z-key
+// distribution from uniform, the quantity ELSI uses to characterize
+// distributions.
+func zKeyDistToUniform(pts []geo.Point) float64 {
+	keys := make([]float64, len(pts))
+	for i, p := range pts {
+		keys[i] = float64(curve.ZEncode(p, geo.UnitRect))
+	}
+	sort.Float64s(keys)
+	return kstest.DistanceToUniform(keys, 0, float64(curve.MaxKey))
+}
+
+func TestDistributionOrdering(t *testing.T) {
+	// The surrogates must reproduce the relative skew ordering the
+	// experiments rely on: Uniform is the least skewed; NYC the most.
+	n := 20000
+	uni := zKeyDistToUniform(MustGenerate(Uniform, n, 1))
+	skw := zKeyDistToUniform(MustGenerate(Skewed, n, 1))
+	nyc := zKeyDistToUniform(MustGenerate(NYC, n, 1))
+	if uni > 0.05 {
+		t.Errorf("uniform dist-to-uniform = %v, want ~0", uni)
+	}
+	if skw <= uni {
+		t.Errorf("skewed (%v) not more skewed than uniform (%v)", skw, uni)
+	}
+	// NYC is spatially extreme but its central cluster spreads over
+	// several Morton blocks, so its Z-key KS distance is moderate; it
+	// must still be clearly non-uniform.
+	if nyc < 5*uni || nyc < 0.1 {
+		t.Errorf("nyc dist-to-uniform = %v (uniform %v), want clearly skewed", nyc, uni)
+	}
+}
+
+func TestSkewedPointsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := SkewedPoints(rng, 10000, 4)
+	// E[y] = E[u^4] = 1/5 for the skewed set; E[x] = 1/2.
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	mx, my := sx/float64(len(pts)), sy/float64(len(pts))
+	if math.Abs(mx-0.5) > 0.02 {
+		t.Errorf("mean x = %v, want ~0.5", mx)
+	}
+	if math.Abs(my-0.2) > 0.02 {
+		t.Errorf("mean y = %v, want ~0.2", my)
+	}
+}
+
+func TestTPCHLattice(t *testing.T) {
+	pts := MustGenerate(TPCH, 5000, 1)
+	distinctX := map[float64]bool{}
+	for _, p := range pts {
+		distinctX[p.X] = true
+	}
+	if len(distinctX) > 50 {
+		t.Errorf("TPC-H surrogate has %d distinct x values, want <= 50 (quantity lattice)", len(distinctX))
+	}
+}
+
+func TestClusterMixFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := ClusterMix(rng, 10000, 8, 0.001, 0.002, 0.0)
+	// with no uniform background, nearly all points sit within a few
+	// sigma of only 8 centers: the bounding boxes of many random pairs
+	// should be tiny compared to uniform data.
+	r := geo.BoundingRect(pts[:100])
+	_ = r // sanity of generation only; detailed shape asserted below
+	if len(pts) != 10000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if got := zKeyDistToUniform(pts); got < 0.2 {
+		t.Errorf("pure cluster mix dist-to-uniform = %v, want skewed", got)
+	}
+}
+
+func TestKeysWithUniformDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, d := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9} {
+		keys := KeysWithUniformDistance(rng, 20000, d)
+		if !sort.Float64sAreSorted(keys) {
+			t.Fatalf("keys not sorted for d=%v", d)
+		}
+		got := kstest.DistanceToUniform(keys, 0, 1)
+		if math.Abs(got-d) > 0.03 {
+			t.Errorf("d=%v: measured distance %v", d, got)
+		}
+	}
+}
+
+func TestKeysWithUniformDistanceClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	keys := KeysWithUniformDistance(rng, 1000, 2.0) // clamped to 0.95
+	got := kstest.DistanceToUniform(keys, 0, 1)
+	if got > 0.97 {
+		t.Errorf("clamped distance = %v", got)
+	}
+	keys = KeysWithUniformDistance(rng, 1000, -1) // clamped to 0
+	got = kstest.DistanceToUniform(keys, 0, 1)
+	if got > 0.1 {
+		t.Errorf("negative-d distance = %v, want ~0", got)
+	}
+}
+
+func TestPointsWithUniformDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lo := zKeyDistToUniform(PointsWithUniformDistance(rng, 20000, 0.1))
+	hi := zKeyDistToUniform(PointsWithUniformDistance(rng, 20000, 0.7))
+	if hi <= lo {
+		t.Errorf("distance not monotone: d=0.1 -> %v, d=0.7 -> %v", lo, hi)
+	}
+	if math.Abs(hi-0.7) > 0.1 {
+		t.Errorf("d=0.7 measured %v", hi)
+	}
+}
+
+func TestWindowsFromData(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := UniformPoints(rng, 1000)
+	wins := WindowsFromData(rng, pts, geo.UnitRect, 50, 0.0001)
+	if len(wins) != 50 {
+		t.Fatalf("got %d windows", len(wins))
+	}
+	for _, w := range wins {
+		if math.Abs(w.Area()-0.0001) > 1e-12 {
+			t.Fatalf("window area = %v, want 0.0001", w.Area())
+		}
+	}
+	if WindowsFromData(rng, nil, geo.UnitRect, 5, 0.01) != nil {
+		t.Error("empty data should yield no windows")
+	}
+}
+
+func TestQueriesFromData(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := UniformPoints(rng, 100)
+	qs := QueriesFromData(rng, pts, 30)
+	if len(qs) != 30 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	set := map[geo.Point]bool{}
+	for _, p := range pts {
+		set[p] = true
+	}
+	for _, q := range qs {
+		if !set[q] {
+			t.Fatalf("query %v is not a data point", q)
+		}
+	}
+	if QueriesFromData(rng, nil, 5) != nil {
+		t.Error("empty data should yield no queries")
+	}
+}

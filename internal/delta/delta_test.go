@@ -1,0 +1,222 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elsi/internal/geo"
+)
+
+func TestInsertGetLen(t *testing.T) {
+	var l List
+	l.Insert(5, geo.Point{X: 1, Y: 2})
+	l.Insert(3, geo.Point{X: 3, Y: 4})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	r, ok := l.Get(5)
+	if !ok || r.Point != (geo.Point{X: 1, Y: 2}) || r.Op != Inserted {
+		t.Errorf("Get(5) = %+v, %v", r, ok)
+	}
+	if _, ok := l.Get(99); ok {
+		t.Error("Get(99) found a phantom record")
+	}
+}
+
+func TestDeleteCancelsInsert(t *testing.T) {
+	var l List
+	p := geo.Point{X: 1, Y: 1}
+	l.Insert(7, p)
+	l.Delete(7, p)
+	if l.Len() != 0 {
+		t.Errorf("insert+delete should cancel, Len = %d", l.Len())
+	}
+}
+
+func TestInsertCancelsDelete(t *testing.T) {
+	var l List
+	p := geo.Point{X: 2, Y: 2}
+	l.Delete(9, p) // delete of an indexed point
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	l.Insert(9, p) // re-insert: cancels
+	if l.Len() != 0 {
+		t.Errorf("delete+insert should cancel, Len = %d", l.Len())
+	}
+}
+
+func TestForEachOrdered(t *testing.T) {
+	var l List
+	ids := []int64{5, 1, 9, 3, 7, 2, 8}
+	for _, id := range ids {
+		l.Insert(id, geo.Point{X: float64(id)})
+	}
+	var got []int64
+	l.ForEach(func(r Record) { got = append(got, r.ID) })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ForEach out of order: %v", got)
+		}
+	}
+	if len(got) != len(ids) {
+		t.Errorf("visited %d records", len(got))
+	}
+}
+
+func TestInsertedWithin(t *testing.T) {
+	var l List
+	l.Insert(1, geo.Point{X: 0.1, Y: 0.1})
+	l.Insert(2, geo.Point{X: 0.9, Y: 0.9})
+	l.Delete(3, geo.Point{X: 0.15, Y: 0.15})
+	win := geo.Rect{MinX: 0, MinY: 0, MaxX: 0.5, MaxY: 0.5}
+	got := l.InsertedWithin(win, nil)
+	if len(got) != 1 || got[0] != (geo.Point{X: 0.1, Y: 0.1}) {
+		t.Errorf("InsertedWithin = %v", got)
+	}
+}
+
+func TestIsDeletedHasInserted(t *testing.T) {
+	var l List
+	pd := geo.Point{X: 0.3, Y: 0.3}
+	pi := geo.Point{X: 0.6, Y: 0.6}
+	l.Delete(1, pd)
+	l.Insert(2, pi)
+	if !l.IsDeleted(pd) {
+		t.Error("IsDeleted missed the deleted point")
+	}
+	if l.IsDeleted(pi) {
+		t.Error("IsDeleted flagged an inserted point")
+	}
+	if !l.HasInserted(pi) {
+		t.Error("HasInserted missed the inserted point")
+	}
+	if l.HasInserted(pd) {
+		t.Error("HasInserted flagged a deleted point")
+	}
+}
+
+func TestClear(t *testing.T) {
+	var l List
+	for i := int64(0); i < 100; i++ {
+		l.Insert(i, geo.Point{})
+	}
+	l.Clear()
+	if l.Len() != 0 {
+		t.Errorf("Len after Clear = %d", l.Len())
+	}
+	if len(l.Records()) != 0 {
+		t.Error("Records after Clear not empty")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	var l List
+	l.Insert(1, geo.Point{X: 1})
+	l.Insert(1, geo.Point{X: 2})
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", l.Len())
+	}
+	r, _ := l.Get(1)
+	if r.Point.X != 2 {
+		t.Errorf("overwrite kept old point: %v", r.Point)
+	}
+}
+
+// Property: the AVL stays balanced and ordered under random
+// insert/delete mixes; Len always matches the visited count.
+func TestQuickAVLInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw)%200 + 1
+		var l List
+		shadow := map[int64]Record{}
+		for i := 0; i < ops; i++ {
+			id := int64(rng.Intn(50))
+			p := geo.Point{X: rng.Float64()}
+			if rng.Intn(2) == 0 {
+				if r, ok := shadow[id]; ok && r.Op == Deleted {
+					delete(shadow, id)
+				} else {
+					shadow[id] = Record{ID: id, Point: p, Op: Inserted}
+				}
+				l.Insert(id, p)
+			} else {
+				if r, ok := shadow[id]; ok && r.Op == Inserted {
+					delete(shadow, id)
+				} else {
+					shadow[id] = Record{ID: id, Point: p, Op: Deleted}
+				}
+				l.Delete(id, p)
+			}
+		}
+		if l.Len() != len(shadow) {
+			return false
+		}
+		count := 0
+		ok := true
+		var prev int64 = -1
+		l.ForEach(func(r Record) {
+			count++
+			if r.ID <= prev {
+				ok = false
+			}
+			prev = r.ID
+			if sr, present := shadow[r.ID]; !present || sr.Op != r.Op {
+				ok = false
+			}
+		})
+		return ok && count == len(shadow) && balanced(l.root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func balanced(n *node) bool {
+	if n == nil {
+		return true
+	}
+	bf := height(n.left) - height(n.right)
+	if bf < -1 || bf > 1 {
+		return false
+	}
+	return balanced(n.left) && balanced(n.right)
+}
+
+func BenchmarkDeltaAVLInsert(b *testing.B) {
+	var l List
+	for i := 0; i < b.N; i++ {
+		l.Insert(int64(i), geo.Point{X: float64(i)})
+	}
+}
+
+// BenchmarkDeltaLinearInsert is the ablation baseline: an unindexed
+// slice. Lookup-heavy workloads show why the paper suggests the tree.
+func BenchmarkDeltaLinearLookup(b *testing.B) {
+	var recs []Record
+	for i := 0; i < 10000; i++ {
+		recs = append(recs, Record{ID: int64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := int64(i % 10000)
+		for _, r := range recs {
+			if r.ID == id {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkDeltaAVLLookup(b *testing.B) {
+	var l List
+	for i := 0; i < 10000; i++ {
+		l.Insert(int64(i), geo.Point{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(int64(i % 10000))
+	}
+}

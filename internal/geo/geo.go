@@ -1,0 +1,213 @@
+// Package geo provides the planar geometry primitives shared by every
+// spatial index in this repository: points, axis-aligned rectangles
+// (minimum bounding rectangles), and the distance predicates used by
+// window and k-nearest-neighbour queries.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a point in 2-dimensional Euclidean space.
+type Point struct {
+	X, Y float64
+}
+
+// Dist2 returns the squared Euclidean distance between p and q.
+// Squared distances are used throughout the query paths so that
+// comparisons avoid the math.Sqrt call.
+func (p Point) Dist2(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Sqrt(p.Dist2(q))
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%g, %g)", p.X, p.Y)
+}
+
+// Rect is a closed axis-aligned rectangle [MinX, MaxX] x [MinY, MaxY].
+// It doubles as the minimum bounding rectangle (MBR) of a point set.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// UnitRect is the unit square, the default data space of the synthetic
+// data sets used in the paper's experiments.
+var UnitRect = Rect{0, 0, 1, 1}
+
+// EmptyRect returns a degenerate rectangle that acts as the identity
+// for Union: any rectangle unioned with it is returned unchanged.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// IsEmpty reports whether r is the empty rectangle (has no extent and
+// contains no point).
+func (r Rect) IsEmpty() bool {
+	return r.MinX > r.MaxX || r.MinY > r.MaxY
+}
+
+// Contains reports whether the point p lies inside r (boundaries included).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Intersection returns the overlap of r and s; the result is empty when
+// the rectangles are disjoint.
+func (r Rect) Intersection(s Rect) Rect {
+	out := Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+	return out
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Extend grows r in place so that it covers p and returns the result.
+func (r Rect) Extend(p Point) Rect {
+	if r.IsEmpty() {
+		return Rect{p.X, p.Y, p.X, p.Y}
+	}
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.X > r.MaxX {
+		r.MaxX = p.X
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.Y > r.MaxY {
+		r.MaxY = p.Y
+	}
+	return r
+}
+
+// Area returns the area of r; empty rectangles have zero area.
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.MaxX - r.MinX) * (r.MaxY - r.MinY)
+}
+
+// Margin returns the perimeter of r. R*-tree split heuristics minimize
+// margin as a tiebreaker.
+func (r Rect) Margin() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return 2 * ((r.MaxX - r.MinX) + (r.MaxY - r.MinY))
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Width and Height return the side lengths of r.
+func (r Rect) Width() float64  { return r.MaxX - r.MinX }
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Dist2 returns the squared minimum distance from p to r (zero when p
+// is inside r). It is the MINDIST bound used by branch-and-bound kNN.
+func (r Rect) Dist2(p Point) float64 {
+	var dx, dy float64
+	switch {
+	case p.X < r.MinX:
+		dx = r.MinX - p.X
+	case p.X > r.MaxX:
+		dx = p.X - r.MaxX
+	}
+	switch {
+	case p.Y < r.MinY:
+		dy = r.MinY - p.Y
+	case p.Y > r.MaxY:
+		dy = p.Y - r.MaxY
+	}
+	return dx*dx + dy*dy
+}
+
+// EnlargementArea returns how much r's area grows if extended to cover s.
+func (r Rect) EnlargementArea(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// OverlapArea returns the area of the intersection of r and s.
+func (r Rect) OverlapArea(s Rect) float64 {
+	in := r.Intersection(s)
+	if in.IsEmpty() {
+		return 0
+	}
+	return in.Area()
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// BoundingRect returns the MBR of pts, or the empty rectangle when pts
+// is empty.
+func BoundingRect(pts []Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.Extend(p)
+	}
+	return r
+}
+
+// Clamp returns p moved to the closest location inside r.
+func (r Rect) Clamp(p Point) Point {
+	if p.X < r.MinX {
+		p.X = r.MinX
+	}
+	if p.X > r.MaxX {
+		p.X = r.MaxX
+	}
+	if p.Y < r.MinY {
+		p.Y = r.MinY
+	}
+	if p.Y > r.MaxY {
+		p.Y = r.MaxY
+	}
+	return p
+}

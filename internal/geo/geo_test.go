@@ -1,0 +1,239 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := p.Dist(q); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := p.Dist2(q); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+	if got := p.Dist(p); got != 0 {
+		t.Errorf("Dist(p,p) = %v, want 0", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{0, 0, 1, 1}
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0.5, 0.5}, true},
+		{Point{0, 0}, true}, // boundary
+		{Point{1, 1}, true}, // boundary
+		{Point{1.01, 0.5}, false},
+		{Point{-0.01, 0.5}, false},
+		{Point{0.5, 2}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{0.5, 0.5, 2, 2}, true},
+		{Rect{1, 1, 2, 2}, true}, // corner touch
+		{Rect{1.1, 1.1, 2, 2}, false},
+		{Rect{-1, -1, -0.1, -0.1}, false},
+		{Rect{0.2, 0.2, 0.4, 0.4}, true}, // containment
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects symmetric (%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect is not empty")
+	}
+	if e.Area() != 0 {
+		t.Errorf("empty Area = %v, want 0", e.Area())
+	}
+	r := Rect{0, 0, 2, 3}
+	if got := e.Union(r); got != r {
+		t.Errorf("empty Union identity failed: %v", got)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("Union with empty failed: %v", got)
+	}
+}
+
+func TestRectUnionExtend(t *testing.T) {
+	r := EmptyRect()
+	pts := []Point{{1, 2}, {-1, 0}, {3, -5}}
+	for _, p := range pts {
+		r = r.Extend(p)
+	}
+	want := Rect{-1, -5, 3, 2}
+	if r != want {
+		t.Errorf("Extend chain = %v, want %v", r, want)
+	}
+	if got := BoundingRect(pts); got != want {
+		t.Errorf("BoundingRect = %v, want %v", got, want)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("bounding rect does not contain %v", p)
+		}
+	}
+}
+
+func TestRectAreaMargin(t *testing.T) {
+	r := Rect{0, 0, 2, 3}
+	if got := r.Area(); got != 6 {
+		t.Errorf("Area = %v, want 6", got)
+	}
+	if got := r.Margin(); got != 10 {
+		t.Errorf("Margin = %v, want 10", got)
+	}
+	if got := r.Center(); got != (Point{1, 1.5}) {
+		t.Errorf("Center = %v", got)
+	}
+	if r.Width() != 2 || r.Height() != 3 {
+		t.Errorf("Width/Height = %v/%v", r.Width(), r.Height())
+	}
+}
+
+func TestRectDist2(t *testing.T) {
+	r := Rect{0, 0, 1, 1}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{0.5, 0.5}, 0}, // inside
+		{Point{2, 0.5}, 1},   // right
+		{Point{0.5, -2}, 4},  // below
+		{Point{2, 2}, 2},     // corner: 1+1
+		{Point{1, 1}, 0},     // boundary
+	}
+	for _, c := range cases {
+		if got := r.Dist2(c.p); got != c.want {
+			t.Errorf("Dist2(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntersectionOverlap(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 3, 3}
+	in := a.Intersection(b)
+	want := Rect{1, 1, 2, 2}
+	if in != want {
+		t.Errorf("Intersection = %v, want %v", in, want)
+	}
+	if got := a.OverlapArea(b); got != 1 {
+		t.Errorf("OverlapArea = %v, want 1", got)
+	}
+	c := Rect{5, 5, 6, 6}
+	if got := a.OverlapArea(c); got != 0 {
+		t.Errorf("disjoint OverlapArea = %v, want 0", got)
+	}
+	if !a.Intersection(c).IsEmpty() {
+		t.Error("disjoint Intersection should be empty")
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{0.2, 0.2, 0.8, 0.8}
+	if got := a.EnlargementArea(b); got != 0 {
+		t.Errorf("contained EnlargementArea = %v, want 0", got)
+	}
+	c := Rect{0, 0, 2, 1}
+	if got := a.EnlargementArea(c); got != 1 {
+		t.Errorf("EnlargementArea = %v, want 1", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := Rect{0, 0, 1, 1}
+	if got := r.Clamp(Point{2, -1}); got != (Point{1, 0}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Point{0.3, 0.7}); got != (Point{0.3, 0.7}) {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	if !a.ContainsRect(Rect{1, 1, 2, 2}) {
+		t.Error("ContainsRect inner failed")
+	}
+	if !a.ContainsRect(a) {
+		t.Error("ContainsRect self failed")
+	}
+	if a.ContainsRect(Rect{1, 1, 5, 2}) {
+		t.Error("ContainsRect overflow should be false")
+	}
+}
+
+// Property: Union covers both operands; Intersection is inside both.
+func TestQuickUnionIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() Rect {
+		x1, x2 := rng.Float64(), rng.Float64()
+		y1, y2 := rng.Float64(), rng.Float64()
+		return Rect{math.Min(x1, x2), math.Min(y1, y2), math.Max(x1, x2), math.Max(y1, y2)}
+	}
+	f := func() bool {
+		a, b := mk(), mk()
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			return false
+		}
+		in := a.Intersection(b)
+		if !in.IsEmpty() && (!a.ContainsRect(in) || !b.ContainsRect(in)) {
+			return false
+		}
+		// inclusion-exclusion sanity: overlap <= min(area)
+		if a.OverlapArea(b) > math.Min(a.Area(), b.Area())+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dist2 to a rect is zero iff the point is inside.
+func TestQuickRectDist2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		r := Rect{rng.Float64(), rng.Float64(), 0, 0}
+		r.MaxX = r.MinX + rng.Float64()
+		r.MaxY = r.MinY + rng.Float64()
+		p := Point{rng.Float64() * 3, rng.Float64() * 3}
+		d := r.Dist2(p)
+		if r.Contains(p) {
+			return d == 0
+		}
+		return d > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

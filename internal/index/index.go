@@ -1,0 +1,174 @@
+// Package index defines the common query interface implemented by
+// every spatial index in the repository — learned and traditional —
+// plus a brute-force reference implementation used to verify results
+// and compute the recall figures the paper reports for approximate
+// indices (RSMI, LISA with FFN shard functions).
+package index
+
+import (
+	"sort"
+
+	"elsi/internal/geo"
+)
+
+// Index is the query interface shared by all spatial indices.
+type Index interface {
+	// Name returns a short identifier ("ZM", "RSMI", "RR*", ...).
+	Name() string
+	// Build bulk-loads the index with pts. Build must be called once
+	// before querying.
+	Build(pts []geo.Point) error
+	// PointQuery reports whether p is stored in the index.
+	PointQuery(p geo.Point) bool
+	// WindowQuery returns the stored points inside win. Approximate
+	// indices may miss points (recall < 1) but never return points
+	// outside win.
+	WindowQuery(win geo.Rect) []geo.Point
+	// KNN returns the k stored points nearest to q (approximate for
+	// indices whose window query is approximate).
+	KNN(q geo.Point, k int) []geo.Point
+	// Len returns the number of stored points.
+	Len() int
+}
+
+// Inserter is implemented by indices supporting point insertion.
+type Inserter interface {
+	Insert(p geo.Point)
+}
+
+// Deleter is implemented by indices supporting point deletion.
+type Deleter interface {
+	Delete(p geo.Point) bool
+}
+
+// BruteForce is the reference index: exact, O(n) per query. It backs
+// correctness tests and recall computation.
+type BruteForce struct {
+	pts []geo.Point
+}
+
+// NewBruteForce returns an empty reference index.
+func NewBruteForce() *BruteForce { return &BruteForce{} }
+
+// Name implements Index.
+func (b *BruteForce) Name() string { return "BruteForce" }
+
+// Build implements Index.
+func (b *BruteForce) Build(pts []geo.Point) error {
+	b.pts = append([]geo.Point(nil), pts...)
+	return nil
+}
+
+// Len implements Index.
+func (b *BruteForce) Len() int { return len(b.pts) }
+
+// PointQuery implements Index.
+func (b *BruteForce) PointQuery(p geo.Point) bool {
+	for _, q := range b.pts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// WindowQuery implements Index.
+func (b *BruteForce) WindowQuery(win geo.Rect) []geo.Point {
+	var out []geo.Point
+	for _, p := range b.pts {
+		if win.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// KNN implements Index.
+func (b *BruteForce) KNN(q geo.Point, k int) []geo.Point {
+	return KNNScan(b.pts, q, k)
+}
+
+// Insert implements Inserter.
+func (b *BruteForce) Insert(p geo.Point) { b.pts = append(b.pts, p) }
+
+// Delete implements Deleter.
+func (b *BruteForce) Delete(p geo.Point) bool {
+	for i, q := range b.pts {
+		if q == p {
+			b.pts[i] = b.pts[len(b.pts)-1]
+			b.pts = b.pts[:len(b.pts)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// KNNScan returns the k points of pts nearest to q by full scan.
+func KNNScan(pts []geo.Point, q geo.Point, k int) []geo.Point {
+	if k <= 0 || len(pts) == 0 {
+		return nil
+	}
+	type cand struct {
+		p geo.Point
+		d float64
+	}
+	cands := make([]cand, len(pts))
+	for i, p := range pts {
+		cands[i] = cand{p, p.Dist2(q)}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]geo.Point, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].p
+	}
+	return out
+}
+
+// Recall returns |got ∩ want| / |want| treating both as multisets of
+// points; it is the query-recall metric of Figures 12, 14, and 16.
+// Recall of an empty want set is 1.
+func Recall(got, want []geo.Point) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	counts := make(map[geo.Point]int, len(want))
+	for _, p := range want {
+		counts[p]++
+	}
+	hit := 0
+	for _, p := range got {
+		if counts[p] > 0 {
+			counts[p]--
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+// KNNRecall compares kNN answers by distance, not identity: an answer
+// point counts as correct if its distance to q does not exceed the
+// true k-th nearest distance (ties make identity comparison unfair).
+func KNNRecall(got, want []geo.Point, q geo.Point) float64 {
+	if len(want) == 0 {
+		return 1
+	}
+	maxD := 0.0
+	for _, p := range want {
+		if d := p.Dist2(q); d > maxD {
+			maxD = d
+		}
+	}
+	hit := 0
+	for _, p := range got {
+		if p.Dist2(q) <= maxD+1e-15 {
+			hit++
+		}
+	}
+	if hit > len(want) {
+		hit = len(want)
+	}
+	return float64(hit) / float64(len(want))
+}

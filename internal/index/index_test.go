@@ -1,0 +1,122 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/geo"
+)
+
+func TestBruteForceBasics(t *testing.T) {
+	b := NewBruteForce()
+	pts := []geo.Point{{X: 0.1, Y: 0.1}, {X: 0.5, Y: 0.5}, {X: 0.9, Y: 0.9}}
+	if err := b.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+	if !b.PointQuery(pts[1]) {
+		t.Error("stored point not found")
+	}
+	if b.PointQuery(geo.Point{X: 0.2, Y: 0.2}) {
+		t.Error("absent point found")
+	}
+	got := b.WindowQuery(geo.Rect{MinX: 0, MinY: 0, MaxX: 0.6, MaxY: 0.6})
+	if len(got) != 2 {
+		t.Errorf("WindowQuery returned %d points", len(got))
+	}
+}
+
+func TestBruteForceInsertDelete(t *testing.T) {
+	b := NewBruteForce()
+	b.Build(nil)
+	p := geo.Point{X: 0.4, Y: 0.4}
+	b.Insert(p)
+	if !b.PointQuery(p) {
+		t.Error("inserted point missing")
+	}
+	if !b.Delete(p) {
+		t.Error("Delete returned false for stored point")
+	}
+	if b.PointQuery(p) {
+		t.Error("deleted point still present")
+	}
+	if b.Delete(p) {
+		t.Error("Delete returned true for absent point")
+	}
+}
+
+func TestKNNScan(t *testing.T) {
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}}
+	got := KNNScan(pts, geo.Point{X: 0.1, Y: 0}, 2)
+	if len(got) != 2 {
+		t.Fatalf("KNN returned %d points", len(got))
+	}
+	if got[0] != pts[0] || got[1] != pts[1] {
+		t.Errorf("KNN = %v", got)
+	}
+	if KNNScan(pts, geo.Point{}, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := KNNScan(pts, geo.Point{}, 100); len(got) != len(pts) {
+		t.Errorf("k>n returned %d points", len(got))
+	}
+}
+
+func TestRecall(t *testing.T) {
+	want := []geo.Point{{X: 1}, {X: 2}, {X: 3}, {X: 4}}
+	if got := Recall(want, want); got != 1 {
+		t.Errorf("perfect recall = %v", got)
+	}
+	if got := Recall(want[:2], want); got != 0.5 {
+		t.Errorf("half recall = %v", got)
+	}
+	if got := Recall(nil, want); got != 0 {
+		t.Errorf("empty-answer recall = %v", got)
+	}
+	if got := Recall(nil, nil); got != 1 {
+		t.Errorf("empty-truth recall = %v", got)
+	}
+	// duplicates are matched as a multiset
+	dwant := []geo.Point{{X: 1}, {X: 1}}
+	if got := Recall([]geo.Point{{X: 1}}, dwant); got != 0.5 {
+		t.Errorf("multiset recall = %v", got)
+	}
+}
+
+func TestKNNRecall(t *testing.T) {
+	q := geo.Point{}
+	want := []geo.Point{{X: 1}, {X: 2}}
+	// an equidistant substitute still counts
+	got := KNNRecall([]geo.Point{{X: -1}, {X: 2}}, want, q)
+	if got != 1 {
+		t.Errorf("tie-tolerant recall = %v, want 1", got)
+	}
+	got = KNNRecall([]geo.Point{{X: 5}, {X: 6}}, want, q)
+	if got != 0 {
+		t.Errorf("far-answer recall = %v, want 0", got)
+	}
+	if got := KNNRecall(nil, nil, q); got != 1 {
+		t.Errorf("empty recall = %v", got)
+	}
+}
+
+func TestBruteForceKNNMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, 200)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	b := NewBruteForce()
+	b.Build(pts)
+	q := geo.Point{X: 0.5, Y: 0.5}
+	got := b.KNN(q, 10)
+	want := KNNScan(pts, q, 10)
+	if KNNRecall(got, want, q) != 1 {
+		t.Error("BruteForce KNN mismatch with KNNScan")
+	}
+}

@@ -1,0 +1,88 @@
+package indextest
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/geo"
+	"elsi/internal/index"
+)
+
+// Conformance runs the standard correctness suite against idx built on
+// pts: every stored point must be found by PointQuery, window queries
+// must reach minWindowRecall against brute force (1.0 for exact
+// indices), and kNN must reach minKNNRecall. Approximate indices pass
+// lower thresholds matching the paper's reported recall floors.
+func Conformance(t *testing.T, idx index.Index, pts []geo.Point, seed int64, minWindowRecall, minKNNRecall float64) {
+	t.Helper()
+	if err := idx.Build(pts); err != nil {
+		t.Fatalf("%s: Build: %v", idx.Name(), err)
+	}
+	if idx.Len() != len(pts) {
+		t.Fatalf("%s: Len = %d, want %d", idx.Name(), idx.Len(), len(pts))
+	}
+	bf := index.NewBruteForce()
+	bf.Build(pts)
+	rng := rand.New(rand.NewSource(seed))
+
+	// point queries: every stored point is found
+	for trial := 0; trial < 200; trial++ {
+		p := pts[rng.Intn(len(pts))]
+		if !idx.PointQuery(p) {
+			t.Fatalf("%s: stored point %v not found", idx.Name(), p)
+		}
+	}
+	// absent points are not found
+	for trial := 0; trial < 50; trial++ {
+		p := geo.Point{X: rng.Float64()*2 + 1.5, Y: rng.Float64()*2 + 1.5}
+		if idx.PointQuery(p) {
+			t.Fatalf("%s: phantom point %v found", idx.Name(), p)
+		}
+	}
+
+	// window queries
+	sumRecall, windows := 0.0, 0
+	for trial := 0; trial < 25; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		half := 0.01 + rng.Float64()*0.05
+		win := geo.Rect{MinX: c.X - half, MinY: c.Y - half, MaxX: c.X + half, MaxY: c.Y + half}
+		got := idx.WindowQuery(win)
+		want := bf.WindowQuery(win)
+		for _, p := range got {
+			if !win.Contains(p) {
+				t.Fatalf("%s: window result %v outside %v", idx.Name(), p, win)
+			}
+		}
+		if len(got) > len(want) {
+			t.Fatalf("%s: window returned %d results but only %d points lie inside (duplicates)", idx.Name(), len(got), len(want))
+		}
+		if len(want) == 0 {
+			continue
+		}
+		sumRecall += index.Recall(got, want)
+		windows++
+	}
+	if windows > 0 {
+		if avg := sumRecall / float64(windows); avg < minWindowRecall {
+			t.Fatalf("%s: window recall %.3f < %.3f", idx.Name(), avg, minWindowRecall)
+		}
+	}
+
+	// kNN
+	sumRecall, queries := 0.0, 0
+	for trial := 0; trial < 20; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		k := 1 + rng.Intn(25)
+		got := idx.KNN(q, k)
+		want := bf.KNN(q, k)
+		if len(want) > 0 {
+			sumRecall += index.KNNRecall(got, want, q)
+			queries++
+		}
+	}
+	if queries > 0 {
+		if avg := sumRecall / float64(queries); avg < minKNNRecall {
+			t.Fatalf("%s: kNN recall %.3f < %.3f", idx.Name(), avg, minKNNRecall)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package kdb implements the KDB-tree baseline (Robinson 1981): a
+// kd-tree whose leaves are fixed-capacity data blocks, bulk-loaded by
+// recursive median splits and supporting dynamic insertion with leaf
+// splits. Queries are exact.
+package kdb
+
+import (
+	"sort"
+
+	"elsi/internal/geo"
+	"elsi/internal/pqueue"
+	"elsi/internal/store"
+)
+
+// Tree is a KDB-tree.
+type Tree struct {
+	root  *node
+	space geo.Rect
+	size  int
+}
+
+type node struct {
+	// internal
+	axis        int // 0 = x, 1 = y
+	split       float64
+	left, right *node
+	// leaf
+	pts  []geo.Point
+	leaf bool
+	// bounds of the region this node covers (maintained for kNN)
+	region geo.Rect
+}
+
+// New returns an empty KDB-tree over space.
+func New(space geo.Rect) *Tree {
+	return &Tree{space: space}
+}
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return "KDB" }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return t.size }
+
+// Build implements index.Index with recursive median bulk loading.
+func (t *Tree) Build(pts []geo.Point) error {
+	buf := append([]geo.Point(nil), pts...)
+	t.root = bulkLoad(buf, 0, t.space)
+	t.size = len(pts)
+	return nil
+}
+
+func bulkLoad(pts []geo.Point, depth int, region geo.Rect) *node {
+	if len(pts) <= store.BlockSize {
+		return &node{leaf: true, pts: pts, region: region}
+	}
+	axis := depth % 2
+	split, mid, ok := partitionSorted(pts, axis)
+	if !ok {
+		// all coordinates equal on this axis: try the other one
+		axis = 1 - axis
+		split, mid, ok = partitionSorted(pts, axis)
+		if !ok {
+			// all points identical: oversized leaf
+			return &node{leaf: true, pts: pts, region: region}
+		}
+	}
+	lr, rr := region, region
+	if axis == 0 {
+		lr.MaxX, rr.MinX = split, split
+	} else {
+		lr.MaxY, rr.MinY = split, split
+	}
+	return &node{
+		axis:   axis,
+		split:  split,
+		left:   bulkLoad(pts[:mid], depth+1, lr),
+		right:  bulkLoad(pts[mid:], depth+1, rr),
+		region: region,
+	}
+}
+
+// partitionSorted sorts pts on axis and returns a split value and
+// position such that every point in pts[:mid] has coord < split and
+// every point in pts[mid:] has coord >= split, with both sides
+// non-empty. ok is false when no such split exists (all coordinates
+// equal on the axis).
+func partitionSorted(pts []geo.Point, axis int) (split float64, mid int, ok bool) {
+	if axis == 0 {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	} else {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Y < pts[j].Y })
+	}
+	if coord(pts[0], axis) == coord(pts[len(pts)-1], axis) {
+		return 0, 0, false
+	}
+	split = coord(pts[len(pts)/2], axis)
+	mid = sort.Search(len(pts), func(i int) bool { return coord(pts[i], axis) >= split })
+	if mid == 0 {
+		// split equals the minimum: advance to the next distinct value
+		hi := sort.Search(len(pts), func(i int) bool { return coord(pts[i], axis) > split })
+		split = coord(pts[hi], axis)
+		mid = hi
+	}
+	return split, mid, true
+}
+
+// descend returns the leaf that should hold p.
+func (t *Tree) descend(p geo.Point) *node {
+	n := t.root
+	for n != nil && !n.leaf {
+		if coord(p, n.axis) < n.split {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+func coord(p geo.Point, axis int) float64 {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+// Insert implements index.Inserter: the point is added to its leaf,
+// which splits by median on its longer region side when it overflows.
+func (t *Tree) Insert(p geo.Point) {
+	if t.root == nil {
+		t.root = &node{leaf: true, region: t.space}
+	}
+	n := t.descend(p)
+	n.pts = append(n.pts, p)
+	t.size++
+	if len(n.pts) > store.BlockSize {
+		splitLeaf(n)
+	}
+}
+
+// splitLeaf converts the overflowing leaf n into an internal node with
+// two leaf children, splitting on the longer side of its region.
+func splitLeaf(n *node) {
+	axis := 0
+	if n.region.Height() > n.region.Width() {
+		axis = 1
+	}
+	pts := n.pts
+	sort.Slice(pts, func(i, j int) bool { return coord(pts[i], axis) < coord(pts[j], axis) })
+	mid := len(pts) / 2
+	split := coord(pts[mid], axis)
+	// guard against all-equal coordinates: try the other axis, else
+	// keep an oversized leaf (duplicates beyond capacity).
+	if coord(pts[0], axis) == coord(pts[len(pts)-1], axis) {
+		axis = 1 - axis
+		sort.Slice(pts, func(i, j int) bool { return coord(pts[i], axis) < coord(pts[j], axis) })
+		split = coord(pts[mid], axis)
+		if coord(pts[0], axis) == coord(pts[len(pts)-1], axis) {
+			return
+		}
+	}
+	// partition strictly: left < split, right >= split; adjust mid
+	lo := sort.Search(len(pts), func(i int) bool { return coord(pts[i], axis) >= split })
+	if lo == 0 {
+		// split value is the minimum; choose the next distinct value
+		hi := sort.Search(len(pts), func(i int) bool { return coord(pts[i], axis) > split })
+		if hi == len(pts) {
+			return
+		}
+		split = coord(pts[hi], axis)
+		lo = hi
+	}
+	lr, rr := n.region, n.region
+	if axis == 0 {
+		lr.MaxX, rr.MinX = split, split
+	} else {
+		lr.MaxY, rr.MinY = split, split
+	}
+	left := &node{leaf: true, pts: append([]geo.Point(nil), pts[:lo]...), region: lr}
+	right := &node{leaf: true, pts: append([]geo.Point(nil), pts[lo:]...), region: rr}
+	n.leaf = false
+	n.pts = nil
+	n.axis = axis
+	n.split = split
+	n.left = left
+	n.right = right
+}
+
+// PointQuery implements index.Index.
+func (t *Tree) PointQuery(p geo.Point) bool {
+	n := t.descend(p)
+	if n == nil {
+		return false
+	}
+	for _, q := range n.pts {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete implements index.Deleter.
+func (t *Tree) Delete(p geo.Point) bool {
+	n := t.descend(p)
+	if n == nil {
+		return false
+	}
+	for i, q := range n.pts {
+		if q == p {
+			n.pts[i] = n.pts[len(n.pts)-1]
+			n.pts = n.pts[:len(n.pts)-1]
+			t.size--
+			return true
+		}
+	}
+	return false
+}
+
+// WindowQuery implements index.Index (exact).
+func (t *Tree) WindowQuery(win geo.Rect) []geo.Point {
+	var out []geo.Point
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil || !win.Intersects(n.region) {
+			return
+		}
+		if n.leaf {
+			for _, p := range n.pts {
+				if win.Contains(p) {
+					out = append(out, p)
+				}
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// KNN implements index.Index with best-first search over node regions.
+func (t *Tree) KNN(q geo.Point, k int) []geo.Point {
+	if t.root == nil || k <= 0 || t.size == 0 {
+		return nil
+	}
+	var pq pqueue.Min
+	pq.Push(t.root, t.root.region.Dist2(q))
+	best := pqueue.NewKBest(k)
+	for pq.Len() > 0 {
+		it := pq.Pop()
+		if best.Full() && it.Dist > best.Worst() {
+			break
+		}
+		n := it.Value.(*node)
+		if n.leaf {
+			for _, p := range n.pts {
+				best.Offer(p, p.Dist2(q))
+			}
+			continue
+		}
+		for _, c := range [2]*node{n.left, n.right} {
+			if c != nil {
+				pq.Push(c, c.region.Dist2(q))
+			}
+		}
+	}
+	return best.Points()
+}
+
+// Depth returns the height of the tree.
+func (t *Tree) Depth() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		if n == nil || n.leaf {
+			return 1
+		}
+		l, r := walk(n.left), walk(n.right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,123 @@
+package kdb
+
+import (
+	"testing"
+
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	for _, name := range dataset.All() {
+		t.Run(name, func(t *testing.T) {
+			pts := dataset.MustGenerate(name, 3000, 1)
+			indextest.Conformance(t, New(geo.UnitRect), pts, 42, 1.0, 1.0)
+		})
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	tr := New(geo.UnitRect)
+	pts := dataset.MustGenerate(dataset.Skewed, 500, 2)
+	tr.Build(pts)
+	p := geo.Point{X: 0.777, Y: 0.111}
+	tr.Insert(p)
+	if !tr.PointQuery(p) {
+		t.Error("inserted point not found")
+	}
+	if !tr.Delete(p) {
+		t.Error("Delete failed")
+	}
+	if tr.PointQuery(p) {
+		t.Error("deleted point still found")
+	}
+}
+
+func TestInsertSplitsLeaves(t *testing.T) {
+	tr := New(geo.UnitRect)
+	tr.Build(nil)
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 3)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Depth() < 3 {
+		t.Errorf("Depth = %d after 2000 inserts; leaves did not split", tr.Depth())
+	}
+	bf := index.NewBruteForce()
+	bf.Build(pts)
+	win := geo.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.4, MaxY: 0.4}
+	got := tr.WindowQuery(win)
+	want := bf.WindowQuery(win)
+	if len(got) != len(want) || index.Recall(got, want) != 1 {
+		t.Errorf("window after dynamic inserts: got %d want %d", len(got), len(want))
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New(geo.UnitRect)
+	pts := make([]geo.Point, 500)
+	for i := range pts {
+		pts[i] = geo.Point{X: 0.5, Y: 0.5}
+	}
+	tr.Build(pts)
+	if tr.Len() != 500 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if !tr.PointQuery(geo.Point{X: 0.5, Y: 0.5}) {
+		t.Error("duplicate point not found")
+	}
+	// dynamic inserts of duplicates must also terminate
+	tr2 := New(geo.UnitRect)
+	tr2.Build(nil)
+	for i := 0; i < 300; i++ {
+		tr2.Insert(geo.Point{X: 0.25, Y: 0.25})
+	}
+	if tr2.Len() != 300 {
+		t.Errorf("duplicate insert Len = %d", tr2.Len())
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(geo.UnitRect)
+	tr.Build(nil)
+	if tr.PointQuery(geo.Point{X: 0.5, Y: 0.5}) {
+		t.Error("phantom point")
+	}
+	if got := tr.KNN(geo.Point{}, 3); got != nil {
+		t.Errorf("empty KNN = %v", got)
+	}
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New(geo.UnitRect)
+		tr.Build(pts)
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	tr := New(geo.UnitRect)
+	tr.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PointQuery(pts[i%len(pts)])
+	}
+}
+
+func TestDepthGrows(t *testing.T) {
+	small := New(geo.UnitRect)
+	small.Build(dataset.MustGenerate(dataset.Uniform, 200, 9))
+	big := New(geo.UnitRect)
+	big.Build(dataset.MustGenerate(dataset.Uniform, 20000, 9))
+	if big.Depth() <= small.Depth() {
+		t.Errorf("depth did not grow: %d vs %d", big.Depth(), small.Depth())
+	}
+}

@@ -1,0 +1,43 @@
+package kstest_test
+
+import (
+	"fmt"
+
+	"elsi/internal/kstest"
+)
+
+// The KS distance of Definition 2 quantifies how well a reduced
+// training set Ds preserves the key distribution of D.
+func ExampleDistance() {
+	d := make([]float64, 1000)
+	for i := range d {
+		d[i] = float64(i) / 1000
+	}
+	// systematic 1% sample: nearly distribution-identical
+	var ds []float64
+	for i := 0; i < len(d); i += 100 {
+		ds = append(ds, d[i])
+	}
+	fmt.Printf("systematic sample: %.2f\n", kstest.Distance(ds, d))
+	// a sample from only the first decile: very dissimilar
+	fmt.Printf("biased sample:     %.2f\n", kstest.Distance(d[:10], d))
+	// Output:
+	// systematic sample: 0.10
+	// biased sample:     0.99
+}
+
+func ExampleDistanceToUniform() {
+	// dist(D_U, D) — the distribution summary the method scorer uses
+	uniform := make([]float64, 1000)
+	skewed := make([]float64, 1000)
+	for i := range uniform {
+		u := (float64(i) + 0.5) / 1000
+		uniform[i] = u
+		skewed[i] = u * u * u * u
+	}
+	fmt.Printf("uniform: %.2f\n", kstest.DistanceToUniform(uniform, 0, 1))
+	fmt.Printf("skewed:  %.2f\n", kstest.DistanceToUniform(skewed, 0, 1))
+	// Output:
+	// uniform: 0.00
+	// skewed:  0.47
+}

@@ -1,0 +1,39 @@
+package kstest
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzDistanceConsistency checks the O(ns log n) binary-search KS
+// distance against the O(ns+n) merge baseline on arbitrary inputs.
+func FuzzDistanceConsistency(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5, 6, 7})
+	f.Add([]byte{0, 0, 0}, []byte{0})
+	f.Add([]byte{255}, []byte{1, 1, 2, 2, 3})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		ds := bytesToSorted(a)
+		d := bytesToSorted(b)
+		if len(ds) == 0 || len(d) == 0 {
+			return
+		}
+		fast := Distance(ds, d)
+		slow := DistanceMerge(ds, d)
+		if math.Abs(fast-slow) > 1e-12 {
+			t.Fatalf("Distance %v != DistanceMerge %v for %v vs %v", fast, slow, ds, d)
+		}
+		if fast < 0 || fast > 1 {
+			t.Fatalf("Distance %v out of [0,1]", fast)
+		}
+	})
+}
+
+func bytesToSorted(bs []byte) []float64 {
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		out[i] = float64(b) / 255
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,332 @@
+// Package lisa implements LISA (Li et al. 2020): the space is
+// partitioned into columns by the x-quantiles of the data, every point
+// maps to column index + normalized y (the "weighted aggregation of
+// coordinates" mapping simplified to two dimensions), and a learned
+// shard-prediction function maps keys to shards of data pages. Points
+// are stored shard-wise; insertions go to the predicted shard and
+// create new pages as needed — the mechanism that skews LISA's
+// structure under updates (Section II). As in the paper's
+// implementation, using an FFN for the shard function breaks its
+// monotonicity, making window queries approximate (Section VII-B1).
+//
+// Because the column boundaries are the data's own quantiles, building
+// methods that synthesize points not in the data set (CL, RL) do not
+// apply to LISA (Section VII-A).
+package lisa
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"elsi/internal/base"
+	"elsi/internal/geo"
+	"elsi/internal/rmi"
+	"elsi/internal/store"
+	"elsi/internal/zm"
+)
+
+// Config controls index construction.
+type Config struct {
+	Space geo.Rect
+	// Builder builds the shard-prediction model.
+	Builder base.ModelBuilder
+	// Columns is the number of x-quantile columns; 0 derives it from
+	// the cardinality as sqrt(n/B).
+	Columns int
+}
+
+// Index is the LISA index.
+type Index struct {
+	cfg         Config
+	colBounds   []float64 // ascending x boundaries, len = columns-1
+	model       *rmi.Bounded
+	shards      [][]store.Entry // shard id -> key-sorted entries
+	size        int
+	stats       []base.BuildStats
+	invocations int64
+	scanned     int64
+}
+
+// New returns an unbuilt LISA index.
+func New(cfg Config) *Index {
+	return &Index{cfg: cfg}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "LISA" }
+
+// Len implements index.Index.
+func (ix *Index) Len() int { return ix.size }
+
+// columnOf returns the column index of x.
+func (ix *Index) columnOf(x float64) int {
+	return sort.SearchFloat64s(ix.colBounds, x)
+}
+
+// MapKey is LISA's grid mapping: column index plus the normalized y
+// offset, so keys order column-major.
+func (ix *Index) MapKey(p geo.Point) float64 {
+	col := ix.columnOf(p.X)
+	ny := (p.Y - ix.cfg.Space.MinY) / ix.cfg.Space.Height()
+	if ny < 0 {
+		ny = 0
+	}
+	if ny > 0.999999 {
+		ny = 0.999999
+	}
+	return float64(col) + ny
+}
+
+// Build implements index.Index.
+func (ix *Index) Build(pts []geo.Point) error {
+	ix.stats = ix.stats[:0]
+	ix.size = len(pts)
+	cols := ix.cfg.Columns
+	if cols <= 0 {
+		cols = sqrtInt(len(pts) / store.BlockSize)
+		if cols < 1 {
+			cols = 1
+		}
+	}
+	// column boundaries = x-quantiles of the data
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+	}
+	sort.Float64s(xs)
+	ix.colBounds = ix.colBounds[:0]
+	for c := 1; c < cols; c++ {
+		ix.colBounds = append(ix.colBounds, xs[c*len(xs)/cols])
+	}
+	d := base.Prepare(pts, ix.cfg.Space, ix.MapKey)
+	if d.Len() == 0 {
+		ix.model = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
+		ix.shards = [][]store.Entry{nil}
+		return nil
+	}
+	m, st := ix.cfg.Builder.BuildModel(d)
+	ix.model = m
+	ix.stats = append(ix.stats, st)
+	// shard-wise storage: rank i lands in shard i/B
+	numShards := (d.Len() + store.BlockSize - 1) / store.BlockSize
+	ix.shards = make([][]store.Entry, numShards)
+	for i := 0; i < d.Len(); i++ {
+		s := i / store.BlockSize
+		ix.shards[s] = append(ix.shards[s], store.Entry{Key: d.Keys[i], Point: d.Pts[i]})
+	}
+	return nil
+}
+
+// shardSpan converts the model's rank window for key into a shard
+// index window [sLo, sHi].
+func (ix *Index) shardSpan(key float64) (int, int) {
+	atomic.AddInt64(&ix.invocations, 1)
+	rLo, rHi := ix.model.SearchRange(key)
+	if rHi > 0 {
+		rHi--
+	}
+	sLo := rLo / store.BlockSize
+	sHi := rHi / store.BlockSize
+	if sLo < 0 {
+		sLo = 0
+	}
+	if sHi >= len(ix.shards) {
+		sHi = len(ix.shards) - 1
+	}
+	return sLo, sHi
+}
+
+// predictShard returns the single shard an insertion of key targets.
+func (ix *Index) predictShard(key float64) int {
+	atomic.AddInt64(&ix.invocations, 1)
+	s := ix.model.PredictRank(key) / store.BlockSize
+	if s < 0 {
+		s = 0
+	}
+	if s >= len(ix.shards) {
+		s = len(ix.shards) - 1
+	}
+	return s
+}
+
+// scanShards visits the entries of shards [sLo, sHi], charging the
+// scan counter.
+func (ix *Index) scanShards(sLo, sHi int, fn func(store.Entry) bool) {
+	for s := sLo; s <= sHi && s < len(ix.shards); s++ {
+		for _, e := range ix.shards[s] {
+			atomic.AddInt64(&ix.scanned, 1)
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// PointQuery implements index.Index (exact): a stored point's key
+// always predicts into the shard window that holds it — bounds cover
+// built keys, and inserted points were placed by the same prediction.
+func (ix *Index) PointQuery(p geo.Point) bool {
+	if ix.size == 0 || ix.model == nil {
+		return false
+	}
+	key := ix.MapKey(p)
+	sLo, sHi := ix.shardSpan(key)
+	// inserted entries may sit in the single predicted shard even if
+	// the bounds window is narrower
+	ps := ix.predictShard(key)
+	if ps < sLo {
+		sLo = ps
+	}
+	if ps > sHi {
+		sHi = ps
+	}
+	found := false
+	ix.scanShards(sLo, sHi, func(e store.Entry) bool {
+		if e.Point == p {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// WindowQuery implements index.Index (approximate when the shard model
+// is a non-monotone FFN): one key interval per overlapping column.
+func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
+	var out []geo.Point
+	if ix.size == 0 || ix.model == nil {
+		return out
+	}
+	cLo := ix.columnOf(win.MinX)
+	cHi := ix.columnOf(win.MaxX)
+	nyLo := (win.MinY - ix.cfg.Space.MinY) / ix.cfg.Space.Height()
+	nyHi := (win.MaxY - ix.cfg.Space.MinY) / ix.cfg.Space.Height()
+	if nyLo < 0 {
+		nyLo = 0
+	}
+	if nyHi > 0.999999 {
+		nyHi = 0.999999
+	}
+	if nyHi < nyLo {
+		return out
+	}
+	for c := cLo; c <= cHi; c++ {
+		loKey := float64(c) + nyLo
+		hiKey := float64(c) + nyHi
+		sLo, _ := ix.shardSpan(loKey)
+		_, sHi := ix.shardSpan(hiKey)
+		if sHi < sLo {
+			sLo, sHi = sHi, sLo
+		}
+		ix.scanShards(sLo, sHi, func(e store.Entry) bool {
+			if e.Key >= loKey && e.Key <= hiKey && win.Contains(e.Point) {
+				out = append(out, e.Point)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// KNN implements index.Index via expanding windows (approximate).
+func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
+	return zm.WindowKNN(ix, ix.cfg.Space, ix.size, q, k)
+}
+
+// Insert implements index.Inserter: the point goes to its predicted
+// shard (LISA's built-in insertion procedure); shards grow page by
+// page, so skewed insertions bloat individual shards.
+func (ix *Index) Insert(p geo.Point) {
+	if ix.model == nil {
+		ix.Build(nil)
+	}
+	key := ix.MapKey(p)
+	s := ix.predictShard(key)
+	shard := ix.shards[s]
+	pos := sort.Search(len(shard), func(i int) bool { return shard[i].Key >= key })
+	shard = append(shard, store.Entry{})
+	copy(shard[pos+1:], shard[pos:])
+	shard[pos] = store.Entry{Key: key, Point: p}
+	ix.shards[s] = shard
+	ix.size++
+}
+
+// Delete implements index.Deleter through the same prediction path as
+// PointQuery.
+func (ix *Index) Delete(p geo.Point) bool {
+	if ix.size == 0 || ix.model == nil {
+		return false
+	}
+	key := ix.MapKey(p)
+	sLo, sHi := ix.shardSpan(key)
+	ps := ix.predictShard(key)
+	if ps < sLo {
+		sLo = ps
+	}
+	if ps > sHi {
+		sHi = ps
+	}
+	for s := sLo; s <= sHi && s < len(ix.shards); s++ {
+		for i, e := range ix.shards[s] {
+			if e.Point == p {
+				shard := ix.shards[s]
+				copy(shard[i:], shard[i+1:])
+				ix.shards[s] = shard[:len(shard)-1]
+				ix.size--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats returns per-model build statistics.
+func (ix *Index) Stats() []base.BuildStats { return ix.stats }
+
+// ModelInvocations returns the model-invocation counter.
+func (ix *Index) ModelInvocations() int64 { return atomic.LoadInt64(&ix.invocations) }
+
+// Scanned returns the cumulative scanned entries.
+func (ix *Index) Scanned() int64 { return atomic.LoadInt64(&ix.scanned) }
+
+// ResetCounters zeroes the counters.
+func (ix *Index) ResetCounters() {
+	atomic.StoreInt64(&ix.invocations, 0)
+	atomic.StoreInt64(&ix.scanned, 0)
+}
+
+// Pages returns the total data-page count (ceil(len/B) per shard), the
+// skew indicator the insertion experiments track.
+func (ix *Index) Pages() int {
+	pages := 0
+	for _, s := range ix.shards {
+		pages += (len(s) + store.BlockSize - 1) / store.BlockSize
+	}
+	return pages
+}
+
+// MaxShardLen returns the largest shard's entry count (skew metric).
+func (ix *Index) MaxShardLen() int {
+	max := 0
+	for _, s := range ix.shards {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return max
+}
+
+// sqrtInt returns the integer square root of v.
+func sqrtInt(v int) int {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + v/x) / 2
+	}
+	return x
+}

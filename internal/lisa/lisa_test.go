@@ -1,0 +1,194 @@
+package lisa
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/indextest"
+	"elsi/internal/methods"
+	"elsi/internal/rmi"
+)
+
+func ogBuilder() base.ModelBuilder {
+	return &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)}
+}
+
+func TestConformance(t *testing.T) {
+	for _, name := range dataset.All() {
+		t.Run(name, func(t *testing.T) {
+			pts := dataset.MustGenerate(name, 3000, 1)
+			ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+			indextest.Conformance(t, ix, pts, 42, 0.9, 0.85)
+		})
+	}
+}
+
+func TestConformanceReducedBuilder(t *testing.T) {
+	// LISA supports the subset-producing methods (SP, RS); CL and RL
+	// are excluded by the system configuration.
+	pts := dataset.MustGenerate(dataset.TPCH, 4000, 2)
+	b := &methods.SP{Rho: 0.02, Trainer: rmi.PiecewiseTrainer(1.0 / 256)}
+	ix := New(Config{Space: geo.UnitRect, Builder: b})
+	indextest.Conformance(t, ix, pts, 43, 0.9, 0.85)
+}
+
+func TestMapKeyColumnStructure(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 5000, 3)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Columns: 8})
+	ix.Build(pts)
+	for _, p := range pts[:200] {
+		k := ix.MapKey(p)
+		col := int(k)
+		if col < 0 || col >= 8 {
+			t.Fatalf("key %v implies column %d", k, col)
+		}
+		frac := k - float64(col)
+		if frac < 0 || frac >= 1 {
+			t.Fatalf("fraction %v out of range", frac)
+		}
+	}
+	// quantile columns: roughly equal population per column
+	counts := make([]int, 8)
+	for _, p := range pts {
+		counts[int(ix.MapKey(p))]++
+	}
+	for c, got := range counts {
+		if got < 5000/8-150 || got > 5000/8+150 {
+			t.Errorf("column %d holds %d points, want ~%d", c, got, 5000/8)
+		}
+	}
+}
+
+func TestInsertSplitsPages(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 4)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	ix.Build(pts)
+	pagesBefore := ix.Pages()
+	rng := rand.New(rand.NewSource(5))
+	var ins []geo.Point
+	for i := 0; i < 1000; i++ {
+		// skewed insertions into one corner (the Figure 15 workload)
+		p := geo.Point{X: rng.Float64() * 0.1, Y: rng.Float64() * 0.1}
+		ix.Insert(p)
+		ins = append(ins, p)
+	}
+	if ix.Pages() <= pagesBefore {
+		t.Errorf("pages did not grow: %d -> %d", pagesBefore, ix.Pages())
+	}
+	if ix.Len() != 3000 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	for _, p := range ins {
+		if !ix.PointQuery(p) {
+			t.Fatalf("inserted point %v lost", p)
+		}
+	}
+	for _, p := range pts[:200] {
+		if !ix.PointQuery(p) {
+			t.Fatalf("original point %v lost", p)
+		}
+	}
+}
+
+func TestWindowAfterInserts(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.OSM2, 3000, 6)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	ix.Build(pts)
+	bf := index.NewBruteForce()
+	bf.Build(pts)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		p := geo.Point{X: rng.Float64() * 0.1, Y: rng.Float64() * 0.1}
+		ix.Insert(p)
+		bf.Insert(p)
+	}
+	sum, cnt := 0.0, 0
+	for trial := 0; trial < 20; trial++ {
+		c := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		win := geo.Rect{MinX: c.X - 0.05, MinY: c.Y - 0.05, MaxX: c.X + 0.05, MaxY: c.Y + 0.05}
+		want := bf.WindowQuery(win)
+		if len(want) == 0 {
+			continue
+		}
+		sum += index.Recall(ix.WindowQuery(win), want)
+		cnt++
+	}
+	if cnt > 0 && sum/float64(cnt) < 0.85 {
+		t.Errorf("post-insert recall %.3f", sum/float64(cnt))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 1000, 8)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	ix.Build(pts)
+	if !ix.Delete(pts[10]) {
+		t.Fatal("Delete of stored point failed")
+	}
+	if ix.PointQuery(pts[10]) {
+		t.Error("deleted point still found")
+	}
+	if ix.Len() != 999 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if ix.Delete(geo.Point{X: 5, Y: 5}) {
+		t.Error("Delete of absent point returned true")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	ix.Build(nil)
+	if ix.PointQuery(geo.Point{X: 0.5, Y: 0.5}) {
+		t.Error("phantom point")
+	}
+	if got := ix.KNN(geo.Point{}, 3); got != nil {
+		t.Errorf("empty KNN = %v", got)
+	}
+	ix.Insert(geo.Point{X: 0.5, Y: 0.5})
+	if !ix.PointQuery(geo.Point{X: 0.5, Y: 0.5}) {
+		t.Error("insert into empty index lost")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 1000, 9)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	ix.Build(pts)
+	ix.ResetCounters()
+	ix.PointQuery(pts[0])
+	if ix.ModelInvocations() == 0 {
+		t.Error("no invocations")
+	}
+	if ix.Scanned() == 0 {
+		t.Error("no scans")
+	}
+	if len(ix.Stats()) != 1 {
+		t.Errorf("stats = %d", len(ix.Stats()))
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	ix.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.PointQuery(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	ix.Build(pts)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(geo.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+}

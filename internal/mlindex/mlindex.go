@@ -1,0 +1,292 @@
+// Package mlindex implements the ML-Index (Davitkova et al. 2020): the
+// iDistance technique maps each point to refID*C + dist(point, ref),
+// where ref is the nearest of a set of reference points derived from
+// the data, and a learned model indexes the mapped keys. Point,
+// window, and kNN queries are exact ("By design, ML offers accurate
+// results", Section VII-G2): window queries scan one key annulus per
+// reference point, kNN queries grow a search radius iDistance-style.
+package mlindex
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"elsi/internal/base"
+	"elsi/internal/geo"
+	"elsi/internal/methods"
+	"elsi/internal/rmi"
+	"elsi/internal/store"
+	"elsi/internal/zm"
+)
+
+// stride (the iDistance constant C) separates the key intervals of the
+// reference points; it must exceed any possible point-to-reference
+// distance. The unit square's diameter is sqrt(2).
+const stride = 4.0
+
+// Config controls index construction.
+type Config struct {
+	Space geo.Rect
+	// Builder builds each index model (OG or ELSI).
+	Builder base.ModelBuilder
+	// Refs is the number of iDistance reference points (default 16).
+	Refs int
+	// Fanout is the number of second-stage models (default 1).
+	Fanout int
+	// RootTrainer dispatches across leaf models when Fanout > 1.
+	RootTrainer rmi.Trainer
+	// Seed drives the reference-point clustering.
+	Seed int64
+	// SampleForRefs caps the sample used to derive reference points.
+	SampleForRefs int
+	// Workers bounds concurrent leaf-model builds (1 = sequential).
+	Workers int
+}
+
+// Index is the ML-Index.
+type Index struct {
+	cfg         Config
+	refs        []geo.Point
+	st          *store.Sorted
+	staged      *rmi.Staged
+	single      *rmi.Bounded
+	stats       []base.BuildStats
+	invocations int64
+}
+
+// New returns an unbuilt ML-Index.
+func New(cfg Config) *Index {
+	if cfg.Refs <= 0 {
+		cfg.Refs = 16
+	}
+	if cfg.Fanout < 1 {
+		cfg.Fanout = 1
+	}
+	if cfg.RootTrainer == nil {
+		cfg.RootTrainer = rmi.PiecewiseTrainer(1.0 / 1024)
+	}
+	if cfg.SampleForRefs <= 0 {
+		cfg.SampleForRefs = 5000
+	}
+	return &Index{cfg: cfg}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "ML" }
+
+// Len implements index.Index.
+func (ix *Index) Len() int {
+	if ix.st == nil {
+		return 0
+	}
+	return ix.st.Len()
+}
+
+// refFor returns the nearest reference point's id and distance.
+func (ix *Index) refFor(p geo.Point) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for i, r := range ix.refs {
+		if d := p.Dist2(r); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// MapKey is the iDistance mapping.
+func (ix *Index) MapKey(p geo.Point) float64 {
+	id, d := ix.refFor(p)
+	return float64(id)*stride + d
+}
+
+// Build implements index.Index.
+func (ix *Index) Build(pts []geo.Point) error {
+	ix.stats = ix.stats[:0]
+	// reference points: k-means centers over a sample of the data
+	sample := pts
+	if len(sample) > ix.cfg.SampleForRefs {
+		step := len(sample) / ix.cfg.SampleForRefs
+		reduced := make([]geo.Point, 0, ix.cfg.SampleForRefs+1)
+		for i := 0; i < len(sample); i += step {
+			reduced = append(reduced, sample[i])
+		}
+		sample = reduced
+	}
+	if len(sample) == 0 {
+		ix.refs = []geo.Point{ix.cfg.Space.Center()}
+	} else {
+		ix.refs = methods.KMeans(sample, ix.cfg.Refs, 10, ix.cfg.Seed)
+	}
+	d := base.Prepare(pts, ix.cfg.Space, ix.MapKey)
+	es := make([]store.Entry, d.Len())
+	for i := range es {
+		es[i] = store.Entry{Key: d.Keys[i], Point: d.Pts[i]}
+	}
+	ix.st = store.NewSortedFromEntries(es)
+	if len(pts) == 0 {
+		ix.single = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
+		ix.staged = nil
+		return nil
+	}
+	if ix.cfg.Fanout == 1 {
+		m, st := ix.cfg.Builder.BuildModel(d)
+		ix.single = m
+		ix.staged = nil
+		ix.stats = append(ix.stats, st)
+		return nil
+	}
+	ix.single = nil
+	workers := ix.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var mu sync.Mutex
+	ix.staged = rmi.NewStagedParallel(d.Keys, ix.cfg.Fanout, ix.cfg.RootTrainer, func(start int, part []float64) *rmi.Bounded {
+		sub := &base.SortedData{
+			Pts:   d.Pts[start : start+len(part)],
+			Keys:  part,
+			Space: d.Space,
+			Map:   d.Map,
+		}
+		m, st := ix.cfg.Builder.BuildModel(sub)
+		mu.Lock()
+		ix.stats = append(ix.stats, st)
+		mu.Unlock()
+		return m
+	}, workers)
+	return nil
+}
+
+func (ix *Index) searchRange(key float64) (int, int) {
+	atomic.AddInt64(&ix.invocations, 1)
+	if ix.staged != nil {
+		return ix.staged.SearchRangeWide(key)
+	}
+	return ix.single.SearchRange(key)
+}
+
+func (ix *Index) predictRank(key float64) int {
+	atomic.AddInt64(&ix.invocations, 1)
+	if ix.staged != nil {
+		lo, hi := ix.staged.SearchRange(key)
+		return (lo + hi) / 2
+	}
+	return ix.single.PredictRank(key)
+}
+
+// PointQuery implements index.Index.
+func (ix *Index) PointQuery(p geo.Point) bool {
+	if ix.st == nil || ix.st.Len() == 0 {
+		return false
+	}
+	lo, hi := ix.searchRange(ix.MapKey(p))
+	return ix.st.FindPoint(lo, hi, p)
+}
+
+// WindowQuery implements index.Index (exact). For each reference
+// point, every point of its partition lying in win has a distance to
+// the reference inside [minDist(ref, win), maxDist(ref, win)], so the
+// corresponding key annulus is scanned and filtered.
+func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
+	var out []geo.Point
+	if ix.st == nil || ix.st.Len() == 0 {
+		return out
+	}
+	for id, ref := range ix.refs {
+		dMin := math.Sqrt(win.Dist2(ref))
+		dMax := maxDistToRect(ref, win)
+		loKey := float64(id)*stride + dMin
+		hiKey := float64(id)*stride + dMax
+		lo := ix.st.FirstGE(loKey, ix.predictRank(loKey))
+		hi := ix.st.FirstGT(hiKey, ix.predictRank(hiKey))
+		out = ix.st.CollectWindow(lo, hi, win, out)
+	}
+	return out
+}
+
+// maxDistToRect returns the maximum distance from p to any point of r
+// (attained at a corner).
+func maxDistToRect(p geo.Point, r geo.Rect) float64 {
+	d2 := 0.0
+	for _, c := range [4]geo.Point{
+		{X: r.MinX, Y: r.MinY}, {X: r.MinX, Y: r.MaxY},
+		{X: r.MaxX, Y: r.MinY}, {X: r.MaxX, Y: r.MaxY},
+	} {
+		if d := p.Dist2(c); d > d2 {
+			d2 = d
+		}
+	}
+	return math.Sqrt(d2)
+}
+
+// KNN implements index.Index with the iDistance radius search: grow r,
+// scan the key annulus [d(q,ref)-r, d(q,ref)+r] of each reference
+// partition, and stop once the k-th candidate lies within r.
+func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
+	if ix.st == nil || k <= 0 || ix.st.Len() == 0 {
+		return nil
+	}
+	n := ix.st.Len()
+	if k > n {
+		k = n
+	}
+	r := math.Sqrt(float64(4*k)/float64(n)*ix.cfg.Space.Area()) / 2
+	if r <= 0 {
+		r = 0.01
+	}
+	maxR := stride / 2
+	for {
+		var cand []geo.Point
+		for id, ref := range ix.refs {
+			dq := q.Dist(ref)
+			loKey := float64(id)*stride + math.Max(0, dq-r)
+			hiKey := float64(id)*stride + dq + r
+			lo := ix.st.FirstGE(loKey, ix.predictRank(loKey))
+			hi := ix.st.FirstGT(hiKey, ix.predictRank(hiKey))
+			ix.st.ScanRange(lo, hi, func(e store.Entry) bool {
+				cand = append(cand, e.Point)
+				return true
+			})
+		}
+		if len(cand) >= k {
+			best := nearestK(cand, q, k)
+			if best[k-1].Dist(q) <= r || r >= maxR {
+				return best
+			}
+		} else if r >= maxR {
+			return nearestK(cand, q, len(cand))
+		}
+		r *= 2
+	}
+}
+
+// nearestK defers to the shared expanding-window helper's selection.
+func nearestK(cand []geo.Point, q geo.Point, k int) []geo.Point {
+	return zm.NearestK(cand, q, k)
+}
+
+// Stats returns per-model build statistics.
+func (ix *Index) Stats() []base.BuildStats { return ix.stats }
+
+// ModelInvocations returns the model-invocation count.
+func (ix *Index) ModelInvocations() int64 { return atomic.LoadInt64(&ix.invocations) }
+
+// Scanned returns cumulative scanned entries.
+func (ix *Index) Scanned() int64 {
+	if ix.st == nil {
+		return 0
+	}
+	return ix.st.Scanned()
+}
+
+// ResetCounters zeroes the counters.
+func (ix *Index) ResetCounters() {
+	atomic.StoreInt64(&ix.invocations, 0)
+	if ix.st != nil {
+		ix.st.ResetScanned()
+	}
+}
+
+// Refs exposes the reference points (read-only; used by tests).
+func (ix *Index) Refs() []geo.Point { return ix.refs }

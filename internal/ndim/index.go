@@ -1,0 +1,214 @@
+package ndim
+
+import (
+	"math"
+	"sort"
+
+	"elsi/internal/rmi"
+)
+
+// RepresentativeKeys is Algorithm 2 (get_RS) in d dimensions: the box
+// is split recursively into 2^d children until every cell holds at
+// most beta points; the median point (by mapped key) of each non-empty
+// cell represents it. The returned keys are sorted — the reduced
+// training set Ds of the RS method.
+func RepresentativeKeys(pts []Point, space Rect, beta int) []float64 {
+	if beta < 1 {
+		beta = 1
+	}
+	var keys []float64
+	var rec func(pts []Point, box Rect, depth int)
+	rec = func(pts []Point, box Rect, depth int) {
+		if len(pts) == 0 {
+			return
+		}
+		// depth cap guards duplicate-heavy inputs
+		if len(pts) <= beta || depth >= 48 {
+			keys = append(keys, medianKey(pts, space))
+			return
+		}
+		d := box.Dim()
+		children := make([][]Point, 1<<d)
+		for _, p := range pts {
+			m := box.ChildOf(p)
+			children[m] = append(children[m], p)
+		}
+		for m, child := range children {
+			rec(child, box.Child(m), depth+1)
+		}
+	}
+	rec(pts, space, 0)
+	sort.Float64s(keys)
+	return keys
+}
+
+func medianKey(pts []Point, space Rect) float64 {
+	ks := make([]float64, len(pts))
+	for i, p := range pts {
+		ks[i] = ZKey(p, space)
+	}
+	sort.Float64s(ks)
+	return ks[len(ks)/2]
+}
+
+// Index is a d-dimensional predict-and-scan learned index: points are
+// mapped to their d-dimensional Morton keys, sorted, and a rank model
+// trained (on the full set or on an RS-reduced set) with empirical
+// error bounds. Point queries are exact; window queries scan the
+// conservative corner-key range and filter; kNN expands a box.
+type Index struct {
+	space   Rect
+	trainer rmi.Trainer
+	// RSBeta > 0 builds the model on the RS-reduced set (the ELSI
+	// path); 0 trains on the full key set (OG).
+	rsBeta int
+
+	keys      []float64
+	pts       []Point
+	model     *rmi.Bounded
+	trainSize int
+}
+
+// NewIndex returns an unbuilt d-dimensional index. rsBeta > 0 enables
+// RS-reduced training with the given cell capacity.
+func NewIndex(space Rect, trainer rmi.Trainer, rsBeta int) *Index {
+	return &Index{space: space, trainer: trainer, rsBeta: rsBeta}
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// TrainSetSize returns the size of the model's training set (|Ds|
+// when RS reduction is enabled, n otherwise).
+func (ix *Index) TrainSetSize() int { return ix.trainSize }
+
+// Build maps, sorts, reduces (optionally), trains, and bounds.
+func (ix *Index) Build(pts []Point) error {
+	type keyed struct {
+		k float64
+		p Point
+	}
+	ks := make([]keyed, len(pts))
+	for i, p := range pts {
+		ks[i] = keyed{ZKey(p, ix.space), p}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].k < ks[j].k })
+	ix.keys = make([]float64, len(ks))
+	ix.pts = make([]Point, len(ks))
+	for i, kp := range ks {
+		ix.keys[i] = kp.k
+		ix.pts[i] = kp.p
+	}
+	if len(pts) == 0 {
+		ix.model = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
+		ix.trainSize = 0
+		return nil
+	}
+	train := ix.keys
+	if ix.rsBeta > 0 {
+		train = RepresentativeKeys(ix.pts, ix.space, ix.rsBeta)
+	}
+	ix.trainSize = len(train)
+	ix.model = rmi.NewBounded(ix.trainer, train, ix.keys)
+	return nil
+}
+
+// PointQuery reports whether p is stored (exact).
+func (ix *Index) PointQuery(p Point) bool {
+	if len(ix.pts) == 0 {
+		return false
+	}
+	lo, hi := ix.model.SearchRange(ZKey(p, ix.space))
+	for i := lo; i < hi; i++ {
+		if ix.pts[i].Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// WindowQuery returns the stored points inside win (exact): the
+// corner keys bound every inside point's key, and the boundaries are
+// located exactly by binary search seeded at the model prediction.
+func (ix *Index) WindowQuery(win Rect) []Point {
+	var out []Point
+	if len(ix.pts) == 0 {
+		return out
+	}
+	loKey, hiKey := MinMaxKeys(win, ix.space)
+	lo := sort.SearchFloat64s(ix.keys, loKey)
+	hi := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] > hiKey })
+	for i := lo; i < hi; i++ {
+		if win.Contains(ix.pts[i]) {
+			out = append(out, ix.pts[i])
+		}
+	}
+	return out
+}
+
+// KNN returns the k nearest stored points to q by expanding a box
+// until the k-th candidate lies within the box radius (exact).
+func (ix *Index) KNN(q Point, k int) []Point {
+	n := len(ix.pts)
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	d := ix.space.Dim()
+	// initial radius from expected density
+	r := 0.01
+	if vol := ix.space.Volume(); vol > 0 {
+		r = rootD(float64(4*k)/float64(n)*vol, d)
+	}
+	maxR := 0.0
+	for i := 0; i < d; i++ {
+		if side := ix.space.Max[i] - ix.space.Min[i]; side > maxR {
+			maxR = side
+		}
+	}
+	for {
+		win := Rect{Min: make(Point, d), Max: make(Point, d)}
+		for i := 0; i < d; i++ {
+			win.Min[i] = q[i] - r
+			win.Max[i] = q[i] + r
+		}
+		cand := ix.WindowQuery(win)
+		if len(cand) >= k {
+			best := nearestK(cand, q, k)
+			if best[k-1].Dist2(q) <= r*r || r >= maxR {
+				return best
+			}
+		} else if r >= maxR {
+			return nearestK(cand, q, min(k, len(cand)))
+		}
+		r *= 2
+	}
+}
+
+// ErrWidth exposes the model's err_l + err_u.
+func (ix *Index) ErrWidth() int { return ix.model.ErrBoundsWidth() }
+
+func nearestK(cand []Point, q Point, k int) []Point {
+	if k > len(cand) {
+		k = len(cand)
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].Dist2(q) < cand[j].Dist2(q) })
+	return cand[:k]
+}
+
+// rootD returns v^(1/d).
+func rootD(v float64, d int) float64 {
+	if v <= 0 || d < 1 {
+		return 0
+	}
+	return math.Pow(v, 1/float64(d))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// networkWire is the gob wire form of a Network. Adam state is
+// deliberately not persisted: a loaded network is ready for inference
+// and fresh optimizer state is allocated if training resumes.
+type networkWire struct {
+	Sizes []int
+	W     [][]float64
+	B     [][]float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. ELSI persists its
+// offline-trained components (method scorer, rebuild predictor, MR
+// pool models) so the preparation cost is paid once, as the paper's
+// "one-off task" framing requires.
+func (n *Network) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	wire := networkWire{Sizes: n.sizes, W: n.w, B: n.b}
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("nn: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (n *Network) UnmarshalBinary(data []byte) error {
+	var wire networkWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("nn: decode: %w", err)
+	}
+	if len(wire.Sizes) < 2 || len(wire.W) != len(wire.Sizes)-1 || len(wire.B) != len(wire.Sizes)-1 {
+		return fmt.Errorf("nn: malformed network encoding")
+	}
+	for l := 0; l < len(wire.Sizes)-1; l++ {
+		if len(wire.W[l]) != wire.Sizes[l]*wire.Sizes[l+1] || len(wire.B[l]) != wire.Sizes[l+1] {
+			return fmt.Errorf("nn: layer %d shape mismatch", l)
+		}
+	}
+	n.sizes = wire.Sizes
+	n.w = wire.W
+	n.b = wire.B
+	n.mw, n.vw, n.mb, n.vb = nil, nil, nil, nil
+	n.step = 0
+	return nil
+}

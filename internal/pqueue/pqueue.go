@@ -1,0 +1,151 @@
+// Package pqueue provides the two priority queues used by
+// branch-and-bound kNN search: a min-heap of index nodes ordered by
+// MINDIST and a bounded max-heap keeping the k best candidate points.
+package pqueue
+
+import (
+	"sort"
+
+	"elsi/internal/geo"
+)
+
+// Item is an opaque payload with a priority distance.
+type Item struct {
+	Value interface{}
+	Dist  float64
+}
+
+// Min is a min-heap of Items by Dist. The zero value is ready to use.
+type Min struct {
+	items []Item
+}
+
+// Len returns the number of queued items.
+func (q *Min) Len() int { return len(q.items) }
+
+// Push adds an item.
+func (q *Min) Push(v interface{}, d float64) {
+	q.items = append(q.items, Item{Value: v, Dist: d})
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.items[parent].Dist <= q.items[i].Dist {
+			break
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the item with the smallest Dist.
+func (q *Min) Pop() Item {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	n := len(q.items)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.items[l].Dist < q.items[smallest].Dist {
+			smallest = l
+		}
+		if r < n && q.items[r].Dist < q.items[smallest].Dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.items[smallest], q.items[i] = q.items[i], q.items[smallest]
+		i = smallest
+	}
+	return top
+}
+
+// KBest keeps the k nearest points seen so far in a bounded max-heap.
+type KBest struct {
+	k    int
+	pts  []geo.Point
+	dist []float64
+}
+
+// NewKBest returns a KBest of capacity k.
+func NewKBest(k int) *KBest { return &KBest{k: k} }
+
+// Full reports whether k candidates are held.
+func (b *KBest) Full() bool { return len(b.pts) >= b.k }
+
+// Worst returns the distance of the current k-th best candidate, or
+// +Inf semantics via 0 when empty (callers must check Full first).
+func (b *KBest) Worst() float64 {
+	if len(b.dist) == 0 {
+		return 0
+	}
+	return b.dist[0]
+}
+
+// Offer considers point p at squared distance d.
+func (b *KBest) Offer(p geo.Point, d float64) {
+	if len(b.pts) < b.k {
+		b.pts = append(b.pts, p)
+		b.dist = append(b.dist, d)
+		b.up(len(b.pts) - 1)
+		return
+	}
+	if d >= b.dist[0] {
+		return
+	}
+	b.pts[0], b.dist[0] = p, d
+	b.down(0)
+}
+
+func (b *KBest) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.dist[parent] >= b.dist[i] {
+			return
+		}
+		b.dist[parent], b.dist[i] = b.dist[i], b.dist[parent]
+		b.pts[parent], b.pts[i] = b.pts[i], b.pts[parent]
+		i = parent
+	}
+}
+
+func (b *KBest) down(i int) {
+	n := len(b.dist)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && b.dist[l] > b.dist[largest] {
+			largest = l
+		}
+		if r < n && b.dist[r] > b.dist[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		b.dist[largest], b.dist[i] = b.dist[i], b.dist[largest]
+		b.pts[largest], b.pts[i] = b.pts[i], b.pts[largest]
+		i = largest
+	}
+}
+
+// Points returns the candidates sorted by ascending distance.
+func (b *KBest) Points() []geo.Point {
+	type pair struct {
+		p geo.Point
+		d float64
+	}
+	pairs := make([]pair, len(b.pts))
+	for i := range b.pts {
+		pairs[i] = pair{b.pts[i], b.dist[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+	out := make([]geo.Point, len(pairs))
+	for i, pr := range pairs {
+		out[i] = pr.p
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"elsi/internal/geo"
+)
+
+func TestMinOrder(t *testing.T) {
+	var q Min
+	rng := rand.New(rand.NewSource(1))
+	var want []float64
+	for i := 0; i < 500; i++ {
+		d := rng.Float64()
+		q.Push(i, d)
+		want = append(want, d)
+	}
+	sort.Float64s(want)
+	for i := 0; i < 500; i++ {
+		got := q.Pop()
+		if got.Dist != want[i] {
+			t.Fatalf("pop %d: dist %v, want %v", i, got.Dist, want[i])
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after draining", q.Len())
+	}
+}
+
+func TestMinPayload(t *testing.T) {
+	var q Min
+	q.Push("far", 10)
+	q.Push("near", 1)
+	if got := q.Pop().Value.(string); got != "near" {
+		t.Errorf("first pop = %q", got)
+	}
+	if got := q.Pop().Value.(string); got != "far" {
+		t.Errorf("second pop = %q", got)
+	}
+}
+
+func TestKBestKeepsNearest(t *testing.T) {
+	b := NewKBest(3)
+	pts := []geo.Point{{X: 5}, {X: 1}, {X: 4}, {X: 2}, {X: 3}}
+	for _, p := range pts {
+		b.Offer(p, p.X*p.X)
+	}
+	got := b.Points()
+	if len(got) != 3 {
+		t.Fatalf("kept %d points", len(got))
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if got[i].X != want {
+			t.Errorf("point %d = %v, want X=%v", i, got[i], want)
+		}
+	}
+	if !b.Full() {
+		t.Error("Full = false with k candidates")
+	}
+	if b.Worst() != 9 {
+		t.Errorf("Worst = %v, want 9", b.Worst())
+	}
+}
+
+func TestKBestUnderfilled(t *testing.T) {
+	b := NewKBest(10)
+	b.Offer(geo.Point{X: 1}, 1)
+	if b.Full() {
+		t.Error("Full with 1 of 10")
+	}
+	if got := b.Points(); len(got) != 1 {
+		t.Errorf("Points = %v", got)
+	}
+}
+
+func TestKBestRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(20)
+		n := 1 + rng.Intn(200)
+		b := NewKBest(k)
+		dists := make([]float64, n)
+		for i := range dists {
+			d := rng.Float64()
+			dists[i] = d
+			b.Offer(geo.Point{X: d}, d)
+		}
+		sort.Float64s(dists)
+		got := b.Points()
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("kept %d, want %d", len(got), wantLen)
+		}
+		for i := range got {
+			if got[i].X != dists[i] {
+				t.Fatalf("trial %d: rank %d = %v, want %v", trial, i, got[i].X, dists[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package rebuild
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/rmi"
+	"elsi/internal/zm"
+)
+
+func testIndex() *zm.Index {
+	return zm.New(zm.Config{
+		Space:   geo.UnitRect,
+		Builder: &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)},
+		Fanout:  2,
+	})
+}
+
+func zmMapKey(ix *zm.Index) func(geo.Point) float64 {
+	return ix.MapKey
+}
+
+func TestPredictorLearnsHeuristicRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := HeuristicSamples(rng, 800)
+	pred, err := TrainPredictor(samples, PredictorConfig{Hidden: 16, Epochs: 250, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	test := HeuristicSamples(rand.New(rand.NewSource(2)), 300)
+	for _, s := range test {
+		if pred.ShouldRebuild(s.Features) == s.Rebuild {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.85 {
+		t.Errorf("predictor accuracy %.2f < 0.85", acc)
+	}
+}
+
+func TestPredictorExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pred, err := TrainPredictor(HeuristicSamples(rng, 800), PredictorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := Features{N: 100000, Dist: 0.2, Depth: 2, UpdateRatio: 0.01, Sim: 0.999}
+	if pred.ShouldRebuild(calm) {
+		t.Error("predictor wants to rebuild an undisturbed index")
+	}
+	stormy := Features{N: 100000, Dist: 0.8, Depth: 12, UpdateRatio: 5, Sim: 0.2}
+	if !pred.ShouldRebuild(stormy) {
+		t.Error("predictor refuses to rebuild a heavily drifted index")
+	}
+}
+
+func TestTrainPredictorEmpty(t *testing.T) {
+	if _, err := TrainPredictor(nil, PredictorConfig{}); err == nil {
+		t.Error("expected error on empty samples")
+	}
+}
+
+func TestProcessorQueriesThroughDelta(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 1)
+	ix := testIndex()
+	p, err := NewProcessor(ix, nil, pts, zmMapKey(ix), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := geo.Point{X: 0.123, Y: 0.456}
+	p.Insert(np)
+	if !p.PointQuery(np) {
+		t.Error("inserted point invisible")
+	}
+	if p.PendingUpdates() != 1 {
+		t.Errorf("pending = %d", p.PendingUpdates())
+	}
+	// delete an indexed point: must disappear from all queries
+	victim := pts[7]
+	p.Delete(victim)
+	if p.PointQuery(victim) {
+		t.Error("deleted point still visible")
+	}
+	win := geo.Rect{MinX: victim.X - 1e-9, MinY: victim.Y - 1e-9, MaxX: victim.X + 1e-9, MaxY: victim.Y + 1e-9}
+	for _, got := range p.WindowQuery(win) {
+		if got == victim {
+			t.Error("deleted point in window result")
+		}
+	}
+	if p.Len() != 2000 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestProcessorWindowMergesInserts(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 1000, 2)
+	ix := testIndex()
+	p, _ := NewProcessor(ix, nil, pts, zmMapKey(ix), 100000)
+	np := geo.Point{X: 0.501, Y: 0.502}
+	p.Insert(np)
+	win := geo.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.51, MaxY: 0.51}
+	found := false
+	for _, got := range p.WindowQuery(win) {
+		if got == np {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("window query missed pending insert")
+	}
+	knn := p.KNN(np, 1)
+	if len(knn) != 1 || knn[0] != np {
+		t.Errorf("KNN = %v, want the pending insert itself", knn)
+	}
+}
+
+func TestProcessorSimDropsUnderSkew(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 3000, 3)
+	ix := testIndex()
+	p, _ := NewProcessor(ix, nil, pts, zmMapKey(ix), 100000)
+	if got := p.CurrentSim(); got != 1 {
+		t.Errorf("initial sim = %v", got)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		p.Insert(geo.Point{X: rng.Float64() * 0.02, Y: rng.Float64() * 0.02})
+	}
+	if got := p.CurrentSim(); got > 0.8 {
+		t.Errorf("sim after skewed doubling = %v, want clearly below 1", got)
+	}
+	f := p.CurrentFeatures()
+	if f.UpdateRatio < 0.9 || f.UpdateRatio > 1.1 {
+		t.Errorf("update ratio = %v, want ~1", f.UpdateRatio)
+	}
+}
+
+func TestProcessorRebuildTrigger(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pred, err := TrainPredictor(HeuristicSamples(rng, 800), PredictorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 6)
+	ix := testIndex()
+	p, _ := NewProcessor(ix, pred, pts, zmMapKey(ix), 500)
+	for i := 0; i < 8000; i++ {
+		p.Insert(geo.Point{X: rng.Float64() * 0.01, Y: rng.Float64() * 0.01})
+	}
+	if p.Rebuilds() == 0 {
+		t.Error("no rebuild after 4x skewed growth")
+	}
+	// each rebuild folds the pending updates in, so the delta holds
+	// only the inserts that arrived after the last rebuild
+	if p.PendingUpdates() >= 8000 {
+		t.Errorf("rebuild never drained the delta list: %d pending", p.PendingUpdates())
+	}
+	// everything still queryable post-rebuild
+	bf := index.NewBruteForce()
+	bf.Build(pts)
+	for _, q := range pts[:100] {
+		if !p.PointQuery(q) {
+			t.Fatalf("original point %v lost across rebuilds", q)
+		}
+	}
+}
+
+func TestProcessorManualRebuild(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 1000, 7)
+	ix := testIndex()
+	p, _ := NewProcessor(ix, nil, pts, zmMapKey(ix), 100000)
+	np := geo.Point{X: 0.9, Y: 0.9}
+	p.Insert(np)
+	p.Rebuild()
+	if p.Rebuilds() != 1 {
+		t.Errorf("Rebuilds = %d", p.Rebuilds())
+	}
+	if p.PendingUpdates() != 0 {
+		t.Error("delta not cleared by rebuild")
+	}
+	if !p.Index().PointQuery(np) {
+		t.Error("rebuild did not fold pending insert into the index")
+	}
+}
+
+func TestProcessorBuiltinInsertPath(t *testing.T) {
+	// with UseBuiltin, insertions bypass the delta list (the RSMI/LISA
+	// mode of Figure 15); the zm index has no Inserter, so construct a
+	// processor over LISA-like built-in behaviour via the delta check.
+	pts := dataset.MustGenerate(dataset.Uniform, 1000, 8)
+	ix := testIndex()
+	p, _ := NewProcessor(ix, nil, pts, zmMapKey(ix), 100000)
+	p.UseBuiltin = true // zm implements no Inserter: falls back to delta
+	np := geo.Point{X: 0.31, Y: 0.41}
+	p.Insert(np)
+	if !p.PointQuery(np) {
+		t.Error("insert lost in builtin mode without Inserter support")
+	}
+}
+
+func TestPredictorSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pred, err := TrainPredictor(HeuristicSamples(rng, 300), PredictorConfig{Epochs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/pred.gob"
+	if err := pred.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range HeuristicSamples(rand.New(rand.NewSource(10)), 50) {
+		if pred.ShouldRebuild(f.Features) != loaded.ShouldRebuild(f.Features) {
+			t.Fatal("loaded predictor disagrees with original")
+		}
+	}
+	if _, err := LoadPredictor(t.TempDir() + "/nope"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestProcessorMixedWorkloadConsistency(t *testing.T) {
+	// interleaved inserts and deletes must keep the processor's view
+	// consistent with a brute-force shadow at every step
+	pts := dataset.MustGenerate(dataset.OSM2, 1500, 20)
+	ix := testIndex()
+	p, err := NewProcessor(ix, nil, pts, zmMapKey(ix), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := index.NewBruteForce()
+	shadow.Build(pts)
+	rng := rand.New(rand.NewSource(21))
+	live := append([]geo.Point(nil), pts...)
+	for step := 0; step < 600; step++ {
+		if rng.Intn(3) == 0 && len(live) > 10 {
+			i := rng.Intn(len(live))
+			victim := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			p.Delete(victim)
+			shadow.Delete(victim)
+		} else {
+			np := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+			live = append(live, np)
+			p.Insert(np)
+			shadow.Insert(np)
+		}
+		if step%100 == 0 {
+			q := live[rng.Intn(len(live))]
+			if !p.PointQuery(q) {
+				t.Fatalf("step %d: live point %v invisible", step, q)
+			}
+			win := geo.Rect{MinX: q.X - 0.03, MinY: q.Y - 0.03, MaxX: q.X + 0.03, MaxY: q.Y + 0.03}
+			got := p.WindowQuery(win)
+			want := shadow.WindowQuery(win)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: window %d vs shadow %d", step, len(got), len(want))
+			}
+		}
+	}
+	if p.Len() != len(live) {
+		t.Errorf("Len = %d, want %d", p.Len(), len(live))
+	}
+	// a manual rebuild folds everything and stays consistent
+	p.Rebuild()
+	for trial := 0; trial < 50; trial++ {
+		q := live[rng.Intn(len(live))]
+		if !p.PointQuery(q) {
+			t.Fatalf("post-rebuild: live point %v invisible", q)
+		}
+	}
+}

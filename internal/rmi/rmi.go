@@ -1,0 +1,550 @@
+// Package rmi provides the learned rank models at the heart of every
+// map-and-sort index: functions that approximate the CDF of a sorted
+// key set, so that rank(key) ~ n * model(key). It offers the FFN model
+// family the paper uses for all prediction models, plus linear and
+// piecewise-linear alternatives used as ablation baselines, staged
+// (RMI-style) composition, and the empirical error-bound computation of
+// Algorithm 1 line 6.
+package rmi
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"elsi/internal/nn"
+)
+
+// Model approximates the empirical CDF of a key set: PredictCDF returns
+// the estimated fraction of keys that are <= key, in [0, 1].
+type Model interface {
+	PredictCDF(key float64) float64
+}
+
+// Trainer builds a Model from a sorted, ascending key slice. The slice
+// is the training set — under ELSI that is the reduced set Ds, while
+// the error bounds are later computed against the full set D.
+type Trainer func(sortedKeys []float64) Model
+
+// Bounded pairs a model with the empirical error bounds required by the
+// predict-and-scan query paradigm. N is the cardinality of the data set
+// the model indexes (the full D, not the training set).
+type Bounded struct {
+	Model
+	N     int
+	ErrLo int // max units the prediction exceeds the true rank
+	ErrHi int // max units the prediction falls short of the true rank
+}
+
+// PredictRank returns the estimated storage position of key in [0, N-1].
+func (b *Bounded) PredictRank(key float64) int {
+	if b.N == 0 {
+		return 0
+	}
+	r := int(b.PredictCDF(key) * float64(b.N))
+	if r < 0 {
+		r = 0
+	}
+	if r >= b.N {
+		r = b.N - 1
+	}
+	return r
+}
+
+// SearchRange returns the inclusive-exclusive position range
+// [lo, hi) guaranteed to contain key if it is stored.
+func (b *Bounded) SearchRange(key float64) (lo, hi int) {
+	r := b.PredictRank(key)
+	lo = r - b.ErrLo
+	hi = r + b.ErrHi + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.N {
+		hi = b.N
+	}
+	return lo, hi
+}
+
+// ErrBoundsWidth returns the total scan window size err_l + err_u,
+// the |Error| column of Table I.
+func (b *Bounded) ErrBoundsWidth() int { return b.ErrLo + b.ErrHi }
+
+// ErrorBounds evaluates m on every key of the sorted full set and
+// returns the maximum over- and under-prediction in rank units
+// (Algorithm 1, line 6: get_error_bound).
+func ErrorBounds(m Model, sortedKeys []float64) (errLo, errHi int) {
+	n := len(sortedKeys)
+	for i, k := range sortedKeys {
+		pred := int(m.PredictCDF(k) * float64(n))
+		if pred < 0 {
+			pred = 0
+		}
+		if pred >= n {
+			pred = n - 1
+		}
+		if d := pred - i; d > errLo {
+			errLo = d
+		}
+		if d := i - pred; d > errHi {
+			errHi = d
+		}
+	}
+	return errLo, errHi
+}
+
+// NewBounded trains a model on trainKeys with the given trainer and
+// computes error bounds against fullKeys (both sorted ascending).
+func NewBounded(trainer Trainer, trainKeys, fullKeys []float64) *Bounded {
+	m := trainer(trainKeys)
+	lo, hi := ErrorBounds(m, fullKeys)
+	return &Bounded{Model: m, N: len(fullKeys), ErrLo: lo, ErrHi: hi}
+}
+
+// --- FFN model ------------------------------------------------------
+
+// FFNModel is the paper's model family: a feed-forward network with one
+// ReLU hidden layer mapping a min-max normalized key to a CDF estimate.
+type FFNModel struct {
+	net      *nn.Network
+	min, max float64
+}
+
+// PredictCDF implements Model.
+func (m *FFNModel) PredictCDF(key float64) float64 {
+	x := 0.0
+	if m.max > m.min {
+		x = (key - m.min) / (m.max - m.min)
+	}
+	v := m.net.Forward1([]float64{x})
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// FFNConfig controls FFN model training.
+type FFNConfig struct {
+	Hidden int   // hidden layer width
+	Epochs int   // training epochs
+	Seed   int64 // RNG seed
+}
+
+// DefaultFFNConfig returns the configuration used throughout the
+// experiments: one hidden layer of 16 units. Epochs are reduced from
+// the paper's 500 (GPU) to a CPU-friendly count; see DESIGN.md.
+func DefaultFFNConfig() FFNConfig {
+	return FFNConfig{Hidden: 16, Epochs: 120, Seed: 1}
+}
+
+// FFNTrainer returns a Trainer producing FFN models with cfg.
+func FFNTrainer(cfg FFNConfig) Trainer {
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 16
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 120
+	}
+	return func(keys []float64) Model {
+		if len(keys) == 0 {
+			return constModel(0)
+		}
+		min, max := keys[0], keys[len(keys)-1]
+		if min == max {
+			return constModel(0.5)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		net := nn.New(rng, 1, cfg.Hidden, 1)
+		n := len(keys)
+		// Cap the number of training rows: the CDF of a huge sorted set
+		// is fully described by a dense sample of it, and the cap keeps
+		// OG training cost proportional to the paper's T(n) regime
+		// without pathological epochs*n blowup on CPU.
+		stride := 1
+		const maxRows = 50000
+		if n > maxRows {
+			stride = n / maxRows
+		}
+		xs := make([][]float64, 0, n/stride+1)
+		ys := make([][]float64, 0, n/stride+1)
+		for i := 0; i < n; i += stride {
+			xs = append(xs, []float64{(keys[i] - min) / (max - min)})
+			ys = append(ys, []float64{float64(i) / float64(n)})
+		}
+		net.Train(xs, ys, nn.Config{LearningRate: 0.01, Epochs: cfg.Epochs, BatchSize: 256, Seed: cfg.Seed})
+		return &FFNModel{net: net, min: min, max: max}
+	}
+}
+
+// --- Linear model ----------------------------------------------------
+
+// LinearModel is a least-squares straight-line CDF fit; the cheapest
+// possible rank model, used as an ablation baseline.
+type LinearModel struct {
+	Slope, Intercept float64
+}
+
+// PredictCDF implements Model.
+func (m *LinearModel) PredictCDF(key float64) float64 {
+	v := m.Slope*key + m.Intercept
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// LinearTrainer returns a Trainer fitting a LinearModel by least
+// squares over (key, rank/n).
+func LinearTrainer() Trainer {
+	return func(keys []float64) Model {
+		n := len(keys)
+		if n == 0 {
+			return constModel(0)
+		}
+		if keys[0] == keys[n-1] {
+			return constModel(0.5)
+		}
+		var sx, sy, sxx, sxy float64
+		for i, k := range keys {
+			y := float64(i) / float64(n)
+			sx += k
+			sy += y
+			sxx += k * k
+			sxy += k * y
+		}
+		fn := float64(n)
+		den := fn*sxx - sx*sx
+		if den == 0 {
+			return constModel(0.5)
+		}
+		slope := (fn*sxy - sx*sy) / den
+		return &LinearModel{Slope: slope, Intercept: (sy - slope*sx) / fn}
+	}
+}
+
+// --- Piecewise-linear model -----------------------------------------
+
+// segment is one piece of a piecewise-linear CDF approximation.
+type segment struct {
+	startKey  float64
+	slope     float64
+	intercept float64
+}
+
+// PiecewiseModel approximates the CDF with greedy shrinking-cone
+// segments guaranteeing |model(k) - cdf(k)| <= eps on the training
+// keys, in the spirit of the PGM index the paper cites for theoretical
+// bounds.
+type PiecewiseModel struct {
+	segs []segment
+}
+
+// PredictCDF implements Model.
+func (m *PiecewiseModel) PredictCDF(key float64) float64 {
+	if len(m.segs) == 0 {
+		return 0
+	}
+	// find the last segment with startKey <= key
+	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].startKey > key })
+	if i == 0 {
+		i = 1
+	}
+	s := m.segs[i-1]
+	v := s.slope*key + s.intercept
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Segments returns the number of linear pieces in the model.
+func (m *PiecewiseModel) Segments() int { return len(m.segs) }
+
+// PiecewiseTrainer returns a Trainer building PiecewiseModels with the
+// given CDF-space error tolerance eps (e.g. 1/256).
+func PiecewiseTrainer(eps float64) Trainer {
+	if eps <= 0 {
+		eps = 1.0 / 256
+	}
+	return func(keys []float64) Model {
+		n := len(keys)
+		m := &PiecewiseModel{}
+		if n == 0 {
+			return m
+		}
+		i := 0
+		for i < n {
+			x0 := keys[i]
+			y0 := float64(i) / float64(n)
+			loSlope := math.Inf(-1)
+			hiSlope := math.Inf(1)
+			j := i + 1
+			for ; j < n; j++ {
+				dx := keys[j] - x0
+				y := float64(j) / float64(n)
+				if dx == 0 {
+					// Duplicate keys: the prediction at x0 is pinned to
+					// y0, so the whole tied block must fit within eps.
+					if y-y0 > eps {
+						break
+					}
+					continue
+				}
+				lo := (y - eps - y0) / dx
+				hi := (y + eps - y0) / dx
+				newLo, newHi := loSlope, hiSlope
+				if lo > newLo {
+					newLo = lo
+				}
+				if hi < newHi {
+					newHi = hi
+				}
+				if newLo > newHi {
+					// Point j does not fit; close the segment at j-1
+					// without committing j's constraints.
+					break
+				}
+				loSlope, hiSlope = newLo, newHi
+			}
+			slope := 0.0
+			switch {
+			case math.IsInf(loSlope, -1) && math.IsInf(hiSlope, 1):
+				slope = 0
+			case math.IsInf(loSlope, -1):
+				slope = hiSlope
+			case math.IsInf(hiSlope, 1):
+				slope = loSlope
+			default:
+				slope = (loSlope + hiSlope) / 2
+			}
+			m.segs = append(m.segs, segment{startKey: x0, slope: slope, intercept: y0 - slope*x0})
+			i = j
+		}
+		return m
+	}
+}
+
+// --- Staged (RMI) composition ---------------------------------------
+
+// Staged is a two-stage recursive model index: a root model dispatches
+// a key to one of the leaf models, each trained on its share of the key
+// space, exactly as ZM layers RMI over Z-values. Each leaf may itself
+// be built through ELSI.
+type Staged struct {
+	root   *Bounded // dispatch model with empirical error bounds
+	leaves []*Bounded
+	splits []int // leaves[i] covers global ranks [splits[i], splits[i+1])
+	n      int
+}
+
+// NewStaged builds a staged model over sortedKeys with fanout leaves.
+// rootTrainer builds the dispatch model (trained on the full key set,
+// typically with a cheap trainer); leafTrainer builds each leaf model
+// (this is where an ELSI-wrapped trainer plugs in).
+func NewStaged(sortedKeys []float64, fanout int, rootTrainer, leafTrainer Trainer) *Staged {
+	n := len(sortedKeys)
+	if fanout < 1 {
+		fanout = 1
+	}
+	s := &Staged{root: NewBounded(rootTrainer, sortedKeys, sortedKeys), n: n}
+	s.splits = make([]int, fanout+1)
+	for i := 0; i <= fanout; i++ {
+		s.splits[i] = i * n / fanout
+	}
+	for i := 0; i < fanout; i++ {
+		part := sortedKeys[s.splits[i]:s.splits[i+1]]
+		var b *Bounded
+		if len(part) == 0 {
+			b = &Bounded{Model: constModel(0), N: 0}
+		} else {
+			b = NewBounded(leafTrainer, part, part)
+		}
+		s.leaves = append(s.leaves, b)
+	}
+	return s
+}
+
+// NewStagedWithLeafBuilder is NewStaged but lets the caller build each
+// leaf Bounded directly — ELSI uses this to run its full per-model
+// pipeline (method selection, reduced set, error bounds) on every leaf.
+// buildLeaf receives the partition's global start rank and its keys.
+func NewStagedWithLeafBuilder(sortedKeys []float64, fanout int, rootTrainer Trainer, buildLeaf func(start int, part []float64) *Bounded) *Staged {
+	return newStaged(sortedKeys, fanout, rootTrainer, buildLeaf, 1)
+}
+
+// NewStagedParallel is NewStagedWithLeafBuilder with leaves built by up
+// to workers goroutines. The index models of different partitions are
+// independent, which is what makes learned-index bulk loading
+// parallelizable; buildLeaf must be safe for concurrent use.
+func NewStagedParallel(sortedKeys []float64, fanout int, rootTrainer Trainer, buildLeaf func(start int, part []float64) *Bounded, workers int) *Staged {
+	return newStaged(sortedKeys, fanout, rootTrainer, buildLeaf, workers)
+}
+
+func newStaged(sortedKeys []float64, fanout int, rootTrainer Trainer, buildLeaf func(start int, part []float64) *Bounded, workers int) *Staged {
+	n := len(sortedKeys)
+	if fanout < 1 {
+		fanout = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Staged{root: NewBounded(rootTrainer, sortedKeys, sortedKeys), n: n}
+	s.splits = make([]int, fanout+1)
+	for i := 0; i <= fanout; i++ {
+		s.splits[i] = i * n / fanout
+	}
+	s.leaves = make([]*Bounded, fanout)
+	build := func(i int) {
+		part := sortedKeys[s.splits[i]:s.splits[i+1]]
+		if len(part) == 0 {
+			s.leaves[i] = &Bounded{Model: constModel(0), N: 0}
+			return
+		}
+		s.leaves[i] = buildLeaf(s.splits[i], part)
+	}
+	if workers == 1 {
+		for i := 0; i < fanout; i++ {
+			build(i)
+		}
+		return s
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < fanout; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			build(i)
+		}(i)
+	}
+	wg.Wait()
+	return s
+}
+
+// leafFor returns the leaf index the root model predicts for key.
+func (s *Staged) leafFor(key float64) int {
+	if s.n == 0 {
+		return 0
+	}
+	r := s.root.PredictRank(key)
+	// splits are equi-count, so the leaf index is direct.
+	fanout := len(s.leaves)
+	li := r * fanout / s.n
+	if li >= fanout {
+		li = fanout - 1
+	}
+	return li
+}
+
+// leafSpan returns the inclusive range of leaf indices the root model's
+// error bounds allow key to land in.
+func (s *Staged) leafSpan(key float64) (liLo, liHi int) {
+	rLo, rHi := s.root.SearchRange(key)
+	if rHi > 0 {
+		rHi--
+	}
+	fanout := len(s.leaves)
+	liLo = rLo * fanout / s.n
+	liHi = rHi * fanout / s.n
+	if liLo < 0 {
+		liLo = 0
+	}
+	if liHi >= fanout {
+		liHi = fanout - 1
+	}
+	return liLo, liHi
+}
+
+// SearchRange returns the global position range [lo, hi) the root's
+// best-guess leaf would scan for key. It is not guaranteed to contain
+// the key when the root misdispatches; use SearchRangeWide for the
+// guaranteed window.
+func (s *Staged) SearchRange(key float64) (lo, hi int) {
+	if s.n == 0 {
+		return 0, 0
+	}
+	li := s.leafFor(key)
+	leaf := s.leaves[li]
+	base := s.splits[li]
+	llo, lhi := leaf.SearchRange(key)
+	return base + llo, base + lhi
+}
+
+// SearchRangeWide returns the global position range guaranteed to
+// contain key if it is stored: it consults every leaf the root's
+// empirical error bounds allow and unions their windows.
+func (s *Staged) SearchRangeWide(key float64) (lo, hi int) {
+	if s.n == 0 {
+		return 0, 0
+	}
+	liLo, liHi := s.leafSpan(key)
+	lo, hi = s.n, 0
+	for j := liLo; j <= liHi; j++ {
+		if s.leaves[j].N == 0 {
+			continue
+		}
+		jlo, jhi := s.leaves[j].SearchRange(key)
+		jlo += s.splits[j]
+		jhi += s.splits[j]
+		if jlo < lo {
+			lo = jlo
+		}
+		if jhi > hi {
+			hi = jhi
+		}
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// Leaves exposes the per-leaf bounded models (for cost accounting).
+func (s *Staged) Leaves() []*Bounded { return s.leaves }
+
+// N returns the number of keys indexed.
+func (s *Staged) N() int { return s.n }
+
+// --- helpers ----------------------------------------------------------
+
+type constModel float64
+
+func (c constModel) PredictCDF(float64) float64 { return float64(c) }
+
+// ConstModel returns a model that always predicts v.
+func ConstModel(v float64) Model { return constModel(v) }
+
+// NewBoundedTheoretical trains a piecewise-linear model on the FULL
+// sorted key set and derives its error bounds from the trainer's eps
+// guarantee instead of the M(n) prediction pass of Algorithm 1 — the
+// PGM-style theoretical bound the paper notes as future work for
+// learned spatial indices ("Query error bounds", Section IV-A). The
+// guarantee |model(k) - rank(k)/n| <= eps on every training key makes
+// ceil(eps*n)+1 a valid rank bound, so the bounds pass is free.
+//
+// Unlike the empirical path, this construction requires training on
+// the full set (the guarantee does not transfer from a reduced set),
+// so it trades ELSI's training-set reduction for a cheaper bounds
+// stage — an alternative point in the build-cost space that the
+// ablation benches compare.
+func NewBoundedTheoretical(sortedKeys []float64, eps float64) *Bounded {
+	if eps <= 0 {
+		eps = 1.0 / 256
+	}
+	m := PiecewiseTrainer(eps)(sortedKeys)
+	n := len(sortedKeys)
+	bound := int(eps*float64(n)) + 1
+	return &Bounded{Model: m, N: n, ErrLo: bound, ErrHi: bound}
+}

@@ -1,0 +1,449 @@
+// Package rsmi implements the Recursive Spatial Model Index (RSMI, Qi
+// et al. 2020): a hierarchy of space partitions where each node learns
+// a model over the rank-space Z-order keys of its own partition and
+// dispatches queries to its children. Point queries are exact thanks
+// to the per-model empirical error bounds; window (and hence kNN)
+// queries are approximate by design — leaf scans rely on raw model
+// predictions, as in the original index — so the recall experiments of
+// Figures 12, 14, and 16 are reproducible. Insertions go to leaf-level
+// overflow buffers and trigger local model rebuilds, the mechanism
+// that produces the unbalanced structures of Figure 1.
+package rsmi
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"elsi/internal/base"
+	"elsi/internal/curve"
+	"elsi/internal/geo"
+	"elsi/internal/rmi"
+	"elsi/internal/store"
+	"elsi/internal/zm"
+)
+
+// Config controls index construction.
+type Config struct {
+	Space geo.Rect
+	// Builder builds every node model (OG or ELSI), cf. Figure 3 where
+	// ELSI builds M00, M10, and M11.
+	Builder base.ModelBuilder
+	// Fanout is the number of children per internal node (default 8).
+	Fanout int
+	// LeafCap is the maximum number of points a leaf holds before the
+	// build recurses (default 2000).
+	LeafCap int
+	// MaxZDepth caps the leaf window-query Z-decomposition depth.
+	MaxZDepth int
+	// RetrainThreshold is the leaf overflow-buffer size that triggers a
+	// local rebuild (default LeafCap/4).
+	RetrainThreshold int
+}
+
+// Index is the RSMI.
+type Index struct {
+	cfg           Config
+	root          *node
+	size          int
+	stats         []base.BuildStats
+	invocations   int64
+	localRebuilds int
+}
+
+type node struct {
+	// keyBounds is the rectangle the node's rank-space Z-keys were
+	// computed against; it is FIXED at build time (changing it would
+	// invalidate every stored key).
+	keyBounds geo.Rect
+	// mbr is the bounding rectangle of the subtree's points, extended
+	// by insertions; queries prune against it.
+	mbr geo.Rect
+	// internal
+	model       *rmi.Bounded
+	children    []*node
+	childMinKey []float64 // first local key of each child (routing)
+	// leaf
+	st        *store.Sorted
+	leafModel *rmi.Bounded
+	extra     []geo.Point
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// New returns an unbuilt RSMI.
+func New(cfg Config) *Index {
+	if cfg.Fanout < 2 {
+		cfg.Fanout = 8
+	}
+	if cfg.LeafCap <= 0 {
+		cfg.LeafCap = 2000
+	}
+	if cfg.MaxZDepth <= 0 {
+		cfg.MaxZDepth = 6
+	}
+	if cfg.RetrainThreshold <= 0 {
+		cfg.RetrainThreshold = cfg.LeafCap / 4
+	}
+	return &Index{cfg: cfg}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "RSMI" }
+
+// Len implements index.Index.
+func (ix *Index) Len() int { return ix.size }
+
+// Build implements index.Index.
+func (ix *Index) Build(pts []geo.Point) error {
+	ix.stats = ix.stats[:0]
+	ix.size = len(pts)
+	ix.localRebuilds = 0
+	ix.root = ix.buildNode(pts, ix.cfg.Space)
+	return nil
+}
+
+// localKey maps p into the node's rank space: the Z-order value
+// relative to the node's own bounds.
+func localKey(p geo.Point, bounds geo.Rect) float64 {
+	return float64(curve.ZEncode(p, bounds))
+}
+
+// buildNode builds the subtree for pts with the given spatial bounds.
+func (ix *Index) buildNode(pts []geo.Point, bounds geo.Rect) *node {
+	dataBounds := geo.BoundingRect(pts)
+	if dataBounds.IsEmpty() {
+		dataBounds = bounds
+	}
+	n := &node{keyBounds: dataBounds, mbr: dataBounds}
+	mapKey := func(p geo.Point) float64 { return localKey(p, dataBounds) }
+	d := base.Prepare(pts, dataBounds, mapKey)
+	if len(pts) <= ix.cfg.LeafCap {
+		es := make([]store.Entry, d.Len())
+		for i := range es {
+			es[i] = store.Entry{Key: d.Keys[i], Point: d.Pts[i]}
+		}
+		n.st = store.NewSortedFromEntries(es)
+		if d.Len() > 0 {
+			m, st := ix.cfg.Builder.BuildModel(d)
+			n.leafModel = m
+			ix.stats = append(ix.stats, st)
+		} else {
+			n.leafModel = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
+		}
+		return n
+	}
+	m, st := ix.cfg.Builder.BuildModel(d)
+	n.model = m
+	ix.stats = append(ix.stats, st)
+	f := ix.cfg.Fanout
+	total := d.Len()
+	for i := 0; i < f; i++ {
+		lo := i * total / f
+		hi := (i + 1) * total / f
+		if lo >= hi {
+			continue
+		}
+		childPts := append([]geo.Point(nil), d.Pts[lo:hi]...)
+		n.childMinKey = append(n.childMinKey, d.Keys[lo])
+		n.children = append(n.children, ix.buildNode(childPts, dataBounds))
+	}
+	return n
+}
+
+// childSpan returns the inclusive child index range the node model's
+// error bounds allow key to land in.
+func (n *node) childSpan(key float64) (int, int) {
+	total := n.model.N
+	f := len(n.children)
+	rLo, rHi := n.model.SearchRange(key)
+	if rHi > 0 {
+		rHi--
+	}
+	liLo := rLo * f / total
+	liHi := rHi * f / total
+	if liLo < 0 {
+		liLo = 0
+	}
+	if liHi >= f {
+		liHi = f - 1
+	}
+	return liLo, liHi
+}
+
+// PointQuery implements index.Index (exact).
+func (ix *Index) PointQuery(p geo.Point) bool {
+	if ix.root == nil {
+		return false
+	}
+	return ix.findPoint(ix.root, p)
+}
+
+func (ix *Index) findPoint(n *node, p geo.Point) bool {
+	if n.isLeaf() {
+		for _, q := range n.extra {
+			if q == p {
+				return true
+			}
+		}
+		if n.st.Len() == 0 {
+			return false
+		}
+		atomic.AddInt64(&ix.invocations, 1)
+		key := localKey(p, n.keyBounds)
+		lo, hi := n.leafModel.SearchRange(key)
+		found := n.st.FindPoint(lo, hi, p)
+		return found
+	}
+	if !n.mbr.Contains(p) {
+		return false
+	}
+	atomic.AddInt64(&ix.invocations, 1)
+	key := localKey(p, n.keyBounds)
+	liLo, liHi := n.childSpan(key)
+	// Insertions route by the children's key ranges, so always include
+	// that child too: for keys unseen at build time the model span and
+	// the key-range route can disagree.
+	ci := sort.SearchFloat64s(n.childMinKey, key)
+	if ci > 0 {
+		ci--
+	}
+	if ci < liLo {
+		liLo = ci
+	}
+	if ci > liHi {
+		liHi = ci
+	}
+	for i := liLo; i <= liHi; i++ {
+		if ix.findPoint(n.children[i], p) {
+			return true
+		}
+	}
+	return false
+}
+
+// WindowQuery implements index.Index (approximate, as in the paper).
+func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
+	var out []geo.Point
+	if ix.root == nil {
+		return out
+	}
+	return ix.windowNode(ix.root, win, out)
+}
+
+func (ix *Index) windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point {
+	if !win.Intersects(n.mbr) {
+		return out
+	}
+	if !n.isLeaf() {
+		for _, c := range n.children {
+			out = ix.windowNode(c, win, out)
+		}
+		return out
+	}
+	for _, q := range n.extra {
+		if win.Contains(q) {
+			out = append(out, q)
+		}
+	}
+	if n.st.Len() == 0 {
+		return out
+	}
+	clipped := win.Intersection(n.keyBounds)
+	if clipped.IsEmpty() {
+		return out
+	}
+	// Predict a scan interval per Z-range from raw model output widened
+	// only by the empirical bounds — no exact boundary repair, which is
+	// what keeps RSMI approximate. The error-widened intervals of
+	// adjacent ranges overlap, so merge them before scanning to avoid
+	// duplicate results.
+	type span struct{ lo, hi int }
+	var spans []span
+	for _, r := range curve.ZRanges(clipped, n.keyBounds, ix.cfg.MaxZDepth) {
+		atomic.AddInt64(&ix.invocations, 2)
+		lo := n.leafModel.PredictRank(float64(r.Lo)) - n.leafModel.ErrLo
+		hi := n.leafModel.PredictRank(float64(r.Hi)) + n.leafModel.ErrHi + 1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n.st.Len() {
+			hi = n.st.Len()
+		}
+		if lo >= hi {
+			continue
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	merged := spans[:0]
+	for _, s := range spans {
+		if len(merged) > 0 && s.lo <= merged[len(merged)-1].hi {
+			if s.hi > merged[len(merged)-1].hi {
+				merged[len(merged)-1].hi = s.hi
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	for _, s := range merged {
+		out = n.st.CollectWindow(s.lo, s.hi, win, out)
+	}
+	return out
+}
+
+// KNN implements index.Index via expanding windows (approximate).
+func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
+	return zm.WindowKNN(ix, ix.cfg.Space, ix.size, q, k)
+}
+
+// Insert implements index.Inserter: the point is routed to its leaf's
+// overflow buffer; a full buffer triggers a local rebuild of that leaf
+// (possibly growing a deeper local subtree, as in Figure 1).
+func (ix *Index) Insert(p geo.Point) {
+	if ix.root == nil {
+		ix.root = ix.buildNode(nil, ix.cfg.Space)
+	}
+	ix.size++
+	ix.root = ix.insertNode(ix.root, p)
+}
+
+func (ix *Index) insertNode(n *node, p geo.Point) *node {
+	n.mbr = n.mbr.Extend(p)
+	if n.isLeaf() {
+		n.extra = append(n.extra, p)
+		if len(n.extra) > ix.cfg.RetrainThreshold {
+			ix.localRebuilds++
+			pts := make([]geo.Point, 0, n.st.Len()+len(n.extra))
+			for i := 0; i < n.st.Len(); i++ {
+				pts = append(pts, n.st.At(i).Point)
+			}
+			pts = append(pts, n.extra...)
+			return ix.buildNode(pts, n.mbr)
+		}
+		return n
+	}
+	// route with the FIXED key bounds (out-of-range coordinates clamp
+	// to the edge cells, so far-away inserts land in a boundary child)
+	key := localKey(p, n.keyBounds)
+	ci := sort.SearchFloat64s(n.childMinKey, key)
+	if ci > 0 {
+		ci--
+	}
+	n.children[ci] = ix.insertNode(n.children[ci], p)
+	return n
+}
+
+// Delete implements index.Deleter for buffered points only; deletions
+// of indexed points are handled by the ELSI update processor's delta
+// list.
+func (ix *Index) Delete(p geo.Point) bool {
+	if ix.root == nil {
+		return false
+	}
+	if ix.deleteBuffered(ix.root, p) {
+		ix.size--
+		return true
+	}
+	return false
+}
+
+func (ix *Index) deleteBuffered(n *node, p geo.Point) bool {
+	if !n.mbr.Contains(p) {
+		return false
+	}
+	if n.isLeaf() {
+		for i, q := range n.extra {
+			if q == p {
+				n.extra[i] = n.extra[len(n.extra)-1]
+				n.extra = n.extra[:len(n.extra)-1]
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range n.children {
+		if ix.deleteBuffered(c, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Depth returns the height of the index (a feature of the rebuild
+// predictor).
+func (ix *Index) Depth() int {
+	var walk func(*node) int
+	walk = func(n *node) int {
+		if n == nil || n.isLeaf() {
+			return 1
+		}
+		d := 0
+		for _, c := range n.children {
+			if cd := walk(c); cd > d {
+				d = cd
+			}
+		}
+		return d + 1
+	}
+	return walk(ix.root)
+}
+
+// LocalRebuilds returns the number of leaf-level rebuilds triggered by
+// insertions since the last full Build.
+func (ix *Index) LocalRebuilds() int { return ix.localRebuilds }
+
+// Stats returns per-model build statistics.
+func (ix *Index) Stats() []base.BuildStats { return ix.stats }
+
+// ModelInvocations returns the model-invocation counter.
+func (ix *Index) ModelInvocations() int64 { return atomic.LoadInt64(&ix.invocations) }
+
+// ResetCounters zeroes the invocation and scan counters.
+func (ix *Index) ResetCounters() {
+	atomic.StoreInt64(&ix.invocations, 0)
+	ix.eachLeaf(func(n *node) { n.st.ResetScanned() })
+}
+
+// Scanned sums the scan counters of every leaf store.
+func (ix *Index) Scanned() int64 {
+	var total int64
+	ix.eachLeaf(func(n *node) { total += n.st.Scanned() })
+	return total
+}
+
+// eachLeaf visits every leaf node.
+func (ix *Index) eachLeaf(fn func(*node)) {
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.isLeaf() {
+			if n.st != nil {
+				fn(n)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+}
+
+// NumModels returns the number of models in the hierarchy.
+func (ix *Index) NumModels() int {
+	count := 0
+	var walk func(*node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		count++
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(ix.root)
+	return count
+}

@@ -1,0 +1,221 @@
+package rsmi
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/indextest"
+	"elsi/internal/methods"
+	"elsi/internal/rmi"
+)
+
+func ogBuilder() base.ModelBuilder {
+	return &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)}
+}
+
+func newRSMI(b base.ModelBuilder) *Index {
+	return New(Config{Space: geo.UnitRect, Builder: b, Fanout: 4, LeafCap: 500})
+}
+
+func TestConformance(t *testing.T) {
+	// RSMI point queries are exact; window and kNN are approximate but
+	// with monotone (piecewise) models the recall stays at 1 in
+	// practice — we assert the paper's floor of 0.9.
+	for _, name := range dataset.All() {
+		t.Run(name, func(t *testing.T) {
+			pts := dataset.MustGenerate(name, 3000, 1)
+			indextest.Conformance(t, newRSMI(ogBuilder()), pts, 42, 0.9, 0.85)
+		})
+	}
+}
+
+func TestConformanceReducedBuilder(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.OSM1, 4000, 2)
+	b := &methods.RS{Beta: 100, Trainer: rmi.PiecewiseTrainer(1.0 / 256)}
+	indextest.Conformance(t, newRSMI(b), pts, 43, 0.9, 0.85)
+}
+
+func TestHierarchyShape(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.OSM1, 8000, 3)
+	ix := newRSMI(ogBuilder())
+	ix.Build(pts)
+	if ix.Depth() < 2 {
+		t.Errorf("Depth = %d, want >= 2 for 8000 points with LeafCap 500", ix.Depth())
+	}
+	if ix.NumModels() < 5 {
+		t.Errorf("NumModels = %d", ix.NumModels())
+	}
+	if len(ix.Stats()) != ix.NumModels() {
+		t.Errorf("stats %d != models %d", len(ix.Stats()), ix.NumModels())
+	}
+}
+
+func TestInsertAndLocalRebuild(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 4)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 4, LeafCap: 500, RetrainThreshold: 50})
+	ix.Build(pts)
+	// skewed insertions into one corner, as in Figure 1
+	rng := rand.New(rand.NewSource(5))
+	var inserted []geo.Point
+	for i := 0; i < 500; i++ {
+		p := geo.Point{X: rng.Float64() * 0.05, Y: rng.Float64() * 0.05}
+		ix.Insert(p)
+		inserted = append(inserted, p)
+	}
+	if ix.Len() != 2500 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.LocalRebuilds() == 0 {
+		t.Error("no local rebuilds after 500 skewed insertions over threshold 50")
+	}
+	for _, p := range inserted {
+		if !ix.PointQuery(p) {
+			t.Fatalf("inserted point %v lost", p)
+		}
+	}
+	// original points still findable
+	for _, p := range pts[:200] {
+		if !ix.PointQuery(p) {
+			t.Fatalf("original point %v lost after inserts", p)
+		}
+	}
+}
+
+func TestInsertOutsideOriginalBounds(t *testing.T) {
+	// Build over a sub-region, then insert far outside: the clamped
+	// key routing must still store and find the point.
+	rng := rand.New(rand.NewSource(6))
+	var pts []geo.Point
+	for i := 0; i < 1000; i++ {
+		pts = append(pts, geo.Point{X: 0.4 + rng.Float64()*0.2, Y: 0.4 + rng.Float64()*0.2})
+	}
+	ix := newRSMI(ogBuilder())
+	ix.Build(pts)
+	outlier := geo.Point{X: 0.95, Y: 0.05}
+	ix.Insert(outlier)
+	if !ix.PointQuery(outlier) {
+		t.Error("outlier insert lost")
+	}
+	got := ix.WindowQuery(geo.Rect{MinX: 0.9, MinY: 0, MaxX: 1, MaxY: 0.1})
+	found := false
+	for _, p := range got {
+		if p == outlier {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("window query missed buffered outlier")
+	}
+}
+
+func TestWindowAfterInsertsRecall(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.OSM1, 3000, 7)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 4, LeafCap: 400, RetrainThreshold: 60})
+	ix.Build(pts)
+	bf := index.NewBruteForce()
+	bf.Build(pts)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 1500; i++ {
+		p := geo.Point{X: rng.Float64() * 0.1, Y: rng.Float64() * 0.1}
+		ix.Insert(p)
+		bf.Insert(p)
+	}
+	sum, cnt := 0.0, 0
+	for trial := 0; trial < 20; trial++ {
+		c := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		win := geo.Rect{MinX: c.X - 0.05, MinY: c.Y - 0.05, MaxX: c.X + 0.05, MaxY: c.Y + 0.05}
+		want := bf.WindowQuery(win)
+		if len(want) == 0 {
+			continue
+		}
+		got := ix.WindowQuery(win)
+		sum += index.Recall(got, want)
+		cnt++
+	}
+	if cnt > 0 && sum/float64(cnt) < 0.9 {
+		t.Errorf("post-insert window recall %.3f < 0.9", sum/float64(cnt))
+	}
+}
+
+func TestDeleteBufferedOnly(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 500, 9)
+	ix := newRSMI(ogBuilder())
+	ix.Build(pts)
+	p := geo.Point{X: 0.111, Y: 0.222}
+	ix.Insert(p)
+	if !ix.Delete(p) {
+		t.Error("buffered delete failed")
+	}
+	if ix.PointQuery(p) {
+		t.Error("deleted buffered point still found")
+	}
+	// indexed points are NOT deletable here (delta list handles them)
+	if ix.Delete(pts[0]) {
+		t.Error("indexed point delete should fail")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := newRSMI(ogBuilder())
+	ix.Build(nil)
+	if ix.PointQuery(geo.Point{X: 0.5, Y: 0.5}) {
+		t.Error("phantom point")
+	}
+	if got := ix.WindowQuery(geo.UnitRect); len(got) != 0 {
+		t.Errorf("empty window = %d", len(got))
+	}
+	if got := ix.KNN(geo.Point{}, 3); got != nil {
+		t.Errorf("empty KNN = %v", got)
+	}
+	ix.Insert(geo.Point{X: 0.5, Y: 0.5})
+	if !ix.PointQuery(geo.Point{X: 0.5, Y: 0.5}) {
+		t.Error("insert into empty index lost")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 10)
+	ix := newRSMI(ogBuilder())
+	ix.Build(pts)
+	ix.ResetCounters()
+	ix.PointQuery(pts[0])
+	if ix.ModelInvocations() == 0 {
+		t.Error("no invocations counted")
+	}
+	if ix.Scanned() == 0 {
+		t.Error("no scans counted")
+	}
+	ix.ResetCounters()
+	if ix.ModelInvocations() != 0 || ix.Scanned() != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 8, LeafCap: 4000})
+	ix.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.PointQuery(pts[i%len(pts)])
+	}
+}
+
+func TestNumModelsEmptyAndSingle(t *testing.T) {
+	ix := newRSMI(ogBuilder())
+	ix.Build(nil)
+	if got := ix.NumModels(); got != 1 {
+		t.Errorf("empty index NumModels = %d (one leaf node)", got)
+	}
+	ix.Build(dataset.MustGenerate(dataset.Uniform, 100, 11))
+	if got := ix.NumModels(); got != 1 {
+		t.Errorf("single-leaf NumModels = %d", got)
+	}
+	if ix.Depth() != 1 {
+		t.Errorf("single-leaf Depth = %d", ix.Depth())
+	}
+}

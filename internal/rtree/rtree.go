@@ -1,0 +1,465 @@
+// Package rtree implements the two R-tree baselines of the paper's
+// experiments: HRR, an R-tree bulk-loaded in Hilbert-curve order with
+// rank-space packing (Qi et al. 2018), and RR*, an insertion-built
+// R*-style tree with the revised split heuristics (Beckmann & Seeger
+// 2009). Both are exact for point, window, and kNN queries.
+package rtree
+
+import (
+	"sort"
+
+	"elsi/internal/curve"
+	"elsi/internal/geo"
+	"elsi/internal/pqueue"
+	"elsi/internal/store"
+)
+
+// fanout is the maximum number of child entries of an internal node.
+const fanout = 16
+
+// Tree is an R-tree for points. Leaves hold up to store.BlockSize
+// points; internal nodes hold up to fanout children.
+type Tree struct {
+	name  string
+	space geo.Rect
+	root  *node
+	size  int
+	bulk  bool // true = Hilbert bulk load (HRR), false = R* insertion
+}
+
+type node struct {
+	mbr      geo.Rect
+	children []*node     // internal
+	pts      []geo.Point // leaf
+	leaf     bool
+}
+
+// NewHRR returns an empty HRR tree over space; Build bulk-loads it.
+func NewHRR(space geo.Rect) *Tree {
+	return &Tree{name: "HRR", space: space, bulk: true}
+}
+
+// NewRRStar returns an empty RR* tree over space; Build inserts each
+// point through the R* insertion path.
+func NewRRStar(space geo.Rect) *Tree {
+	return &Tree{name: "RR*", space: space, bulk: false}
+}
+
+// Name implements index.Index.
+func (t *Tree) Name() string { return t.name }
+
+// Len implements index.Index.
+func (t *Tree) Len() int { return t.size }
+
+// Build implements index.Index.
+func (t *Tree) Build(pts []geo.Point) error {
+	t.root = nil
+	t.size = 0
+	if t.bulk {
+		t.bulkLoad(pts)
+		return nil
+	}
+	for _, p := range pts {
+		t.Insert(p)
+	}
+	return nil
+}
+
+// bulkLoad packs the points in Hilbert order into leaves, then packs
+// the leaves level by level until a single root remains.
+func (t *Tree) bulkLoad(pts []geo.Point) {
+	t.size = len(pts)
+	if len(pts) == 0 {
+		t.root = &node{leaf: true, mbr: geo.EmptyRect()}
+		return
+	}
+	type keyed struct {
+		key uint64
+		p   geo.Point
+	}
+	ks := make([]keyed, len(pts))
+	for i, p := range pts {
+		ks[i] = keyed{curve.HEncode(p, t.space), p}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	var level []*node
+	for start := 0; start < len(ks); start += store.BlockSize {
+		end := start + store.BlockSize
+		if end > len(ks) {
+			end = len(ks)
+		}
+		leaf := &node{leaf: true, mbr: geo.EmptyRect()}
+		for _, kp := range ks[start:end] {
+			leaf.pts = append(leaf.pts, kp.p)
+			leaf.mbr = leaf.mbr.Extend(kp.p)
+		}
+		level = append(level, leaf)
+	}
+	for len(level) > 1 {
+		var next []*node
+		for start := 0; start < len(level); start += fanout {
+			end := start + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			parent := &node{mbr: geo.EmptyRect()}
+			for _, c := range level[start:end] {
+				parent.children = append(parent.children, c)
+				parent.mbr = parent.mbr.Union(c.mbr)
+			}
+			next = append(next, parent)
+		}
+		level = next
+	}
+	t.root = level[0]
+}
+
+// Insert implements index.Inserter with the R* insertion path:
+// choose-subtree by minimum overlap enlargement at the leaf level and
+// minimum area enlargement above, then split overflowing nodes with
+// the margin-then-overlap R* heuristic.
+func (t *Tree) Insert(p geo.Point) {
+	if t.root == nil {
+		t.root = &node{leaf: true, mbr: geo.EmptyRect()}
+	}
+	t.size++
+	split := t.insert(t.root, p)
+	if split != nil {
+		// grow the tree: new root with two children
+		old := t.root
+		t.root = &node{
+			children: []*node{old, split},
+			mbr:      old.mbr.Union(split.mbr),
+		}
+	}
+}
+
+// insert adds p under n, returning a sibling node if n split.
+func (t *Tree) insert(n *node, p geo.Point) *node {
+	n.mbr = n.mbr.Extend(p)
+	if n.leaf {
+		n.pts = append(n.pts, p)
+		if len(n.pts) > store.BlockSize {
+			return splitLeaf(n)
+		}
+		return nil
+	}
+	child := chooseSubtree(n, p)
+	split := t.insert(child, p)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > fanout {
+			return splitInternal(n)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child of n for point p: minimum overlap
+// enlargement when the children are leaves (the R* refinement),
+// minimum area enlargement otherwise, with ties broken by area.
+func chooseSubtree(n *node, p geo.Point) *node {
+	pr := geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+	childrenAreLeaves := len(n.children) > 0 && n.children[0].leaf
+	best := n.children[0]
+	bestPrimary, bestArea := 1e308, 1e308
+	for _, c := range n.children {
+		enlarged := c.mbr.Union(pr)
+		var primary float64
+		if childrenAreLeaves {
+			// overlap enlargement against the other children
+			for _, o := range n.children {
+				if o == c {
+					continue
+				}
+				primary += enlarged.OverlapArea(o.mbr) - c.mbr.OverlapArea(o.mbr)
+			}
+		} else {
+			primary = c.mbr.EnlargementArea(pr)
+		}
+		area := c.mbr.Area()
+		if primary < bestPrimary || (primary == bestPrimary && area < bestArea) {
+			best, bestPrimary, bestArea = c, primary, area
+		}
+	}
+	return best
+}
+
+// splitLeaf performs the R* split on an overflowing leaf and returns
+// the new sibling.
+func splitLeaf(n *node) *node {
+	pts := n.pts
+	axis, splitAt := chooseSplit(len(pts), func(axis int) {
+		if axis == 0 {
+			sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		} else {
+			sort.Slice(pts, func(i, j int) bool { return pts[i].Y < pts[j].Y })
+		}
+	}, func(i int) geo.Rect {
+		return geo.Rect{MinX: pts[i].X, MinY: pts[i].Y, MaxX: pts[i].X, MaxY: pts[i].Y}
+	}, store.BlockSize)
+	// re-sort on the chosen axis (chooseSplit leaves the last-sorted
+	// axis in place, which may be the other one)
+	if axis == 0 {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	} else {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Y < pts[j].Y })
+	}
+	sib := &node{leaf: true}
+	sib.pts = append([]geo.Point(nil), pts[splitAt:]...)
+	n.pts = pts[:splitAt]
+	n.mbr = geo.BoundingRect(n.pts)
+	sib.mbr = geo.BoundingRect(sib.pts)
+	return sib
+}
+
+// splitInternal performs the R* split on an overflowing internal node.
+func splitInternal(n *node) *node {
+	cs := n.children
+	axis, splitAt := chooseSplit(len(cs), func(axis int) {
+		if axis == 0 {
+			sort.Slice(cs, func(i, j int) bool { return cs[i].mbr.MinX < cs[j].mbr.MinX })
+		} else {
+			sort.Slice(cs, func(i, j int) bool { return cs[i].mbr.MinY < cs[j].mbr.MinY })
+		}
+	}, func(i int) geo.Rect { return cs[i].mbr }, fanout)
+	if axis == 0 {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].mbr.MinX < cs[j].mbr.MinX })
+	} else {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].mbr.MinY < cs[j].mbr.MinY })
+	}
+	sib := &node{}
+	sib.children = append([]*node(nil), cs[splitAt:]...)
+	n.children = cs[:splitAt]
+	n.mbr = unionOf(n.children)
+	sib.mbr = unionOf(sib.children)
+	return sib
+}
+
+func unionOf(cs []*node) geo.Rect {
+	r := geo.EmptyRect()
+	for _, c := range cs {
+		r = r.Union(c.mbr)
+	}
+	return r
+}
+
+// chooseSplit implements the R* axis and index selection: for each
+// axis, sort the entries, evaluate every legal split position, sum the
+// margins to pick the axis, then pick the position with minimum
+// overlap (ties by area). sortBy(axis) must sort the backing storage;
+// rectAt(i) returns the i-th entry's rectangle under the current sort.
+// cap is the node capacity; legal positions keep both sides >= minimum
+// fill. It returns the chosen axis and split position.
+func chooseSplit(n int, sortBy func(axis int), rectAt func(i int) geo.Rect, capacity int) (axis, splitAt int) {
+	minEntries := capacity * 2 / 5
+	if minEntries < 1 {
+		minEntries = 1
+	}
+	bestAxis, bestPos := 0, n/2
+	bestMargin := 1e308
+	for ax := 0; ax < 2; ax++ {
+		sortBy(ax)
+		// prefix and suffix MBRs
+		prefix := make([]geo.Rect, n+1)
+		suffix := make([]geo.Rect, n+1)
+		prefix[0] = geo.EmptyRect()
+		suffix[n] = geo.EmptyRect()
+		for i := 0; i < n; i++ {
+			prefix[i+1] = prefix[i].Union(rectAt(i))
+		}
+		for i := n - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1].Union(rectAt(i))
+		}
+		marginSum := 0.0
+		type cand struct {
+			pos           int
+			overlap, area float64
+		}
+		var cands []cand
+		for pos := minEntries; pos <= n-minEntries; pos++ {
+			l, r := prefix[pos], suffix[pos]
+			marginSum += l.Margin() + r.Margin()
+			cands = append(cands, cand{pos, l.OverlapArea(r), l.Area() + r.Area()})
+		}
+		if len(cands) == 0 {
+			cands = append(cands, cand{n / 2, prefix[n/2].OverlapArea(suffix[n/2]), 0})
+		}
+		if marginSum < bestMargin {
+			bestMargin = marginSum
+			bestAxis = ax
+			// choose position on this axis
+			bp := cands[0]
+			for _, c := range cands[1:] {
+				if c.overlap < bp.overlap || (c.overlap == bp.overlap && c.area < bp.area) {
+					bp = c
+				}
+			}
+			bestPos = bp.pos
+		}
+	}
+	return bestAxis, bestPos
+}
+
+// PointQuery implements index.Index.
+func (t *Tree) PointQuery(p geo.Point) bool {
+	if t.root == nil {
+		return false
+	}
+	var walk func(*node) bool
+	walk = func(n *node) bool {
+		if !n.mbr.Contains(p) {
+			return false
+		}
+		if n.leaf {
+			for _, q := range n.pts {
+				if q == p {
+					return true
+				}
+			}
+			return false
+		}
+		for _, c := range n.children {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(t.root)
+}
+
+// Delete implements index.Deleter (simple variant: remove in place
+// without tree condensation; MBRs are left conservative).
+func (t *Tree) Delete(p geo.Point) bool {
+	if t.root == nil {
+		return false
+	}
+	var walk func(*node) bool
+	walk = func(n *node) bool {
+		if !n.mbr.Contains(p) {
+			return false
+		}
+		if n.leaf {
+			for i, q := range n.pts {
+				if q == p {
+					n.pts[i] = n.pts[len(n.pts)-1]
+					n.pts = n.pts[:len(n.pts)-1]
+					n.mbr = geo.BoundingRect(n.pts)
+					return true
+				}
+			}
+			return false
+		}
+		for _, c := range n.children {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(t.root) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+// WindowQuery implements index.Index (exact).
+func (t *Tree) WindowQuery(win geo.Rect) []geo.Point {
+	var out []geo.Point
+	if t.root == nil {
+		return out
+	}
+	var walk func(*node)
+	walk = func(n *node) {
+		if !n.mbr.Intersects(win) {
+			return
+		}
+		if n.leaf {
+			for _, p := range n.pts {
+				if win.Contains(p) {
+					out = append(out, p)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// KNN implements index.Index with best-first MINDIST search.
+func (t *Tree) KNN(q geo.Point, k int) []geo.Point {
+	if t.root == nil || k <= 0 || t.size == 0 {
+		return nil
+	}
+	var pq pqueue.Min
+	pq.Push(t.root, t.root.mbr.Dist2(q))
+	best := pqueue.NewKBest(k)
+	for pq.Len() > 0 {
+		it := pq.Pop()
+		if best.Full() && it.Dist > best.Worst() {
+			break
+		}
+		n := it.Value.(*node)
+		if n.leaf {
+			for _, p := range n.pts {
+				best.Offer(p, p.Dist2(q))
+			}
+			continue
+		}
+		for _, c := range n.children {
+			pq.Push(c, c.mbr.Dist2(q))
+		}
+	}
+	return best.Points()
+}
+
+// Depth returns the tree height.
+func (t *Tree) Depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}
+
+// checkInvariants verifies MBR containment throughout the tree; used
+// by tests.
+func (t *Tree) checkInvariants() bool {
+	if t.root == nil {
+		return true
+	}
+	var walk func(*node) bool
+	walk = func(n *node) bool {
+		if n.leaf {
+			for _, p := range n.pts {
+				if !n.mbr.Contains(p) {
+					return false
+				}
+			}
+			return true
+		}
+		if len(n.children) == 0 {
+			return false
+		}
+		for _, c := range n.children {
+			if !n.mbr.ContainsRect(c.mbr) {
+				return false
+			}
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,145 @@
+package rtree
+
+import (
+	"testing"
+
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/indextest"
+)
+
+func TestHRRConformance(t *testing.T) {
+	for _, name := range dataset.All() {
+		t.Run(name, func(t *testing.T) {
+			pts := dataset.MustGenerate(name, 3000, 1)
+			indextest.Conformance(t, NewHRR(geo.UnitRect), pts, 42, 1.0, 1.0)
+		})
+	}
+}
+
+func TestRRStarConformance(t *testing.T) {
+	for _, name := range dataset.All() {
+		t.Run(name, func(t *testing.T) {
+			pts := dataset.MustGenerate(name, 3000, 1)
+			indextest.Conformance(t, NewRRStar(geo.UnitRect), pts, 42, 1.0, 1.0)
+		})
+	}
+}
+
+func TestInvariantsAfterBuild(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.OSM1, 5000, 2)
+	hrr := NewHRR(geo.UnitRect)
+	hrr.Build(pts)
+	if !hrr.checkInvariants() {
+		t.Error("HRR MBR invariants violated")
+	}
+	rr := NewRRStar(geo.UnitRect)
+	rr.Build(pts)
+	if !rr.checkInvariants() {
+		t.Error("RR* MBR invariants violated")
+	}
+}
+
+func TestRRStarInsertDelete(t *testing.T) {
+	rr := NewRRStar(geo.UnitRect)
+	rr.Build(dataset.MustGenerate(dataset.Uniform, 1000, 3))
+	p := geo.Point{X: 0.123, Y: 0.987}
+	rr.Insert(p)
+	if !rr.checkInvariants() {
+		t.Error("invariants violated after insert")
+	}
+	if !rr.PointQuery(p) {
+		t.Error("inserted point not found")
+	}
+	if !rr.Delete(p) {
+		t.Error("Delete failed")
+	}
+	if rr.PointQuery(p) {
+		t.Error("deleted point found")
+	}
+	if rr.Delete(geo.Point{X: 5, Y: 5}) {
+		t.Error("Delete of absent point returned true")
+	}
+}
+
+func TestHRRDepthShallow(t *testing.T) {
+	// Bulk loading packs nodes full; with 100-point leaves and
+	// fanout-16 internals, 100k points need height 4 at most.
+	hrr := NewHRR(geo.UnitRect)
+	hrr.Build(dataset.MustGenerate(dataset.Uniform, 100000, 4))
+	if d := hrr.Depth(); d > 4 {
+		t.Errorf("HRR depth = %d, want <= 4", d)
+	}
+}
+
+func TestEmptyTrees(t *testing.T) {
+	for _, tr := range []*Tree{NewHRR(geo.UnitRect), NewRRStar(geo.UnitRect)} {
+		tr.Build(nil)
+		if tr.PointQuery(geo.Point{X: 0.5, Y: 0.5}) {
+			t.Errorf("%s: phantom point", tr.Name())
+		}
+		if got := tr.WindowQuery(geo.UnitRect); len(got) != 0 {
+			t.Errorf("%s: empty window returned %d", tr.Name(), len(got))
+		}
+		if got := tr.KNN(geo.Point{}, 3); got != nil {
+			t.Errorf("%s: empty KNN = %v", tr.Name(), got)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewHRR(geo.UnitRect).Name() != "HRR" {
+		t.Error("HRR name")
+	}
+	if NewRRStar(geo.UnitRect).Name() != "RR*" {
+		t.Error("RR* name")
+	}
+}
+
+func TestRRStarQueryAfterHeavyInsertion(t *testing.T) {
+	rr := NewRRStar(geo.UnitRect)
+	rr.Build(nil)
+	pts := dataset.MustGenerate(dataset.NYC, 5000, 5)
+	for _, p := range pts {
+		rr.Insert(p)
+	}
+	if rr.Len() != 5000 {
+		t.Fatalf("Len = %d", rr.Len())
+	}
+	if !rr.checkInvariants() {
+		t.Fatal("invariants violated after 5000 skewed inserts")
+	}
+	for _, p := range pts[:200] {
+		if !rr.PointQuery(p) {
+			t.Fatalf("point %v lost", p)
+		}
+	}
+}
+
+func BenchmarkHRRBuild100k(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewHRR(geo.UnitRect)
+		tr.Build(pts)
+	}
+}
+
+func BenchmarkRRStarBuild100k(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewRRStar(geo.UnitRect)
+		tr.Build(pts)
+	}
+}
+
+func BenchmarkRRStarPointQuery(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	tr := NewRRStar(geo.UnitRect)
+	tr.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PointQuery(pts[i%len(pts)])
+	}
+}

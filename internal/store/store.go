@@ -1,0 +1,320 @@
+// Package store provides the storage substrate shared by the indices:
+// a sorted array of (key, point) pairs with block-granular cost
+// accounting for the predict-and-scan learned indices, and fixed-
+// capacity data pages for LISA-style page storage. The paper stores
+// data in blocks of B = 100 points (Section VII-B1); the counters here
+// let the benchmark harness report scan work in the same units.
+package store
+
+import (
+	"sort"
+
+	"elsi/internal/geo"
+)
+
+// BlockSize is the paper's block size B.
+const BlockSize = 100
+
+// Entry is one stored point with its 1-D mapped key.
+type Entry struct {
+	Key   float64
+	Point geo.Point
+}
+
+// Sorted is an immutable array of entries sorted by key — the storage
+// layout of a map-and-sort index. It counts scanned entries so
+// experiments can report scan costs.
+type Sorted struct {
+	entries []Entry
+	scanned int64
+}
+
+// NewSorted builds a Sorted store from keys and points (parallel
+// slices), sorting them together by key.
+func NewSorted(keys []float64, pts []geo.Point) *Sorted {
+	if len(keys) != len(pts) {
+		panic("store: keys and points length mismatch")
+	}
+	es := make([]Entry, len(keys))
+	for i := range keys {
+		es[i] = Entry{Key: keys[i], Point: pts[i]}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+	return &Sorted{entries: es}
+}
+
+// NewSortedFromEntries takes ownership of entries, sorting them by key.
+func NewSortedFromEntries(es []Entry) *Sorted {
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+	return &Sorted{entries: es}
+}
+
+// Len returns the number of stored entries.
+func (s *Sorted) Len() int { return len(s.entries) }
+
+// Keys returns the sorted key column as a fresh slice.
+func (s *Sorted) Keys() []float64 {
+	keys := make([]float64, len(s.entries))
+	for i, e := range s.entries {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// At returns the i-th entry in key order.
+func (s *Sorted) At(i int) Entry { return s.entries[i] }
+
+// ScanRange visits entries in positions [lo, hi), invoking fn for each;
+// fn returning false stops the scan. Visited entries are charged to the
+// scan counter.
+func (s *Sorted) ScanRange(lo, hi int, fn func(Entry) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.entries) {
+		hi = len(s.entries)
+	}
+	for i := lo; i < hi; i++ {
+		s.scanned++
+		if !fn(s.entries[i]) {
+			return
+		}
+	}
+}
+
+// FindPoint scans positions [lo, hi) for a point equal to p and
+// reports whether it was found (the predict-and-scan point query).
+func (s *Sorted) FindPoint(lo, hi int, p geo.Point) bool {
+	found := false
+	s.ScanRange(lo, hi, func(e Entry) bool {
+		if e.Point == p {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// CollectWindow appends to out the points in positions [lo, hi) that
+// fall inside win and returns the extended slice.
+func (s *Sorted) CollectWindow(lo, hi int, win geo.Rect, out []geo.Point) []geo.Point {
+	s.ScanRange(lo, hi, func(e Entry) bool {
+		if win.Contains(e.Point) {
+			out = append(out, e.Point)
+		}
+		return true
+	})
+	return out
+}
+
+// SearchKey returns the position of the first entry with key >= k.
+func (s *Sorted) SearchKey(k float64) int {
+	return sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Key >= k })
+}
+
+// FirstGE returns the position of the first entry with key >= k using
+// hint as a starting guess: it gallops outward from hint and finishes
+// with a binary search inside the bracket, so the cost is logarithmic
+// in the prediction error rather than in n. Learned indices use it to
+// turn a model prediction into an exact boundary.
+func (s *Sorted) FirstGE(k float64, hint int) int {
+	n := len(s.entries)
+	if n == 0 {
+		return 0
+	}
+	if hint < 0 {
+		hint = 0
+	}
+	if hint >= n {
+		hint = n - 1
+	}
+	var lo, hi int
+	if s.entries[hint].Key >= k {
+		// answer is at or before hint: gallop left until a key < k
+		hi = hint + 1
+		step := 1
+		i := hint
+		for i >= 0 && s.entries[i].Key >= k {
+			i -= step
+			step *= 2
+		}
+		if i < 0 {
+			lo = 0
+		} else {
+			lo = i
+		}
+	} else {
+		// answer is after hint: gallop right until a key >= k
+		lo = hint
+		step := 1
+		i := hint
+		for i < n && s.entries[i].Key < k {
+			lo = i
+			i += step
+			step *= 2
+		}
+		if i >= n {
+			hi = n
+		} else {
+			hi = i + 1
+		}
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return s.entries[lo+i].Key >= k })
+}
+
+// FirstGT returns the position of the first entry with key > k, with
+// the same galloping strategy as FirstGE.
+func (s *Sorted) FirstGT(k float64, hint int) int {
+	i := s.FirstGE(k, hint)
+	for i < len(s.entries) && s.entries[i].Key == k {
+		i++
+	}
+	return i
+}
+
+// Scanned returns the cumulative number of entries visited by scans.
+func (s *Sorted) Scanned() int64 { return s.scanned }
+
+// ResetScanned zeroes the scan counter (called between experiment
+// phases).
+func (s *Sorted) ResetScanned() { s.scanned = 0 }
+
+// Blocks returns the number of B-sized blocks the store occupies.
+func (s *Sorted) Blocks() int {
+	return (len(s.entries) + BlockSize - 1) / BlockSize
+}
+
+// --- Pages (LISA-style) -----------------------------------------------
+
+// Page is a fixed-capacity data page. LISA appends inserted points to
+// the page their shard maps to and splits full pages.
+type Page struct {
+	Entries []Entry
+}
+
+// Full reports whether the page has reached BlockSize entries.
+func (p *Page) Full() bool { return len(p.Entries) >= BlockSize }
+
+// PageList is an ordered list of pages covering contiguous key ranges.
+type PageList struct {
+	pages   [][]Entry
+	scanned int64
+}
+
+// NewPageList packs sorted entries into pages of BlockSize.
+func NewPageList(sorted []Entry) *PageList {
+	pl := &PageList{}
+	for start := 0; start < len(sorted); start += BlockSize {
+		end := start + BlockSize
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		page := make([]Entry, end-start, BlockSize+1)
+		copy(page, sorted[start:end])
+		pl.pages = append(pl.pages, page)
+	}
+	return pl
+}
+
+// NumPages returns the page count.
+func (pl *PageList) NumPages() int { return len(pl.pages) }
+
+// Len returns the total number of stored entries.
+func (pl *PageList) Len() int {
+	total := 0
+	for _, p := range pl.pages {
+		total += len(p)
+	}
+	return total
+}
+
+// Page returns the i-th page's entries.
+func (pl *PageList) Page(i int) []Entry { return pl.pages[i] }
+
+// ScanPages visits pages [lo, hi), charging every entry visited.
+func (pl *PageList) ScanPages(lo, hi int, fn func(Entry) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(pl.pages) {
+		hi = len(pl.pages)
+	}
+	for i := lo; i < hi; i++ {
+		for _, e := range pl.pages[i] {
+			pl.scanned++
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// Insert adds e to page i, keeping the page's key order, and splits the
+// page when it overflows. It returns the number of pages after the
+// insert (splits shift subsequent page indices).
+func (pl *PageList) Insert(i int, e Entry) int {
+	if len(pl.pages) == 0 {
+		pl.pages = [][]Entry{{e}}
+		return 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(pl.pages) {
+		i = len(pl.pages) - 1
+	}
+	page := pl.pages[i]
+	pos := sort.Search(len(page), func(j int) bool { return page[j].Key >= e.Key })
+	page = append(page, Entry{})
+	copy(page[pos+1:], page[pos:])
+	page[pos] = e
+	if len(page) > BlockSize {
+		mid := len(page) / 2
+		left := page[:mid]
+		right := make([]Entry, len(page)-mid, BlockSize+1)
+		copy(right, page[mid:])
+		pl.pages[i] = left
+		pl.pages = append(pl.pages, nil)
+		copy(pl.pages[i+2:], pl.pages[i+1:])
+		pl.pages[i+1] = right
+	} else {
+		pl.pages[i] = page
+	}
+	return len(pl.pages)
+}
+
+// Truncate shrinks page i to its first n entries.
+func (pl *PageList) Truncate(i, n int) {
+	if i < 0 || i >= len(pl.pages) {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n > len(pl.pages[i]) {
+		n = len(pl.pages[i])
+	}
+	pl.pages[i] = pl.pages[i][:n]
+}
+
+// PageFor returns the index of the page whose key range should hold k
+// (the last page whose first key is <= k).
+func (pl *PageList) PageFor(k float64) int {
+	if len(pl.pages) == 0 {
+		return 0
+	}
+	i := sort.Search(len(pl.pages), func(j int) bool {
+		return len(pl.pages[j]) > 0 && pl.pages[j][0].Key > k
+	})
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Scanned returns the cumulative entries visited.
+func (pl *PageList) Scanned() int64 { return pl.scanned }
+
+// ResetScanned zeroes the counter.
+func (pl *PageList) ResetScanned() { pl.scanned = 0 }

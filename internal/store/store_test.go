@@ -1,0 +1,272 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"elsi/internal/geo"
+)
+
+func makeSorted(t *testing.T, n int, seed int64) *Sorted {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]float64, n)
+	pts := make([]geo.Point, n)
+	for i := range keys {
+		keys[i] = rng.Float64()
+		pts[i] = geo.Point{X: keys[i], Y: rng.Float64()}
+	}
+	return NewSorted(keys, pts)
+}
+
+func TestNewSortedSortsByKey(t *testing.T) {
+	s := makeSorted(t, 500, 1)
+	keys := s.Keys()
+	if !sort.Float64sAreSorted(keys) {
+		t.Fatal("keys not sorted")
+	}
+	if s.Len() != 500 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestNewSortedMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	NewSorted([]float64{1}, nil)
+}
+
+func TestScanRangeCountsAndClamps(t *testing.T) {
+	s := makeSorted(t, 100, 2)
+	count := 0
+	s.ScanRange(-5, 1000, func(Entry) bool { count++; return true })
+	if count != 100 {
+		t.Errorf("visited %d entries, want 100", count)
+	}
+	if s.Scanned() != 100 {
+		t.Errorf("Scanned = %d", s.Scanned())
+	}
+	s.ResetScanned()
+	if s.Scanned() != 0 {
+		t.Errorf("after reset Scanned = %d", s.Scanned())
+	}
+}
+
+func TestScanRangeEarlyStop(t *testing.T) {
+	s := makeSorted(t, 100, 3)
+	count := 0
+	s.ScanRange(0, 100, func(Entry) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+	if s.Scanned() != 10 {
+		t.Errorf("Scanned = %d", s.Scanned())
+	}
+}
+
+func TestFindPoint(t *testing.T) {
+	s := makeSorted(t, 200, 4)
+	target := s.At(57).Point
+	if !s.FindPoint(0, s.Len(), target) {
+		t.Error("stored point not found")
+	}
+	if s.FindPoint(0, s.Len(), geo.Point{X: -1, Y: -1}) {
+		t.Error("absent point reported found")
+	}
+	if s.FindPoint(58, s.Len(), target) {
+		t.Error("point found outside scan range")
+	}
+}
+
+func TestCollectWindow(t *testing.T) {
+	s := makeSorted(t, 300, 5)
+	win := geo.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.5, MaxY: 0.5}
+	got := s.CollectWindow(0, s.Len(), win, nil)
+	want := 0
+	for i := 0; i < s.Len(); i++ {
+		if win.Contains(s.At(i).Point) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("CollectWindow found %d, want %d", len(got), want)
+	}
+	for _, p := range got {
+		if !win.Contains(p) {
+			t.Errorf("collected point %v outside window", p)
+		}
+	}
+}
+
+func TestSearchKey(t *testing.T) {
+	s := NewSorted([]float64{1, 3, 5}, []geo.Point{{X: 1}, {X: 3}, {X: 5}})
+	cases := []struct {
+		k    float64
+		want int
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {5, 2}, {6, 3}}
+	for _, c := range cases {
+		if got := s.SearchKey(c.k); got != c.want {
+			t.Errorf("SearchKey(%v) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	s := makeSorted(t, 250, 6)
+	if got := s.Blocks(); got != 3 {
+		t.Errorf("Blocks = %d, want 3 (B=%d)", got, BlockSize)
+	}
+}
+
+func TestPageListBuild(t *testing.T) {
+	s := makeSorted(t, 550, 7)
+	entries := make([]Entry, s.Len())
+	for i := range entries {
+		entries[i] = s.At(i)
+	}
+	pl := NewPageList(entries)
+	if pl.NumPages() != 6 {
+		t.Errorf("NumPages = %d, want 6", pl.NumPages())
+	}
+	if pl.Len() != 550 {
+		t.Errorf("Len = %d", pl.Len())
+	}
+	// pages hold contiguous sorted runs
+	var prev float64 = -1
+	for i := 0; i < pl.NumPages(); i++ {
+		for _, e := range pl.Page(i) {
+			if e.Key < prev {
+				t.Fatal("page entries out of order")
+			}
+			prev = e.Key
+		}
+	}
+}
+
+func TestPageInsertAndSplit(t *testing.T) {
+	entries := make([]Entry, BlockSize)
+	for i := range entries {
+		entries[i] = Entry{Key: float64(i)}
+	}
+	pl := NewPageList(entries)
+	if pl.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", pl.NumPages())
+	}
+	pl.Insert(0, Entry{Key: 50.5})
+	if pl.NumPages() != 2 {
+		t.Fatalf("expected split, NumPages = %d", pl.NumPages())
+	}
+	if pl.Len() != BlockSize+1 {
+		t.Errorf("Len = %d", pl.Len())
+	}
+	// keys still globally ordered across pages
+	var prev float64 = -1
+	for i := 0; i < pl.NumPages(); i++ {
+		for _, e := range pl.Page(i) {
+			if e.Key < prev {
+				t.Fatal("split broke ordering")
+			}
+			prev = e.Key
+		}
+	}
+}
+
+func TestPageInsertEmpty(t *testing.T) {
+	pl := NewPageList(nil)
+	pl.Insert(0, Entry{Key: 1})
+	if pl.Len() != 1 || pl.NumPages() != 1 {
+		t.Errorf("insert into empty list: pages=%d len=%d", pl.NumPages(), pl.Len())
+	}
+}
+
+func TestPageFor(t *testing.T) {
+	var entries []Entry
+	for i := 0; i < 3*BlockSize; i++ {
+		entries = append(entries, Entry{Key: float64(i)})
+	}
+	pl := NewPageList(entries)
+	if got := pl.PageFor(-1); got != 0 {
+		t.Errorf("PageFor(-1) = %d", got)
+	}
+	if got := pl.PageFor(float64(BlockSize) + 0.5); got != 1 {
+		t.Errorf("PageFor(mid) = %d", got)
+	}
+	if got := pl.PageFor(1e9); got != 2 {
+		t.Errorf("PageFor(huge) = %d", got)
+	}
+}
+
+func TestPageListScan(t *testing.T) {
+	var entries []Entry
+	for i := 0; i < 250; i++ {
+		entries = append(entries, Entry{Key: float64(i)})
+	}
+	pl := NewPageList(entries)
+	count := 0
+	pl.ScanPages(1, 2, func(Entry) bool { count++; return true })
+	if count != BlockSize {
+		t.Errorf("scanned %d entries in one page", count)
+	}
+	if pl.Scanned() != int64(BlockSize) {
+		t.Errorf("Scanned = %d", pl.Scanned())
+	}
+	pl.ResetScanned()
+	if pl.Scanned() != 0 {
+		t.Error("ResetScanned failed")
+	}
+}
+
+func TestFirstGEMatchesSearchKey(t *testing.T) {
+	s := makeSorted(t, 1000, 11)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 500; trial++ {
+		var k float64
+		if trial%3 == 0 {
+			k = s.At(rng.Intn(s.Len())).Key // exact stored key
+		} else {
+			k = rng.Float64() * 1.2
+		}
+		hint := rng.Intn(s.Len())
+		want := s.SearchKey(k)
+		if got := s.FirstGE(k, hint); got != want {
+			t.Fatalf("FirstGE(%v, hint=%d) = %d, want %d", k, hint, got, want)
+		}
+	}
+}
+
+func TestFirstGEHintEdges(t *testing.T) {
+	s := NewSorted([]float64{1, 2, 2, 3}, make([]geo.Point, 4))
+	if got := s.FirstGE(2, -10); got != 1 {
+		t.Errorf("negative hint: %d", got)
+	}
+	if got := s.FirstGE(2, 100); got != 1 {
+		t.Errorf("huge hint: %d", got)
+	}
+	if got := s.FirstGE(0, 3); got != 0 {
+		t.Errorf("below-min: %d", got)
+	}
+	if got := s.FirstGE(10, 0); got != 4 {
+		t.Errorf("above-max: %d", got)
+	}
+	empty := NewSorted(nil, nil)
+	if got := empty.FirstGE(1, 0); got != 0 {
+		t.Errorf("empty store: %d", got)
+	}
+}
+
+func TestFirstGT(t *testing.T) {
+	s := NewSorted([]float64{1, 2, 2, 2, 3}, make([]geo.Point, 5))
+	if got := s.FirstGT(2, 0); got != 4 {
+		t.Errorf("FirstGT(2) = %d, want 4", got)
+	}
+	if got := s.FirstGT(3, 4); got != 5 {
+		t.Errorf("FirstGT(3) = %d, want 5", got)
+	}
+	if got := s.FirstGT(0.5, 2); got != 0 {
+		t.Errorf("FirstGT(0.5) = %d, want 0", got)
+	}
+}

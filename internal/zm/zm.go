@@ -1,0 +1,341 @@
+// Package zm implements the Z-order model index (ZM, Wang et al.
+// 2019): points are mapped to their Z-curve values, sorted, and an
+// RMI-style learned model predicts the storage rank of a key. Point
+// queries follow the predict-and-scan paradigm; window queries
+// decompose the window into Z-key ranges and resolve each range's
+// boundaries with a model-seeded exponential search, so they are
+// exact. The model builder is pluggable: the OG builder reproduces ZM
+// as published, an ELSI builder reproduces ZM-F.
+package zm
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"elsi/internal/base"
+	"elsi/internal/curve"
+	"elsi/internal/geo"
+	"elsi/internal/rmi"
+	"elsi/internal/store"
+)
+
+// Config controls index construction.
+type Config struct {
+	// Space is the data-space rectangle.
+	Space geo.Rect
+	// Builder builds each index model (OG or ELSI).
+	Builder base.ModelBuilder
+	// Fanout is the number of second-stage models (>= 1). With 1, a
+	// single model covers the whole key space.
+	Fanout int
+	// RootTrainer trains the dispatch model when Fanout > 1; defaults
+	// to a piecewise-linear trainer.
+	RootTrainer rmi.Trainer
+	// MaxZDepth caps the window-query Z-range decomposition depth.
+	MaxZDepth int
+	// UseBigMin switches window queries from the recursive Z-range
+	// decomposition to the Tropf-Herzog BIGMIN skip-scan.
+	UseBigMin bool
+	// Workers bounds concurrent leaf-model builds (1 = sequential).
+	// Partition models are independent, so bulk loading parallelizes.
+	Workers int
+}
+
+// Index is the ZM index.
+type Index struct {
+	cfg         Config
+	st          *store.Sorted
+	staged      *rmi.Staged
+	single      *rmi.Bounded
+	stats       []base.BuildStats
+	invocations int64
+}
+
+// New returns an unbuilt ZM index.
+func New(cfg Config) *Index {
+	if cfg.Fanout < 1 {
+		cfg.Fanout = 1
+	}
+	if cfg.MaxZDepth <= 0 {
+		cfg.MaxZDepth = 8
+	}
+	if cfg.RootTrainer == nil {
+		cfg.RootTrainer = rmi.PiecewiseTrainer(1.0 / 1024)
+	}
+	return &Index{cfg: cfg}
+}
+
+// Name implements index.Index.
+func (ix *Index) Name() string { return "ZM" }
+
+// Len implements index.Index.
+func (ix *Index) Len() int {
+	if ix.st == nil {
+		return 0
+	}
+	return ix.st.Len()
+}
+
+// MapKey returns the Z-order key of p — the base index's map()
+// function of Algorithm 1.
+func (ix *Index) MapKey(p geo.Point) float64 {
+	return float64(curve.ZEncode(p, ix.cfg.Space))
+}
+
+// Build implements index.Index (Algorithm 1 end to end).
+func (ix *Index) Build(pts []geo.Point) error {
+	d := base.Prepare(pts, ix.cfg.Space, ix.MapKey)
+	ix.st = store.NewSortedFromEntries(entriesOf(d))
+	ix.stats = ix.stats[:0]
+	if len(pts) == 0 {
+		ix.single = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
+		ix.staged = nil
+		return nil
+	}
+	if ix.cfg.Fanout == 1 {
+		m, st := ix.cfg.Builder.BuildModel(d)
+		ix.single = m
+		ix.staged = nil
+		ix.stats = append(ix.stats, st)
+		return nil
+	}
+	ix.single = nil
+	workers := ix.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var mu sync.Mutex
+	ix.staged = rmi.NewStagedParallel(d.Keys, ix.cfg.Fanout, ix.cfg.RootTrainer, func(start int, part []float64) *rmi.Bounded {
+		sub := &base.SortedData{
+			Pts:   d.Pts[start : start+len(part)],
+			Keys:  part,
+			Space: d.Space,
+			Map:   d.Map,
+		}
+		m, st := ix.cfg.Builder.BuildModel(sub)
+		mu.Lock()
+		ix.stats = append(ix.stats, st)
+		mu.Unlock()
+		return m
+	}, workers)
+	return nil
+}
+
+// entriesOf converts prepared data into store entries (already in key
+// order).
+func entriesOf(d *base.SortedData) []store.Entry {
+	es := make([]store.Entry, d.Len())
+	for i := range es {
+		es[i] = store.Entry{Key: d.Keys[i], Point: d.Pts[i]}
+	}
+	return es
+}
+
+// searchRange returns the guaranteed scan range for key.
+func (ix *Index) searchRange(key float64) (int, int) {
+	atomic.AddInt64(&ix.invocations, 1)
+	if ix.staged != nil {
+		return ix.staged.SearchRangeWide(key)
+	}
+	return ix.single.SearchRange(key)
+}
+
+// predictRank returns the model's best-guess rank for key.
+func (ix *Index) predictRank(key float64) int {
+	atomic.AddInt64(&ix.invocations, 1)
+	if ix.staged != nil {
+		lo, hi := ix.staged.SearchRange(key)
+		return (lo + hi) / 2
+	}
+	return ix.single.PredictRank(key)
+}
+
+// PointQuery implements index.Index: one model invocation plus a
+// bounded scan.
+func (ix *Index) PointQuery(p geo.Point) bool {
+	if ix.st == nil || ix.st.Len() == 0 {
+		return false
+	}
+	key := ix.MapKey(p)
+	lo, hi := ix.searchRange(key)
+	return ix.st.FindPoint(lo, hi, p)
+}
+
+// WindowQuery implements index.Index (exact): either the recursive
+// Z-range decomposition or the BIGMIN skip-scan, per configuration.
+func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
+	if ix.cfg.UseBigMin {
+		return ix.WindowQueryBigMin(win)
+	}
+	return ix.WindowQueryZRanges(win)
+}
+
+// WindowQueryZRanges answers a window query by cutting the window into
+// Z-ranges; each range's boundaries are located with a model-seeded
+// exponential search (exact).
+func (ix *Index) WindowQueryZRanges(win geo.Rect) []geo.Point {
+	var out []geo.Point
+	if ix.st == nil || ix.st.Len() == 0 {
+		return out
+	}
+	for _, r := range curve.ZRanges(win, ix.cfg.Space, ix.cfg.MaxZDepth) {
+		loKey := float64(r.Lo)
+		hiKey := float64(r.Hi)
+		lo := ix.st.FirstGE(loKey, ix.predictRank(loKey))
+		hi := ix.st.FirstGT(hiKey, ix.predictRank(hiKey))
+		out = ix.st.CollectWindow(lo, hi, win, out)
+	}
+	return out
+}
+
+// WindowQueryBigMin answers a window query with the Tropf-Herzog
+// skip-scan (exact): scan the corner-key range in storage order and,
+// whenever a stored key's cell falls outside the window's cell box,
+// jump directly to BIGMIN — the next key that can be inside — instead
+// of filtering through the out-of-window run.
+func (ix *Index) WindowQueryBigMin(win geo.Rect) []geo.Point {
+	var out []geo.Point
+	if ix.st == nil || ix.st.Len() == 0 {
+		return out
+	}
+	clip := win.Intersection(ix.cfg.Space)
+	if clip.IsEmpty() {
+		return out
+	}
+	zmin := curve.ZEncode(geo.Point{X: clip.MinX, Y: clip.MinY}, ix.cfg.Space)
+	zmax := curve.ZEncode(geo.Point{X: clip.MaxX, Y: clip.MaxY}, ix.cfg.Space)
+	pos := ix.st.FirstGE(float64(zmin), ix.predictRank(float64(zmin)))
+	n := ix.st.Len()
+	for pos < n {
+		e := ix.st.At(pos)
+		key := uint64(e.Key)
+		if key > zmax {
+			break
+		}
+		if curve.ZCellInBox(key, zmin, zmax) {
+			if win.Contains(e.Point) {
+				out = append(out, e.Point)
+			}
+			pos++
+			continue
+		}
+		next := curve.BigMin(key, zmin, zmax)
+		if next > zmax {
+			break
+		}
+		pos = ix.st.FirstGE(float64(next), pos)
+	}
+	return out
+}
+
+// KNN implements index.Index by repeatedly widening a window around q
+// until the k-th nearest candidate is closer than the window radius,
+// which makes the result exact given the exact window query.
+func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
+	return WindowKNN(ix, ix.cfg.Space, ix.Len(), q, k)
+}
+
+// Stats returns the per-model build statistics of the last Build.
+func (ix *Index) Stats() []base.BuildStats { return ix.stats }
+
+// ModelInvocations returns the number of model invocations since
+// construction (the M(1) count of the cost analysis).
+func (ix *Index) ModelInvocations() int64 { return atomic.LoadInt64(&ix.invocations) }
+
+// Scanned returns the cumulative number of entries scanned.
+func (ix *Index) Scanned() int64 {
+	if ix.st == nil {
+		return 0
+	}
+	return ix.st.Scanned()
+}
+
+// ResetCounters zeroes the invocation and scan counters.
+func (ix *Index) ResetCounters() {
+	atomic.StoreInt64(&ix.invocations, 0)
+	if ix.st != nil {
+		ix.st.ResetScanned()
+	}
+}
+
+// windowQuerier is the subset of index behaviour WindowKNN needs.
+type windowQuerier interface {
+	WindowQuery(win geo.Rect) []geo.Point
+}
+
+// WindowKNN is the shared kNN-by-expanding-window strategy the learned
+// indices use ("the learned indices use window queries as the basis
+// for kNN queries", Section VII-G3). It starts from a radius estimated
+// from the data density and doubles it until k in-radius candidates
+// are found or the window covers the space.
+func WindowKNN(ix windowQuerier, space geo.Rect, n int, q geo.Point, k int) []geo.Point {
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	// initial radius: expected side enclosing ~4k points under a
+	// uniform assumption
+	r := math.Sqrt(float64(4*k) / float64(n) * space.Area() / math.Pi)
+	if r <= 0 {
+		r = 0.01
+	}
+	maxR := math.Max(space.Width(), space.Height()) * 1.5
+	for {
+		win := geo.Rect{MinX: q.X - r, MinY: q.Y - r, MaxX: q.X + r, MaxY: q.Y + r}
+		cand := ix.WindowQuery(win)
+		if len(cand) >= k {
+			best := NearestK(cand, q, k)
+			if best[k-1].Dist(q) <= r || r >= maxR {
+				return best
+			}
+		} else if r >= maxR {
+			return NearestK(cand, q, min(k, len(cand)))
+		}
+		r *= 2
+	}
+}
+
+// NearestK returns the k nearest of cand to q, sorted by distance. It
+// is shared by the learned indices' expanding-window query paths.
+func NearestK(cand []geo.Point, q geo.Point, k int) []geo.Point {
+	if k > len(cand) {
+		k = len(cand)
+	}
+	if k == 0 {
+		return nil
+	}
+	// partial selection via the shared KNNScan would import index;
+	// sort inline instead (candidate sets are small).
+	type pd struct {
+		p geo.Point
+		d float64
+	}
+	ps := make([]pd, len(cand))
+	for i, p := range cand {
+		ps[i] = pd{p, p.Dist2(q)}
+	}
+	for i := 0; i < k; i++ {
+		minJ := i
+		for j := i + 1; j < len(ps); j++ {
+			if ps[j].d < ps[minJ].d {
+				minJ = j
+			}
+		}
+		ps[i], ps[minJ] = ps[minJ], ps[i]
+	}
+	out := make([]geo.Point, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].p
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

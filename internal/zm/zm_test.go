@@ -1,0 +1,215 @@
+package zm
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/indextest"
+	"elsi/internal/methods"
+	"elsi/internal/rmi"
+)
+
+func ogBuilder() base.ModelBuilder {
+	return &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)}
+}
+
+func elsiishBuilder() base.ModelBuilder {
+	return &methods.RS{Beta: 200, Trainer: rmi.PiecewiseTrainer(1.0 / 256)}
+}
+
+func TestConformanceOG(t *testing.T) {
+	for _, name := range dataset.All() {
+		t.Run(name, func(t *testing.T) {
+			pts := dataset.MustGenerate(name, 3000, 1)
+			ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 4})
+			indextest.Conformance(t, ix, pts, 42, 1.0, 1.0)
+		})
+	}
+}
+
+func TestConformanceReducedBuilder(t *testing.T) {
+	// The central ELSI property: a model trained on a reduced set must
+	// preserve exact point and window queries (bounds are over all of D).
+	for _, name := range []string{dataset.OSM1, dataset.Skewed} {
+		t.Run(name, func(t *testing.T) {
+			pts := dataset.MustGenerate(name, 4000, 2)
+			ix := New(Config{Space: geo.UnitRect, Builder: elsiishBuilder(), Fanout: 4})
+			indextest.Conformance(t, ix, pts, 43, 1.0, 1.0)
+		})
+	}
+}
+
+func TestSingleModelFanout(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 3)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 1})
+	indextest.Conformance(t, ix, pts, 44, 1.0, 1.0)
+	if len(ix.Stats()) != 1 {
+		t.Errorf("single-model build produced %d stats", len(ix.Stats()))
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	if err := ix.Build(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ix.PointQuery(geo.Point{X: 0.5, Y: 0.5}) {
+		t.Error("phantom point")
+	}
+	if got := ix.WindowQuery(geo.UnitRect); len(got) != 0 {
+		t.Errorf("empty window = %d", len(got))
+	}
+	if got := ix.KNN(geo.Point{}, 5); got != nil {
+		t.Errorf("empty KNN = %v", got)
+	}
+}
+
+func TestStatsPerLeaf(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.OSM1, 4000, 4)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 8})
+	ix.Build(pts)
+	if len(ix.Stats()) != 8 {
+		t.Errorf("got %d stats, want 8 (one per leaf model)", len(ix.Stats()))
+	}
+	for _, s := range ix.Stats() {
+		if s.Method != "OG" {
+			t.Errorf("stat method %q", s.Method)
+		}
+	}
+}
+
+func TestInvocationCounting(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 1000, 5)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 2})
+	ix.Build(pts)
+	ix.ResetCounters()
+	ix.PointQuery(pts[0])
+	if ix.ModelInvocations() != 1 {
+		t.Errorf("point query used %d invocations, want 1", ix.ModelInvocations())
+	}
+	if ix.Scanned() == 0 {
+		t.Error("no scan work recorded")
+	}
+	ix.ResetCounters()
+	if ix.ModelInvocations() != 0 || ix.Scanned() != 0 {
+		t.Error("ResetCounters failed")
+	}
+}
+
+func TestRebuildReplacesState(t *testing.T) {
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 2})
+	a := dataset.MustGenerate(dataset.Uniform, 1000, 6)
+	ix.Build(a)
+	b := dataset.MustGenerate(dataset.Skewed, 500, 7)
+	ix.Build(b)
+	if ix.Len() != 500 {
+		t.Errorf("Len after rebuild = %d", ix.Len())
+	}
+	if len(ix.Stats()) != 2 {
+		t.Errorf("stats not reset: %d entries", len(ix.Stats()))
+	}
+	for _, p := range b[:50] {
+		if !ix.PointQuery(p) {
+			t.Fatal("rebuilt index lost a point")
+		}
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 16})
+	ix.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.PointQuery(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkWindowQuery(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 16})
+	ix.Build(pts)
+	wins := dataset.WindowsFromData(rand.New(rand.NewSource(2)), pts, geo.UnitRect, 100, 0.0001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.WindowQuery(wins[i%len(wins)])
+	}
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.OSM1, 4000, 12)
+	seq := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 8, Workers: 1})
+	par := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 8, Workers: 4})
+	if err := seq.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Stats()) != 8 {
+		t.Errorf("parallel build recorded %d stats", len(par.Stats()))
+	}
+	// identical deterministic trainers per partition => identical query behaviour
+	for _, p := range pts[:300] {
+		if !par.PointQuery(p) {
+			t.Fatalf("parallel-built index lost %v", p)
+		}
+	}
+	win := geo.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.4, MaxY: 0.4}
+	a, b := seq.WindowQuery(win), par.WindowQuery(win)
+	if len(a) != len(b) {
+		t.Errorf("window results differ: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestBigMinWindowMatchesZRanges(t *testing.T) {
+	for _, name := range []string{dataset.OSM1, dataset.NYC, dataset.Uniform} {
+		pts := dataset.MustGenerate(name, 4000, 31)
+		ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 4})
+		if err := ix.Build(pts); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(32))
+		for trial := 0; trial < 40; trial++ {
+			c := pts[rng.Intn(len(pts))]
+			half := 0.002 + rng.Float64()*0.1
+			win := geo.Rect{MinX: c.X - half, MinY: c.Y - half, MaxX: c.X + half, MaxY: c.Y + half}
+			a := ix.WindowQueryZRanges(win)
+			b := ix.WindowQueryBigMin(win)
+			if len(a) != len(b) {
+				t.Fatalf("%s window %v: zranges %d vs bigmin %d", name, win, len(a), len(b))
+			}
+		}
+	}
+}
+
+func TestBigMinConfigSwitch(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.OSM1, 2000, 33)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), UseBigMin: true})
+	indextest.Conformance(t, ix, pts, 60, 1.0, 1.0)
+}
+
+func BenchmarkWindowZRanges(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 16})
+	ix.Build(pts)
+	wins := dataset.WindowsFromData(rand.New(rand.NewSource(3)), pts, geo.UnitRect, 100, 0.0001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.WindowQueryZRanges(wins[i%len(wins)])
+	}
+}
+
+func BenchmarkWindowBigMin(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.OSM1, 100000, 1)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 16})
+	ix.Build(pts)
+	wins := dataset.WindowsFromData(rand.New(rand.NewSource(3)), pts, geo.UnitRect, 100, 0.0001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.WindowQueryBigMin(wins[i%len(wins)])
+	}
+}
