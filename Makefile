@@ -1,0 +1,25 @@
+# Pre-merge gate and convenience targets. `make check` is the gate:
+# vet plus the full test suite under the race detector (the update
+# processor serves queries concurrently with background rebuilds, so
+# -race is not optional here).
+
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

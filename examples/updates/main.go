@@ -5,6 +5,11 @@
 // sim(D', D), the query latency, and the rebuild decisions as the
 // stream progresses.
 //
+// The second part demonstrates the concurrent update processor: with a
+// Factory set, rebuilds run on a background goroutine against a frozen
+// snapshot while writer goroutines keep streaming check-ins and the
+// main goroutine keeps querying — the rebuild never blocks either.
+//
 // Run with:
 //
 //	go run ./examples/updates
@@ -14,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
+	"sync"
 	"time"
 
 	"elsi/internal/base"
@@ -66,4 +73,75 @@ func main() {
 	}
 	fmt.Printf("\nfinal state: %d points, %d full rebuilds, sim(D',D)=%.4f\n",
 		proc.Len(), proc.Rebuilds(), proc.CurrentSim())
+
+	concurrentDemo(n)
+}
+
+// concurrentDemo runs the same skewed check-in stream under concurrent
+// load: two writer goroutines insert while the main goroutine queries,
+// and a background rebuild is swapped in without blocking either side.
+func concurrentDemo(n int) {
+	fmt.Printf("\n--- concurrent update processor ---\n")
+	fmt.Printf("rebuilding in the background under live insert + query load...\n\n")
+	pts := dataset.MustGenerate(dataset.Uniform, n, 5)
+	trainer := rmi.FFNTrainer(rmi.FFNConfig{Hidden: 16, Epochs: 40, Seed: 5})
+	newIndex := func() rebuild.Rebuildable {
+		return zm.New(zm.Config{Space: geo.UnitRect, Builder: &base.Direct{Trainer: trainer}, Fanout: 4})
+	}
+	serving := newIndex().(*zm.Index)
+	proc, err := rebuild.NewProcessor(serving, nil, pts, serving.MapKey, n/10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	proc.Factory = newIndex
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				proc.Insert(geo.Point{X: rng.Float64() * 0.05, Y: rng.Float64() * 0.05})
+				time.Sleep(20 * time.Microsecond) // ~50k check-ins/s per writer
+			}
+		}(int64(7 + w))
+	}
+
+	proc.Rebuild() // background: returns immediately
+	fmt.Printf("rebuild in flight: %v\n", proc.Rebuilding())
+
+	// query the whole time the rebuild runs; the processor serves from
+	// the old index plus the frozen delta view and the live overlay
+	rng := rand.New(rand.NewSource(9))
+	var lat []time.Duration
+	for proc.Rebuilding() {
+		q := pts[rng.Intn(len(pts))]
+		t0 := time.Now()
+		proc.PointQuery(q)
+		lat = append(lat, time.Since(t0))
+	}
+	proc.WaitRebuild()
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	fmt.Printf("%d point queries answered during the in-flight rebuild\n", len(lat))
+	fmt.Printf("latency while rebuilding: p50=%v  p99=%v  max=%v\n",
+		pct(0.50).Round(time.Nanosecond), pct(0.99).Round(time.Nanosecond), pct(1.0).Round(time.Nanosecond))
+	fmt.Printf("after swap: %d points, %d rebuilds, %d updates pending in the overlay\n",
+		proc.Len(), proc.Rebuilds(), proc.PendingUpdates())
 }

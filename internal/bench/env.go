@@ -157,14 +157,17 @@ func scaledCards(n int) []int {
 // for pool restrictions) at the given lambda.
 func (e *Env) System(indexName string, lambda float64, kind core.SelectorKind, fixed string) *core.System {
 	return core.MustNewSystem(core.Config{
-		Trainer:  e.Trainer,
-		Lambda:   lambda,
-		WQ:       1,
-		Pool:     core.PoolForIndex(indexName),
-		Selector: kind,
-		Fixed:    fixed,
-		Scorer:   e.Scorer,
-		Seed:     e.Seed,
+		Trainer: e.Trainer,
+		// the sweeps pass λ = 0 deliberately (Fig. 9/11/13): mark it
+		// explicit so NewSystem does not substitute the 0.8 default
+		Lambda:    lambda,
+		LambdaSet: true,
+		WQ:        1,
+		Pool:      core.PoolForIndex(indexName),
+		Selector:  kind,
+		Fixed:     fixed,
+		Scorer:    e.Scorer,
+		Seed:      e.Seed,
 	})
 }
 

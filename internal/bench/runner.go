@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{"fig15", "Figure 15: insertion and point query times under skewed inserts", Fig15},
 		{"fig16", "Figure 16: window query time and recall under skewed inserts", Fig16},
 		{"ext-delete", "Extension: deletion workloads through the update processor", ExtDelete},
+		{"ext-concurrent", "Extension: query tail latency during an in-flight rebuild (blocking vs background)", ExtConcurrent},
 		{"ext-parallel", "Extension: parallel leaf-model bulk building", ExtParallel},
 		{"ext-theory", "Extension: theoretical (PGM-style) vs empirical error bounds", ExtTheory},
 		{"ext-window", "Extension: window-aware method scorer (Sec. IV-B1 remark)", ExtWindow},

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"time"
 
 	"elsi/internal/core"
 	"elsi/internal/dataset"
 	"elsi/internal/geo"
 	"elsi/internal/rebuild"
+	"elsi/internal/stats"
+	"elsi/internal/zm"
 )
 
 // updateRun drives the Figure 15/16 workload for one index variant:
@@ -140,6 +143,118 @@ func Fig15(w io.Writer, e *Env) error {
 // under the same skewed-insertion workload.
 func Fig16(w io.Writer, e *Env) error {
 	return e.updateStudy(w, true)
+}
+
+// sampleLatenciesWhile issues point queries one at a time, recording
+// each latency, until cond turns false or max samples are taken. It is
+// how the concurrent study measures the tail *during* an in-flight
+// rebuild rather than only at steady state.
+func sampleLatenciesWhile(proc *rebuild.Processor, qs []geo.Point, cond func() bool, max int) []time.Duration {
+	out := make([]time.Duration, 0, max)
+	for i := 0; len(out) < max && cond(); i++ {
+		q := qs[i%len(qs)]
+		t0 := time.Now()
+		proc.PointQuery(q)
+		out = append(out, time.Since(t0))
+	}
+	return out
+}
+
+// ExtConcurrent measures point-query tail latency while a rebuild is
+// in flight under concurrent insert load, contrasting the blocking
+// rebuild path (no Factory: the build holds the write lock and every
+// reader stalls) with the background path (Factory set: build on a
+// goroutine against a frozen snapshot, atomic swap, queries served
+// from the old index + delta view throughout). The background rows
+// should show a flat tail; the blocking rows show the build time
+// leaking into P99/max.
+func ExtConcurrent(w io.Writer, e *Env) error {
+	n0 := e.N / 4
+	if n0 < 2000 {
+		n0 = 2000
+	}
+	initial := dataset.MustGenerate(dataset.OSM1, n0, e.Seed)
+	rng := rand.New(rand.NewSource(e.Seed + 331))
+	qs := dataset.QueriesFromData(rng, initial, maxI(e.Queries, 200))
+	inserts := dataset.SkewedPoints(rng, n0, 4)
+	// the during-rebuild phase samples until the rebuild completes; the
+	// cap only bounds memory if a build drags on for many seconds
+	maxSamples := 200000
+
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "variant", "phase", "samples", "mean", "p50", "p99", "max", "rebuilds", "pending")
+
+	for _, variant := range []string{"blocking", "background"} {
+		// one System per variant: it is safe for concurrent builds and
+		// constructing it (MR pool warm-up) is too costly per rebuild
+		system := e.System(NameZM, 0.8, core.SelectorLearned, "")
+		newIndex := func() rebuild.Rebuildable {
+			return zm.New(zm.Config{
+				Space:   geo.UnitRect,
+				Builder: system,
+				Fanout:  4,
+			})
+		}
+		serving := newIndex().(*zm.Index)
+		proc, err := rebuild.NewProcessor(serving, nil, initial, serving.MapKey, 1<<30)
+		if err != nil {
+			return err
+		}
+		if variant == "background" {
+			proc.Factory = newIndex
+		}
+
+		report := func(phase string, samples []time.Duration) {
+			s := stats.Summarize(samples)
+			row(tw, variant, phase, s.Count, micros(s.Mean), micros(s.P50), micros(s.P99), micros(s.Max),
+				proc.Rebuilds(), proc.PendingUpdates())
+		}
+
+		// steady state before any update pressure
+		report("steady", sampleLatenciesWhile(proc, qs, func() bool { return true }, maxI(e.Queries, 200)))
+
+		// concurrent load: a writer streams skewed inserts while the
+		// rebuild runs and the main goroutine keeps querying
+		stop := make(chan struct{})
+		var writerWG sync.WaitGroup
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				proc.Insert(inserts[i%len(inserts)])
+			}
+		}()
+
+		rebuildDone := make(chan struct{})
+		go func() {
+			defer close(rebuildDone)
+			proc.Rebuild() // blocking variant stalls here; background returns at once
+			proc.WaitRebuild()
+		}()
+		inFlight := func() bool {
+			select {
+			case <-rebuildDone:
+				return false
+			default:
+				return true
+			}
+		}
+		during := sampleLatenciesWhile(proc, qs, inFlight, maxSamples)
+		close(stop)
+		writerWG.Wait()
+		<-rebuildDone
+		report("during-rebuild", during)
+
+		// steady state again, on the rebuilt index
+		report("after-swap", sampleLatenciesWhile(proc, qs, func() bool { return true }, maxI(e.Queries, 200)))
+	}
+	return nil
 }
 
 func (e *Env) updateStudy(w io.Writer, withWindows bool) error {

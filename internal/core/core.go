@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -39,9 +40,15 @@ const (
 type Config struct {
 	// Trainer is the base index's model family (train() of Alg. 1).
 	Trainer rmi.Trainer
-	// Lambda is the build/query preference of Equation 2 (default 0.8,
-	// the experiments' default).
+	// Lambda is the build/query preference of Equation 2. The zero
+	// value means "unset" and selects the experiments' default 0.8
+	// unless LambdaSet is true.
 	Lambda float64
+	// LambdaSet marks Lambda as explicitly chosen, so that λ = 0 — a
+	// legitimate preference meaning pure query-cost optimization (the
+	// left end of the Fig. 9 sweep) — is honored instead of being
+	// replaced by the default.
+	LambdaSet bool
 	// WQ is the query-frequency weight (paper: 1.0).
 	WQ float64
 	// Pool lists the applicable methods for the base index; empty
@@ -77,8 +84,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Trainer == nil {
 		return nil, fmt.Errorf("core: Trainer is required")
 	}
-	if cfg.Lambda == 0 && cfg.Selector == SelectorLearned {
+	// the default applies to every selector kind: Lambda() reports it
+	// and ablation selectors must be comparable at the same preference
+	if cfg.Lambda == 0 && !cfg.LambdaSet {
 		cfg.Lambda = 0.8
+	}
+	if math.IsNaN(cfg.Lambda) || cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("core: Lambda %v outside [0, 1]", cfg.Lambda)
 	}
 	if cfg.WQ <= 0 {
 		cfg.WQ = 1

@@ -57,6 +57,38 @@ func TestNewSystemValidation(t *testing.T) {
 	if _, err := NewSystem(Config{Trainer: testTrainer(), Selector: SelectorFixed, Fixed: "nope"}); err == nil {
 		t.Error("fixed method outside pool accepted")
 	}
+	if _, err := NewSystem(Config{Trainer: testTrainer(), Lambda: 1.5, LambdaSet: true}); err == nil {
+		t.Error("lambda outside [0, 1] accepted")
+	}
+	if _, err := NewSystem(Config{Trainer: testTrainer(), Lambda: -0.1, LambdaSet: true}); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+// Regression: an explicit λ = 0 (pure query-cost optimization, the
+// left end of the Fig. 9 sweep) used to be silently replaced by the
+// 0.8 default; LambdaSet must make it stick, and the default must
+// apply to every selector kind, not just SelectorLearned.
+func TestLambdaZeroHonored(t *testing.T) {
+	s, err := NewSystem(Config{Trainer: testTrainer(), Lambda: 0, LambdaSet: true, Selector: SelectorRandom, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Lambda(); got != 0 {
+		t.Errorf("explicit Lambda 0 became %v", got)
+	}
+	for _, cfg := range []Config{
+		{Trainer: testTrainer(), Selector: SelectorRandom, Seed: 1},
+		{Trainer: testTrainer(), Selector: SelectorFixed, Fixed: methods.NameSP, Seed: 1},
+	} {
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Lambda(); got != 0.8 {
+			t.Errorf("unset Lambda default = %v for selector %v, want 0.8", got, cfg.Selector)
+		}
+	}
 }
 
 func TestFixedSelectorDelegates(t *testing.T) {

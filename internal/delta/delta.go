@@ -47,9 +47,11 @@ type List struct {
 func (l *List) Len() int { return l.size }
 
 // Insert records the insertion of point p with identifier id. If id is
-// already pending as a deletion, the records cancel out.
+// already pending as a deletion of the same point, the records cancel
+// out. A pending deletion of a *different* point is replaced instead:
+// cancelling it would silently drop p and resurrect the deleted point.
 func (l *List) Insert(id int64, p geo.Point) {
-	if n := l.find(id); n != nil && n.rec.Op == Deleted {
+	if n := l.find(id); n != nil && n.rec.Op == Deleted && n.rec.Point == p {
 		l.remove(id)
 		return
 	}
@@ -57,9 +59,11 @@ func (l *List) Insert(id int64, p geo.Point) {
 }
 
 // Delete records the deletion of indexed point p with identifier id.
-// Deleting a pending insertion simply drops it.
+// Deleting a pending insertion of the same point simply drops it; a
+// pending insertion of a different point is replaced by the deletion
+// record (symmetric with Insert).
 func (l *List) Delete(id int64, p geo.Point) {
-	if n := l.find(id); n != nil && n.rec.Op == Inserted {
+	if n := l.find(id); n != nil && n.rec.Op == Inserted && n.rec.Point == p {
 		l.remove(id)
 		return
 	}
@@ -131,6 +135,33 @@ func (l *List) RemoveInsertedPoint(p geo.Point) bool {
 	}
 	l.remove(ids[len(ids)-1])
 	return true
+}
+
+// Freeze returns the current pending updates as a frozen snapshot and
+// resets the receiver to empty in O(1). The update processor calls it
+// at the start of a background rebuild: the returned list is the
+// immutable view an in-flight rebuild (and queries racing with it)
+// see, while the receiver becomes the fresh overlay collecting the
+// updates that arrive during the rebuild. The snapshot must not be
+// mutated afterwards.
+func (l *List) Freeze() *List {
+	snap := &List{
+		root:     l.root,
+		size:     l.size,
+		insCount: l.insCount,
+		delCount: l.delCount,
+		insIDs:   l.insIDs,
+	}
+	*l = List{}
+	return snap
+}
+
+// Adopt stores rec as-is, without the cancellation logic of Insert and
+// Delete. It is the primitive for replaying a frozen snapshot's
+// records back into a live list when a background rebuild fails and
+// its frozen view must be restored.
+func (l *List) Adopt(rec Record) {
+	l.put(rec)
 }
 
 // Records returns all pending records in ID order.

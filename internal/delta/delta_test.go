@@ -47,6 +47,89 @@ func TestInsertCancelsDelete(t *testing.T) {
 	}
 }
 
+// Regression: re-inserting under an id whose pending deletion records
+// a *different* point must not cancel — cancelling would both drop the
+// incoming point and resurrect the deleted one. The records replace
+// instead.
+func TestInsertOverDeletionOfDifferentPoint(t *testing.T) {
+	var l List
+	deleted := geo.Point{X: 1, Y: 1}
+	incoming := geo.Point{X: 2, Y: 2}
+	l.Delete(4, deleted)
+	l.Insert(4, incoming)
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want the replacing insertion", l.Len())
+	}
+	r, ok := l.Get(4)
+	if !ok || r.Op != Inserted || r.Point != incoming {
+		t.Errorf("Get(4) = %+v, want Inserted %v", r, incoming)
+	}
+	if !l.HasInserted(incoming) {
+		t.Error("incoming point lost")
+	}
+	if l.IsDeleted(deleted) {
+		t.Error("stale deletion record survived the replace")
+	}
+}
+
+// Regression (symmetric): deleting under an id whose pending insertion
+// records a different point replaces rather than silently dropping the
+// deletion.
+func TestDeleteOverInsertionOfDifferentPoint(t *testing.T) {
+	var l List
+	inserted := geo.Point{X: 3, Y: 3}
+	victim := geo.Point{X: 4, Y: 4}
+	l.Insert(6, inserted)
+	l.Delete(6, victim)
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want the replacing deletion", l.Len())
+	}
+	r, ok := l.Get(6)
+	if !ok || r.Op != Deleted || r.Point != victim {
+		t.Errorf("Get(6) = %+v, want Deleted %v", r, victim)
+	}
+	if !l.IsDeleted(victim) {
+		t.Error("deletion lost")
+	}
+	if l.HasInserted(inserted) {
+		t.Error("stale insertion record survived the replace")
+	}
+}
+
+func TestFreezeSnapshotsAndResets(t *testing.T) {
+	var l List
+	pi := geo.Point{X: 0.1, Y: 0.2}
+	pd := geo.Point{X: 0.3, Y: 0.4}
+	l.Insert(1, pi)
+	l.Delete(2, pd)
+	snap := l.Freeze()
+	if l.Len() != 0 {
+		t.Fatalf("receiver Len after Freeze = %d", l.Len())
+	}
+	if snap.Len() != 2 || !snap.HasInserted(pi) || !snap.IsDeleted(pd) {
+		t.Errorf("snapshot lost records: Len=%d", snap.Len())
+	}
+	// the overlay (receiver) keeps working independently
+	l.Insert(3, geo.Point{X: 0.5})
+	if snap.Len() != 2 || l.Len() != 1 {
+		t.Errorf("Freeze layers not independent: snap=%d overlay=%d", snap.Len(), l.Len())
+	}
+}
+
+func TestAdoptReplays(t *testing.T) {
+	var l List
+	l.Insert(1, geo.Point{X: 1})
+	l.Delete(2, geo.Point{X: 2})
+	snap := l.Freeze()
+	var restored List
+	for _, r := range snap.Records() {
+		restored.Adopt(r)
+	}
+	if restored.Len() != 2 || !restored.HasInserted(geo.Point{X: 1}) || !restored.IsDeleted(geo.Point{X: 2}) {
+		t.Errorf("Adopt replay lost records: Len=%d", restored.Len())
+	}
+}
+
 func TestForEachOrdered(t *testing.T) {
 	var l List
 	ids := []int64{5, 1, 9, 3, 7, 2, 8}
@@ -125,7 +208,9 @@ func TestOverwrite(t *testing.T) {
 }
 
 // Property: the AVL stays balanced and ordered under random
-// insert/delete mixes; Len always matches the visited count.
+// insert/delete mixes; Len always matches the visited count. Points
+// are drawn from a small discrete set so the point-matching
+// cancellation rule actually fires.
 func TestQuickAVLInvariants(t *testing.T) {
 	f := func(seed int64, opsRaw uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -134,16 +219,16 @@ func TestQuickAVLInvariants(t *testing.T) {
 		shadow := map[int64]Record{}
 		for i := 0; i < ops; i++ {
 			id := int64(rng.Intn(50))
-			p := geo.Point{X: rng.Float64()}
+			p := geo.Point{X: float64(rng.Intn(3))}
 			if rng.Intn(2) == 0 {
-				if r, ok := shadow[id]; ok && r.Op == Deleted {
+				if r, ok := shadow[id]; ok && r.Op == Deleted && r.Point == p {
 					delete(shadow, id)
 				} else {
 					shadow[id] = Record{ID: id, Point: p, Op: Inserted}
 				}
 				l.Insert(id, p)
 			} else {
-				if r, ok := shadow[id]; ok && r.Op == Inserted {
+				if r, ok := shadow[id]; ok && r.Op == Inserted && r.Point == p {
 					delete(shadow, id)
 				} else {
 					shadow[id] = Record{ID: id, Point: p, Op: Deleted}

@@ -1,0 +1,346 @@
+package rebuild
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/rmi"
+	"elsi/internal/zm"
+)
+
+// gatedIndex wraps a brute-force index whose Build blocks until the
+// gate is released, so tests can hold a background rebuild in flight
+// deterministically while they query the processor.
+type gatedIndex struct {
+	index.BruteForce
+	gate     chan struct{}
+	buildErr error
+}
+
+func (g *gatedIndex) Build(pts []geo.Point) error {
+	if g.gate != nil {
+		<-g.gate
+	}
+	if g.buildErr != nil {
+		return g.buildErr
+	}
+	return g.BruteForce.Build(pts)
+}
+
+func xKey(p geo.Point) float64 { return p.X }
+
+// Regression for the drift blind spot: CurrentSim used to be computed
+// from builtKeys + inserted keys only, so a workload that deletes half
+// the data set still reported sim = 1 and the rebuild predictor could
+// never fire. Deleting one half of the key space must now drive sim
+// far below 1 and satisfy the predictor.
+func TestCurrentSimReflectsDeletions(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 3000, 11)
+	ix := index.NewBruteForce()
+	p, err := NewProcessor(ix, nil, pts, xKey, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CurrentSim(); got != 1 {
+		t.Fatalf("initial sim = %v", got)
+	}
+	// deletion-heavy workload: remove every point in the left half of
+	// the space (~50% of the data), no insertion at all
+	for _, pt := range pts {
+		if pt.X < 0.5 {
+			p.Delete(pt)
+		}
+	}
+	sim := p.CurrentSim()
+	if sim > 0.7 {
+		t.Errorf("sim after deleting the left half = %v, want well below 1", sim)
+	}
+	f := p.CurrentFeatures()
+	if f.Sim != sim {
+		t.Errorf("features sim = %v, CurrentSim = %v", f.Sim, sim)
+	}
+	if f.UpdateRatio < 0.4 || f.UpdateRatio > 0.6 {
+		t.Errorf("update ratio = %v, want ~0.5", f.UpdateRatio)
+	}
+	// the drift is strong enough to satisfy the trained predictor
+	pred, err := TrainPredictor(HeuristicSamples(rand.New(rand.NewSource(12)), 800), PredictorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.ShouldRebuild(f) {
+		t.Errorf("predictor refuses to rebuild after deletion-heavy drift (features %+v)", f)
+	}
+}
+
+// TestDeletionsTriggerRebuild drives the full trigger path: with the
+// predictor wired in and a deletion-only workload, the processor must
+// now fire a rebuild on its own.
+func TestDeletionsTriggerRebuild(t *testing.T) {
+	pred, err := TrainPredictor(HeuristicSamples(rand.New(rand.NewSource(13)), 800), PredictorConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 14)
+	ix := index.NewBruteForce()
+	p, err := NewProcessor(ix, pred, pts, xKey, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.X < 0.5 {
+			p.Delete(pt)
+		}
+	}
+	if p.Rebuilds() == 0 {
+		t.Error("no rebuild triggered by a deletion-heavy workload")
+	}
+}
+
+// TestBackgroundRebuildServesQueries holds a background rebuild in
+// flight and asserts that point and window queries keep returning
+// correct results — including updates that arrive mid-rebuild —
+// without waiting for the build to finish.
+func TestBackgroundRebuildServesQueries(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 800, 15)
+	serving := index.NewBruteForce()
+	p, err := NewProcessor(serving, nil, pts, xKey, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	p.Factory = func() Rebuildable { return &gatedIndex{gate: gate} }
+
+	// pre-rebuild updates land in the (soon frozen) delta list
+	preIns := geo.Point{X: 0.111, Y: 0.222}
+	preVictim := pts[3]
+	p.Insert(preIns)
+	p.Delete(preVictim)
+
+	p.Rebuild() // returns immediately; build blocked on the gate
+	if !p.Rebuilding() {
+		t.Fatal("background rebuild not in flight")
+	}
+
+	// updates during the rebuild land in the overlay
+	midIns := geo.Point{X: 0.333, Y: 0.444}
+	midVictim := pts[5]
+	p.Insert(midIns)
+	p.Delete(midVictim)
+	// delete a point whose insertion is frozen: the overlay records it
+	p.Delete(preIns)
+
+	if !p.Rebuilding() {
+		t.Fatal("rebuild finished before the gate opened")
+	}
+	// all queries answered while the build is still blocked
+	if p.PointQuery(preVictim) || p.PointQuery(midVictim) || p.PointQuery(preIns) {
+		t.Error("deleted point visible during in-flight rebuild")
+	}
+	if !p.PointQuery(midIns) {
+		t.Error("mid-rebuild insert invisible during in-flight rebuild")
+	}
+	if !p.PointQuery(pts[10]) {
+		t.Error("base point invisible during in-flight rebuild")
+	}
+	win := geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	got := map[geo.Point]bool{}
+	for _, pt := range p.WindowQuery(win) {
+		got[pt] = true
+	}
+	if got[preVictim] || got[midVictim] || got[preIns] {
+		t.Error("deleted point in window result during in-flight rebuild")
+	}
+	if !got[midIns] || !got[pts[10]] {
+		t.Error("window result missing live points during in-flight rebuild")
+	}
+	// 800 base + 2 inserts - 3 deletes
+	if want := len(pts) - 1; p.Len() != want {
+		t.Errorf("Len = %d, want %d", p.Len(), want)
+	}
+
+	close(gate)
+	p.WaitRebuild()
+	if p.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d", p.Rebuilds())
+	}
+	if err := p.RebuildErr(); err != nil {
+		t.Fatalf("RebuildErr = %v", err)
+	}
+	// the swapped-in index holds the frozen state; the overlay stays
+	// pending and keeps masking it
+	if p.PointQuery(preVictim) || p.PointQuery(midVictim) || p.PointQuery(preIns) {
+		t.Error("deleted point visible after swap")
+	}
+	if !p.PointQuery(midIns) || !p.PointQuery(pts[10]) {
+		t.Error("live point invisible after swap")
+	}
+	// a second rebuild folds the overlay into the index
+	p.Rebuild()
+	p.WaitRebuild()
+	if p.PendingUpdates() != 0 {
+		t.Errorf("pending after second rebuild = %d", p.PendingUpdates())
+	}
+	if !p.Index().PointQuery(midIns) {
+		t.Error("mid-rebuild insert not folded into the rebuilt index")
+	}
+	if p.Index().PointQuery(preIns) {
+		t.Error("mid-rebuild deletion not folded into the rebuilt index")
+	}
+}
+
+// TestBackgroundRebuildFailureRestores asserts that a failed build
+// keeps the old index serving and folds the frozen delta view back so
+// no pending update is lost.
+func TestBackgroundRebuildFailureRestores(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 400, 16)
+	p, err := NewProcessor(index.NewBruteForce(), nil, pts, xKey, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	boom := errors.New("boom")
+	p.Factory = func() Rebuildable { return &gatedIndex{gate: gate, buildErr: boom} }
+
+	preIns := geo.Point{X: 0.123, Y: 0.456}
+	victim := pts[1]
+	p.Insert(preIns)
+	p.Delete(victim)
+	p.Rebuild()
+	midIns := geo.Point{X: 0.654, Y: 0.321}
+	p.Insert(midIns)
+	p.Delete(preIns) // deletes a frozen insertion: replayed at restore
+	close(gate)
+	p.WaitRebuild()
+
+	if !errors.Is(p.RebuildErr(), boom) {
+		t.Fatalf("RebuildErr = %v, want boom", p.RebuildErr())
+	}
+	if p.Rebuilds() != 0 {
+		t.Errorf("failed rebuild counted: %d", p.Rebuilds())
+	}
+	if p.PointQuery(victim) || p.PointQuery(preIns) {
+		t.Error("deleted point visible after failed rebuild restore")
+	}
+	if !p.PointQuery(midIns) || !p.PointQuery(pts[10]) {
+		t.Error("live point invisible after failed rebuild restore")
+	}
+	// a later successful rebuild still folds everything correctly
+	p.Factory = nil
+	p.Rebuild()
+	if p.PendingUpdates() != 0 {
+		t.Errorf("pending after recovery rebuild = %d", p.PendingUpdates())
+	}
+	if p.Index().PointQuery(preIns) || p.Index().PointQuery(victim) {
+		t.Error("restore leaked a deleted point into the recovery rebuild")
+	}
+	if !p.Index().PointQuery(midIns) {
+		t.Error("restore lost a pending insert")
+	}
+}
+
+// TestConcurrentWorkloadRace exercises concurrent Insert/Delete/
+// PointQuery/WindowQuery/KNN racing with background rebuilds over a
+// real learned index; run under -race this is the locking-discipline
+// check for the whole update path.
+func TestConcurrentWorkloadRace(t *testing.T) {
+	pts := dataset.MustGenerate(dataset.Uniform, 2000, 17)
+	newZM := func() Rebuildable {
+		return zm.New(zm.Config{
+			Space:   geo.UnitRect,
+			Builder: &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)},
+			Fanout:  2,
+		})
+	}
+	serving := newZM().(*zm.Index)
+	p, err := NewProcessor(serving, nil, pts, serving.MapKey, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Factory = newZM
+
+	const (
+		writers      = 2
+		readers      = 4
+		opsPerWriter = 400
+		opsPerReader = 400
+	)
+	var workWG, driverWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		workWG.Add(1)
+		go func(seed int64) {
+			defer workWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerWriter; i++ {
+				if rng.Intn(4) == 0 {
+					p.Delete(pts[rng.Intn(len(pts))])
+				} else {
+					p.Insert(geo.Point{X: rng.Float64(), Y: rng.Float64()})
+				}
+			}
+		}(int64(100 + w))
+	}
+	for r := 0; r < readers; r++ {
+		workWG.Add(1)
+		go func(seed int64) {
+			defer workWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerReader; i++ {
+				q := pts[rng.Intn(len(pts))]
+				switch i % 4 {
+				case 0:
+					p.PointQuery(q)
+				case 1:
+					win := geo.Rect{MinX: q.X - 0.02, MinY: q.Y - 0.02, MaxX: q.X + 0.02, MaxY: q.Y + 0.02}
+					p.WindowQuery(win)
+				case 2:
+					p.KNN(q, 5)
+				default:
+					p.CurrentSim()
+					p.PendingUpdates()
+					p.Len()
+				}
+			}
+		}(int64(200 + r))
+	}
+	// rebuild driver: keep starting background rebuilds while the
+	// workload runs
+	driverWG.Add(1)
+	go func() {
+		defer driverWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.Rebuild()
+			p.WaitRebuild()
+		}
+	}()
+
+	workWG.Wait()
+	close(stop)
+	driverWG.Wait()
+	p.WaitRebuild()
+
+	if err := p.RebuildErr(); err != nil {
+		t.Fatalf("background rebuild failed: %v", err)
+	}
+	if p.Rebuilds() == 0 {
+		t.Error("no background rebuild completed during the workload")
+	}
+	// final consistency: a draining rebuild folds everything pending
+	p.Rebuild()
+	p.WaitRebuild()
+	if p.PendingUpdates() != 0 {
+		t.Errorf("pending after drain = %d", p.PendingUpdates())
+	}
+}

@@ -4,6 +4,11 @@
 // the index depth, the update ratio, and the CDF drift sim(D', D) —
 // when a full rebuild pays off. A learning-based trigger replaces the
 // empirical rules traditional systems use.
+//
+// The Processor is safe for concurrent readers and writers, and — when
+// given a Factory — runs rebuilds on a background goroutine with an
+// atomic index swap, so queries are never blocked behind a build (see
+// DESIGN.md, "Concurrent update processor").
 package rebuild
 
 import (
@@ -11,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"elsi/internal/delta"
 	"elsi/internal/geo"
@@ -140,20 +146,40 @@ type Depther interface {
 
 // Processor wraps a built index with the ELSI update path: a delta
 // list for pending inserts/deletes plus the learned rebuild trigger.
+//
+// All methods are safe for concurrent use. The configuration fields
+// (UseBuiltin, Fu, MapKey, Factory) must be set before the processor
+// is shared across goroutines and not mutated afterwards.
+//
+// Without a Factory, a triggered rebuild runs inline under the write
+// lock: correct, but every reader stalls for the build's duration.
+// With a Factory, the rebuild runs on a background goroutine against a
+// frozen snapshot of the data set while queries keep being served from
+// the old index plus the frozen delta view, and new updates land in a
+// fresh delta overlay; when the build finishes, the new index is
+// swapped in atomically and the overlay becomes the live delta list.
 type Processor struct {
-	idx  Rebuildable
 	pred *Predictor
 	// UseBuiltin routes insertions to the index's own Insert (when
 	// supported), as RSMI and LISA do; otherwise they stay in the
-	// delta list until a rebuild folds them in.
+	// delta list until a rebuild folds them in. While a background
+	// rebuild is in flight the builtin path is suspended: an update
+	// applied to the outgoing index only would be lost at swap time,
+	// so it is recorded in the overlay instead.
 	UseBuiltin bool
 	// Fu is the check frequency: the predictor runs every Fu updates.
 	Fu int
 	// MapKey mirrors the index's mapping, for CDF maintenance.
 	MapKey func(geo.Point) float64
+	// Factory creates a fresh, unbuilt index instance for each
+	// background rebuild. When nil, rebuilds block.
+	Factory func() Rebuildable
 
+	mu sync.RWMutex // guards everything below
+
+	idx       Rebuildable
 	pts       []geo.Point // current data set (source of truth)
-	deltaList delta.List
+	deltaList delta.List  // live overlay: updates since the last (started) rebuild
 	nextID    int64
 
 	builtKeys   []float64 // sorted keys at last (re)build
@@ -161,7 +187,17 @@ type Processor struct {
 	builtDist   float64
 	updatesSeen int
 	rebuilds    int
-	insKeys     []float64 // keys inserted since last build (unsorted)
+
+	// background-rebuild state machine: rebuilding is true while a
+	// build goroutine is in flight; frozen is the delta view at the
+	// moment the rebuild started (immutable; consulted by queries
+	// between the overlay and the old index); generation detects
+	// superseded completions; rebuildDone is closed at swap time.
+	rebuilding  bool
+	frozen      *delta.List
+	generation  uint64
+	rebuildDone chan struct{}
+	rebuildErr  error
 }
 
 // NewProcessor builds idx on pts and wraps it.
@@ -174,54 +210,54 @@ func NewProcessor(idx Rebuildable, pred *Predictor, pts []geo.Point, mapKey func
 	if err := idx.Build(p.pts); err != nil {
 		return nil, err
 	}
-	p.snapshot()
+	p.builtKeys, p.builtN, p.builtDist = summarize(p.pts, p.MapKey)
 	return p, nil
 }
 
-// snapshot records the built data set's CDF and summary.
-func (p *Processor) snapshot() {
-	p.builtKeys = make([]float64, len(p.pts))
-	for i, pt := range p.pts {
-		p.builtKeys[i] = p.MapKey(pt)
+// summarize computes the sorted key CDF and summary of a data set.
+func summarize(pts []geo.Point, mapKey func(geo.Point) float64) (keys []float64, n int, dist float64) {
+	keys = make([]float64, len(pts))
+	for i, pt := range pts {
+		keys[i] = mapKey(pt)
 	}
-	sort.Float64s(p.builtKeys)
-	p.builtN = len(p.pts)
-	if p.builtN > 0 {
-		p.builtDist = kstest.DistanceToUniform(p.builtKeys, p.builtKeys[0], p.builtKeys[p.builtN-1])
-	} else {
-		p.builtDist = 0
+	sort.Float64s(keys)
+	n = len(pts)
+	if n > 0 {
+		dist = kstest.DistanceToUniform(keys, keys[0], keys[n-1])
 	}
-	p.insKeys = p.insKeys[:0]
-	p.deltaList.Clear()
-	p.updatesSeen = 0
+	return keys, n, dist
 }
 
 // Insert adds a point through the update processor. It reports
 // whether the insertion triggered a full rebuild.
 func (p *Processor) Insert(pt geo.Point) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.pts = append(p.pts, pt)
-	p.insKeys = append(p.insKeys, p.MapKey(pt))
-	if ins, ok := interface{}(p.idx).(index.Inserter); ok && p.UseBuiltin {
+	if ins, ok := p.idx.(index.Inserter); ok && p.UseBuiltin && !p.rebuilding {
 		ins.Insert(pt)
 	} else {
 		p.nextID++
 		p.deltaList.Insert(p.nextID, pt)
 	}
 	p.updatesSeen++
-	return p.maybeRebuild()
+	return p.maybeRebuildLocked()
 }
 
 // Delete removes a point through the delta list. It reports whether a
 // rebuild was triggered.
 func (p *Processor) Delete(pt geo.Point) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for i := len(p.pts) - 1; i >= 0; i-- {
 		if p.pts[i] == pt {
 			p.pts[i] = p.pts[len(p.pts)-1]
 			p.pts = p.pts[:len(p.pts)-1]
 			// a pending insertion of this point cancels out; only
-			// points living in the built index need a deletion record
+			// points living in an index (or in the frozen view an
+			// in-flight rebuild is folding in) need a deletion record
 			if !p.deltaList.RemoveInsertedPoint(pt) {
-				if del, ok := interface{}(p.idx).(index.Deleter); ok && p.UseBuiltin && del.Delete(pt) {
+				if del, ok := p.idx.(index.Deleter); ok && p.UseBuiltin && !p.rebuilding && del.Delete(pt) {
 					// removed through the index's own deletion path
 				} else {
 					p.nextID++
@@ -229,28 +265,39 @@ func (p *Processor) Delete(pt geo.Point) bool {
 				}
 			}
 			p.updatesSeen++
-			return p.maybeRebuild()
+			return p.maybeRebuildLocked()
 		}
 	}
 	return false
 }
 
-// maybeRebuild consults the predictor every Fu updates.
-func (p *Processor) maybeRebuild() bool {
-	if p.pred == nil || p.updatesSeen == 0 || p.updatesSeen%p.Fu != 0 {
+// maybeRebuildLocked consults the predictor every Fu updates. Called
+// with the write lock held.
+func (p *Processor) maybeRebuildLocked() bool {
+	if p.pred == nil || p.rebuilding || p.updatesSeen == 0 || p.updatesSeen%p.Fu != 0 {
 		return false
 	}
-	if !p.pred.ShouldRebuild(p.CurrentFeatures()) {
+	if !p.pred.ShouldRebuild(p.currentFeaturesLocked()) {
 		return false
 	}
-	p.Rebuild()
+	if p.Factory != nil {
+		p.startRebuildLocked()
+	} else {
+		p.rebuildBlockingLocked()
+	}
 	return true
 }
 
 // CurrentFeatures assembles the predictor input for the present state.
 func (p *Processor) CurrentFeatures() Features {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.currentFeaturesLocked()
+}
+
+func (p *Processor) currentFeaturesLocked() Features {
 	depth := 1
-	if d, ok := interface{}(p.idx).(Depther); ok {
+	if d, ok := p.idx.(Depther); ok {
 		depth = d.Depth()
 	}
 	ratio := 0.0
@@ -262,75 +309,252 @@ func (p *Processor) CurrentFeatures() Features {
 		Dist:        p.builtDist,
 		Depth:       depth,
 		UpdateRatio: ratio,
-		Sim:         p.CurrentSim(),
+		Sim:         p.currentSimLocked(),
 	}
 }
 
 // CurrentSim computes sim(D', D) between the data set at the last
-// build and the current one, comparing their key CDFs.
+// build and the current one, comparing their key CDFs. The current
+// CDF is derived from the live point set, so both insertions and
+// deletions move it — a workload that deletes half a region drives
+// sim well below 1 even with no insertion at all.
 func (p *Processor) CurrentSim() float64 {
-	if len(p.insKeys) == 0 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.currentSimLocked()
+}
+
+func (p *Processor) currentSimLocked() float64 {
+	if p.updatesSeen == 0 {
 		return 1
 	}
-	cur := make([]float64, 0, len(p.builtKeys)+len(p.insKeys))
-	cur = append(cur, p.builtKeys...)
-	cur = append(cur, p.insKeys...)
+	if len(p.builtKeys) == 0 || len(p.pts) == 0 {
+		if len(p.builtKeys) == len(p.pts) {
+			return 1
+		}
+		return 0
+	}
+	cur := make([]float64, len(p.pts))
+	for i, pt := range p.pts {
+		cur[i] = p.MapKey(pt)
+	}
 	sort.Float64s(cur)
 	return 1 - kstest.DistanceMerge(p.builtKeys, cur)
 }
 
-// Rebuild forces a full index rebuild on the current data set.
+// Rebuild forces a full index rebuild on the current data set. With a
+// Factory it starts a background rebuild and returns immediately
+// (WaitRebuild blocks until the swap); without one it rebuilds inline.
+// A Rebuild issued while one is already in flight is a no-op.
 func (p *Processor) Rebuild() {
-	p.idx.Build(p.pts)
-	p.rebuilds++
-	p.snapshot()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rebuilding {
+		return
+	}
+	if p.Factory != nil {
+		p.startRebuildLocked()
+	} else {
+		p.rebuildBlockingLocked()
+	}
 }
 
-// Rebuilds returns how many full rebuilds have run.
-func (p *Processor) Rebuilds() int { return p.rebuilds }
+// rebuildBlockingLocked is the Factory-less path: build in place under
+// the write lock, then reset the delta state.
+func (p *Processor) rebuildBlockingLocked() {
+	p.idx.Build(p.pts)
+	p.rebuilds++
+	p.builtKeys, p.builtN, p.builtDist = summarize(p.pts, p.MapKey)
+	p.deltaList.Clear()
+	p.updatesSeen = 0
+}
+
+// startRebuildLocked launches the background rebuild: freeze the data
+// set and the delta view, hand them to a build goroutine working on a
+// fresh Factory instance, and let the overlay collect what arrives in
+// the meantime. Called with the write lock held and no rebuild in
+// flight.
+func (p *Processor) startRebuildLocked() {
+	p.rebuilding = true
+	p.generation++
+	gen := p.generation
+	done := make(chan struct{})
+	p.rebuildDone = done
+	frozenPts := append([]geo.Point(nil), p.pts...)
+	p.frozen = p.deltaList.Freeze() // deltaList is now the empty overlay
+	seenAtStart := p.updatesSeen
+	factory := p.Factory
+	mapKey := p.MapKey
+
+	go func() {
+		defer close(done)
+		// the expensive part — including the factory, which may set up
+		// builders — runs without the lock: queries and updates proceed
+		// against the old index + frozen + overlay
+		newIdx := factory()
+		err := newIdx.Build(frozenPts)
+		var keys []float64
+		var n int
+		var dist float64
+		if err == nil {
+			keys, n, dist = summarize(frozenPts, mapKey)
+		}
+
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.generation != gen {
+			return // superseded; state belongs to a newer rebuild
+		}
+		p.rebuilding = false
+		p.rebuildErr = err
+		if err != nil {
+			// keep serving the old index; fold the overlay back into
+			// the frozen view, replaying chronologically so deletions
+			// cancel the frozen insertions they could not reach while
+			// the snapshot was immutable
+			restored := p.frozen
+			for _, r := range p.deltaList.Records() {
+				if r.Op == delta.Deleted && restored.RemoveInsertedPoint(r.Point) {
+					continue
+				}
+				restored.Adopt(r)
+			}
+			p.deltaList = *restored
+			p.frozen = nil
+			return
+		}
+		// atomic swap: the new index already contains everything the
+		// frozen view described, so only the overlay stays pending
+		p.idx = newIdx
+		p.frozen = nil
+		p.rebuilds++
+		p.builtKeys, p.builtN, p.builtDist = keys, n, dist
+		p.updatesSeen -= seenAtStart
+	}()
+}
+
+// WaitRebuild blocks until no background rebuild is in flight. It
+// returns immediately when none is.
+func (p *Processor) WaitRebuild() {
+	for {
+		p.mu.RLock()
+		rebuilding, done := p.rebuilding, p.rebuildDone
+		p.mu.RUnlock()
+		if !rebuilding {
+			return
+		}
+		<-done
+	}
+}
+
+// Rebuilding reports whether a background rebuild is in flight.
+func (p *Processor) Rebuilding() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.rebuilding
+}
+
+// RebuildErr returns the error of the most recently completed
+// background rebuild, if any (a failed rebuild keeps the old index
+// serving and restores the frozen delta view).
+func (p *Processor) RebuildErr() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.rebuildErr
+}
+
+// Rebuilds returns how many full rebuilds have completed.
+func (p *Processor) Rebuilds() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.rebuilds
+}
 
 // Len returns the current data set size.
-func (p *Processor) Len() int { return len(p.pts) }
+func (p *Processor) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pts)
+}
 
 // PointQuery answers a point query through the index and the delta
-// list (results combined/filtered per Section IV-B2).
+// view (results combined/filtered per Section IV-B2). During a
+// background rebuild the overlay is newer than the frozen snapshot,
+// so it is consulted first.
 func (p *Processor) PointQuery(pt geo.Point) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.deltaList.HasInserted(pt) {
 		return true
 	}
 	if p.deltaList.IsDeleted(pt) {
 		return false
 	}
+	if p.frozen != nil {
+		if p.frozen.HasInserted(pt) {
+			return true
+		}
+		if p.frozen.IsDeleted(pt) {
+			return false
+		}
+	}
 	return p.idx.PointQuery(pt)
 }
 
+// isDeletedLocked reports a pending deletion in either delta layer.
+func (p *Processor) isDeletedLocked(pt geo.Point) bool {
+	if p.deltaList.IsDeleted(pt) {
+		return true
+	}
+	return p.frozen != nil && p.frozen.IsDeleted(pt)
+}
+
 // WindowQuery answers a window query, merging pending insertions and
-// filtering pending deletions.
+// filtering pending deletions from both delta layers.
 func (p *Processor) WindowQuery(win geo.Rect) []geo.Point {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := p.idx.WindowQuery(win)
-	if p.deltaList.Len() == 0 {
+	if p.deltaList.Len() == 0 && p.frozen == nil {
 		return out
 	}
 	filtered := out[:0]
 	for _, pt := range out {
-		if !p.deltaList.IsDeleted(pt) {
+		if !p.isDeletedLocked(pt) {
 			filtered = append(filtered, pt)
 		}
+	}
+	if p.frozen != nil {
+		// frozen insertions may since have been deleted in the overlay
+		p.frozen.ForEach(func(r delta.Record) {
+			if r.Op == delta.Inserted && win.Contains(r.Point) && !p.deltaList.IsDeleted(r.Point) {
+				filtered = append(filtered, r.Point)
+			}
+		})
 	}
 	return p.deltaList.InsertedWithin(win, filtered)
 }
 
 // KNN answers a kNN query over the combined state.
 func (p *Processor) KNN(q geo.Point, k int) []geo.Point {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	cand := p.idx.KNN(q, k)
-	if p.deltaList.Len() == 0 {
+	if p.deltaList.Len() == 0 && p.frozen == nil {
 		return cand
 	}
 	merged := make([]geo.Point, 0, len(cand)+p.deltaList.Len())
 	for _, pt := range cand {
-		if !p.deltaList.IsDeleted(pt) {
+		if !p.isDeletedLocked(pt) {
 			merged = append(merged, pt)
 		}
+	}
+	if p.frozen != nil {
+		p.frozen.ForEach(func(r delta.Record) {
+			if r.Op == delta.Inserted && !p.deltaList.IsDeleted(r.Point) {
+				merged = append(merged, r.Point)
+			}
+		})
 	}
 	p.deltaList.ForEach(func(r delta.Record) {
 		if r.Op == delta.Inserted {
@@ -340,11 +564,26 @@ func (p *Processor) KNN(q geo.Point, k int) []geo.Point {
 	return index.KNNScan(merged, q, k)
 }
 
-// Index exposes the wrapped index.
-func (p *Processor) Index() Rebuildable { return p.idx }
+// Index exposes the wrapped index. During a background rebuild this is
+// the old index still serving queries; the swapped-in index becomes
+// visible once WaitRebuild returns.
+func (p *Processor) Index() Rebuildable {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.idx
+}
 
-// PendingUpdates returns the delta-list size.
-func (p *Processor) PendingUpdates() int { return p.deltaList.Len() }
+// PendingUpdates returns the delta size across both layers (the live
+// overlay plus, during a rebuild, the frozen view being folded in).
+func (p *Processor) PendingUpdates() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := p.deltaList.Len()
+	if p.frozen != nil {
+		n += p.frozen.Len()
+	}
+	return n
+}
 
 func maxInt(a, b int) int {
 	if a > b {

@@ -8,6 +8,7 @@ package store
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"elsi/internal/geo"
 )
@@ -23,10 +24,12 @@ type Entry struct {
 
 // Sorted is an immutable array of entries sorted by key — the storage
 // layout of a map-and-sort index. It counts scanned entries so
-// experiments can report scan costs.
+// experiments can report scan costs; the counter is atomic so that
+// concurrent readers (queries racing with a background rebuild) do
+// not race on the accounting.
 type Sorted struct {
 	entries []Entry
-	scanned int64
+	scanned atomic.Int64
 }
 
 // NewSorted builds a Sorted store from keys and points (parallel
@@ -74,12 +77,14 @@ func (s *Sorted) ScanRange(lo, hi int, fn func(Entry) bool) {
 	if hi > len(s.entries) {
 		hi = len(s.entries)
 	}
+	visited := int64(0)
 	for i := lo; i < hi; i++ {
-		s.scanned++
+		visited++
 		if !fn(s.entries[i]) {
-			return
+			break
 		}
 	}
+	s.scanned.Add(visited) // one atomic op per scan, not per entry
 }
 
 // FindPoint scans positions [lo, hi) for a point equal to p and
@@ -174,11 +179,11 @@ func (s *Sorted) FirstGT(k float64, hint int) int {
 }
 
 // Scanned returns the cumulative number of entries visited by scans.
-func (s *Sorted) Scanned() int64 { return s.scanned }
+func (s *Sorted) Scanned() int64 { return s.scanned.Load() }
 
 // ResetScanned zeroes the scan counter (called between experiment
 // phases).
-func (s *Sorted) ResetScanned() { s.scanned = 0 }
+func (s *Sorted) ResetScanned() { s.scanned.Store(0) }
 
 // Blocks returns the number of B-sized blocks the store occupies.
 func (s *Sorted) Blocks() int {
@@ -197,9 +202,12 @@ type Page struct {
 func (p *Page) Full() bool { return len(p.Entries) >= BlockSize }
 
 // PageList is an ordered list of pages covering contiguous key ranges.
+// The scan counter is atomic for the same reason as Sorted's; the page
+// structure itself is only mutated by Insert/Truncate, which callers
+// must serialize against scans.
 type PageList struct {
 	pages   [][]Entry
-	scanned int64
+	scanned atomic.Int64
 }
 
 // NewPageList packs sorted entries into pages of BlockSize.
@@ -240,9 +248,11 @@ func (pl *PageList) ScanPages(lo, hi int, fn func(Entry) bool) {
 	if hi > len(pl.pages) {
 		hi = len(pl.pages)
 	}
+	visited := int64(0)
+	defer func() { pl.scanned.Add(visited) }()
 	for i := lo; i < hi; i++ {
 		for _, e := range pl.pages[i] {
-			pl.scanned++
+			visited++
 			if !fn(e) {
 				return
 			}
@@ -314,7 +324,7 @@ func (pl *PageList) PageFor(k float64) int {
 }
 
 // Scanned returns the cumulative entries visited.
-func (pl *PageList) Scanned() int64 { return pl.scanned }
+func (pl *PageList) Scanned() int64 { return pl.scanned.Load() }
 
 // ResetScanned zeroes the counter.
-func (pl *PageList) ResetScanned() { pl.scanned = 0 }
+func (pl *PageList) ResetScanned() { pl.scanned.Store(0) }
