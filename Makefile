@@ -1,13 +1,13 @@
 # Pre-merge gate and convenience targets. `make check` is the gate:
-# vet plus the full test suite under the race detector (the update
-# processor serves queries concurrently with background rebuilds, so
-# -race is not optional here).
+# vet, the elsivet house-rule linters, and the full test suite under
+# the race detector (the update processor serves queries concurrently
+# with background rebuilds, so -race is not optional here).
 
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet lint bench
 
-check: vet race
+check: vet lint race
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint builds and runs cmd/elsivet, the custom analyzer suite
+# (lockedcall, atomicfield, floateq, detrand — see DESIGN.md §7).
+lint:
+	$(GO) run ./cmd/elsivet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

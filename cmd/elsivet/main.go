@@ -1,0 +1,92 @@
+// Command elsivet is the repository's house-rule multichecker: it
+// loads the packages matched by its arguments (default ./...) and runs
+// the four custom analyzers from internal/analysis over them.
+//
+//	elsivet ./...            # lint the whole module (what `make lint` does)
+//	elsivet -list            # describe the analyzers
+//	elsivet -run floateq ./internal/geo/...
+//
+// A finding can be suppressed at a specific line with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it; the reason is mandatory.
+// Exit status is 1 when findings remain, 2 on a driver error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elsi/internal/analysis"
+	"elsi/internal/analysis/atomicfield"
+	"elsi/internal/analysis/detrand"
+	"elsi/internal/analysis/floateq"
+	"elsi/internal/analysis/lockedcall"
+)
+
+var all = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	detrand.Analyzer,
+	floateq.Analyzer,
+	lockedcall.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: elsivet [-list] [-run analyzers] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *run != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "elsivet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elsivet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elsivet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "elsivet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

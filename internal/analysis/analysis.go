@@ -1,0 +1,70 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface this repository needs for its
+// house-rule linters. The container this project builds in has no
+// module proxy access, so the real x/tools module cannot be vendored;
+// everything here is built on the standard library only (go/ast,
+// go/types, go/importer and the go command for package listing).
+//
+// The shape mirrors x/tools deliberately: an Analyzer owns a Run
+// function that receives a Pass (one type-checked package) and reports
+// Diagnostics. Should the repository ever gain network access, the
+// analyzers in the subpackages port to the real framework by changing
+// only their import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name is the identifier used on
+// the command line and in //lint:ignore directives; Doc is shown by
+// `elsivet -list`.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver. Analyzers normally
+	// use Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. End and SuggestedFixes are optional.
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix describes a remediation. The multichecker prints the
+// message; TextEdits carry machine-applicable replacements for tools
+// that want them.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

@@ -1,0 +1,180 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only. A fixture lives in testdata/src/<pkg>/ and may import the
+// standard library (resolved by the source importer) but not other
+// fixture packages.
+//
+// An expectation is a trailing comment on the line the diagnostic is
+// reported at:
+//
+//	c.n++ // want `non-atomic access`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match the message of one diagnostic on that
+// line; diagnostics without a matching expectation, and expectations
+// without a matching diagnostic, fail the test. //lint:ignore
+// directives are honoured exactly as the elsivet driver honours them,
+// so fixtures can (and do) exercise the escape hatch.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"elsi/internal/analysis"
+)
+
+// TestData returns the absolute path of the package's testdata
+// directory.
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run loads each fixture package from dir/src/<pkg>, applies a, and
+// compares the diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(dir, "src", pkg), a)
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(paths)
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("type checking fixture %s: %v", dir, err)
+	}
+
+	ignores, bad := analysis.ParseIgnores(fset, files)
+	for _, f := range bad {
+		t.Errorf("%s: %s", f.Pos, f.Message)
+	}
+
+	type diag struct {
+		pos token.Position
+		msg string
+	}
+	var diags []diag
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		pos := fset.Position(d.Pos)
+		if ignores.Ignored(a.Name, pos) {
+			return
+		}
+		diags = append(diags, diag{pos: pos, msg: d.Message})
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		k := key{file: d.pos.Filename, line: d.pos.Line}
+		matched := false
+		rest := wants[k][:0]
+		for _, w := range wants[k] {
+			if !matched && w.MatchString(d.msg) {
+				matched = true
+				continue
+			}
+			rest = append(rest, w)
+		}
+		wants[k] = rest
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.pos, d.msg)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w)
+		}
+	}
+}
+
+// wantRe extracts the quoted expectations from a want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants parses // want comments into per-line regexps.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[key][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{file: pos.Filename, line: pos.Line}
+				for _, q := range wantRe.FindAllString(text, -1) {
+					rx, err := regexp.Compile(unquote(q))
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+				if len(wants[k]) == 0 {
+					t.Fatalf("%s: want comment with no pattern", pos)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(q string) string {
+	if len(q) >= 2 && (q[0] == '`' || q[0] == '"') {
+		return q[1 : len(q)-1]
+	}
+	panic(fmt.Sprintf("malformed quoted pattern %q", q))
+}

@@ -1,0 +1,147 @@
+// Package atomicfield enforces the repository's atomic-counter house
+// style. Two rules, both born from the PR-1 race in internal/store
+// (a scan counter incremented with ++ on one goroutine and read
+// plainly on another while queries raced a background rebuild):
+//
+//  1. A struct field that is accessed through sync/atomic pointer
+//     functions anywhere in a package must be accessed that way
+//     everywhere — a single plain read or write is a data race.
+//  2. A field accessed through sync/atomic pointer functions should be
+//     declared with an atomic value type (atomic.Int64 and friends, as
+//     internal/store does), which makes rule 1 unviolable by
+//     construction. The analyzer reports the declaration with a
+//     suggested fix.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"elsi/internal/analysis"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "struct fields accessed via sync/atomic must be accessed atomically everywhere " +
+		"and should be declared with an atomic value type (atomic.Int64 et al.)",
+	Run: run,
+}
+
+// atomicType maps a basic type accessed through sync/atomic pointer
+// calls to the atomic value type that should replace it.
+var atomicType = map[types.BasicKind]string{
+	types.Int32:   "atomic.Int32",
+	types.Int64:   "atomic.Int64",
+	types.Uint32:  "atomic.Uint32",
+	types.Uint64:  "atomic.Uint64",
+	types.Uintptr: "atomic.Uintptr",
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: collect every struct field whose address is passed to a
+	// sync/atomic function, and the exact selector nodes through which
+	// that happens (those accesses are the sanctioned ones).
+	fields := make(map[*types.Var]bool)
+	sanctioned := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isAtomicPkgFunc(pass, call.Fun) {
+				return true
+			}
+			unary, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || unary.Op.String() != "&" {
+				return true
+			}
+			sel, ok := unary.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if f := fieldOf(pass, sel); f != nil {
+				fields[f] = true
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to those fields is a race in waiting.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			f := fieldOf(pass, sel)
+			if f == nil || !fields[f] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"non-atomic access to field %s, which is accessed with sync/atomic elsewhere in this package",
+				f.Name())
+			return true
+		})
+	}
+
+	// Rule 2: report the declarations (when they live in this package)
+	// with the migration fix.
+	for f := range fields {
+		if f.Pkg() != pass.Pkg {
+			continue
+		}
+		basic, ok := f.Type().Underlying().(*types.Basic)
+		if !ok {
+			continue
+		}
+		repl, ok := atomicType[basic.Kind()]
+		if !ok {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{
+			Pos: f.Pos(),
+			Message: fmt.Sprintf(
+				"field %s is used with sync/atomic pointer functions; declare it %s so non-atomic access is impossible",
+				f.Name(), repl),
+			SuggestedFixes: []analysis.SuggestedFix{{
+				Message: fmt.Sprintf("change the field type to %s and use its Load/Store/Add methods (see internal/store)", repl),
+			}},
+		})
+	}
+	return nil
+}
+
+// isAtomicPkgFunc reports whether fun resolves to a package-level
+// function of sync/atomic (AddInt64, LoadInt64, StoreInt64,
+// CompareAndSwapInt64, ... — every one takes the address as its first
+// argument).
+func isAtomicPkgFunc(pass *analysis.Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// fieldOf returns the struct field selected by sel, or nil if sel is
+// not a field selection.
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

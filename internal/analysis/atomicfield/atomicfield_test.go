@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"elsi/internal/analysis/analysistest"
+	"elsi/internal/analysis/atomicfield"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "a")
+}

@@ -1,0 +1,31 @@
+// Fixture for the atomicfield analyzer. Counter.n is the PR-1 racy
+// counter: incremented through sync/atomic on the query path but read
+// and written plainly elsewhere. Counter.ok shows the house style the
+// analyzer pushes toward.
+package a
+
+import "sync/atomic"
+
+type Counter struct {
+	n    int64 // want `field n is used with sync/atomic pointer functions; declare it atomic.Int64`
+	ok   atomic.Int64
+	name string
+}
+
+// Inc is the sanctioned atomic access: not flagged as mixed (the
+// declaration above still is).
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Race is the bug: a plain increment racing Inc.
+func (c *Counter) Race() { c.n++ } // want `non-atomic access to field n`
+
+// Get is the bug's quieter sibling: a plain read racing Inc.
+func (c *Counter) Get() int64 { return c.n } // want `non-atomic access to field n`
+
+// IncOK and GetOK use an atomic value type: never flagged.
+func (c *Counter) IncOK() { c.ok.Add(1) }
+
+func (c *Counter) GetOK() int64 { return c.ok.Load() }
+
+// Name touches a field sync/atomic never sees: not flagged.
+func (c *Counter) Name() string { return c.name }

@@ -1,0 +1,122 @@
+// Package detrand flags nondeterministic randomness. Reproducing the
+// paper's figures (and comparing learned indexes fairly at all — see
+// "Evaluating Learned Spatial Indexes") requires every random stream
+// to be a seeded rand.New(rand.NewSource(cfg.Seed)), the convention
+// internal/scorer and internal/nn established. Three patterns break
+// that and are reported:
+//
+//   - rand.Seed: reseeds the process-global source underneath every
+//     other user of it;
+//   - calls to the package-level convenience functions (rand.Intn,
+//     rand.Float64, rand.Shuffle, ...), which draw from the global
+//     source and therefore from an unknown seed;
+//   - time-derived seeds (time.Now inside the arguments of a math/rand
+//     call), which make every run a different run.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"elsi/internal/analysis"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "randomness must be deterministic: no global math/rand source, no rand.Seed, no time-derived seeds",
+	Run:  run,
+}
+
+// constructors are the package-level math/rand functions that do not
+// draw from the global source and are therefore allowed.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// seen deduplicates time.Now reports: a seed like
+	// rand.New(rand.NewSource(time.Now().UnixNano())) places the same
+	// time.Now inside the argument lists of two math/rand calls.
+	seen := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := randPkgFunc(pass, call.Fun)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case fn.Name() == "Seed":
+				pass.Reportf(call.Pos(),
+					"rand.Seed reseeds the process-global source; use a local rand.New(rand.NewSource(seed)) instead")
+			case !constructors[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the global source with an unknown seed; use a seeded *rand.Rand (rand.New(rand.NewSource(cfg.Seed)))",
+					fn.Name())
+			}
+			// Constructors and Seed alike must not take their seed from
+			// the clock.
+			for _, arg := range call.Args {
+				reportTimeSeed(pass, arg, seen)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// randPkgFunc resolves fun to a package-level function of math/rand or
+// math/rand/v2, or nil.
+func randPkgFunc(pass *analysis.Pass, fun ast.Expr) *types.Func {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return nil
+	}
+	if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// reportTimeSeed reports any time.Now call inside a seed expression.
+func reportTimeSeed(pass *analysis.Pass, arg ast.Expr, seen map[token.Pos]bool) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" && !seen[call.Pos()] {
+			seen[call.Pos()] = true
+			pass.Reportf(call.Pos(),
+				"time-derived seed makes every run different; derive the seed from configuration (cfg.Seed)")
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"elsi/internal/analysis/analysistest"
+	"elsi/internal/analysis/detrand"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrand.Analyzer, "a")
+}

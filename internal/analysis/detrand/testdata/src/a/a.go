@@ -1,0 +1,35 @@
+// Fixture for the detrand analyzer.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the global source`
+}
+
+func reseed() {
+	rand.Seed(42) // want `rand.Seed reseeds the process-global source`
+}
+
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-derived seed makes every run different`
+}
+
+// The repo convention: a locally seeded source. Not flagged.
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Methods on a *rand.Rand are fine wherever the rand came from.
+func goodUse(rng *rand.Rand) int { return rng.Intn(3) }
+
+// time.Now outside a math/rand argument list is not a seed.
+func clock() time.Time { return time.Now() }

@@ -1,0 +1,63 @@
+// Package floateq flags == and != between floating-point operands.
+// The ELSI error-bound machinery (Sec. V) and the lambda sweeps of
+// Figs. 9/11/13 assume key and coordinate comparisons are either
+// tolerance-based or deliberately bit-exact; a bare float equality is
+// almost always an accident that works until a key passes through one
+// more model evaluation than it did yesterday. Where bit-exact
+// comparison is intended, make it explicit — compare
+// math.Float64bits, or carry a //lint:ignore floateq directive with
+// the justification.
+//
+// Comparisons of struct values (geo.Point identity matching in the
+// delete paths) are not flagged: struct equality is the documented
+// bit-exact identity idiom of this codebase.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"elsi/internal/analysis"
+)
+
+// Analyzer is the floateq analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "== and != on floating-point values must be replaced by an epsilon test or an explicit bit comparison",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass, be.X) || isFloat(pass, be.Y) {
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison: use an epsilon test, math.Float64bits, or //lint:ignore floateq with a reason",
+					be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether e has floating-point type (float32/float64
+// or a named type over them).
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"elsi/internal/analysis/analysistest"
+	"elsi/internal/analysis/floateq"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floateq.Analyzer, "a")
+}

@@ -1,0 +1,35 @@
+// Fixture for the floateq analyzer.
+package a
+
+func guard(lo, hi float64) bool {
+	return hi == lo // want `floating-point == comparison`
+}
+
+func ne(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+type mappedKey float64
+
+// Named types over floats are still floats.
+func keys(a, b mappedKey) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+type point struct{ x, y float64 }
+
+// Struct identity comparison is the documented bit-exact idiom of the
+// delete paths: not flagged.
+func same(p, q point) bool { return p == q }
+
+// Integers are fine.
+func ints(a, b int) bool { return a == b }
+
+// Ordered comparisons are fine.
+func lt(a, b float64) bool { return a < b }
+
+// The escape hatch, as internal/floats uses it: suppressed, no want.
+func exact(a, b float64) bool {
+	//lint:ignore floateq fixture exercises the escape hatch
+	return a == b
+}

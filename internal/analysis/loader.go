@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package. Standard-library
+// dependencies are resolved through go/importer's source importer and
+// are not surfaced here; only module packages get syntax and type
+// information attached.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry mirrors the subset of `go list -json` output the loader
+// consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command (rooted at dir), parses and
+// type-checks every matched module package plus its in-module
+// dependencies, and returns the pattern-matched packages in import
+// path order. Test files are not loaded: the suite lints the library
+// surface, and fixture code under testdata is exercised separately by
+// the analysistest package.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	entries, err := golist(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	byPath := make(map[string]*listEntry, len(entries))
+	for _, e := range entries {
+		byPath[e.ImportPath] = e
+	}
+	loaded := make(map[string]*types.Package)
+	imp := &moduleImporter{std: std, byPath: byPath, loaded: loaded}
+
+	var out []*Package
+	// `go list -deps` emits dependencies before dependents, so a single
+	// in-order sweep sees every in-module import already type-checked.
+	for _, e := range entries {
+		if e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typecheck(fset, e, imp)
+		if err != nil {
+			return nil, err
+		}
+		loaded[e.ImportPath] = pkg.Types
+		if !e.DepOnly {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// golist runs `go list -e -deps -json` and decodes the stream.
+func golist(dir string, patterns []string) ([]*listEntry, error) {
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var entries []*listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if e.Error != nil && !e.Standard {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		entries = append(entries, &e)
+	}
+	return entries, nil
+}
+
+// typecheck parses and type-checks one module package.
+func typecheck(fset *token.FileSet, e *listEntry, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(e.GoFiles))
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(e.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type checking %s:\n\t%s", e.ImportPath, strings.Join(typeErrs, "\n\t"))
+	}
+	return &Package{
+		ImportPath: e.ImportPath,
+		Dir:        e.Dir,
+		Name:       e.Name,
+		GoFiles:    e.GoFiles,
+		Standard:   e.Standard,
+		DepOnly:    e.DepOnly,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// moduleImporter resolves in-module imports from the packages the
+// loader has already checked and defers everything else (the standard
+// library) to the source importer.
+type moduleImporter struct {
+	std    types.Importer
+	byPath map[string]*listEntry
+	loaded map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if e, ok := m.byPath[path]; ok && !e.Standard {
+		if p, ok := m.loaded[path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("module package %s not yet type-checked (go list order violated)", path)
+	}
+	return m.std.Import(path)
+}

@@ -1,0 +1,239 @@
+// Package lockedcall enforces the repository's *Locked naming
+// discipline (DESIGN.md, "Concurrent update processor"): a function
+// whose name ends in "Locked" asserts that its receiver's mutex is
+// held by the caller. The analyzer therefore requires every call to a
+// *Locked function to come either from another *Locked method on the
+// same receiver type, or from a function body that acquires a
+// sync.Mutex/RWMutex rooted at the same receiver before the call and
+// has not released it on the straight-line path in between.
+//
+// Function literals are independent scopes: a closure does not inherit
+// the lock state of the function that created it, because closures in
+// this codebase typically run on other goroutines (the background
+// rebuild in internal/rebuild is the motivating example — the PR-1 bug
+// class was exactly an unguarded *Locked call reachable from a
+// goroutine).
+package lockedcall
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"elsi/internal/analysis"
+)
+
+// Analyzer is the lockedcall analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedcall",
+	Doc: "calls to *Locked functions must hold the receiver's mutex " +
+		"(call from a *Locked method on the same receiver, or Lock/RLock the receiver's mutex first)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, fd, fd.Body)
+		}
+	}
+	return nil
+}
+
+// lockEvent is one mutex transition on the straight-line body of a
+// scope: a Lock/RLock (locked=true) or Unlock/RUnlock (locked=false)
+// on a mutex rooted at the object root.
+type lockEvent struct {
+	pos    token.Pos
+	locked bool
+	root   types.Object
+}
+
+// checkScope analyzes one function body. fn is the owning *ast.FuncDecl
+// or *ast.FuncLit; nested literals are recursed into as fresh scopes
+// and excluded from this one.
+func checkScope(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt) {
+	events := collectEvents(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkScope(pass, n, n.Body)
+			return false
+		case *ast.CallExpr:
+			checkLockedCall(pass, fn, events, n)
+		}
+		return true
+	})
+}
+
+// collectEvents gathers the mutex Lock/Unlock calls in body, skipping
+// nested function literals (they run at an unknown time) and deferred
+// statements (a deferred Unlock runs at return, not at its source
+// position).
+func collectEvents(pass *analysis.Pass, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var locked bool
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				locked = true
+			case "Unlock", "RUnlock":
+				locked = false
+			default:
+				return true
+			}
+			if !isSyncMethod(pass, sel.Sel) {
+				return true
+			}
+			if root := rootObject(pass, sel.X); root != nil {
+				events = append(events, lockEvent{pos: n.Pos(), locked: locked, root: root})
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// checkLockedCall reports call if it invokes a *Locked function
+// without a justification.
+func checkLockedCall(pass *analysis.Pass, fn ast.Node, events []lockEvent, call *ast.CallExpr) {
+	var (
+		name     string       // callee name
+		callee   types.Object // callee object
+		recvExpr ast.Expr     // receiver expression at the call site, if a method call
+	)
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		callee = pass.TypesInfo.Uses[fun.Sel]
+		recvExpr = fun.X
+	case *ast.Ident:
+		name = fun.Name
+		callee = pass.TypesInfo.Uses[fun]
+	default:
+		return
+	}
+	if !strings.HasSuffix(name, "Locked") {
+		return
+	}
+	fnObj, _ := callee.(*types.Func)
+	if fnObj == nil {
+		return // conversion or non-function; not ours
+	}
+
+	// Rule (a): the caller is itself a *Locked method on the same
+	// receiver type (or a *Locked plain function calling another plain
+	// function) — the lock obligation is the caller's caller's problem.
+	if fd, ok := fn.(*ast.FuncDecl); ok && strings.HasSuffix(fd.Name.Name, "Locked") {
+		calleeRecv := receiverNamed(fnObj)
+		callerRecv := namedOfFuncDecl(pass, fd)
+		if calleeRecv == nil || calleeRecv == callerRecv {
+			return
+		}
+	}
+
+	// Rule (b): the scope acquired the receiver's mutex before this
+	// call and has not released it since.
+	var root types.Object
+	if recvExpr != nil {
+		root = rootObject(pass, recvExpr)
+	}
+	if root != nil {
+		held := false
+		for _, e := range events {
+			if e.pos >= call.Pos() {
+				break
+			}
+			if e.root == root {
+				held = e.locked
+			}
+		}
+		if held {
+			return
+		}
+	}
+
+	pass.Reportf(call.Pos(),
+		"call to %s without holding the receiver's lock: acquire the mutex first or call from a *Locked method on the same receiver",
+		name)
+}
+
+// isSyncMethod reports whether sel resolves to a method declared in
+// package sync (Mutex/RWMutex Lock, RLock, Unlock, RUnlock and their
+// promotions through embedding).
+func isSyncMethod(pass *analysis.Pass, sel *ast.Ident) bool {
+	fn, _ := pass.TypesInfo.Uses[sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return fn.Pkg().Path() == "sync" && sig != nil && sig.Recv() != nil
+}
+
+// rootObject resolves the base identifier of a selector chain
+// (p, p.mu, ix.st.mu -> p, p, ix) to its object, or nil when the chain
+// is rooted in something unnamable (a call result, an index
+// expression).
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// receiverNamed returns the named type of fn's receiver, or nil for a
+// plain function.
+func receiverNamed(fn *types.Func) *types.TypeName {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// namedOfFuncDecl returns the named receiver type of a declared
+// method, or nil for a plain function.
+func namedOfFuncDecl(pass *analysis.Pass, fd *ast.FuncDecl) *types.TypeName {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	return receiverNamed(fn)
+}
+
+// namedOf unwraps pointers to the defining TypeName.
+func namedOf(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

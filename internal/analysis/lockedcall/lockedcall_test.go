@@ -1,0 +1,12 @@
+package lockedcall_test
+
+import (
+	"testing"
+
+	"elsi/internal/analysis/analysistest"
+	"elsi/internal/analysis/lockedcall"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockedcall.Analyzer, "a")
+}

@@ -1,0 +1,86 @@
+// Fixture for the lockedcall analyzer. The positive cases encode the
+// PR-1 bug class: a *Locked helper reachable without the receiver's
+// mutex, most dangerously from a goroutine spawned inside a locked
+// region.
+package a
+
+import "sync"
+
+type P struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (p *P) tickLocked() { p.n++ }
+
+func (p *P) readLocked() int { return p.n }
+
+// Tick holds the write lock across the call: not flagged.
+func (p *P) Tick() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tickLocked()
+}
+
+// Read holds the read lock across the call: not flagged.
+func (p *P) Read() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.readLocked()
+}
+
+// doubleLocked is itself *Locked on the same receiver: not flagged.
+func (p *P) doubleLocked() { p.tickLocked() }
+
+// Bad never acquires the lock.
+func (p *P) Bad() {
+	p.tickLocked() // want `call to tickLocked without holding the receiver's lock`
+}
+
+// BadRelease released the lock before the call.
+func (p *P) BadRelease() {
+	p.mu.Lock()
+	p.mu.Unlock()
+	p.tickLocked() // want `call to tickLocked without holding the receiver's lock`
+}
+
+// BadGo spawns a goroutine inside the locked region; the closure runs
+// after Unlock and must not inherit the caller's lock state.
+func (p *P) BadGo() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.tickLocked() // want `call to tickLocked without holding the receiver's lock`
+	}()
+}
+
+// GoodGo locks inside the closure itself: not flagged.
+func (p *P) GoodGo() {
+	go func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.tickLocked()
+	}()
+}
+
+type Q struct{ mu sync.Mutex }
+
+func (q *Q) pokeLocked() {}
+
+// crossLocked is *Locked, but on P — it says nothing about q's mutex.
+func (p *P) crossLocked(q *Q) {
+	q.pokeLocked() // want `call to pokeLocked without holding the receiver's lock`
+}
+
+// cross acquires q's own mutex first: not flagged.
+func (p *P) cross(q *Q) {
+	q.mu.Lock()
+	q.pokeLocked()
+	q.mu.Unlock()
+}
+
+// Exempt demonstrates the escape hatch: suppressed, no want.
+func (p *P) Exempt() {
+	//lint:ignore lockedcall fixture exercises the escape hatch
+	p.tickLocked()
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic after driver-level processing (position
+// resolution, ignore filtering), ready for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Fixes carries the messages of any suggested fixes.
+	Fixes []string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+	for _, fix := range f.Fixes {
+		s += fmt.Sprintf("\n\tsuggested fix: %s", fix)
+	}
+	return s
+}
+
+// Run applies every analyzer to every package and returns the
+// surviving findings in file/line order. Diagnostics suppressed by a
+// //lint:ignore directive are dropped; malformed directives are
+// themselves reported under the pseudo-analyzer name "elsivet".
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores, bad := ParseIgnores(pkg.Fset, pkg.Syntax)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ignores.Ignored(a.Name, pos) {
+					return
+				}
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				for _, fix := range d.SuggestedFixes {
+					f.Fixes = append(f.Fixes, fix.Message)
+				}
+				findings = append(findings, f)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// IgnoreSet records which analyzers are suppressed on which lines.
+type IgnoreSet struct {
+	// byFile maps filename -> line -> analyzer names ignored there.
+	byFile map[string]map[int][]string
+}
+
+// Ignored reports whether the named analyzer is suppressed at pos.
+func (s *IgnoreSet) Ignored(analyzer string, pos token.Position) bool {
+	if s == nil || s.byFile == nil {
+		return false
+	}
+	for _, name := range s.byFile[pos.Filename][pos.Line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseIgnores scans the files' comments for //lint:ignore directives.
+// A directive has the form
+//
+//	//lint:ignore analyzer[,analyzer...] reason
+//
+// and suppresses the named analyzers on its own line and on the line
+// immediately below it, so it works both as a trailing comment on the
+// flagged line and as a standalone comment above it. A directive with
+// no analyzer name or no reason is malformed and reported as a
+// finding.
+func ParseIgnores(fset *token.FileSet, files []*ast.File) (*IgnoreSet, []Finding) {
+	set := &IgnoreSet{byFile: make(map[string]map[int][]string)}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "elsivet",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want `//lint:ignore analyzer reason`",
+					})
+					continue
+				}
+				lines := set.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set.byFile[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					lines[pos.Line] = append(lines[pos.Line], name)
+					lines[pos.Line+1] = append(lines[pos.Line+1], name)
+				}
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const ignoreSrc = `package p
+
+func a() int {
+	//lint:ignore floateq tied keys collapse on purpose
+	return 1
+}
+
+func b() int {
+	x := 1 //lint:ignore lockedcall,floateq trailing form, two analyzers
+	return x
+}
+
+func c() {
+	//lint:ignore floateq
+	_ = 0
+}
+`
+
+func TestParseIgnores(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, bad := ParseIgnores(fset, []*ast.File{f})
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+	// Standalone directive on line 4 covers lines 4 and 5.
+	if !set.Ignored("floateq", at(4)) || !set.Ignored("floateq", at(5)) {
+		t.Errorf("standalone directive: want floateq ignored on lines 4-5")
+	}
+	if set.Ignored("floateq", at(6)) {
+		t.Errorf("directive must not extend past the following line")
+	}
+	if set.Ignored("lockedcall", at(5)) {
+		t.Errorf("directive names floateq only; lockedcall must not be ignored")
+	}
+	// Trailing directive on line 9 covers its own line for both names.
+	if !set.Ignored("lockedcall", at(9)) || !set.Ignored("floateq", at(9)) {
+		t.Errorf("trailing directive: want both analyzers ignored on line 9")
+	}
+	// The directive on line 14 has no reason: malformed.
+	if len(bad) != 1 {
+		t.Fatalf("want 1 malformed directive, got %d", len(bad))
+	}
+	if bad[0].Pos.Line != 14 || !strings.Contains(bad[0].Message, "malformed") {
+		t.Errorf("malformed finding = %v, want line 14", bad[0])
+	}
+	// A malformed directive suppresses nothing.
+	if set.Ignored("floateq", at(15)) {
+		t.Errorf("malformed directive must not suppress anything")
+	}
+}

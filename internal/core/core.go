@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"elsi/internal/base"
+	"elsi/internal/floats"
 	"elsi/internal/kstest"
 	"elsi/internal/methods"
 	"elsi/internal/rmi"
@@ -86,7 +87,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	// the default applies to every selector kind: Lambda() reports it
 	// and ablation selectors must be comparable at the same preference
-	if cfg.Lambda == 0 && !cfg.LambdaSet {
+	if floats.Eq(cfg.Lambda, 0) && !cfg.LambdaSet {
 		cfg.Lambda = 0.8
 	}
 	if math.IsNaN(cfg.Lambda) || cfg.Lambda < 0 || cfg.Lambda > 1 {

@@ -1,0 +1,21 @@
+// Package floats holds the repository's sanctioned floating-point
+// equality primitive. The floateq analyzer (internal/analysis/floateq)
+// rejects bare == / != between floats because a bare comparison does
+// not say whether the author wanted a tolerance or exact equality;
+// routing intentional exact comparisons through Eq makes the choice
+// explicit at the call site and keeps the lint gate clean without
+// scattering ignore directives.
+package floats
+
+// Eq reports whether a and b are exactly equal as float64 values, with
+// ordinary IEEE-754 comparison semantics: 0 == -0, and NaN is equal to
+// nothing (including itself — use math.IsNaN to test for NaN). Use it
+// for degenerate-range guards (hi == lo before dividing by hi-lo),
+// duplicate-key detection over sorted data, and identity matching of
+// coordinates that were never arithmetically transformed. For values
+// that went through model evaluation or other arithmetic, compare
+// against an epsilon instead.
+func Eq(a, b float64) bool {
+	//lint:ignore floateq Eq is the one sanctioned exact float comparison
+	return a == b
+}

@@ -7,6 +7,7 @@ package kdb
 import (
 	"sort"
 
+	"elsi/internal/floats"
 	"elsi/internal/geo"
 	"elsi/internal/pqueue"
 	"elsi/internal/store"
@@ -91,7 +92,7 @@ func partitionSorted(pts []geo.Point, axis int) (split float64, mid int, ok bool
 	} else {
 		sort.Slice(pts, func(i, j int) bool { return pts[i].Y < pts[j].Y })
 	}
-	if coord(pts[0], axis) == coord(pts[len(pts)-1], axis) {
+	if floats.Eq(coord(pts[0], axis), coord(pts[len(pts)-1], axis)) {
 		return 0, 0, false
 	}
 	split = coord(pts[len(pts)/2], axis)
@@ -152,11 +153,11 @@ func splitLeaf(n *node) {
 	split := coord(pts[mid], axis)
 	// guard against all-equal coordinates: try the other axis, else
 	// keep an oversized leaf (duplicates beyond capacity).
-	if coord(pts[0], axis) == coord(pts[len(pts)-1], axis) {
+	if floats.Eq(coord(pts[0], axis), coord(pts[len(pts)-1], axis)) {
 		axis = 1 - axis
 		sort.Slice(pts, func(i, j int) bool { return coord(pts[i], axis) < coord(pts[j], axis) })
 		split = coord(pts[mid], axis)
-		if coord(pts[0], axis) == coord(pts[len(pts)-1], axis) {
+		if floats.Eq(coord(pts[0], axis), coord(pts[len(pts)-1], axis)) {
 			return
 		}
 	}

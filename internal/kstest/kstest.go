@@ -12,6 +12,8 @@ package kstest
 import (
 	"math"
 	"sort"
+
+	"elsi/internal/floats"
 )
 
 // Distance returns the KS distance between the empirical CDFs of the
@@ -35,21 +37,21 @@ func Distance(ds, d []float64) float64 {
 		// A tied block of ds is a single CDF jump: handle it once, at
 		// its first element (later elements would fabricate phantom
 		// intermediate CDF levels).
-		if i > 0 && ds[i-1] == v {
+		if i > 0 && floats.Eq(ds[i-1], v) {
 			continue
 		}
 		// j = number of elements of d strictly below v; the CDF of d
 		// jumps from j/n to jHi/n across the tied block at v.
 		j := sort.SearchFloat64s(d, v)
 		jHi := j
-		for jHi < n && d[jHi] == v {
+		for jHi < n && floats.Eq(d[jHi], v) {
 			jHi++
 		}
 		// CDF of ds just below v is i/ns; at v it is iHi/ns where iHi
 		// counts through the tied block in ds. Checking both sides of
 		// each jump captures the supremum exactly.
 		iHi := i + 1
-		for iHi < ns && ds[iHi] == v {
+		for iHi < ns && floats.Eq(ds[iHi], v) {
 			iHi++
 		}
 		lo := math.Abs(float64(i)/float64(ns) - float64(j)/float64(n))

@@ -43,8 +43,8 @@ type Index struct {
 	shards      [][]store.Entry // shard id -> key-sorted entries
 	size        int
 	stats       []base.BuildStats
-	invocations int64
-	scanned     int64
+	invocations atomic.Int64
+	scanned     atomic.Int64
 }
 
 // New returns an unbuilt LISA index.
@@ -120,7 +120,7 @@ func (ix *Index) Build(pts []geo.Point) error {
 // shardSpan converts the model's rank window for key into a shard
 // index window [sLo, sHi].
 func (ix *Index) shardSpan(key float64) (int, int) {
-	atomic.AddInt64(&ix.invocations, 1)
+	ix.invocations.Add(1)
 	rLo, rHi := ix.model.SearchRange(key)
 	if rHi > 0 {
 		rHi--
@@ -138,7 +138,7 @@ func (ix *Index) shardSpan(key float64) (int, int) {
 
 // predictShard returns the single shard an insertion of key targets.
 func (ix *Index) predictShard(key float64) int {
-	atomic.AddInt64(&ix.invocations, 1)
+	ix.invocations.Add(1)
 	s := ix.model.PredictRank(key) / store.BlockSize
 	if s < 0 {
 		s = 0
@@ -154,7 +154,7 @@ func (ix *Index) predictShard(key float64) int {
 func (ix *Index) scanShards(sLo, sHi int, fn func(store.Entry) bool) {
 	for s := sLo; s <= sHi && s < len(ix.shards); s++ {
 		for _, e := range ix.shards[s] {
-			atomic.AddInt64(&ix.scanned, 1)
+			ix.scanned.Add(1)
 			if !fn(e) {
 				return
 			}
@@ -285,15 +285,15 @@ func (ix *Index) Delete(p geo.Point) bool {
 func (ix *Index) Stats() []base.BuildStats { return ix.stats }
 
 // ModelInvocations returns the model-invocation counter.
-func (ix *Index) ModelInvocations() int64 { return atomic.LoadInt64(&ix.invocations) }
+func (ix *Index) ModelInvocations() int64 { return ix.invocations.Load() }
 
 // Scanned returns the cumulative scanned entries.
-func (ix *Index) Scanned() int64 { return atomic.LoadInt64(&ix.scanned) }
+func (ix *Index) Scanned() int64 { return ix.scanned.Load() }
 
 // ResetCounters zeroes the counters.
 func (ix *Index) ResetCounters() {
-	atomic.StoreInt64(&ix.invocations, 0)
-	atomic.StoreInt64(&ix.scanned, 0)
+	ix.invocations.Store(0)
+	ix.scanned.Store(0)
 }
 
 // Pages returns the total data-page count (ceil(len/B) per shard), the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/floats"
 	"elsi/internal/geo"
 	"elsi/internal/rmi"
 )
@@ -107,7 +108,7 @@ func seedPlusPlus(pts []geo.Point, k int, rng *rand.Rand) []geo.Point {
 			total += d
 		}
 		var next geo.Point
-		if total == 0 {
+		if floats.Eq(total, 0) {
 			next = pts[rng.Intn(n)]
 		} else {
 			r := rng.Float64() * total

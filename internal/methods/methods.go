@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/floats"
 	"elsi/internal/rmi"
 )
 
@@ -108,7 +109,7 @@ func SystematicSampleMin(keys []float64, rho float64, minKeys int) []float64 {
 	for i := 0; i < n; i += stride {
 		out = append(out, keys[i])
 	}
-	if out[len(out)-1] != keys[n-1] {
+	if !floats.Eq(out[len(out)-1], keys[n-1]) {
 		out = append(out, keys[n-1])
 	}
 	return out

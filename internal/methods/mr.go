@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/floats"
 	"elsi/internal/kstest"
 	"elsi/internal/rmi"
 )
@@ -82,7 +83,7 @@ func (m *MR) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 	m.Prepare()
 	t0 := time.Now()
 	lo, hi := d.Keys[0], d.Keys[d.Len()-1]
-	if d.Len() == 0 || hi == lo {
+	if d.Len() == 0 || floats.Eq(hi, lo) {
 		return base.FromKeys(NameMR, m.Trainer, d.Keys, d, time.Since(t0))
 	}
 	// Normalize the data keys once; similarity search then costs
@@ -143,7 +144,7 @@ func SyntheticCDFPool(rng *rand.Rand, eps float64, size int) [][]float64 {
 	for i := 0; i <= steps; i++ {
 		a := math.Pow(maxExp, float64(i)/float64(steps)) // 1 .. maxExp
 		pool = append(pool, powerKeys(size, a))
-		if a != 1 {
+		if !floats.Eq(a, 1) {
 			pool = append(pool, reversedKeys(powerKeys(size, a)))
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/floats"
 	"elsi/internal/geo"
 	"elsi/internal/kstest"
 	"elsi/internal/rl"
@@ -91,7 +92,7 @@ func (m *RLM) searchKeys(d *base.SortedData) []float64 {
 	dsKeys := func(s []float64) []float64 {
 		keys := make([]float64, 0, dim)
 		for i, bit := range s {
-			if bit == 1 {
+			if floats.Eq(bit, 1) {
 				keys = append(keys, cellKeys[i])
 			}
 		}
@@ -100,7 +101,7 @@ func (m *RLM) searchKeys(d *base.SortedData) []float64 {
 	onesOf := func(s []float64) int {
 		c := 0
 		for _, bit := range s {
-			if bit == 1 {
+			if floats.Eq(bit, 1) {
 				c++
 			}
 		}

@@ -52,7 +52,7 @@ type Index struct {
 	staged      *rmi.Staged
 	single      *rmi.Bounded
 	stats       []base.BuildStats
-	invocations int64
+	invocations atomic.Int64
 }
 
 // New returns an unbuilt ML-Index.
@@ -159,7 +159,7 @@ func (ix *Index) Build(pts []geo.Point) error {
 }
 
 func (ix *Index) searchRange(key float64) (int, int) {
-	atomic.AddInt64(&ix.invocations, 1)
+	ix.invocations.Add(1)
 	if ix.staged != nil {
 		return ix.staged.SearchRangeWide(key)
 	}
@@ -167,7 +167,7 @@ func (ix *Index) searchRange(key float64) (int, int) {
 }
 
 func (ix *Index) predictRank(key float64) int {
-	atomic.AddInt64(&ix.invocations, 1)
+	ix.invocations.Add(1)
 	if ix.staged != nil {
 		lo, hi := ix.staged.SearchRange(key)
 		return (lo + hi) / 2
@@ -270,7 +270,7 @@ func nearestK(cand []geo.Point, q geo.Point, k int) []geo.Point {
 func (ix *Index) Stats() []base.BuildStats { return ix.stats }
 
 // ModelInvocations returns the model-invocation count.
-func (ix *Index) ModelInvocations() int64 { return atomic.LoadInt64(&ix.invocations) }
+func (ix *Index) ModelInvocations() int64 { return ix.invocations.Load() }
 
 // Scanned returns cumulative scanned entries.
 func (ix *Index) Scanned() int64 {
@@ -282,7 +282,7 @@ func (ix *Index) Scanned() int64 {
 
 // ResetCounters zeroes the counters.
 func (ix *Index) ResetCounters() {
-	atomic.StoreInt64(&ix.invocations, 0)
+	ix.invocations.Store(0)
 	if ix.st != nil {
 		ix.st.ResetScanned()
 	}

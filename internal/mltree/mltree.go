@@ -9,6 +9,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"elsi/internal/floats"
 )
 
 // Config controls tree induction.
@@ -113,7 +115,7 @@ func grow(X [][]float64, y []float64, idx []int, cfg Config, classify bool, dept
 
 func pure(y []float64, idx []int) bool {
 	for _, i := range idx[1:] {
-		if y[i] != y[idx[0]] {
+		if !floats.Eq(y[i], y[idx[0]]) {
 			return false
 		}
 	}
@@ -162,7 +164,7 @@ func bestSplit(X [][]float64, y []float64, idx []int, cfg Config, classify bool,
 		sort.Slice(pairs, func(a, b int) bool { return pairs[a].x < pairs[b].x })
 		// candidate thresholds between distinct consecutive values
 		for k := 1; k < len(pairs); k++ {
-			if pairs[k].x == pairs[k-1].x {
+			if floats.Eq(pairs[k].x, pairs[k-1].x) {
 				continue
 			}
 			t := (pairs[k].x + pairs[k-1].x) / 2

@@ -11,6 +11,8 @@ package ndim
 import (
 	"fmt"
 	"math"
+
+	"elsi/internal/floats"
 )
 
 // Point is a point in d-dimensional space.
@@ -35,7 +37,7 @@ func (p Point) Equal(q Point) bool {
 		return false
 	}
 	for i := range p {
-		if p[i] != q[i] {
+		if !floats.Eq(p[i], q[i]) {
 			return false
 		}
 	}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"elsi/internal/floats"
 )
 
 // Config controls training.
@@ -147,7 +149,7 @@ func (n *Network) backprop(acts [][]float64, dOut []float64, gw, gb [][]float64)
 		w := n.w[l]
 		for o := 0; o < out; o++ {
 			d := delta[o]
-			if d == 0 {
+			if floats.Eq(d, 0) {
 				continue
 			}
 			gb[l][o] += d
@@ -163,7 +165,7 @@ func (n *Network) backprop(acts [][]float64, dOut []float64, gw, gb [][]float64)
 		prev := make([]float64, in)
 		for o := 0; o < out; o++ {
 			d := delta[o]
-			if d == 0 {
+			if floats.Eq(d, 0) {
 				continue
 			}
 			row := w[o*in : (o+1)*in]

@@ -3,6 +3,8 @@ package rmi
 import (
 	"math"
 	"sort"
+
+	"elsi/internal/floats"
 )
 
 // This file implements a RadixSpline-style rank model (Kipf et al.
@@ -61,7 +63,7 @@ func (m *RadixSplineModel) PredictCDF(key float64) float64 {
 	}
 	x0, x1 := m.knotX[i-1], m.knotX[i]
 	y0, y1 := m.knotY[i-1], m.knotY[i]
-	if x1 == x0 {
+	if floats.Eq(x1, x0) {
 		return clamp01f(y1)
 	}
 	return clamp01f(y0 + (y1-y0)*(key-x0)/(x1-x0))
@@ -111,7 +113,7 @@ func RadixSplineTrainer(eps float64, radixBits int) Trainer {
 		}
 		m.min, m.max = keys[0], keys[n-1]
 		buildSpline(m, keys, eps)
-		if m.max == m.min {
+		if floats.Eq(m.max, m.min) {
 			m.radixBits = 0
 		}
 		if m.radixBits > 0 {
@@ -130,7 +132,7 @@ func buildSpline(m *RadixSplineModel, keys []float64, eps float64) {
 	n := len(keys)
 	addKnot := func(x, y float64) {
 		// collapse duplicate x (tied keys): keep the larger CDF
-		if k := len(m.knotX); k > 0 && m.knotX[k-1] == x {
+		if k := len(m.knotX); k > 0 && floats.Eq(m.knotX[k-1], x) {
 			if y > m.knotY[k-1] {
 				m.knotY[k-1] = y
 			}
@@ -147,7 +149,7 @@ func buildSpline(m *RadixSplineModel, keys []float64, eps float64) {
 	for i := 1; i < n; i++ {
 		x := keys[i]
 		y := float64(i) / float64(n)
-		if x == baseX {
+		if floats.Eq(x, baseX) {
 			lastX, lastY = x, y
 			continue
 		}
@@ -159,7 +161,7 @@ func buildSpline(m *RadixSplineModel, keys []float64, eps float64) {
 			addKnot(lastX, lastY)
 			baseX, baseY = lastX, lastY
 			loSlope, hiSlope = math.Inf(-1), math.Inf(1)
-			if x != baseX {
+			if !floats.Eq(x, baseX) {
 				loSlope = (y - eps - baseY) / (x - baseX)
 				hiSlope = (y + eps - baseY) / (x - baseX)
 			}

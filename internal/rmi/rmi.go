@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"elsi/internal/floats"
 	"elsi/internal/nn"
 )
 
@@ -154,7 +155,7 @@ func FFNTrainer(cfg FFNConfig) Trainer {
 			return constModel(0)
 		}
 		min, max := keys[0], keys[len(keys)-1]
-		if min == max {
+		if floats.Eq(min, max) {
 			return constModel(0.5)
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed))
@@ -208,7 +209,7 @@ func LinearTrainer() Trainer {
 		if n == 0 {
 			return constModel(0)
 		}
-		if keys[0] == keys[n-1] {
+		if floats.Eq(keys[0], keys[n-1]) {
 			return constModel(0.5)
 		}
 		var sx, sy, sxx, sxy float64
@@ -221,7 +222,7 @@ func LinearTrainer() Trainer {
 		}
 		fn := float64(n)
 		den := fn*sxx - sx*sx
-		if den == 0 {
+		if floats.Eq(den, 0) {
 			return constModel(0.5)
 		}
 		slope := (fn*sxy - sx*sy) / den
@@ -292,7 +293,7 @@ func PiecewiseTrainer(eps float64) Trainer {
 			for ; j < n; j++ {
 				dx := keys[j] - x0
 				y := float64(j) / float64(n)
-				if dx == 0 {
+				if floats.Eq(dx, 0) {
 					// Duplicate keys: the prediction at x0 is pinned to
 					// y0, so the whole tied block must fit within eps.
 					if y-y0 > eps {

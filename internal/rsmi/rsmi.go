@@ -46,7 +46,7 @@ type Index struct {
 	root          *node
 	size          int
 	stats         []base.BuildStats
-	invocations   int64
+	invocations   atomic.Int64
 	localRebuilds int
 }
 
@@ -188,7 +188,7 @@ func (ix *Index) findPoint(n *node, p geo.Point) bool {
 		if n.st.Len() == 0 {
 			return false
 		}
-		atomic.AddInt64(&ix.invocations, 1)
+		ix.invocations.Add(1)
 		key := localKey(p, n.keyBounds)
 		lo, hi := n.leafModel.SearchRange(key)
 		found := n.st.FindPoint(lo, hi, p)
@@ -197,7 +197,7 @@ func (ix *Index) findPoint(n *node, p geo.Point) bool {
 	if !n.mbr.Contains(p) {
 		return false
 	}
-	atomic.AddInt64(&ix.invocations, 1)
+	ix.invocations.Add(1)
 	key := localKey(p, n.keyBounds)
 	liLo, liHi := n.childSpan(key)
 	// Insertions route by the children's key ranges, so always include
@@ -260,7 +260,7 @@ func (ix *Index) windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point 
 	type span struct{ lo, hi int }
 	var spans []span
 	for _, r := range curve.ZRanges(clipped, n.keyBounds, ix.cfg.MaxZDepth) {
-		atomic.AddInt64(&ix.invocations, 2)
+		ix.invocations.Add(2)
 		lo := n.leafModel.PredictRank(float64(r.Lo)) - n.leafModel.ErrLo
 		hi := n.leafModel.PredictRank(float64(r.Hi)) + n.leafModel.ErrHi + 1
 		if lo < 0 {
@@ -396,11 +396,11 @@ func (ix *Index) LocalRebuilds() int { return ix.localRebuilds }
 func (ix *Index) Stats() []base.BuildStats { return ix.stats }
 
 // ModelInvocations returns the model-invocation counter.
-func (ix *Index) ModelInvocations() int64 { return atomic.LoadInt64(&ix.invocations) }
+func (ix *Index) ModelInvocations() int64 { return ix.invocations.Load() }
 
 // ResetCounters zeroes the invocation and scan counters.
 func (ix *Index) ResetCounters() {
-	atomic.StoreInt64(&ix.invocations, 0)
+	ix.invocations.Store(0)
 	ix.eachLeaf(func(n *node) { n.st.ResetScanned() })
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"elsi/internal/curve"
+	"elsi/internal/floats"
 	"elsi/internal/geo"
 	"elsi/internal/pqueue"
 	"elsi/internal/store"
@@ -178,7 +179,7 @@ func chooseSubtree(n *node, p geo.Point) *node {
 			primary = c.mbr.EnlargementArea(pr)
 		}
 		area := c.mbr.Area()
-		if primary < bestPrimary || (primary == bestPrimary && area < bestArea) {
+		if primary < bestPrimary || (floats.Eq(primary, bestPrimary) && area < bestArea) {
 			best, bestPrimary, bestArea = c, primary, area
 		}
 	}
@@ -291,7 +292,7 @@ func chooseSplit(n int, sortBy func(axis int), rectAt func(i int) geo.Rect, capa
 			// choose position on this axis
 			bp := cands[0]
 			for _, c := range cands[1:] {
-				if c.overlap < bp.overlap || (c.overlap == bp.overlap && c.area < bp.area) {
+				if c.overlap < bp.overlap || (floats.Eq(c.overlap, bp.overlap) && c.area < bp.area) {
 					bp = c
 				}
 			}

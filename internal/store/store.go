@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"elsi/internal/floats"
 	"elsi/internal/geo"
 )
 
@@ -172,7 +173,7 @@ func (s *Sorted) FirstGE(k float64, hint int) int {
 // the same galloping strategy as FirstGE.
 func (s *Sorted) FirstGT(k float64, hint int) int {
 	i := s.FirstGE(k, hint)
-	for i < len(s.entries) && s.entries[i].Key == k {
+	for i < len(s.entries) && floats.Eq(s.entries[i].Key, k) {
 		i++
 	}
 	return i

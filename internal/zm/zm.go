@@ -49,7 +49,7 @@ type Index struct {
 	staged      *rmi.Staged
 	single      *rmi.Bounded
 	stats       []base.BuildStats
-	invocations int64
+	invocations atomic.Int64
 }
 
 // New returns an unbuilt ZM index.
@@ -134,7 +134,7 @@ func entriesOf(d *base.SortedData) []store.Entry {
 
 // searchRange returns the guaranteed scan range for key.
 func (ix *Index) searchRange(key float64) (int, int) {
-	atomic.AddInt64(&ix.invocations, 1)
+	ix.invocations.Add(1)
 	if ix.staged != nil {
 		return ix.staged.SearchRangeWide(key)
 	}
@@ -143,7 +143,7 @@ func (ix *Index) searchRange(key float64) (int, int) {
 
 // predictRank returns the model's best-guess rank for key.
 func (ix *Index) predictRank(key float64) int {
-	atomic.AddInt64(&ix.invocations, 1)
+	ix.invocations.Add(1)
 	if ix.staged != nil {
 		lo, hi := ix.staged.SearchRange(key)
 		return (lo + hi) / 2
@@ -241,7 +241,7 @@ func (ix *Index) Stats() []base.BuildStats { return ix.stats }
 
 // ModelInvocations returns the number of model invocations since
 // construction (the M(1) count of the cost analysis).
-func (ix *Index) ModelInvocations() int64 { return atomic.LoadInt64(&ix.invocations) }
+func (ix *Index) ModelInvocations() int64 { return ix.invocations.Load() }
 
 // Scanned returns the cumulative number of entries scanned.
 func (ix *Index) Scanned() int64 {
@@ -253,7 +253,7 @@ func (ix *Index) Scanned() int64 {
 
 // ResetCounters zeroes the invocation and scan counters.
 func (ix *Index) ResetCounters() {
-	atomic.StoreInt64(&ix.invocations, 0)
+	ix.invocations.Store(0)
 	if ix.st != nil {
 		ix.st.ResetScanned()
 	}
