@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet lint bench
+.PHONY: check build test race vet lint bench microbench
 
 check: vet lint race
 
@@ -26,5 +26,10 @@ vet:
 lint:
 	$(GO) run ./cmd/elsivet ./...
 
+# bench writes the machine-readable build/query medians (serial vs
+# parallel workers) consumed by README's Performance section.
 bench:
+	$(GO) run ./cmd/elsibench -json -n 50000 -queries 300 -epochs 40 > BENCH_pr3.json
+
+microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

@@ -12,6 +12,12 @@
 // rebuild predictor training) runs once per invocation and its cost is
 // reported separately, mirroring the paper's offline one-off
 // preparation.
+//
+// With -json, elsibench instead emits a machine-readable build/query
+// benchmark (medians per learned index at serial and parallel worker
+// counts) to stdout and skips the experiment drivers:
+//
+//	elsibench -json -n 50000 -queries 300 > BENCH.json
 package main
 
 import (
@@ -31,12 +37,29 @@ func main() {
 		epochs  = flag.Int("epochs", 60, "FFN training epochs for the base indices")
 		cache   = flag.String("prep-cache", "", "path prefix for caching the offline preparation")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		asJSON  = flag.Bool("json", false, "emit the machine-readable build/query benchmark as JSON and exit")
+		reps    = flag.Int("reps", 3, "repetitions per median with -json")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *asJSON {
+		err := bench.RunJSON(os.Stdout, bench.JSONOptions{
+			N:       *n,
+			Queries: *queries,
+			Seed:    *seed,
+			Epochs:  *epochs,
+			Reps:    *reps,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elsibench:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -9,10 +9,10 @@
 package base
 
 import (
-	"sort"
 	"time"
 
 	"elsi/internal/geo"
+	"elsi/internal/parallel"
 	"elsi/internal/rmi"
 )
 
@@ -71,6 +71,8 @@ type ModelBuilder interface {
 // what the base indices do without ELSI.
 type Direct struct {
 	Trainer rmi.Trainer
+	// Workers bounds the parallel error-bound scan (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name implements ModelBuilder.
@@ -83,7 +85,7 @@ func (b *Direct) BuildModel(d *SortedData) (*rmi.Bounded, BuildStats) {
 	m := b.Trainer(d.Keys)
 	stats.TrainTime = time.Since(t0)
 	t0 = time.Now()
-	lo, hi := rmi.ErrorBounds(m, d.Keys)
+	lo, hi := rmi.ErrorBoundsWorkers(m, d.Keys, b.Workers)
 	stats.BoundsTime = time.Since(t0)
 	stats.ErrWidth = lo + hi
 	return &rmi.Bounded{Model: m, N: d.Len(), ErrLo: lo, ErrHi: hi}, stats
@@ -93,38 +95,52 @@ func (b *Direct) BuildModel(d *SortedData) (*rmi.Bounded, BuildStats) {
 // train on trainKeys, bound against the full d.Keys. Building methods
 // share this tail of the pipeline.
 func FromKeys(method string, trainer rmi.Trainer, trainKeys []float64, d *SortedData, reduceTime time.Duration) (*rmi.Bounded, BuildStats) {
+	return FromKeysWorkers(method, trainer, trainKeys, d, reduceTime, 0)
+}
+
+// FromKeysWorkers is FromKeys with an explicit worker count for the
+// error-bound scan (0 = GOMAXPROCS). The scan is the pipeline's M(n)
+// term, so this is where the pool methods spend most of their build
+// time once |Ds| << n.
+func FromKeysWorkers(method string, trainer rmi.Trainer, trainKeys []float64, d *SortedData, reduceTime time.Duration, workers int) (*rmi.Bounded, BuildStats) {
 	stats := BuildStats{Method: method, TrainSetSize: len(trainKeys), ReduceTime: reduceTime}
 	t0 := time.Now()
 	m := trainer(trainKeys)
 	stats.TrainTime = time.Since(t0)
 	t0 = time.Now()
-	lo, hi := rmi.ErrorBounds(m, d.Keys)
+	lo, hi := rmi.ErrorBoundsWorkers(m, d.Keys, workers)
 	stats.BoundsTime = time.Since(t0)
 	stats.ErrWidth = lo + hi
 	return &rmi.Bounded{Model: m, N: d.Len(), ErrLo: lo, ErrHi: hi}, stats
 }
 
 // Prepare maps and sorts pts into a SortedData using mapKey — the
-// shared data-preparation step (lines 1-2 of Algorithm 1).
+// shared data-preparation step (lines 1-2 of Algorithm 1) — using the
+// default worker count.
 func Prepare(pts []geo.Point, space geo.Rect, mapKey func(geo.Point) float64) *SortedData {
-	type keyed struct {
-		k float64
-		p geo.Point
-	}
-	ks := make([]keyed, len(pts))
-	for i, p := range pts {
-		ks[i] = keyed{mapKey(p), p}
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].k < ks[j].k })
+	return PrepareWorkers(pts, space, mapKey, 0)
+}
+
+// PrepareWorkers is Prepare with an explicit worker count (0 =
+// GOMAXPROCS, 1 = serial). Key mapping is chunked across workers and
+// the key/point pairs are sorted with a deterministic stable parallel
+// merge sort, so the resulting storage order — including the order of
+// equal keys — is identical for any worker count. mapKey must be safe
+// for concurrent calls (every mapping in the repo is a pure function
+// of the point and read-only index state).
+func PrepareWorkers(pts []geo.Point, space geo.Rect, mapKey func(geo.Point) float64, workers int) *SortedData {
 	d := &SortedData{
 		Pts:   make([]geo.Point, len(pts)),
 		Keys:  make([]float64, len(pts)),
 		Space: space,
 		Map:   mapKey,
 	}
-	for i, kp := range ks {
-		d.Pts[i] = kp.p
-		d.Keys[i] = kp.k
-	}
+	copy(d.Pts, pts)
+	parallel.For(len(pts), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d.Keys[i] = mapKey(d.Pts[i])
+		}
+	})
+	parallel.SortPairs(d.Keys, d.Pts, workers)
 	return d
 }

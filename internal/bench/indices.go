@@ -62,8 +62,16 @@ type StatsIndex interface {
 
 // NewLearned constructs a learned index by name wired to a model
 // builder (OG or an ELSI system). Structural parameters are scaled to
-// the working cardinality n.
+// the working cardinality n; the parallel build stages use the default
+// worker count (GOMAXPROCS).
 func NewLearned(name string, builder base.ModelBuilder, n int) (StatsIndex, error) {
+	return NewLearnedWorkers(name, builder, n, 0)
+}
+
+// NewLearnedWorkers is NewLearned with an explicit worker count for the
+// index's parallel build stages (0 = GOMAXPROCS, 1 = serial). Builds
+// are bit-identical across worker counts.
+func NewLearnedWorkers(name string, builder base.ModelBuilder, n, workers int) (StatsIndex, error) {
 	fanout := n / 25000
 	if fanout < 1 {
 		fanout = 1
@@ -73,9 +81,9 @@ func NewLearned(name string, builder base.ModelBuilder, n int) (StatsIndex, erro
 	}
 	switch name {
 	case NameZM:
-		return zm.New(zm.Config{Space: geo.UnitRect, Builder: builder, Fanout: fanout}), nil
+		return zm.New(zm.Config{Space: geo.UnitRect, Builder: builder, Fanout: fanout, Workers: workers}), nil
 	case NameML:
-		return mlindex.New(mlindex.Config{Space: geo.UnitRect, Builder: builder, Refs: 16, Fanout: fanout, Seed: 1}), nil
+		return mlindex.New(mlindex.Config{Space: geo.UnitRect, Builder: builder, Refs: 16, Fanout: fanout, Seed: 1, Workers: workers}), nil
 	case NameRSMI:
 		leafCap := n / 16
 		if leafCap < 500 {
@@ -84,9 +92,9 @@ func NewLearned(name string, builder base.ModelBuilder, n int) (StatsIndex, erro
 		if leafCap > 25000 {
 			leafCap = 25000
 		}
-		return rsmi.New(rsmi.Config{Space: geo.UnitRect, Builder: builder, Fanout: 8, LeafCap: leafCap}), nil
+		return rsmi.New(rsmi.Config{Space: geo.UnitRect, Builder: builder, Fanout: 8, LeafCap: leafCap, Workers: workers}), nil
 	case NameLISA:
-		return lisa.New(lisa.Config{Space: geo.UnitRect, Builder: builder}), nil
+		return lisa.New(lisa.Config{Space: geo.UnitRect, Builder: builder, Workers: workers}), nil
 	}
 	return nil, fmt.Errorf("bench: unknown learned index %q", name)
 }

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/rmi"
+)
+
+// JSONOptions tunes the machine-readable build/query benchmark.
+type JSONOptions struct {
+	N       int
+	Queries int
+	Seed    int64
+	Epochs  int
+	// Reps is the number of repetitions the medians are taken over.
+	Reps int
+	// Workers lists the worker counts to measure (default {1, 0}, i.e.
+	// serial and GOMAXPROCS — the before/after of the parallel build
+	// pipeline).
+	Workers []int
+}
+
+// JSONResult is one per-index, per-worker-count row.
+type JSONResult struct {
+	Index string `json:"index"`
+	// Workers is the configured worker count (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// BuildMedianMS is the median wall-clock build time over Reps runs.
+	BuildMedianMS float64 `json:"build_median_ms"`
+	// QueryMedianUS is the median (over Reps runs) of the average
+	// point-query latency.
+	QueryMedianUS float64 `json:"query_median_us"`
+}
+
+// JSONReport is the full output of RunJSON.
+type JSONReport struct {
+	N          int          `json:"n"`
+	Queries    int          `json:"queries"`
+	Seed       int64        `json:"seed"`
+	Epochs     int          `json:"epochs"`
+	Reps       int          `json:"reps"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Results    []JSONResult `json:"results"`
+}
+
+// RunJSON measures build and point-query medians for every learned
+// base index with the OG (direct-training) builder at each requested
+// worker count and writes one JSON document to w. It is the
+// machine-readable counterpart of the text experiments, sized for CI
+// and for the before/after numbers in README's Performance section.
+func RunJSON(w io.Writer, opts JSONOptions) error {
+	if opts.N <= 0 {
+		opts.N = 50000
+	}
+	if opts.Queries <= 0 {
+		opts.Queries = 300
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 40
+	}
+	if opts.Reps <= 0 {
+		opts.Reps = 3
+	}
+	if len(opts.Workers) == 0 {
+		opts.Workers = []int{1, 0}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	pts := dataset.PointsWithUniformDistance(rng, opts.N, 0.3)
+	queries := dataset.QueriesFromData(rng, pts, opts.Queries)
+
+	report := JSONReport{
+		N:          opts.N,
+		Queries:    opts.Queries,
+		Seed:       opts.Seed,
+		Epochs:     opts.Epochs,
+		Reps:       opts.Reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	names := append([]string{NameZM}, LearnedNames()...)
+	for _, name := range names {
+		for _, workers := range opts.Workers {
+			trainer := rmi.FFNTrainer(rmi.FFNConfig{Hidden: 16, Epochs: opts.Epochs, Seed: opts.Seed})
+			builder := &base.Direct{Trainer: trainer, Workers: workers}
+			buildMS := make([]float64, 0, opts.Reps)
+			queryUS := make([]float64, 0, opts.Reps)
+			for rep := 0; rep < opts.Reps; rep++ {
+				ix, err := NewLearnedWorkers(name, builder, opts.N, workers)
+				if err != nil {
+					return err
+				}
+				t0 := time.Now()
+				if err := ix.Build(pts); err != nil {
+					return err
+				}
+				buildMS = append(buildMS, float64(time.Since(t0).Nanoseconds())/1e6)
+				t0 = time.Now()
+				for _, q := range queries {
+					ix.PointQuery(q)
+				}
+				queryUS = append(queryUS, float64(time.Since(t0).Nanoseconds())/1e3/float64(len(queries)))
+			}
+			report.Results = append(report.Results, JSONResult{
+				Index:         name,
+				Workers:       workers,
+				BuildMedianMS: median(buildMS),
+				QueryMedianUS: median(queryUS),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// median returns the middle value of xs (mean of the middle two for
+// even lengths). xs is sorted in place.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid]
+	}
+	return (xs[mid-1] + xs[mid]) / 2
+}

@@ -65,6 +65,11 @@ type Config struct {
 	Scorer *scorer.Scorer
 	// Seed drives the random selector and the stochastic methods.
 	Seed int64
+	// Workers bounds the parallel build stages (key mapping, sorting,
+	// error-bound scans, pool pre-training) of the default method
+	// builders: 0 means GOMAXPROCS, 1 forces serial builds. Builds are
+	// bit-identical across worker counts.
+	Workers int
 	// Builders overrides the default method builders (keyed by method
 	// name); nil entries fall back to PoolBuilders defaults.
 	Builders map[string]base.ModelBuilder
@@ -113,7 +118,7 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("core: fixed method %q not in pool %v", cfg.Fixed, cfg.Pool)
 		}
 	}
-	builders := scorer.PoolBuilders(cfg.Trainer, cfg.Seed)
+	builders := scorer.PoolBuildersWorkers(cfg.Trainer, cfg.Seed, cfg.Workers)
 	for name, b := range cfg.Builders {
 		builders[name] = b
 	}
@@ -154,7 +159,7 @@ func (s *System) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) 
 	s.mu.Unlock()
 	b, ok := s.builders[method]
 	if !ok {
-		b = &base.Direct{Trainer: s.cfg.Trainer}
+		b = &base.Direct{Trainer: s.cfg.Trainer, Workers: s.cfg.Workers}
 	}
 	return b.BuildModel(d)
 }

@@ -72,9 +72,21 @@ func (b *BruteForce) PointQuery(p geo.Point) bool {
 	return false
 }
 
-// WindowQuery implements Index.
+// WindowQuery implements Index. A first pass counts the matches so the
+// result is allocated exactly once — the baseline is the measuring
+// stick in every experiment, so its cost should be scan-dominated, not
+// a chain of append regrowths.
 func (b *BruteForce) WindowQuery(win geo.Rect) []geo.Point {
-	var out []geo.Point
+	count := 0
+	for _, p := range b.pts {
+		if win.Contains(p) {
+			count++
+		}
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]geo.Point, 0, count)
 	for _, p := range b.pts {
 		if win.Contains(p) {
 			out = append(out, p)

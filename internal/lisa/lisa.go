@@ -20,6 +20,7 @@ import (
 
 	"elsi/internal/base"
 	"elsi/internal/geo"
+	"elsi/internal/parallel"
 	"elsi/internal/rmi"
 	"elsi/internal/store"
 	"elsi/internal/zm"
@@ -33,6 +34,10 @@ type Config struct {
 	// Columns is the number of x-quantile columns; 0 derives it from
 	// the cardinality as sqrt(n/B).
 	Columns int
+	// Workers bounds the parallel build stages — the x-quantile sort,
+	// key mapping, and the key/point sort (0 = GOMAXPROCS, 1 = serial).
+	// Builds are bit-identical across worker counts.
+	Workers int
 }
 
 // Index is the LISA index.
@@ -93,12 +98,12 @@ func (ix *Index) Build(pts []geo.Point) error {
 	for i, p := range pts {
 		xs[i] = p.X
 	}
-	sort.Float64s(xs)
+	parallel.SortFloat64s(xs, ix.cfg.Workers)
 	ix.colBounds = ix.colBounds[:0]
 	for c := 1; c < cols; c++ {
 		ix.colBounds = append(ix.colBounds, xs[c*len(xs)/cols])
 	}
-	d := base.Prepare(pts, ix.cfg.Space, ix.MapKey)
+	d := base.PrepareWorkers(pts, ix.cfg.Space, ix.MapKey, ix.cfg.Workers)
 	if d.Len() == 0 {
 		ix.model = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
 		ix.shards = [][]store.Entry{nil}

@@ -20,6 +20,8 @@ type CL struct {
 	Iterations int // Lloyd iterations (i in the cost analysis)
 	Trainer    rmi.Trainer
 	Seed       int64
+	// Workers bounds the parallel error-bound scan (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name implements base.ModelBuilder.
@@ -38,7 +40,7 @@ func (m *CL) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 		keys[i] = d.Map(c)
 	}
 	sort.Float64s(keys)
-	return base.FromKeys(NameCL, m.Trainer, keys, d, time.Since(t0))
+	return base.FromKeysWorkers(NameCL, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }
 
 // KMeans runs Lloyd's algorithm with k-means++-style seeding and

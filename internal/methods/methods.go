@@ -63,6 +63,8 @@ type SP struct {
 	// effective rate until at least MinKeys keys are sampled.
 	MinKeys int
 	Trainer rmi.Trainer
+	// Workers bounds the parallel error-bound scan (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name implements base.ModelBuilder.
@@ -72,7 +74,7 @@ func (m *SP) Name() string { return NameSP }
 func (m *SP) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 	t0 := time.Now()
 	keys := SystematicSampleMin(d.Keys, m.Rho, m.MinKeys)
-	return base.FromKeys(NameSP, m.Trainer, keys, d, time.Since(t0))
+	return base.FromKeysWorkers(NameSP, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }
 
 // SystematicSample returns every stride-th key of sorted keys for a
@@ -125,6 +127,8 @@ type RSP struct {
 	MinKeys int
 	Trainer rmi.Trainer
 	Seed    int64
+	// Workers bounds the parallel error-bound scan (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name implements base.ModelBuilder.
@@ -157,5 +161,5 @@ func (m *RSP) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 		keys[i] = d.Keys[ranks[i]]
 	}
 	sortFloat64s(keys)
-	return base.FromKeys(NameRSP, m.Trainer, keys, d, time.Since(t0))
+	return base.FromKeysWorkers(NameRSP, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }

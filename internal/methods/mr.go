@@ -10,6 +10,7 @@ import (
 	"elsi/internal/base"
 	"elsi/internal/floats"
 	"elsi/internal/kstest"
+	"elsi/internal/parallel"
 	"elsi/internal/rmi"
 )
 
@@ -28,6 +29,9 @@ type MR struct {
 	SynthSize int
 	Trainer   rmi.Trainer
 	Seed      int64
+	// Workers bounds both the parallel pre-training of the pool and
+	// the parallel error-bound scan (0 = GOMAXPROCS).
+	Workers int
 
 	prepOnce sync.Once
 	pool     []pretrained
@@ -58,9 +62,17 @@ func (m *MR) Prepare() {
 			size = 2000
 		}
 		rng := rand.New(rand.NewSource(m.Seed))
-		for _, keys := range SyntheticCDFPool(rng, eps, size) {
-			m.pool = append(m.pool, pretrained{keys: keys, model: m.Trainer(keys)})
-		}
+		// Key-set generation stays serial (it consumes the shared rng);
+		// the candidate models are independent of each other, so they
+		// pre-train in parallel. Each Trainer call seeds its own rng, so
+		// the pool is identical for any worker count.
+		sets := SyntheticCDFPool(rng, eps, size)
+		m.pool = make([]pretrained, len(sets))
+		parallel.For(len(sets), m.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				m.pool[i] = pretrained{keys: sets[i], model: m.Trainer(sets[i])}
+			}
+		})
 		m.prepTime = time.Since(t0)
 	})
 }
@@ -84,7 +96,7 @@ func (m *MR) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 	t0 := time.Now()
 	lo, hi := d.Keys[0], d.Keys[d.Len()-1]
 	if d.Len() == 0 || floats.Eq(hi, lo) {
-		return base.FromKeys(NameMR, m.Trainer, d.Keys, d, time.Since(t0))
+		return base.FromKeysWorkers(NameMR, m.Trainer, d.Keys, d, time.Since(t0), m.Workers)
 	}
 	// Normalize the data keys once; similarity search then costs
 	// O(n_mr * n_s * log n) using the binary-search KS distance.
@@ -109,7 +121,7 @@ func (m *MR) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 		TrainTime:    0, // reuse: no online training
 	}
 	t0 = time.Now()
-	eLo, eHi := rmi.ErrorBounds(model, d.Keys)
+	eLo, eHi := rmi.ErrorBoundsWorkers(model, d.Keys, m.Workers)
 	stats.BoundsTime = time.Since(t0)
 	stats.ErrWidth = eLo + eHi
 	return &rmi.Bounded{Model: model, N: d.Len(), ErrLo: eLo, ErrHi: eHi}, stats
@@ -124,6 +136,17 @@ type remapModel struct {
 
 func (m *remapModel) PredictCDF(key float64) float64 {
 	return m.inner.PredictCDF((key - m.lo) / m.span)
+}
+
+// Predictor implements rmi.ScratchModel, so the parallel bounds scan
+// gets a per-worker allocation-free predictor when the inner model
+// provides one (e.g. an FFN with reusable scratch).
+func (m *remapModel) Predictor() func(key float64) float64 {
+	inner := rmi.PredictorOf(m.inner)
+	lo, span := m.lo, m.span
+	return func(key float64) float64 {
+		return inner((key - lo) / span)
+	}
 }
 
 // SyntheticCDFPool generates sorted key sets in [0,1] whose CDFs

@@ -28,6 +28,8 @@ type RLM struct {
 	Zeta     float64 // probability of applying the selected toggle
 	Trainer  rmi.Trainer
 	Seed     int64
+	// Workers bounds the parallel error-bound scan (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name implements base.ModelBuilder.
@@ -37,7 +39,7 @@ func (m *RLM) Name() string { return NameRL }
 func (m *RLM) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 	t0 := time.Now()
 	keys := m.searchKeys(d)
-	return base.FromKeys(NameRL, m.Trainer, keys, d, time.Since(t0))
+	return base.FromKeysWorkers(NameRL, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }
 
 // searchKeys runs the DQN-guided search and returns the best synthetic

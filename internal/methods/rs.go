@@ -23,6 +23,8 @@ type RS struct {
 	// absolute default, which was tuned for 10^8-point data sets.
 	TargetLeaves int
 	Trainer      rmi.Trainer
+	// Workers bounds the parallel error-bound scan (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name implements base.ModelBuilder.
@@ -42,7 +44,7 @@ func (m *RS) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 		}
 	}
 	keys := RepresentativeKeys(d, beta)
-	return base.FromKeys(NameRS, m.Trainer, keys, d, time.Since(t0))
+	return base.FromKeysWorkers(NameRS, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }
 
 // RepresentativeKeys runs the get_RS partitioning and returns the

@@ -40,7 +40,9 @@ type Config struct {
 	Seed int64
 	// SampleForRefs caps the sample used to derive reference points.
 	SampleForRefs int
-	// Workers bounds concurrent leaf-model builds (1 = sequential).
+	// Workers bounds the parallel build stages — iDistance key mapping,
+	// sorting, and concurrent leaf-model builds (0 = GOMAXPROCS, 1 =
+	// serial). Builds are bit-identical across worker counts.
 	Workers int
 }
 
@@ -118,7 +120,7 @@ func (ix *Index) Build(pts []geo.Point) error {
 	} else {
 		ix.refs = methods.KMeans(sample, ix.cfg.Refs, 10, ix.cfg.Seed)
 	}
-	d := base.Prepare(pts, ix.cfg.Space, ix.MapKey)
+	d := base.PrepareWorkers(pts, ix.cfg.Space, ix.MapKey, ix.cfg.Workers)
 	es := make([]store.Entry, d.Len())
 	for i := range es {
 		es[i] = store.Entry{Key: d.Keys[i], Point: d.Pts[i]}
@@ -137,10 +139,9 @@ func (ix *Index) Build(pts []geo.Point) error {
 		return nil
 	}
 	ix.single = nil
-	workers := ix.cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
+	// As in zm: collect leaf stats keyed by partition start, re-emit in
+	// partition order so the report is worker-count-independent.
+	statsByStart := make(map[int]base.BuildStats, ix.cfg.Fanout)
 	var mu sync.Mutex
 	ix.staged = rmi.NewStagedParallel(d.Keys, ix.cfg.Fanout, ix.cfg.RootTrainer, func(start int, part []float64) *rmi.Bounded {
 		sub := &base.SortedData{
@@ -151,10 +152,17 @@ func (ix *Index) Build(pts []geo.Point) error {
 		}
 		m, st := ix.cfg.Builder.BuildModel(sub)
 		mu.Lock()
-		ix.stats = append(ix.stats, st)
+		statsByStart[start] = st
 		mu.Unlock()
 		return m
-	}, workers)
+	}, ix.cfg.Workers)
+	n := len(d.Keys)
+	for i := 0; i < ix.cfg.Fanout; i++ {
+		start, end := i*n/ix.cfg.Fanout, (i+1)*n/ix.cfg.Fanout
+		if end > start {
+			ix.stats = append(ix.stats, statsByStart[start])
+		}
+	}
 	return nil
 }
 

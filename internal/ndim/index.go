@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"elsi/internal/parallel"
 	"elsi/internal/rmi"
 )
 
@@ -38,7 +39,7 @@ func RepresentativeKeys(pts []Point, space Rect, beta int) []float64 {
 		}
 	}
 	rec(pts, space, 0)
-	sort.Float64s(keys)
+	parallel.SortFloat64s(keys, 0)
 	return keys
 }
 
@@ -62,6 +63,9 @@ type Index struct {
 	// RSBeta > 0 builds the model on the RS-reduced set (the ELSI
 	// path); 0 trains on the full key set (OG).
 	rsBeta int
+	// workers bounds the parallel key mapping, sorting, and error-bound
+	// scan of Build (0 = GOMAXPROCS, 1 = serial).
+	workers int
 
 	keys      []float64
 	pts       []Point
@@ -72,7 +76,14 @@ type Index struct {
 // NewIndex returns an unbuilt d-dimensional index. rsBeta > 0 enables
 // RS-reduced training with the given cell capacity.
 func NewIndex(space Rect, trainer rmi.Trainer, rsBeta int) *Index {
-	return &Index{space: space, trainer: trainer, rsBeta: rsBeta}
+	return NewIndexWorkers(space, trainer, rsBeta, 0)
+}
+
+// NewIndexWorkers is NewIndex with an explicit worker count for the
+// parallel build stages (0 = GOMAXPROCS, 1 = serial). Builds are
+// bit-identical across worker counts.
+func NewIndexWorkers(space Rect, trainer rmi.Trainer, rsBeta, workers int) *Index {
+	return &Index{space: space, trainer: trainer, rsBeta: rsBeta, workers: workers}
 }
 
 // Len returns the number of indexed points.
@@ -82,23 +93,19 @@ func (ix *Index) Len() int { return len(ix.pts) }
 // when RS reduction is enabled, n otherwise).
 func (ix *Index) TrainSetSize() int { return ix.trainSize }
 
-// Build maps, sorts, reduces (optionally), trains, and bounds.
+// Build maps, sorts, reduces (optionally), trains, and bounds. Key
+// mapping is chunked across workers and the key/point pairs are
+// co-sorted with the deterministic stable parallel merge sort.
 func (ix *Index) Build(pts []Point) error {
-	type keyed struct {
-		k float64
-		p Point
-	}
-	ks := make([]keyed, len(pts))
-	for i, p := range pts {
-		ks[i] = keyed{ZKey(p, ix.space), p}
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].k < ks[j].k })
-	ix.keys = make([]float64, len(ks))
-	ix.pts = make([]Point, len(ks))
-	for i, kp := range ks {
-		ix.keys[i] = kp.k
-		ix.pts[i] = kp.p
-	}
+	ix.keys = make([]float64, len(pts))
+	ix.pts = make([]Point, len(pts))
+	copy(ix.pts, pts)
+	parallel.For(len(pts), ix.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ix.keys[i] = ZKey(ix.pts[i], ix.space)
+		}
+	})
+	parallel.SortPairs(ix.keys, ix.pts, ix.workers)
 	if len(pts) == 0 {
 		ix.model = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
 		ix.trainSize = 0
@@ -109,7 +116,7 @@ func (ix *Index) Build(pts []Point) error {
 		train = RepresentativeKeys(ix.pts, ix.space, ix.rsBeta)
 	}
 	ix.trainSize = len(train)
-	ix.model = rmi.NewBounded(ix.trainer, train, ix.keys)
+	ix.model = rmi.NewBoundedWorkers(ix.trainer, train, ix.keys, ix.workers)
 	return nil
 }
 

@@ -209,6 +209,7 @@ func (n *Network) Train(xs, ys [][]float64, cfg Config) (float64, error) {
 	}
 	gw := zerosLike(n.w)
 	gb := zerosLike(n.b)
+	scratch := n.NewScratch()
 
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -222,16 +223,16 @@ func (n *Network) Train(xs, ys [][]float64, cfg Config) (float64, error) {
 			zero(gw)
 			zero(gb)
 			for _, k := range idx[start:end] {
-				acts := n.activations(xs[k])
-				yhat := acts[len(acts)-1]
+				n.forwardScratch(scratch, xs[k])
+				yhat := scratch.acts[len(scratch.acts)-1]
 				y := ys[k]
-				dOut := make([]float64, len(yhat))
+				dOut := scratch.dOut
 				for o := range yhat {
 					diff := yhat[o] - y[o]
 					epochLoss += diff * diff
 					dOut[o] = 2 * diff
 				}
-				n.backprop(acts, dOut, gw, gb)
+				n.backpropScratch(scratch, dOut, gw, gb)
 			}
 			n.adamStep(gw, gb, end-start, cfg.LearningRate)
 		}
@@ -250,17 +251,18 @@ func (n *Network) TrainStep(xs, ys [][]float64, lr float64) float64 {
 	n.ensureAdam()
 	gw := zerosLike(n.w)
 	gb := zerosLike(n.b)
+	scratch := n.NewScratch()
 	loss := 0.0
 	for k := range xs {
-		acts := n.activations(xs[k])
-		yhat := acts[len(acts)-1]
-		dOut := make([]float64, len(yhat))
+		n.forwardScratch(scratch, xs[k])
+		yhat := scratch.acts[len(scratch.acts)-1]
+		dOut := scratch.dOut
 		for o := range yhat {
 			diff := yhat[o] - ys[k][o]
 			loss += diff * diff
 			dOut[o] = 2 * diff
 		}
-		n.backprop(acts, dOut, gw, gb)
+		n.backpropScratch(scratch, dOut, gw, gb)
 	}
 	n.adamStep(gw, gb, len(xs), lr)
 	return loss / float64(len(xs))
@@ -276,12 +278,16 @@ func (n *Network) TrainStepMasked(xs, ys [][]float64, masks [][]bool, lr float64
 	n.ensureAdam()
 	gw := zerosLike(n.w)
 	gb := zerosLike(n.b)
+	scratch := n.NewScratch()
 	loss := 0.0
 	count := 0
 	for k := range xs {
-		acts := n.activations(xs[k])
-		yhat := acts[len(acts)-1]
-		dOut := make([]float64, len(yhat))
+		n.forwardScratch(scratch, xs[k])
+		yhat := scratch.acts[len(scratch.acts)-1]
+		dOut := scratch.dOut
+		for o := range dOut {
+			dOut[o] = 0 // masked outputs contribute no gradient
+		}
 		for o := range yhat {
 			if !masks[k][o] {
 				continue
@@ -291,7 +297,7 @@ func (n *Network) TrainStepMasked(xs, ys [][]float64, masks [][]bool, lr float64
 			dOut[o] = 2 * diff
 			count++
 		}
-		n.backprop(acts, dOut, gw, gb)
+		n.backpropScratch(scratch, dOut, gw, gb)
 	}
 	n.adamStep(gw, gb, len(xs), lr)
 	if count == 0 {

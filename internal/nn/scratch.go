@@ -1,0 +1,139 @@
+package nn
+
+import "elsi/internal/floats"
+
+// Scratch holds the reusable forward/backprop buffers for one
+// network. The training and bounds-scan hot paths used to allocate
+// fresh activation and delta slices per sample per layer; a Scratch
+// amortizes those to one allocation per (network, caller). A Scratch
+// is NOT safe for concurrent use — it is threaded explicitly so that
+// concurrent callers (e.g. the chunks of a parallel error-bound scan)
+// each own their own.
+type Scratch struct {
+	sizes  []int
+	acts   [][]float64 // acts[0] aliases the current input
+	deltas [][]float64 // deltas[l] holds the loss gradient at layer l's input
+	dOut   []float64
+}
+
+// NewScratch allocates scratch buffers matching n's layer sizes.
+func (n *Network) NewScratch() *Scratch {
+	s := &Scratch{
+		sizes:  append([]int(nil), n.sizes...),
+		acts:   make([][]float64, len(n.sizes)),
+		deltas: make([][]float64, len(n.sizes)),
+		dOut:   make([]float64, n.sizes[len(n.sizes)-1]),
+	}
+	for l := 1; l < len(n.sizes); l++ {
+		s.acts[l] = make([]float64, n.sizes[l])
+	}
+	for l := 0; l < len(n.sizes); l++ {
+		s.deltas[l] = make([]float64, n.sizes[l])
+	}
+	return s
+}
+
+// compatible reports whether s was allocated for n's architecture.
+func (s *Scratch) compatible(n *Network) bool {
+	if len(s.sizes) != len(n.sizes) {
+		return false
+	}
+	for i := range s.sizes {
+		if s.sizes[i] != n.sizes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardScratch runs a forward pass retaining per-layer activations
+// in s.acts. It performs the exact arithmetic of activations(), so
+// results are bit-identical; the only difference is buffer reuse.
+func (n *Network) forwardScratch(s *Scratch, x []float64) {
+	s.acts[0] = x
+	last := len(n.w) - 1
+	for l := range n.w {
+		out, in := n.sizes[l+1], n.sizes[l]
+		z := s.acts[l+1]
+		w := n.w[l]
+		a := s.acts[l]
+		for o := 0; o < out; o++ {
+			sum := n.b[l][o]
+			row := w[o*in : (o+1)*in]
+			for i, v := range a {
+				sum += row[i] * v
+			}
+			if l != last && sum < 0 {
+				sum = 0
+			}
+			z[o] = sum
+		}
+	}
+}
+
+// backpropScratch is backprop() with the per-layer delta buffers
+// drawn from s instead of allocated per call. Identical arithmetic.
+func (n *Network) backpropScratch(s *Scratch, dOut []float64, gw, gb [][]float64) {
+	delta := dOut
+	for l := len(n.w) - 1; l >= 0; l-- {
+		out, in := n.sizes[l+1], n.sizes[l]
+		a := s.acts[l]
+		w := n.w[l]
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			if floats.Eq(d, 0) {
+				continue
+			}
+			gb[l][o] += d
+			grow := gw[l][o*in : (o+1)*in]
+			for i, v := range a {
+				grow[i] += d * v
+			}
+		}
+		if l == 0 {
+			break
+		}
+		prev := s.deltas[l]
+		for i := range prev {
+			prev[i] = 0
+		}
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			if floats.Eq(d, 0) {
+				continue
+			}
+			row := w[o*in : (o+1)*in]
+			for i := range prev {
+				prev[i] += d * row[i]
+			}
+		}
+		for i := range prev {
+			if s.acts[l][i] <= 0 { // ReLU derivative
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+}
+
+// ForwardScratch computes the network output for x into s's buffers
+// and returns the output activation slice (owned by s — valid until
+// the next ForwardScratch call with the same scratch).
+func (n *Network) ForwardScratch(s *Scratch, x []float64) []float64 {
+	if !s.compatible(n) {
+		panic("nn: scratch/network size mismatch")
+	}
+	n.forwardScratch(s, x)
+	return s.acts[len(s.acts)-1]
+}
+
+// Predictor returns an allocation-free single-input forward function
+// backed by its own scratch. The returned closure is NOT safe for
+// concurrent use; hand each goroutine its own Predictor. Output
+// slices are reused between calls.
+func (n *Network) Predictor() func(x []float64) []float64 {
+	s := n.NewScratch()
+	return func(x []float64) []float64 {
+		return n.ForwardScratch(s, x)
+	}
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScratchMatchesReference asserts the scratch forward/backprop
+// paths are bit-identical to the allocating reference implementation
+// — the property that keeps parallel builds reproducible.
+func TestScratchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := New(rng, 2, 16, 8, 3)
+	s := n.NewScratch()
+	for trial := 0; trial < 50; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		acts := n.activations(x)
+		n.forwardScratch(s, x)
+		for l := range acts {
+			for i := range acts[l] {
+				if acts[l][i] != s.acts[l][i] {
+					t.Fatalf("trial %d: act[%d][%d] = %v (scratch) vs %v (reference)",
+						trial, l, i, s.acts[l][i], acts[l][i])
+				}
+			}
+		}
+		dOut := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		gw1, gb1 := zerosLike(n.w), zerosLike(n.b)
+		gw2, gb2 := zerosLike(n.w), zerosLike(n.b)
+		n.backprop(acts, dOut, gw1, gb1)
+		n.backpropScratch(s, dOut, gw2, gb2)
+		for l := range gw1 {
+			for i := range gw1[l] {
+				if gw1[l][i] != gw2[l][i] {
+					t.Fatalf("trial %d: gw[%d][%d] = %v (scratch) vs %v (reference)",
+						trial, l, i, gw2[l][i], gw1[l][i])
+				}
+			}
+			for i := range gb1[l] {
+				if gb1[l][i] != gb2[l][i] {
+					t.Fatalf("trial %d: gb[%d][%d] mismatch", trial, l, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPredictorMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := New(rng, 1, 16, 1)
+	pred := n.Predictor()
+	for trial := 0; trial < 100; trial++ {
+		x := []float64{rng.Float64()}
+		want := n.Forward(x)
+		got := pred(x)
+		if got[0] != want[0] {
+			t.Fatalf("trial %d: Predictor = %v, Forward = %v", trial, got[0], want[0])
+		}
+	}
+}
+
+func TestPredictorAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := New(rng, 1, 16, 1)
+	pred := n.Predictor()
+	x := []float64{0.25}
+	allocs := testing.AllocsPerRun(200, func() {
+		pred(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("Predictor allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestScratchMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := New(rng, 1, 8, 1)
+	b := New(rng, 1, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForwardScratch with mismatched scratch did not panic")
+		}
+	}()
+	a.ForwardScratch(b.NewScratch(), []float64{0})
+}
+
+func BenchmarkForwardScratch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := New(rng, 1, 16, 1)
+	pred := n.Predictor()
+	x := []float64{0.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred(x)
+	}
+}

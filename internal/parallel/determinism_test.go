@@ -1,0 +1,164 @@
+package parallel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/lisa"
+	"elsi/internal/mlindex"
+	"elsi/internal/ndim"
+	"elsi/internal/rmi"
+	"elsi/internal/rsmi"
+	"elsi/internal/zm"
+)
+
+// builtIndex is the query-and-counters surface the determinism check
+// compares across worker counts.
+type builtIndex interface {
+	Build(pts []geo.Point) error
+	PointQuery(p geo.Point) bool
+	WindowQuery(win geo.Rect) []geo.Point
+	Scanned() int64
+	Stats() []base.BuildStats
+}
+
+func ffnBuilder(workers int) base.ModelBuilder {
+	return &base.Direct{
+		Trainer: rmi.FFNTrainer(rmi.FFNConfig{Hidden: 8, Epochs: 5, Seed: 1}),
+		Workers: workers,
+	}
+}
+
+// TestParallelBuildsAreDeterministic is the integration check of the
+// parallel build pipeline: every base index built with Workers=1 and
+// Workers=8 must produce bit-identical error bounds and, under an
+// identical query workload, identical results and scan counters. The
+// FFN trainer is used on purpose — it exercises the per-worker scratch
+// predictors in the bounds scan.
+func TestParallelBuildsAreDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := dataset.PointsWithUniformDistance(rng, 4000, 0.4)
+	queries := dataset.QueriesFromData(rng, pts, 50)
+	wins := make([]geo.Rect, 20)
+	for i := range wins {
+		p := pts[rng.Intn(len(pts))]
+		w, h := 0.02+rng.Float64()*0.1, 0.02+rng.Float64()*0.1
+		wins[i] = geo.Rect{MinX: p.X - w, MinY: p.Y - h, MaxX: p.X + w, MaxY: p.Y + h}
+	}
+
+	cases := []struct {
+		name string
+		mk   func(workers int) builtIndex
+	}{
+		{"ZM", func(workers int) builtIndex {
+			return zm.New(zm.Config{Space: geo.UnitRect, Builder: ffnBuilder(workers), Fanout: 4, Workers: workers})
+		}},
+		{"LISA", func(workers int) builtIndex {
+			return lisa.New(lisa.Config{Space: geo.UnitRect, Builder: ffnBuilder(workers), Workers: workers})
+		}},
+		{"ML", func(workers int) builtIndex {
+			return mlindex.New(mlindex.Config{Space: geo.UnitRect, Builder: ffnBuilder(workers), Refs: 4, Fanout: 2, Seed: 7, Workers: workers})
+		}},
+		{"RSMI", func(workers int) builtIndex {
+			return rsmi.New(rsmi.Config{Space: geo.UnitRect, Builder: ffnBuilder(workers), LeafCap: 1500, Workers: workers})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, parallel := tc.mk(1), tc.mk(8)
+			if err := serial.Build(pts); err != nil {
+				t.Fatal(err)
+			}
+			if err := parallel.Build(pts); err != nil {
+				t.Fatal(err)
+			}
+			compareIndices(t, serial, parallel, queries, wins)
+		})
+	}
+}
+
+// compareIndices asserts that two builds of the same data behave
+// identically: same per-model stats, same query answers, and the same
+// number of entries scanned for the same workload.
+func compareIndices(t *testing.T, a, b builtIndex, queries []geo.Point, wins []geo.Rect) {
+	t.Helper()
+	sa, sb := a.Stats(), b.Stats()
+	if len(sa) != len(sb) {
+		t.Fatalf("stats count: %d (serial) vs %d (parallel)", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i].Method != sb[i].Method || sa[i].TrainSetSize != sb[i].TrainSetSize || sa[i].ErrWidth != sb[i].ErrWidth {
+			t.Fatalf("stats[%d]: serial {%s |Ds|=%d err=%d} vs parallel {%s |Ds|=%d err=%d}",
+				i, sa[i].Method, sa[i].TrainSetSize, sa[i].ErrWidth,
+				sb[i].Method, sb[i].TrainSetSize, sb[i].ErrWidth)
+		}
+	}
+	for i, q := range queries {
+		if ra, rb := a.PointQuery(q), b.PointQuery(q); ra != rb {
+			t.Fatalf("point query %d: serial %v vs parallel %v", i, ra, rb)
+		}
+	}
+	for i, win := range wins {
+		ra, rb := a.WindowQuery(win), b.WindowQuery(win)
+		if len(ra) != len(rb) {
+			t.Fatalf("window query %d: serial %d points vs parallel %d", i, len(ra), len(rb))
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("window query %d result %d: serial %v vs parallel %v", i, j, ra[j], rb[j])
+			}
+		}
+	}
+	if ca, cb := a.Scanned(), b.Scanned(); ca != cb {
+		t.Fatalf("scan counters diverge: serial %d vs parallel %d", ca, cb)
+	}
+}
+
+// TestNDimBuildDeterministic covers the d-dimensional index, whose
+// build has its own key-mapping and sorting path.
+func TestNDimBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const d = 3
+	pts := make([]ndim.Point, 3000)
+	for i := range pts {
+		p := make(ndim.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	space := ndim.UnitCube(d)
+	trainer := rmi.FFNTrainer(rmi.FFNConfig{Hidden: 8, Epochs: 5, Seed: 1})
+	serial := ndim.NewIndexWorkers(space, trainer, 100, 1)
+	par := ndim.NewIndexWorkers(space, trainer, 100, 8)
+	if err := serial.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	if serial.ErrWidth() != par.ErrWidth() {
+		t.Fatalf("error width: serial %d vs parallel %d", serial.ErrWidth(), par.ErrWidth())
+	}
+	if serial.TrainSetSize() != par.TrainSetSize() {
+		t.Fatalf("train set size: serial %d vs parallel %d", serial.TrainSetSize(), par.TrainSetSize())
+	}
+	for i := 0; i < 100; i++ {
+		q := pts[rng.Intn(len(pts))]
+		if !par.PointQuery(q) {
+			t.Fatalf("parallel build lost point %v", q)
+		}
+		win := ndim.Rect{Min: make(ndim.Point, d), Max: make(ndim.Point, d)}
+		for j := 0; j < d; j++ {
+			win.Min[j] = q[j] - 0.05
+			win.Max[j] = q[j] + 0.05
+		}
+		ra, rb := serial.WindowQuery(win), par.WindowQuery(win)
+		if len(ra) != len(rb) {
+			t.Fatalf("window query %d: serial %d points vs parallel %d", i, len(ra), len(rb))
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package parallel provides the small, stdlib-only concurrency
+// kernels the build pipeline runs on: a chunked parallel for,
+// order-independent reductions, and a deterministic parallel merge
+// sort. Every primitive is bit-deterministic — the result is
+// identical for any worker count, including 1 — because the chunk
+// boundaries are fixed functions of the input length and every
+// combine step is either order-independent (max) or performed in
+// chunk order (merge). That property is what lets the parallel build
+// pipeline produce indices bit-identical to a serial build (same
+// error bounds, same storage order, same query answers), which the
+// determinism tests assert.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the default worker count for the build
+// stages: GOMAXPROCS. Callers override it per call site by passing an
+// explicit positive worker count (core.Config.Workers threads one
+// through the ELSI build pipeline).
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve maps a configured worker count to an effective one:
+// non-positive values select the default.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return DefaultWorkers()
+	}
+	return workers
+}
+
+// minChunk is the smallest per-worker chunk worth a goroutine; below
+// it the dispatch overhead dominates any speedup.
+const minChunk = 1024
+
+// chunks returns the number of contiguous chunks [0, n) is split
+// into for the given worker count. Boundaries depend only on n and
+// the returned count, never on scheduling.
+func chunks(n, workers int) int {
+	workers = Resolve(workers)
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs fn over the contiguous chunks of [0, n), one goroutine per
+// chunk, and waits for all of them. fn must be safe for concurrent
+// use across disjoint chunks. With workers <= 1 (or n too small to
+// split) fn runs inline over the whole range.
+func For(n, workers int, fn func(lo, hi int)) {
+	nc := chunks(n, workers)
+	if nc == 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nc)
+	for c := 0; c < nc; c++ {
+		lo, hi := c*n/nc, (c+1)*n/nc
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and waits for all of them
+// — the fork/join for a handful of independent tasks (e.g. training
+// the scorer's build-cost and query-cost nets).
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// MaxReduce evaluates chunk over the contiguous chunks of [0, n) in
+// parallel and returns the element-wise maxima of the (a, b) pairs.
+// Max is commutative and associative, so the result is independent of
+// chunk completion order — the reduction the empirical error-bound
+// scan (Algorithm 1, line 6) runs over the full data set.
+func MaxReduce(n, workers int, chunk func(lo, hi int) (a, b int)) (maxA, maxB int) {
+	nc := chunks(n, workers)
+	if nc == 1 {
+		if n > 0 {
+			return chunk(0, n)
+		}
+		return 0, 0
+	}
+	as := make([]int, nc)
+	bs := make([]int, nc)
+	var wg sync.WaitGroup
+	wg.Add(nc)
+	for c := 0; c < nc; c++ {
+		lo, hi := c*n/nc, (c+1)*n/nc
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			as[c], bs[c] = chunk(lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	maxA, maxB = as[0], bs[0]
+	for c := 1; c < nc; c++ {
+		if as[c] > maxA {
+			maxA = as[c]
+		}
+		if bs[c] > maxB {
+			maxB = bs[c]
+		}
+	}
+	return maxA, maxB
+}

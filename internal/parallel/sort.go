@@ -1,0 +1,165 @@
+package parallel
+
+// Deterministic parallel merge sort. The recursion splits at fixed
+// midpoints and the merge is stable (ties taken from the left half),
+// so the output permutation is a pure function of the input — the
+// worker count only decides how many of the independent half-sorts
+// run concurrently. That is the property the build pipeline needs:
+// sorting the key/point pairs of a data set must place equal keys in
+// the same storage order whether the build ran on 1 core or 16.
+
+// sortRunCutoff is the run length below which insertion sort (stable)
+// beats the merge machinery.
+const sortRunCutoff = 48
+
+// SortFloat64s sorts xs ascending with up to workers concurrent
+// half-sorts. The result equals sort.Float64s for any worker count
+// (float64 values that compare equal are indistinguishable).
+func SortFloat64s(xs []float64, workers int) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	scratch := make([]float64, n)
+	msFloats(xs, scratch, budget(n, workers))
+}
+
+// budget converts a worker count into a parallel fork budget for the
+// sort recursion.
+func budget(n, workers int) int {
+	return chunks(n, workers)
+}
+
+func msFloats(a, scratch []float64, par int) {
+	n := len(a)
+	if n <= sortRunCutoff {
+		insertionFloats(a)
+		return
+	}
+	mid := n / 2
+	if par > 1 && n >= 2*minChunk {
+		Do(
+			func() { msFloats(a[:mid], scratch[:mid], par/2) },
+			func() { msFloats(a[mid:], scratch[mid:], par-par/2) },
+		)
+	} else {
+		msFloats(a[:mid], scratch[:mid], 1)
+		msFloats(a[mid:], scratch[mid:], 1)
+	}
+	if a[mid-1] <= a[mid] { // already ordered across the split
+		return
+	}
+	copy(scratch, a)
+	mergeFloats(scratch[:mid], scratch[mid:], a)
+}
+
+func insertionFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// mergeFloats merges sorted left and right into dst (stable: ties
+// drain the left half first).
+func mergeFloats(left, right, dst []float64) {
+	i, j, k := 0, 0, 0
+	for i < len(left) && j < len(right) {
+		if left[i] <= right[j] {
+			dst[k] = left[i]
+			i++
+		} else {
+			dst[k] = right[j]
+			j++
+		}
+		k++
+	}
+	for i < len(left) {
+		dst[k] = left[i]
+		i++
+		k++
+	}
+	for j < len(right) {
+		dst[k] = right[j]
+		j++
+		k++
+	}
+}
+
+// SortPairs co-sorts vals by keys, ascending and stable: entries with
+// equal keys keep their input order, for any worker count. This is
+// the sort stage of every map-and-sort build (keys = curve values,
+// vals = points).
+func SortPairs[V any](keys []float64, vals []V, workers int) {
+	n := len(keys)
+	if len(vals) != n {
+		panic("parallel: SortPairs length mismatch")
+	}
+	if n < 2 {
+		return
+	}
+	sk := make([]float64, n)
+	sv := make([]V, n)
+	msPairs(keys, vals, sk, sv, budget(n, workers))
+}
+
+func msPairs[V any](k []float64, v []V, sk []float64, sv []V, par int) {
+	n := len(k)
+	if n <= sortRunCutoff {
+		insertionPairs(k, v)
+		return
+	}
+	mid := n / 2
+	if par > 1 && n >= 2*minChunk {
+		Do(
+			func() { msPairs(k[:mid], v[:mid], sk[:mid], sv[:mid], par/2) },
+			func() { msPairs(k[mid:], v[mid:], sk[mid:], sv[mid:], par-par/2) },
+		)
+	} else {
+		msPairs(k[:mid], v[:mid], sk[:mid], sv[:mid], 1)
+		msPairs(k[mid:], v[mid:], sk[mid:], sv[mid:], 1)
+	}
+	if k[mid-1] <= k[mid] {
+		return
+	}
+	copy(sk, k)
+	copy(sv, v)
+	i, j, o := 0, mid, 0
+	for i < mid && j < n {
+		if sk[i] <= sk[j] {
+			k[o], v[o] = sk[i], sv[i]
+			i++
+		} else {
+			k[o], v[o] = sk[j], sv[j]
+			j++
+		}
+		o++
+	}
+	for i < mid {
+		k[o], v[o] = sk[i], sv[i]
+		i++
+		o++
+	}
+	for j < n {
+		k[o], v[o] = sk[j], sv[j]
+		j++
+		o++
+	}
+}
+
+func insertionPairs[V any](k []float64, v []V) {
+	for i := 1; i < len(k); i++ {
+		kv, vv := k[i], v[i]
+		j := i - 1
+		for j >= 0 && k[j] > kv {
+			k[j+1], v[j+1] = k[j], v[j]
+			j--
+		}
+		k[j+1], v[j+1] = kv, vv
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"elsi/internal/floats"
 	"elsi/internal/nn"
+	"elsi/internal/parallel"
 )
 
 // Model approximates the empirical CDF of a key set: PredictCDF returns
@@ -72,34 +73,72 @@ func (b *Bounded) SearchRange(key float64) (lo, hi int) {
 // the |Error| column of Table I.
 func (b *Bounded) ErrBoundsWidth() int { return b.ErrLo + b.ErrHi }
 
+// ScratchModel is implemented by models that can hand out
+// allocation-free single-goroutine CDF predictors (FFNModel does: its
+// predictor owns reusable network scratch buffers). The parallel
+// error-bound scan gives each worker its own predictor; callers
+// without one fall back to PredictCDF, which must then be safe for
+// concurrent read-only use.
+type ScratchModel interface {
+	Predictor() func(key float64) float64
+}
+
+// PredictorOf returns a single-goroutine CDF predictor for m:
+// m.Predictor() when available, else m.PredictCDF itself.
+func PredictorOf(m Model) func(key float64) float64 {
+	if sm, ok := m.(ScratchModel); ok {
+		return sm.Predictor()
+	}
+	return m.PredictCDF
+}
+
 // ErrorBounds evaluates m on every key of the sorted full set and
 // returns the maximum over- and under-prediction in rank units
-// (Algorithm 1, line 6: get_error_bound).
+// (Algorithm 1, line 6: get_error_bound). The scan — the M(n) term
+// that dominates ELSI builds once training is reduced to |Ds| — runs
+// chunked over GOMAXPROCS workers; max is order-independent, so the
+// bounds are identical to a serial scan.
 func ErrorBounds(m Model, sortedKeys []float64) (errLo, errHi int) {
+	return ErrorBoundsWorkers(m, sortedKeys, 0)
+}
+
+// ErrorBoundsWorkers is ErrorBounds with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial). Results are identical for any count.
+func ErrorBoundsWorkers(m Model, sortedKeys []float64, workers int) (errLo, errHi int) {
 	n := len(sortedKeys)
-	for i, k := range sortedKeys {
-		pred := int(m.PredictCDF(k) * float64(n))
-		if pred < 0 {
-			pred = 0
+	return parallel.MaxReduce(n, workers, func(lo, hi int) (int, int) {
+		predict := PredictorOf(m)
+		cLo, cHi := 0, 0
+		for i := lo; i < hi; i++ {
+			pred := int(predict(sortedKeys[i]) * float64(n))
+			if pred < 0 {
+				pred = 0
+			}
+			if pred >= n {
+				pred = n - 1
+			}
+			if d := pred - i; d > cLo {
+				cLo = d
+			}
+			if d := i - pred; d > cHi {
+				cHi = d
+			}
 		}
-		if pred >= n {
-			pred = n - 1
-		}
-		if d := pred - i; d > errLo {
-			errLo = d
-		}
-		if d := i - pred; d > errHi {
-			errHi = d
-		}
-	}
-	return errLo, errHi
+		return cLo, cHi
+	})
 }
 
 // NewBounded trains a model on trainKeys with the given trainer and
 // computes error bounds against fullKeys (both sorted ascending).
 func NewBounded(trainer Trainer, trainKeys, fullKeys []float64) *Bounded {
+	return NewBoundedWorkers(trainer, trainKeys, fullKeys, 0)
+}
+
+// NewBoundedWorkers is NewBounded with an explicit worker count for the
+// error-bound scan (0 = GOMAXPROCS, 1 = serial).
+func NewBoundedWorkers(trainer Trainer, trainKeys, fullKeys []float64, workers int) *Bounded {
 	m := trainer(trainKeys)
-	lo, hi := ErrorBounds(m, fullKeys)
+	lo, hi := ErrorBoundsWorkers(m, fullKeys, workers)
 	return &Bounded{Model: m, N: len(fullKeys), ErrLo: lo, ErrHi: hi}
 }
 
@@ -126,6 +165,29 @@ func (m *FFNModel) PredictCDF(key float64) float64 {
 		return 1
 	}
 	return v
+}
+
+// Predictor implements ScratchModel: the returned closure owns its
+// input buffer and network scratch, making repeated predictions (the
+// error-bound scan, batched query replays) allocation-free. Not safe
+// for concurrent use — one Predictor per goroutine.
+func (m *FFNModel) Predictor() func(key float64) float64 {
+	forward := m.net.Predictor()
+	x := make([]float64, 1)
+	return func(key float64) float64 {
+		x[0] = 0
+		if m.max > m.min {
+			x[0] = (key - m.min) / (m.max - m.min)
+		}
+		v := forward(x)[0]
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
 }
 
 // FFNConfig controls FFN model training.
@@ -170,11 +232,19 @@ func FFNTrainer(cfg FFNConfig) Trainer {
 		if n > maxRows {
 			stride = n / maxRows
 		}
-		xs := make([][]float64, 0, n/stride+1)
-		ys := make([][]float64, 0, n/stride+1)
+		// Training rows share two flat backing arrays instead of one
+		// 1-element allocation per row per column.
+		xflat := make([]float64, 0, n/stride+1)
+		yflat := make([]float64, 0, n/stride+1)
 		for i := 0; i < n; i += stride {
-			xs = append(xs, []float64{(keys[i] - min) / (max - min)})
-			ys = append(ys, []float64{float64(i) / float64(n)})
+			xflat = append(xflat, (keys[i]-min)/(max-min))
+			yflat = append(yflat, float64(i)/float64(n))
+		}
+		xs := make([][]float64, len(xflat))
+		ys := make([][]float64, len(yflat))
+		for i := range xflat {
+			xs[i] = xflat[i : i+1 : i+1]
+			ys[i] = yflat[i : i+1 : i+1]
 		}
 		net.Train(xs, ys, nn.Config{LearningRate: 0.01, Epochs: cfg.Epochs, BatchSize: 256, Seed: cfg.Seed})
 		return &FFNModel{net: net, min: min, max: max}
@@ -384,11 +454,14 @@ func NewStagedWithLeafBuilder(sortedKeys []float64, fanout int, rootTrainer Trai
 }
 
 // NewStagedParallel is NewStagedWithLeafBuilder with leaves built by up
-// to workers goroutines. The index models of different partitions are
-// independent, which is what makes learned-index bulk loading
-// parallelizable; buildLeaf must be safe for concurrent use.
+// to workers goroutines (0 = GOMAXPROCS, 1 = serial). The index models
+// of different partitions are independent, which is what makes
+// learned-index bulk loading parallelizable; buildLeaf must be safe for
+// concurrent use. The partition boundaries and each leaf's training
+// input depend only on the keys and the fanout, so the resulting index
+// is identical for any worker count.
 func NewStagedParallel(sortedKeys []float64, fanout int, rootTrainer Trainer, buildLeaf func(start int, part []float64) *Bounded, workers int) *Staged {
-	return newStaged(sortedKeys, fanout, rootTrainer, buildLeaf, workers)
+	return newStaged(sortedKeys, fanout, rootTrainer, buildLeaf, parallel.Resolve(workers))
 }
 
 func newStaged(sortedKeys []float64, fanout int, rootTrainer Trainer, buildLeaf func(start int, part []float64) *Bounded, workers int) *Staged {

@@ -38,6 +38,11 @@ type Config struct {
 	// RetrainThreshold is the leaf overflow-buffer size that triggers a
 	// local rebuild (default LeafCap/4).
 	RetrainThreshold int
+	// Workers bounds the parallel key mapping and sorting inside each
+	// node build (0 = GOMAXPROCS, 1 = serial). Children are built
+	// serially so the stats report stays in traversal order; the
+	// per-node data preparation is where the work is.
+	Workers int
 }
 
 // Index is the RSMI.
@@ -116,7 +121,7 @@ func (ix *Index) buildNode(pts []geo.Point, bounds geo.Rect) *node {
 	}
 	n := &node{keyBounds: dataBounds, mbr: dataBounds}
 	mapKey := func(p geo.Point) float64 { return localKey(p, dataBounds) }
-	d := base.Prepare(pts, dataBounds, mapKey)
+	d := base.PrepareWorkers(pts, dataBounds, mapKey, ix.cfg.Workers)
 	if len(pts) <= ix.cfg.LeafCap {
 		es := make([]store.Entry, d.Len())
 		for i := range es {

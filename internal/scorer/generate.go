@@ -50,16 +50,23 @@ func DefaultGenConfig() GenConfig {
 // default parameters around the given trainer. Seed derivations keep
 // runs reproducible.
 func PoolBuilders(trainer rmi.Trainer, seed int64) map[string]base.ModelBuilder {
+	return PoolBuildersWorkers(trainer, seed, 0)
+}
+
+// PoolBuildersWorkers is PoolBuilders with an explicit worker count for
+// the parallel build stages of every pool method (0 = GOMAXPROCS, 1 =
+// serial). Builds are bit-identical across worker counts.
+func PoolBuildersWorkers(trainer rmi.Trainer, seed int64, workers int) map[string]base.ModelBuilder {
 	return map[string]base.ModelBuilder{
 		// Paper parameter defaults (rho = 0.0001, C = 100, eps = 0.5,
 		// beta = 10,000, eta = 8) with scale-relative floors so the
 		// reduced sets stay meaningful below the paper's 10^8 scale.
-		methods.NameSP: &methods.SP{Rho: 0.0001, MinKeys: 500, Trainer: trainer},
-		methods.NameCL: &methods.CL{C: 100, Iterations: 10, Trainer: trainer, Seed: seed},
-		methods.NameMR: &methods.MR{Epsilon: 0.5, SynthSize: 2000, Trainer: trainer, Seed: seed},
-		methods.NameRS: &methods.RS{Beta: 10000, TargetLeaves: 500, Trainer: trainer},
-		methods.NameRL: &methods.RLM{Eta: 8, Steps: 600, Trainer: trainer, Seed: seed},
-		methods.NameOG: &base.Direct{Trainer: trainer},
+		methods.NameSP: &methods.SP{Rho: 0.0001, MinKeys: 500, Trainer: trainer, Workers: workers},
+		methods.NameCL: &methods.CL{C: 100, Iterations: 10, Trainer: trainer, Seed: seed, Workers: workers},
+		methods.NameMR: &methods.MR{Epsilon: 0.5, SynthSize: 2000, Trainer: trainer, Seed: seed, Workers: workers},
+		methods.NameRS: &methods.RS{Beta: 10000, TargetLeaves: 500, Trainer: trainer, Workers: workers},
+		methods.NameRL: &methods.RLM{Eta: 8, Steps: 600, Trainer: trainer, Seed: seed, Workers: workers},
+		methods.NameOG: &base.Direct{Trainer: trainer, Workers: workers},
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"elsi/internal/methods"
 	"elsi/internal/mltree"
 	"elsi/internal/nn"
+	"elsi/internal/parallel"
 )
 
 // Sample is one ground-truth measurement: building a data set of
@@ -97,11 +98,18 @@ func Train(samples []Sample, cfg Config) (*Scorer, error) {
 		yq[i] = []float64{logSpeedup(sm.QuerySpeedup)}
 	}
 	nnCfg := nn.Config{LearningRate: 0.01, Epochs: cfg.Epochs, BatchSize: 32, Seed: cfg.Seed}
-	if _, err := s.buildNet.Train(xs, yb, nnCfg); err != nil {
-		return nil, err
+	// The two cost nets are independent (separate weights, own seeded
+	// shuffles), so they train concurrently.
+	var errB, errQ error
+	parallel.Do(
+		func() { _, errB = s.buildNet.Train(xs, yb, nnCfg) },
+		func() { _, errQ = s.queryNet.Train(xs, yq, nnCfg) },
+	)
+	if errB != nil {
+		return nil, errB
 	}
-	if _, err := s.queryNet.Train(xs, yq, nnCfg); err != nil {
-		return nil, err
+	if errQ != nil {
+		return nil, errQ
 	}
 	return s, nil
 }

@@ -37,8 +37,9 @@ type Config struct {
 	// UseBigMin switches window queries from the recursive Z-range
 	// decomposition to the Tropf-Herzog BIGMIN skip-scan.
 	UseBigMin bool
-	// Workers bounds concurrent leaf-model builds (1 = sequential).
-	// Partition models are independent, so bulk loading parallelizes.
+	// Workers bounds the parallel build stages — key mapping, sorting,
+	// and concurrent leaf-model builds (0 = GOMAXPROCS, 1 = serial).
+	// Builds are bit-identical across worker counts.
 	Workers int
 }
 
@@ -85,7 +86,7 @@ func (ix *Index) MapKey(p geo.Point) float64 {
 
 // Build implements index.Index (Algorithm 1 end to end).
 func (ix *Index) Build(pts []geo.Point) error {
-	d := base.Prepare(pts, ix.cfg.Space, ix.MapKey)
+	d := base.PrepareWorkers(pts, ix.cfg.Space, ix.MapKey, ix.cfg.Workers)
 	ix.st = store.NewSortedFromEntries(entriesOf(d))
 	ix.stats = ix.stats[:0]
 	if len(pts) == 0 {
@@ -101,10 +102,10 @@ func (ix *Index) Build(pts []geo.Point) error {
 		return nil
 	}
 	ix.single = nil
-	workers := ix.cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
+	// Leaf stats are collected keyed by partition start and re-emitted
+	// in partition order below: goroutine completion order varies with
+	// the worker count, the stats report must not.
+	statsByStart := make(map[int]base.BuildStats, ix.cfg.Fanout)
 	var mu sync.Mutex
 	ix.staged = rmi.NewStagedParallel(d.Keys, ix.cfg.Fanout, ix.cfg.RootTrainer, func(start int, part []float64) *rmi.Bounded {
 		sub := &base.SortedData{
@@ -115,11 +116,26 @@ func (ix *Index) Build(pts []geo.Point) error {
 		}
 		m, st := ix.cfg.Builder.BuildModel(sub)
 		mu.Lock()
-		ix.stats = append(ix.stats, st)
+		statsByStart[start] = st
 		mu.Unlock()
 		return m
-	}, workers)
+	}, ix.cfg.Workers)
+	ix.stats = append(ix.stats, statsInOrder(statsByStart, len(d.Keys), ix.cfg.Fanout)...)
 	return nil
+}
+
+// statsInOrder lays out per-leaf build stats in partition order using
+// the equi-count split boundaries (empty partitions build no model and
+// record no stats).
+func statsInOrder(byStart map[int]base.BuildStats, n, fanout int) []base.BuildStats {
+	out := make([]base.BuildStats, 0, len(byStart))
+	for i := 0; i < fanout; i++ {
+		start, end := i*n/fanout, (i+1)*n/fanout
+		if end > start {
+			out = append(out, byStart[start])
+		}
+	}
+	return out
 }
 
 // entriesOf converts prepared data into store entries (already in key
