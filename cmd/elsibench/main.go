@@ -18,6 +18,12 @@
 // counts) to stdout and skips the experiment drivers:
 //
 //	elsibench -json -n 50000 -queries 300 > BENCH.json
+//
+// With -faults, elsibench arms deterministic fault injection before
+// running — chaos testing the degradation ladder under a real
+// workload (see the "Chaos testing" section of the README):
+//
+//	elsibench -faults 'build/SP:panic;bounds/scan:error:2' -exp table2
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"os"
 
 	"elsi/internal/bench"
+	"elsi/internal/faults"
 )
 
 func main() {
@@ -39,8 +46,23 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		asJSON  = flag.Bool("json", false, "emit the machine-readable build/query benchmark as JSON and exit")
 		reps    = flag.Int("reps", 3, "repetitions per median with -json")
+		chaos   = flag.String("faults", "", "chaos spec: ';'-separated <point>:<mode>[:<times>] entries (mode: error, panic, budget, delay=<dur>)")
 	)
 	flag.Parse()
+
+	if *chaos != "" {
+		if err := faults.ParseSpec(*chaos); err != nil {
+			fmt.Fprintln(os.Stderr, "elsibench: -faults:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "chaos mode: faults armed at %v\n", faults.Armed())
+		defer func() {
+			for _, p := range faults.Armed() {
+				fmt.Fprintf(os.Stderr, "chaos: %s fired %d times\n", p, faults.Hits(p))
+			}
+			faults.Reset()
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

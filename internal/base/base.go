@@ -9,8 +9,10 @@
 package base
 
 import (
+	"context"
 	"time"
 
+	"elsi/internal/faults"
 	"elsi/internal/geo"
 	"elsi/internal/parallel"
 	"elsi/internal/rmi"
@@ -50,6 +52,13 @@ type BuildStats struct {
 	BoundsTime time.Duration
 	// ErrWidth is err_l + err_u.
 	ErrWidth int
+	// Selected is the method the selector originally picked for this
+	// build. It equals Method unless the degradation ladder fell back;
+	// empty when the build did not go through a selector.
+	Selected string
+	// Fallbacks counts the ladder rungs tried and abandoned before
+	// Method succeeded (0 = the selected method built cleanly).
+	Fallbacks int
 }
 
 // Total returns the summed model-build time (excluding the shared
@@ -65,6 +74,38 @@ type ModelBuilder interface {
 	// BuildModel trains a model for d and computes its empirical error
 	// bounds over all of d.Keys.
 	BuildModel(d *SortedData) (*rmi.Bounded, BuildStats)
+}
+
+// ContextModelBuilder is implemented by builders that support
+// cooperative cancellation and in-band failure: the fault-tolerant
+// build pipeline prefers this entry point. BuildModelCtx returns an
+// error (instead of an index) when the build is cancelled, blows its
+// budget, or fails; it must not return (nil, _, nil).
+type ContextModelBuilder interface {
+	ModelBuilder
+	BuildModelCtx(ctx context.Context, d *SortedData) (*rmi.Bounded, BuildStats, error)
+}
+
+// BuildModelCtx builds through b's context-aware entry point when it
+// has one; otherwise it runs the legacy BuildModel under panic
+// isolation, so even a pre-context builder cannot crash the caller.
+func BuildModelCtx(ctx context.Context, b ModelBuilder, d *SortedData) (m *rmi.Bounded, stats BuildStats, err error) {
+	// Panic isolation covers both paths: a context-aware builder may
+	// still panic (injected faults, hostile inputs) and must fail the
+	// attempt, not the caller.
+	defer func() {
+		if pe := parallel.Recovered(recover()); pe != nil {
+			m, stats, err = nil, BuildStats{}, pe
+		}
+	}()
+	if cb, ok := b.(ContextModelBuilder); ok {
+		return cb.BuildModelCtx(ctx, d)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, BuildStats{}, err
+	}
+	m, stats = b.BuildModel(d)
+	return m, stats, nil
 }
 
 // Direct is the OG builder: it trains on the full key set, which is
@@ -91,6 +132,29 @@ func (b *Direct) BuildModel(d *SortedData) (*rmi.Bounded, BuildStats) {
 	return &rmi.Bounded{Model: m, N: d.Len(), ErrLo: lo, ErrHi: hi}, stats
 }
 
+// BuildModelCtx implements ContextModelBuilder. Injection point:
+// "build/OG".
+func (b *Direct) BuildModelCtx(ctx context.Context, d *SortedData) (*rmi.Bounded, BuildStats, error) {
+	if err := faults.HitCtx(ctx, "build/OG"); err != nil {
+		return nil, BuildStats{}, err
+	}
+	stats := BuildStats{Method: "OG", TrainSetSize: d.Len()}
+	t0 := time.Now()
+	m, err := rmi.SafeTrain(b.Trainer, d.Keys)
+	stats.TrainTime = time.Since(t0)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	t0 = time.Now()
+	lo, hi, err := rmi.ErrorBoundsCtx(ctx, m, d.Keys, b.Workers)
+	stats.BoundsTime = time.Since(t0)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	stats.ErrWidth = lo + hi
+	return &rmi.Bounded{Model: m, N: d.Len(), ErrLo: lo, ErrHi: hi}, stats, nil
+}
+
 // FromKeys finishes a model build given the reduced training keys:
 // train on trainKeys, bound against the full d.Keys. Building methods
 // share this tail of the pipeline.
@@ -112,6 +176,28 @@ func FromKeysWorkers(method string, trainer rmi.Trainer, trainKeys []float64, d 
 	stats.BoundsTime = time.Since(t0)
 	stats.ErrWidth = lo + hi
 	return &rmi.Bounded{Model: m, N: d.Len(), ErrLo: lo, ErrHi: hi}, stats
+}
+
+// FromKeysCtx is FromKeysWorkers with cancellation and panic
+// isolation: training runs under rmi.SafeTrain and the error-bound
+// scan checks ctx at block boundaries. The context-aware pool builders
+// share this tail.
+func FromKeysCtx(ctx context.Context, method string, trainer rmi.Trainer, trainKeys []float64, d *SortedData, reduceTime time.Duration, workers int) (*rmi.Bounded, BuildStats, error) {
+	stats := BuildStats{Method: method, TrainSetSize: len(trainKeys), ReduceTime: reduceTime}
+	t0 := time.Now()
+	m, err := rmi.SafeTrain(trainer, trainKeys)
+	stats.TrainTime = time.Since(t0)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	t0 = time.Now()
+	lo, hi, err := rmi.ErrorBoundsCtx(ctx, m, d.Keys, workers)
+	stats.BoundsTime = time.Since(t0)
+	if err != nil {
+		return nil, BuildStats{}, err
+	}
+	stats.ErrWidth = lo + hi
+	return &rmi.Bounded{Model: m, N: d.Len(), ErrLo: lo, ErrHi: hi}, stats, nil
 }
 
 // Prepare maps and sorts pts into a SortedData using mapKey — the

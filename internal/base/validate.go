@@ -1,0 +1,58 @@
+package base
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"elsi/internal/geo"
+)
+
+// ErrEmptyDataset reports a build entry point that requires a non-empty
+// data set (e.g. rebuild.NewProcessor, which would otherwise serve an
+// index over nothing while its delta overlay absorbs every update).
+var ErrEmptyDataset = errors.New("base: empty dataset")
+
+// InvalidPointError reports a point with a NaN or infinite coordinate.
+// Such points have no position on a space-filling curve — they would
+// silently poison the mapped keys, the sort order, and every NN
+// training target downstream, so build entries reject them up front.
+type InvalidPointError struct {
+	// Index is the offending point's position in the input slice.
+	Index int
+	// Point is the offending point.
+	Point geo.Point
+}
+
+// Error implements error.
+func (e *InvalidPointError) Error() string {
+	return fmt.Sprintf("base: invalid coordinate in point %d: %v", e.Index, e.Point)
+}
+
+// ValidPoint reports whether both coordinates are finite.
+func ValidPoint(p geo.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// ValidatePoints returns an *InvalidPointError for the first point with
+// a NaN or ±Inf coordinate, or nil if all points are finite. Every
+// index Build entry runs it before mapping keys.
+func ValidatePoints(pts []geo.Point) error {
+	for i, p := range pts {
+		if !ValidPoint(p) {
+			return &InvalidPointError{Index: i, Point: p}
+		}
+	}
+	return nil
+}
+
+// ValidateDataset is ValidatePoints plus an ErrEmptyDataset check, for
+// entry points that additionally require data (core.NewSystem's
+// training path, rebuild.NewProcessor).
+func ValidateDataset(pts []geo.Point) error {
+	if len(pts) == 0 {
+		return ErrEmptyDataset
+	}
+	return ValidatePoints(pts)
+}

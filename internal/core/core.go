@@ -10,15 +10,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"elsi/internal/base"
 	"elsi/internal/floats"
 	"elsi/internal/kstest"
 	"elsi/internal/methods"
+	"elsi/internal/parallel"
 	"elsi/internal/rmi"
 	"elsi/internal/scorer"
 )
@@ -73,6 +76,13 @@ type Config struct {
 	// Builders overrides the default method builders (keyed by method
 	// name); nil entries fall back to PoolBuilders defaults.
 	Builders map[string]base.ModelBuilder
+	// BuildTimeout, when positive, is the budget granted to each
+	// attempt of the degradation ladder: a method that has not produced
+	// a model within it is cancelled and the next rung tries with a
+	// fresh budget. Zero means no per-attempt budget. The terminal
+	// piecewise rung ignores it — it is the guarantee that BuildModel
+	// always returns an index.
+	BuildTimeout time.Duration
 }
 
 // System is the ELSI build processor.
@@ -83,6 +93,7 @@ type System struct {
 
 	mu         sync.Mutex
 	selections map[string]int
+	fallbacks  map[string]int
 }
 
 // NewSystem validates cfg and returns a System.
@@ -118,7 +129,13 @@ func NewSystem(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("core: fixed method %q not in pool %v", cfg.Fixed, cfg.Pool)
 		}
 	}
+	if cfg.BuildTimeout < 0 {
+		return nil, fmt.Errorf("core: negative BuildTimeout %v", cfg.BuildTimeout)
+	}
 	builders := scorer.PoolBuildersWorkers(cfg.Trainer, cfg.Seed, cfg.Workers)
+	// RSP is not a pool member (it is SP's comparison baseline), but it
+	// is the ladder's standing fallback before OG.
+	builders[methods.NameRSP] = &methods.RSP{Rho: 0.0001, MinKeys: 500, Trainer: cfg.Trainer, Seed: cfg.Seed, Workers: cfg.Workers}
 	for name, b := range cfg.Builders {
 		builders[name] = b
 	}
@@ -134,6 +151,7 @@ func NewSystem(cfg Config) (*System, error) {
 		builders:   builders,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		selections: map[string]int{},
+		fallbacks:  map[string]int{},
 	}, nil
 }
 
@@ -151,37 +169,148 @@ func MustNewSystem(cfg Config) *System {
 func (s *System) Name() string { return "ELSI" }
 
 // BuildModel implements base.ModelBuilder: summarize, select, reduce,
-// train, bound.
+// train, bound. Failures (errors, panics, blown budgets) in the
+// selected method fall down the degradation ladder; the terminal
+// piecewise rung cannot fail, so BuildModel always returns an index.
 func (s *System) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
-	method := s.selectMethod(d)
-	s.mu.Lock()
-	s.selections[method]++
-	s.mu.Unlock()
-	b, ok := s.builders[method]
-	if !ok {
-		b = &base.Direct{Trainer: s.cfg.Trainer, Workers: s.cfg.Workers}
+	b, stats, err := s.BuildModelCtx(context.Background(), d)
+	if err != nil {
+		// Unreachable with a background context: every rung above can
+		// fail, but the terminal rung only returns the parent context's
+		// error.
+		panic(err)
 	}
-	return b.BuildModel(d)
+	return b, stats
 }
 
-// selectMethod runs the configured selection policy on the partition
-// summary.
-func (s *System) selectMethod(d *base.SortedData) string {
+// BuildModelCtx is BuildModel with cooperative cancellation and the
+// degradation ladder made explicit. The selected method runs first;
+// on error, panic, or a blown per-attempt budget (Config.BuildTimeout)
+// the build falls to the next-ranked pool method, then RSP, then OG,
+// and finally to a piecewise-linear build with theoretical bounds that
+// cannot fail. Each rung gets a fresh budget. A non-nil error is
+// returned only when ctx itself is cancelled; otherwise the index is
+// never nil. Fallbacks are recorded in the returned BuildStats
+// (Selected, Fallbacks) and the per-method counters (Fallbacks()).
+func (s *System) BuildModelCtx(ctx context.Context, d *base.SortedData) (*rmi.Bounded, base.BuildStats, error) {
+	ladder := s.ladder(d)
+	selected := ladder[0]
+	s.mu.Lock()
+	s.selections[selected]++
+	s.mu.Unlock()
+
+	for rung, method := range ladder {
+		if err := ctx.Err(); err != nil {
+			return nil, base.BuildStats{}, err
+		}
+		b, ok := s.builders[method]
+		if !ok {
+			b = &base.Direct{Trainer: s.cfg.Trainer, Workers: s.cfg.Workers}
+		}
+		m, stats, err := s.attempt(ctx, b, d)
+		if err == nil {
+			stats.Selected = selected
+			stats.Fallbacks = rung
+			return m, stats, nil
+		}
+		// The parent being cancelled is not a method failure — stop
+		// instead of burning the remaining rungs on a dead build.
+		if ctx.Err() != nil {
+			return nil, base.BuildStats{}, ctx.Err()
+		}
+		s.mu.Lock()
+		s.fallbacks[method]++
+		s.mu.Unlock()
+	}
+
+	// Terminal rung: a piecewise-linear model with theoretical bounds —
+	// no training loop, no scan, no budget, nothing to inject into.
+	m, stats := s.piecewiseRung(d)
+	stats.Selected = selected
+	stats.Fallbacks = len(ladder)
+	return m, stats, nil
+}
+
+// attempt runs one ladder rung under its own budget.
+func (s *System) attempt(ctx context.Context, b base.ModelBuilder, d *base.SortedData) (*rmi.Bounded, base.BuildStats, error) {
+	if s.cfg.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.BuildTimeout)
+		defer cancel()
+	}
+	m, stats, err := base.BuildModelCtx(ctx, b, d)
+	if err == nil && m == nil {
+		// A builder must not return (nil, nil); treat it as a failure
+		// so the ladder keeps its never-nil guarantee.
+		err = fmt.Errorf("core: builder %s returned no model", b.Name())
+	}
+	return m, stats, err
+}
+
+// piecewiseRung is the ladder's terminal, cannot-fail build: a
+// shrinking-cone piecewise-linear fit over the full key set with
+// eps-derived bounds (rmi.NewBoundedTheoretical). Even a panic in it —
+// which would take deliberately hostile inputs — is contained.
+func (s *System) piecewiseRung(d *base.SortedData) (m *rmi.Bounded, stats base.BuildStats) {
+	defer func() {
+		if pe := parallel.Recovered(recover()); pe != nil {
+			// Last resort below the last resort: a constant model over
+			// the whole partition. Bounds spanning all of D keep every
+			// query correct (scans degrade to full scans).
+			n := d.Len()
+			m = &rmi.Bounded{Model: rmi.ConstModel(0.5), N: n, ErrLo: n, ErrHi: n}
+			stats = base.BuildStats{Method: methodPW, TrainSetSize: n, ErrWidth: 2 * n}
+		}
+	}()
+	t0 := time.Now()
+	m = rmi.NewBoundedTheoretical(d.Keys, 0)
+	stats = base.BuildStats{
+		Method:       methodPW,
+		TrainSetSize: d.Len(),
+		TrainTime:    time.Since(t0),
+		ErrWidth:     m.ErrBoundsWidth(),
+	}
+	return m, stats
+}
+
+// methodPW names the terminal ladder rung in stats and counters. It is
+// not a pool method — it only appears after every real method failed.
+const methodPW = "PW"
+
+// ladder returns the build order for d: the selection policy's pick
+// first, then the remaining pool methods by descending score (learned
+// selection) or pool order, then RSP, then OG.
+func (s *System) ladder(d *base.SortedData) []string {
+	var ranked []string
 	switch s.cfg.Selector {
 	case SelectorFixed:
-		return s.cfg.Fixed
+		ranked = append(ranked, s.cfg.Fixed)
+		ranked = append(ranked, s.cfg.Pool...)
 	case SelectorRandom:
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.cfg.Pool[s.rng.Intn(len(s.cfg.Pool))]
+		ranked = append(ranked, s.cfg.Pool[s.rng.Intn(len(s.cfg.Pool))])
+		s.mu.Unlock()
+		ranked = append(ranked, s.cfg.Pool...)
 	default:
 		dist := 0.0
 		if d.Len() > 0 {
 			dist = kstest.DistanceToUniform(d.Keys, d.Keys[0], d.Keys[d.Len()-1])
 		}
 		sel := &scorer.Selector{Scorer: s.cfg.Scorer, Lambda: s.cfg.Lambda, WQ: s.cfg.WQ, Pool: s.cfg.Pool}
-		return sel.Select(d.Len(), dist)
+		ranked = sel.Rank(d.Len(), dist)
 	}
+	ranked = append(ranked, methods.NameRSP, methods.NameOG)
+	// Dedupe preserving first occurrence, so each method runs at most
+	// once per build.
+	seen := make(map[string]bool, len(ranked))
+	out := ranked[:0]
+	for _, m := range ranked {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // Selections returns how often each method has been chosen since
@@ -196,11 +325,25 @@ func (s *System) Selections() map[string]int {
 	return out
 }
 
-// ResetSelections clears the selection counters.
+// Fallbacks returns, per method, how many of its build attempts
+// failed (errored, panicked, or blew their budget) and fell to the
+// next ladder rung since construction.
+func (s *System) Fallbacks() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.fallbacks))
+	for k, v := range s.fallbacks {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetSelections clears the selection and fallback counters.
 func (s *System) ResetSelections() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.selections = map[string]int{}
+	s.fallbacks = map[string]int{}
 }
 
 // Lambda returns the configured preference factor.

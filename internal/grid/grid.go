@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"elsi/internal/base"
 	"elsi/internal/geo"
 	"elsi/internal/index"
 	"elsi/internal/store"
@@ -44,6 +45,9 @@ func (g *Grid) Len() int { return g.size }
 // Build implements index.Index: it sizes the grid to sqrt(n/B) cells
 // per dimension and inserts every point.
 func (g *Grid) Build(pts []geo.Point) error {
+	if err := base.ValidatePoints(pts); err != nil {
+		return err
+	}
 	n := len(pts)
 	side := int(math.Sqrt(float64(n) / float64(store.BlockSize)))
 	if side < 1 {

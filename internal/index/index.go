@@ -8,6 +8,7 @@ package index
 import (
 	"sort"
 
+	"elsi/internal/base"
 	"elsi/internal/geo"
 )
 
@@ -55,6 +56,9 @@ func (b *BruteForce) Name() string { return "BruteForce" }
 
 // Build implements Index.
 func (b *BruteForce) Build(pts []geo.Point) error {
+	if err := base.ValidatePoints(pts); err != nil {
+		return err
+	}
 	b.pts = append([]geo.Point(nil), pts...)
 	return nil
 }

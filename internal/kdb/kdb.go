@@ -7,6 +7,7 @@ package kdb
 import (
 	"sort"
 
+	"elsi/internal/base"
 	"elsi/internal/floats"
 	"elsi/internal/geo"
 	"elsi/internal/pqueue"
@@ -45,6 +46,9 @@ func (t *Tree) Len() int { return t.size }
 
 // Build implements index.Index with recursive median bulk loading.
 func (t *Tree) Build(pts []geo.Point) error {
+	if err := base.ValidatePoints(pts); err != nil {
+		return err
+	}
 	buf := append([]geo.Point(nil), pts...)
 	t.root = bulkLoad(buf, 0, t.space)
 	t.size = len(pts)

@@ -15,8 +15,10 @@
 package lisa
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"elsi/internal/base"
 	"elsi/internal/geo"
@@ -38,6 +40,10 @@ type Config struct {
 	// key mapping, and the key/point sort (0 = GOMAXPROCS, 1 = serial).
 	// Builds are bit-identical across worker counts.
 	Workers int
+	// BuildTimeout, when positive, bounds each Build call: BuildCtx
+	// runs under a context that expires after it, and the build
+	// returns the context error. Zero means unbounded.
+	BuildTimeout time.Duration
 }
 
 // Index is the LISA index.
@@ -82,8 +88,25 @@ func (ix *Index) MapKey(p geo.Point) float64 {
 	return float64(col) + ny
 }
 
-// Build implements index.Index.
+// Build implements index.Index. It runs BuildCtx under a background
+// context, bounded by Config.BuildTimeout when set.
 func (ix *Index) Build(pts []geo.Point) error {
+	return ix.BuildCtx(context.Background(), pts)
+}
+
+// BuildCtx is Build with cooperative cancellation: the build aborts
+// between stages when ctx is done (or the per-build timeout expires)
+// and returns the context's error. A failed build leaves the index
+// unusable; callers must discard it or rebuild.
+func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
+	if err := base.ValidatePoints(pts); err != nil {
+		return err
+	}
+	if ix.cfg.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ix.cfg.BuildTimeout)
+		defer cancel()
+	}
 	ix.stats = ix.stats[:0]
 	ix.size = len(pts)
 	cols := ix.cfg.Columns
@@ -109,7 +132,10 @@ func (ix *Index) Build(pts []geo.Point) error {
 		ix.shards = [][]store.Entry{nil}
 		return nil
 	}
-	m, st := ix.cfg.Builder.BuildModel(d)
+	m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, d)
+	if err != nil {
+		return err
+	}
 	ix.model = m
 	ix.stats = append(ix.stats, st)
 	// shard-wise storage: rank i lands in shard i/B

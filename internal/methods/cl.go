@@ -1,11 +1,13 @@
 package methods
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/faults"
 	"elsi/internal/floats"
 	"elsi/internal/geo"
 	"elsi/internal/rmi"
@@ -29,27 +31,47 @@ func (m *CL) Name() string { return NameCL }
 
 // BuildModel implements base.ModelBuilder.
 func (m *CL) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
+	return mustBuild(m.BuildModelCtx(context.Background(), d))
+}
+
+// BuildModelCtx implements base.ContextModelBuilder. Injection point:
+// "build/CL". The Lloyd iterations — the pool's most expensive reduce
+// step, O(C*n*i) — observe ctx at iteration boundaries.
+func (m *CL) BuildModelCtx(ctx context.Context, d *base.SortedData) (*rmi.Bounded, base.BuildStats, error) {
+	if err := faults.HitCtx(ctx, "build/"+NameCL); err != nil {
+		return nil, base.BuildStats{}, err
+	}
 	t0 := time.Now()
 	iters := m.Iterations
 	if iters <= 0 {
 		iters = 10
 	}
-	centroids := KMeans(d.Pts, m.C, iters, m.Seed)
+	centroids, err := KMeansCtx(ctx, d.Pts, m.C, iters, m.Seed)
+	if err != nil {
+		return nil, base.BuildStats{}, err
+	}
 	keys := make([]float64, len(centroids))
 	for i, c := range centroids {
 		keys[i] = d.Map(c)
 	}
 	sort.Float64s(keys)
-	return base.FromKeysWorkers(NameCL, m.Trainer, keys, d, time.Since(t0), m.Workers)
+	return base.FromKeysCtx(ctx, NameCL, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }
 
 // KMeans runs Lloyd's algorithm with k-means++-style seeding and
 // returns the cluster centroids. Empty clusters keep their previous
 // centers. k is clamped to [minTrainSet, len(pts)].
 func KMeans(pts []geo.Point, k, iterations int, seed int64) []geo.Point {
+	centers, _ := KMeansCtx(context.Background(), pts, k, iterations, seed)
+	return centers
+}
+
+// KMeansCtx is KMeans with cooperative cancellation at Lloyd iteration
+// boundaries; a background context reproduces KMeans exactly.
+func KMeansCtx(ctx context.Context, pts []geo.Point, k, iterations int, seed int64) ([]geo.Point, error) {
 	n := len(pts)
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	if k < minTrainSet {
 		k = minTrainSet
@@ -61,6 +83,9 @@ func KMeans(pts []geo.Point, k, iterations int, seed int64) []geo.Point {
 	centers := seedPlusPlus(pts, k, rng)
 	assign := make([]int, n)
 	for iter := 0; iter < iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		changed := false
 		for i, p := range pts {
 			best, bestD := 0, p.Dist2(centers[0])
@@ -92,7 +117,7 @@ func KMeans(pts []geo.Point, k, iterations int, seed int64) []geo.Point {
 			break
 		}
 	}
-	return centers
+	return centers, nil
 }
 
 // seedPlusPlus picks k initial centers with D^2 weighting (k-means++).

@@ -10,10 +10,12 @@
 package methods
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/faults"
 	"elsi/internal/floats"
 	"elsi/internal/rmi"
 )
@@ -72,9 +74,29 @@ func (m *SP) Name() string { return NameSP }
 
 // BuildModel implements base.ModelBuilder.
 func (m *SP) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
+	return mustBuild(m.BuildModelCtx(context.Background(), d))
+}
+
+// BuildModelCtx implements base.ContextModelBuilder. Injection point:
+// "build/SP".
+func (m *SP) BuildModelCtx(ctx context.Context, d *base.SortedData) (*rmi.Bounded, base.BuildStats, error) {
+	if err := faults.HitCtx(ctx, "build/"+NameSP); err != nil {
+		return nil, base.BuildStats{}, err
+	}
 	t0 := time.Now()
 	keys := SystematicSampleMin(d.Keys, m.Rho, m.MinKeys)
-	return base.FromKeysWorkers(NameSP, m.Trainer, keys, d, time.Since(t0), m.Workers)
+	return base.FromKeysCtx(ctx, NameSP, m.Trainer, keys, d, time.Since(t0), m.Workers)
+}
+
+// mustBuild adapts a context-aware build result to the legacy
+// BuildModel contract. With a background context and no armed faults
+// the only possible error is a recovered trainer panic, which the
+// legacy contract would have propagated as a panic anyway.
+func mustBuild(b *rmi.Bounded, stats base.BuildStats, err error) (*rmi.Bounded, base.BuildStats) {
+	if err != nil {
+		panic(err)
+	}
+	return b, stats
 }
 
 // SystematicSample returns every stride-th key of sorted keys for a
@@ -136,6 +158,15 @@ func (m *RSP) Name() string { return NameRSP }
 
 // BuildModel implements base.ModelBuilder.
 func (m *RSP) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
+	return mustBuild(m.BuildModelCtx(context.Background(), d))
+}
+
+// BuildModelCtx implements base.ContextModelBuilder. Injection point:
+// "build/RSP".
+func (m *RSP) BuildModelCtx(ctx context.Context, d *base.SortedData) (*rmi.Bounded, base.BuildStats, error) {
+	if err := faults.HitCtx(ctx, "build/"+NameRSP); err != nil {
+		return nil, base.BuildStats{}, err
+	}
 	t0 := time.Now()
 	n := d.Len()
 	count := int(m.Rho * float64(n))
@@ -161,5 +192,5 @@ func (m *RSP) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 		keys[i] = d.Keys[ranks[i]]
 	}
 	sortFloat64s(keys)
-	return base.FromKeysWorkers(NameRSP, m.Trainer, keys, d, time.Since(t0), m.Workers)
+	return base.FromKeysCtx(ctx, NameRSP, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }

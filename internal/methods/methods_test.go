@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -252,7 +253,10 @@ func TestRLMImprovesOverFullGrid(t *testing.T) {
 	// worse than the all-cells-on starting state.
 	d := prepare(t, dataset.Skewed, 8000, 8)
 	m := &RLM{Eta: 4, Steps: 400, Trainer: fastTrainer(), Seed: 2}
-	keys := m.searchKeys(d)
+	keys, err := m.searchKeys(context.Background(), d)
+	if err != nil {
+		t.Fatalf("searchKeys: %v", err)
+	}
 	if len(keys) < minTrainSet {
 		t.Fatalf("RL produced %d keys", len(keys))
 	}

@@ -1,6 +1,7 @@
 package methods
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/faults"
 	"elsi/internal/floats"
 	"elsi/internal/kstest"
 	"elsi/internal/parallel"
@@ -92,11 +94,24 @@ func (m *MR) PoolSize() int {
 // BuildModel implements base.ModelBuilder: find the synthetic set most
 // similar to d's (normalized) key CDF and reuse its model.
 func (m *MR) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
+	return mustBuild(m.BuildModelCtx(context.Background(), d))
+}
+
+// BuildModelCtx implements base.ContextModelBuilder. Injection point:
+// "build/MR". The pool similarity scan observes ctx between
+// candidates.
+func (m *MR) BuildModelCtx(ctx context.Context, d *base.SortedData) (*rmi.Bounded, base.BuildStats, error) {
+	if err := faults.HitCtx(ctx, "build/"+NameMR); err != nil {
+		return nil, base.BuildStats{}, err
+	}
 	m.Prepare()
 	t0 := time.Now()
+	if d.Len() == 0 {
+		return base.FromKeysCtx(ctx, NameMR, m.Trainer, d.Keys, d, time.Since(t0), m.Workers)
+	}
 	lo, hi := d.Keys[0], d.Keys[d.Len()-1]
-	if d.Len() == 0 || floats.Eq(hi, lo) {
-		return base.FromKeysWorkers(NameMR, m.Trainer, d.Keys, d, time.Since(t0), m.Workers)
+	if floats.Eq(hi, lo) {
+		return base.FromKeysCtx(ctx, NameMR, m.Trainer, d.Keys, d, time.Since(t0), m.Workers)
 	}
 	// Normalize the data keys once; similarity search then costs
 	// O(n_mr * n_s * log n) using the binary-search KS distance.
@@ -107,6 +122,9 @@ func (m *MR) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 	}
 	bestIdx, bestDist := 0, math.Inf(1)
 	for i, pt := range m.pool {
+		if err := ctx.Err(); err != nil {
+			return nil, base.BuildStats{}, err
+		}
 		if dist := kstest.Distance(pt.keys, norm); dist < bestDist {
 			bestIdx, bestDist = i, dist
 		}
@@ -121,10 +139,13 @@ func (m *MR) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 		TrainTime:    0, // reuse: no online training
 	}
 	t0 = time.Now()
-	eLo, eHi := rmi.ErrorBoundsWorkers(model, d.Keys, m.Workers)
+	eLo, eHi, err := rmi.ErrorBoundsCtx(ctx, model, d.Keys, m.Workers)
 	stats.BoundsTime = time.Since(t0)
+	if err != nil {
+		return nil, base.BuildStats{}, err
+	}
 	stats.ErrWidth = eLo + eHi
-	return &rmi.Bounded{Model: model, N: d.Len(), ErrLo: eLo, ErrHi: eHi}, stats
+	return &rmi.Bounded{Model: model, N: d.Len(), ErrLo: eLo, ErrHi: eHi}, stats, nil
 }
 
 // remapModel adapts a model trained on [0,1]-normalized keys to the

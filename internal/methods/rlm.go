@@ -1,11 +1,13 @@
 package methods
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/faults"
 	"elsi/internal/floats"
 	"elsi/internal/geo"
 	"elsi/internal/kstest"
@@ -37,14 +39,27 @@ func (m *RLM) Name() string { return NameRL }
 
 // BuildModel implements base.ModelBuilder.
 func (m *RLM) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
+	return mustBuild(m.BuildModelCtx(context.Background(), d))
+}
+
+// BuildModelCtx implements base.ContextModelBuilder. Injection point:
+// "build/RL". The DQN search loop observes ctx at step boundaries and
+// finishes with the best synthetic set found so far.
+func (m *RLM) BuildModelCtx(ctx context.Context, d *base.SortedData) (*rmi.Bounded, base.BuildStats, error) {
+	if err := faults.HitCtx(ctx, "build/"+NameRL); err != nil {
+		return nil, base.BuildStats{}, err
+	}
 	t0 := time.Now()
-	keys := m.searchKeys(d)
-	return base.FromKeysWorkers(NameRL, m.Trainer, keys, d, time.Since(t0), m.Workers)
+	keys, err := m.searchKeys(ctx, d)
+	if err != nil {
+		return nil, base.BuildStats{}, err
+	}
+	return base.FromKeysCtx(ctx, NameRL, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }
 
 // searchKeys runs the DQN-guided search and returns the best synthetic
 // key set found.
-func (m *RLM) searchKeys(d *base.SortedData) []float64 {
+func (m *RLM) searchKeys(ctx context.Context, d *base.SortedData) ([]float64, error) {
 	eta := m.Eta
 	if eta < 2 {
 		eta = 2
@@ -62,7 +77,7 @@ func (m *RLM) searchKeys(d *base.SortedData) []float64 {
 		zeta = 0.8
 	}
 	if d.Len() < minTrainSet {
-		return append([]float64(nil), d.Keys...)
+		return append([]float64(nil), d.Keys...), nil
 	}
 
 	// Grid cells, each represented by its center's mapped key, ordered
@@ -115,6 +130,9 @@ func (m *RLM) searchKeys(d *base.SortedData) []float64 {
 	sinceImprove := 0
 
 	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		action := agent.Select(state)
 		next := append([]float64(nil), state...)
 		if rng.Float64() < zeta {
@@ -139,5 +157,5 @@ func (m *RLM) searchKeys(d *base.SortedData) []float64 {
 			}
 		}
 	}
-	return dsKeys(best)
+	return dsKeys(best), nil
 }

@@ -1,10 +1,12 @@
 package methods
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/faults"
 	"elsi/internal/geo"
 	"elsi/internal/quadtree"
 	"elsi/internal/rmi"
@@ -32,6 +34,15 @@ func (m *RS) Name() string { return NameRS }
 
 // BuildModel implements base.ModelBuilder.
 func (m *RS) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
+	return mustBuild(m.BuildModelCtx(context.Background(), d))
+}
+
+// BuildModelCtx implements base.ContextModelBuilder. Injection point:
+// "build/RS".
+func (m *RS) BuildModelCtx(ctx context.Context, d *base.SortedData) (*rmi.Bounded, base.BuildStats, error) {
+	if err := faults.HitCtx(ctx, "build/"+NameRS); err != nil {
+		return nil, base.BuildStats{}, err
+	}
 	t0 := time.Now()
 	beta := m.Beta
 	if m.TargetLeaves > 0 {
@@ -44,7 +55,7 @@ func (m *RS) BuildModel(d *base.SortedData) (*rmi.Bounded, base.BuildStats) {
 		}
 	}
 	keys := RepresentativeKeys(d, beta)
-	return base.FromKeysWorkers(NameRS, m.Trainer, keys, d, time.Since(t0), m.Workers)
+	return base.FromKeysCtx(ctx, NameRS, m.Trainer, keys, d, time.Since(t0), m.Workers)
 }
 
 // RepresentativeKeys runs the get_RS partitioning and returns the

@@ -8,9 +8,11 @@
 package mlindex
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elsi/internal/base"
 	"elsi/internal/geo"
@@ -44,6 +46,10 @@ type Config struct {
 	// sorting, and concurrent leaf-model builds (0 = GOMAXPROCS, 1 =
 	// serial). Builds are bit-identical across worker counts.
 	Workers int
+	// BuildTimeout, when positive, bounds each Build call: BuildCtx
+	// runs under a context that expires after it, and the build
+	// returns the context error. Zero means unbounded.
+	BuildTimeout time.Duration
 }
 
 // Index is the ML-Index.
@@ -102,8 +108,25 @@ func (ix *Index) MapKey(p geo.Point) float64 {
 	return float64(id)*stride + d
 }
 
-// Build implements index.Index.
+// Build implements index.Index. It runs BuildCtx under a background
+// context, bounded by Config.BuildTimeout when set.
 func (ix *Index) Build(pts []geo.Point) error {
+	return ix.BuildCtx(context.Background(), pts)
+}
+
+// BuildCtx is Build with cooperative cancellation: the build aborts
+// between stages when ctx is done (or the per-build timeout expires)
+// and returns the context's error. A failed build leaves the index
+// unusable; callers must discard it or rebuild.
+func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
+	if err := base.ValidatePoints(pts); err != nil {
+		return err
+	}
+	if ix.cfg.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ix.cfg.BuildTimeout)
+		defer cancel()
+	}
 	ix.stats = ix.stats[:0]
 	// reference points: k-means centers over a sample of the data
 	sample := pts
@@ -118,7 +141,11 @@ func (ix *Index) Build(pts []geo.Point) error {
 	if len(sample) == 0 {
 		ix.refs = []geo.Point{ix.cfg.Space.Center()}
 	} else {
-		ix.refs = methods.KMeans(sample, ix.cfg.Refs, 10, ix.cfg.Seed)
+		refs, err := methods.KMeansCtx(ctx, sample, ix.cfg.Refs, 10, ix.cfg.Seed)
+		if err != nil {
+			return err
+		}
+		ix.refs = refs
 	}
 	d := base.PrepareWorkers(pts, ix.cfg.Space, ix.MapKey, ix.cfg.Workers)
 	es := make([]store.Entry, d.Len())
@@ -132,7 +159,10 @@ func (ix *Index) Build(pts []geo.Point) error {
 		return nil
 	}
 	if ix.cfg.Fanout == 1 {
-		m, st := ix.cfg.Builder.BuildModel(d)
+		m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, d)
+		if err != nil {
+			return err
+		}
 		ix.single = m
 		ix.staged = nil
 		ix.stats = append(ix.stats, st)
@@ -143,19 +173,26 @@ func (ix *Index) Build(pts []geo.Point) error {
 	// partition order so the report is worker-count-independent.
 	statsByStart := make(map[int]base.BuildStats, ix.cfg.Fanout)
 	var mu sync.Mutex
-	ix.staged = rmi.NewStagedParallel(d.Keys, ix.cfg.Fanout, ix.cfg.RootTrainer, func(start int, part []float64) *rmi.Bounded {
+	staged, err := rmi.NewStagedParallelCtx(ctx, d.Keys, ix.cfg.Fanout, ix.cfg.RootTrainer, func(start int, part []float64) (*rmi.Bounded, error) {
 		sub := &base.SortedData{
 			Pts:   d.Pts[start : start+len(part)],
 			Keys:  part,
 			Space: d.Space,
 			Map:   d.Map,
 		}
-		m, st := ix.cfg.Builder.BuildModel(sub)
+		m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, sub)
+		if err != nil {
+			return nil, err
+		}
 		mu.Lock()
 		statsByStart[start] = st
 		mu.Unlock()
-		return m
+		return m, nil
 	}, ix.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	ix.staged = staged
 	n := len(d.Keys)
 	for i := 0; i < ix.cfg.Fanout; i++ {
 		start, end := i*n/ix.cfg.Fanout, (i+1)*n/ix.cfg.Fanout

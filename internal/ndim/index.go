@@ -1,6 +1,8 @@
 package ndim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -93,10 +95,33 @@ func (ix *Index) Len() int { return len(ix.pts) }
 // when RS reduction is enabled, n otherwise).
 func (ix *Index) TrainSetSize() int { return ix.trainSize }
 
+// validatePoints rejects NaN/±Inf coordinates: they have no Morton key
+// and would poison the sort order and training targets downstream.
+func validatePoints(pts []Point) error {
+	for i, p := range pts {
+		for _, c := range p {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("ndim: invalid coordinate in point %d: %v", i, p)
+			}
+		}
+	}
+	return nil
+}
+
 // Build maps, sorts, reduces (optionally), trains, and bounds. Key
 // mapping is chunked across workers and the key/point pairs are
 // co-sorted with the deterministic stable parallel merge sort.
 func (ix *Index) Build(pts []Point) error {
+	return ix.BuildCtx(context.Background(), pts)
+}
+
+// BuildCtx is Build with cooperative cancellation: training and the
+// error-bound scan abort when ctx is done and return its error. A
+// failed build leaves the index unusable; callers must discard it.
+func (ix *Index) BuildCtx(ctx context.Context, pts []Point) error {
+	if err := validatePoints(pts); err != nil {
+		return err
+	}
 	ix.keys = make([]float64, len(pts))
 	ix.pts = make([]Point, len(pts))
 	copy(ix.pts, pts)
@@ -116,7 +141,11 @@ func (ix *Index) Build(pts []Point) error {
 		train = RepresentativeKeys(ix.pts, ix.space, ix.rsBeta)
 	}
 	ix.trainSize = len(train)
-	ix.model = rmi.NewBoundedWorkers(ix.trainer, train, ix.keys, ix.workers)
+	model, err := rmi.NewBoundedCtx(ctx, ix.trainer, train, ix.keys, ix.workers)
+	if err != nil {
+		return err
+	}
+	ix.model = model
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package ndim
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -285,6 +287,75 @@ func TestBitsFor(t *testing.T) {
 	for d := 2; d <= 10; d++ {
 		if BitsFor(d)*d > 52 {
 			t.Errorf("d=%d: %d total bits exceed 52", d, BitsFor(d)*d)
+		}
+	}
+}
+
+// TestIndexDegenerateData covers the historically fragile inputs for
+// the d-dimensional index: empty, single-point, and all-duplicate
+// builds, on both the OG and RS-reduced training paths.
+func TestIndexDegenerateData(t *testing.T) {
+	dup := make([]Point, 64)
+	for i := range dup {
+		dup[i] = Point{0.25, 0.75, 0.5}
+	}
+	sets := map[string][]Point{
+		"empty":      nil,
+		"single":     {{0.5, 0.5, 0.5}},
+		"duplicates": dup,
+	}
+	for _, rsBeta := range []int{0, 10} {
+		for name, pts := range sets {
+			t.Run(fmt.Sprintf("beta%d/%s", rsBeta, name), func(t *testing.T) {
+				ix := NewIndex(UnitCube(3), rmi.PiecewiseTrainer(1.0/256), rsBeta)
+				if err := ix.Build(pts); err != nil {
+					t.Fatalf("Build(%s): %v", name, err)
+				}
+				if ix.Len() != len(pts) {
+					t.Fatalf("Len = %d, want %d", ix.Len(), len(pts))
+				}
+				if ix.PointQuery(Point{0.987, 0.123, 0.555}) {
+					t.Error("phantom point found")
+				}
+				win := Rect{Min: Point{0, 0, 0}, Max: Point{1, 1, 1}}
+				got := ix.WindowQuery(win)
+				if len(pts) == 0 {
+					if len(got) != 0 {
+						t.Errorf("empty build returned %d window results", len(got))
+					}
+					if knn := ix.KNN(Point{0.5, 0.5, 0.5}, 3); len(knn) != 0 {
+						t.Errorf("empty build returned %d kNN results", len(knn))
+					}
+					return
+				}
+				if !ix.PointQuery(pts[0]) {
+					t.Fatalf("stored point %v not found", pts[0])
+				}
+				if len(got) != len(pts) {
+					t.Errorf("full-space window returned %d of %d points", len(got), len(pts))
+				}
+				knn := ix.KNN(pts[0], 1)
+				if len(knn) != 1 || !knn[0].Equal(pts[0]) {
+					t.Errorf("KNN(stored, 1) = %v", knn)
+				}
+			})
+		}
+	}
+}
+
+// TestIndexBuildRejectsInvalidPoints pins the input-validation
+// contract: NaN/±Inf coordinates are rejected before any key mapping.
+func TestIndexBuildRejectsInvalidPoints(t *testing.T) {
+	nan := math.NaN()
+	bad := [][]Point{
+		{{nan, 0.5, 0.5}},
+		{{0.5, math.Inf(1), 0.5}},
+		{{0.1, 0.1, 0.1}, {0.5, 0.5, math.Inf(-1)}},
+	}
+	for i, pts := range bad {
+		ix := NewIndex(UnitCube(3), rmi.PiecewiseTrainer(1.0/256), 0)
+		if err := ix.Build(pts); err == nil {
+			t.Errorf("case %d: Build accepted invalid point", i)
 		}
 	}
 }

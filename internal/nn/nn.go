@@ -22,6 +22,12 @@ type Config struct {
 	Epochs       int     // full passes over the training set
 	BatchSize    int     // minibatch size; <=0 means full batch
 	Seed         int64   // RNG seed for weight init and shuffling
+
+	// Cancel, when non-nil, is polled at each epoch boundary; a true
+	// return stops training early. Train then returns the loss of the
+	// last completed epoch and ErrCancelled, leaving the network with
+	// whatever weights it had — a usable (if under-trained) model.
+	Cancel func() bool
 }
 
 // DefaultConfig mirrors the paper's hyper-parameters with an epoch
@@ -182,6 +188,11 @@ func (n *Network) backprop(acts [][]float64, dOut []float64, gw, gb [][]float64)
 	}
 }
 
+// ErrCancelled is returned by Train when Config.Cancel stops a run at
+// an epoch boundary. The network keeps the weights of the epochs that
+// did complete.
+var ErrCancelled = errors.New("nn: training cancelled")
+
 // Train fits the network to (xs, ys) with minibatch Adam minimizing the
 // mean L2 loss. It returns the final epoch's mean loss.
 func (n *Network) Train(xs, ys [][]float64, cfg Config) (float64, error) {
@@ -213,6 +224,9 @@ func (n *Network) Train(xs, ys [][]float64, cfg Config) (float64, error) {
 
 	var lastLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Cancel != nil && cfg.Cancel() {
+			return lastLoss, ErrCancelled
+		}
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss := 0.0
 		for start := 0; start < len(idx); start += batch {

@@ -55,6 +55,11 @@ func chunks(n, workers int) int {
 // chunk, and waits for all of them. fn must be safe for concurrent
 // use across disjoint chunks. With workers <= 1 (or n too small to
 // split) fn runs inline over the whole range.
+//
+// A panic in a worker goroutine does not crash the process: it is
+// recovered and re-raised as a *PanicError on the calling goroutine
+// after all workers finish, so callers with their own recovery (the
+// degradation ladder, the background rebuild) can contain it.
 func For(n, workers int, fn func(lo, hi int)) {
 	nc := chunks(n, workers)
 	if nc == 1 {
@@ -63,35 +68,55 @@ func For(n, workers int, fn func(lo, hi int)) {
 		}
 		return
 	}
+	var sink errSink
 	var wg sync.WaitGroup
 	wg.Add(nc)
 	for c := 0; c < nc; c++ {
 		lo, hi := c*n/nc, (c+1)*n/nc
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if pe := Recovered(recover()); pe != nil {
+					sink.record(pe)
+				}
+			}()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if err := sink.get(); err != nil {
+		panic(err)
+	}
 }
 
 // Do runs the given functions concurrently and waits for all of them
 // — the fork/join for a handful of independent tasks (e.g. training
-// the scorer's build-cost and query-cost nets).
+// the scorer's build-cost and query-cost nets). As with For, a worker
+// panic is re-raised as a *PanicError on the calling goroutine rather
+// than crashing the process.
 func Do(fns ...func()) {
 	if len(fns) == 1 {
 		fns[0]()
 		return
 	}
+	var sink errSink
 	var wg sync.WaitGroup
 	wg.Add(len(fns))
 	for _, fn := range fns {
 		go func(fn func()) {
 			defer wg.Done()
+			defer func() {
+				if pe := Recovered(recover()); pe != nil {
+					sink.record(pe)
+				}
+			}()
 			fn()
 		}(fn)
 	}
 	wg.Wait()
+	if err := sink.get(); err != nil {
+		panic(err)
+	}
 }
 
 // MaxReduce evaluates chunk over the contiguous chunks of [0, n) in

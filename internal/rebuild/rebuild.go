@@ -18,11 +18,14 @@ import (
 	"sort"
 	"sync"
 
+	"elsi/internal/base"
 	"elsi/internal/delta"
+	"elsi/internal/faults"
 	"elsi/internal/geo"
 	"elsi/internal/index"
 	"elsi/internal/kstest"
 	"elsi/internal/nn"
+	"elsi/internal/parallel"
 )
 
 // --- rebuild predictor --------------------------------------------------
@@ -174,6 +177,18 @@ type Processor struct {
 	// Factory creates a fresh, unbuilt index instance for each
 	// background rebuild. When nil, rebuilds block.
 	Factory func() Rebuildable
+	// Retry, when non-nil, retries failed background rebuilds with
+	// capped exponential backoff (see RetryPolicy). Nil disables
+	// retries: a failed rebuild stays failed until the next trigger.
+	Retry *RetryPolicy
+	// BreakerThreshold is the number of consecutive rebuild failures
+	// that opens the circuit breaker (0 selects the default of 5,
+	// negative disables the breaker). While open, automatic rebuilds
+	// are suppressed — the processor serves from the last good index
+	// plus the delta overlay — and an explicit Rebuild() runs inline
+	// (blocking) instead of spawning another doomed background build.
+	// The breaker closes on the next successful rebuild or ResetBreaker.
+	BreakerThreshold int
 
 	mu sync.RWMutex // guards everything below
 
@@ -198,10 +213,27 @@ type Processor struct {
 	generation  uint64
 	rebuildDone chan struct{}
 	rebuildErr  error
+
+	// failure bookkeeping: a bounded ring of recent rebuild errors
+	// (newest last) plus counters and the retry/breaker state.
+	rebuildErrs  []error
+	failures     int
+	retries      int
+	consecFail   int
+	retryPending bool
+	breakerOpen  bool
+	retryRNG     *rand.Rand
 }
 
-// NewProcessor builds idx on pts and wraps it.
+// NewProcessor builds idx on pts and wraps it. The data set must be
+// non-empty and free of NaN/±Inf coordinates (base.ErrEmptyDataset,
+// *base.InvalidPointError): a processor over nothing would serve an
+// empty index while its overlay silently absorbed every update, and
+// non-finite coordinates have no place on a space-filling curve.
 func NewProcessor(idx Rebuildable, pred *Predictor, pts []geo.Point, mapKey func(geo.Point) float64, fu int) (*Processor, error) {
+	if err := base.ValidateDataset(pts); err != nil {
+		return nil, err
+	}
 	p := &Processor{idx: idx, pred: pred, Fu: fu, MapKey: mapKey}
 	if p.Fu <= 0 {
 		p.Fu = 1024
@@ -272,9 +304,12 @@ func (p *Processor) Delete(pt geo.Point) bool {
 }
 
 // maybeRebuildLocked consults the predictor every Fu updates. Called
-// with the write lock held.
+// with the write lock held. With the circuit breaker open (or a retry
+// already scheduled) automatic rebuilds are suppressed: the processor
+// keeps serving from the last good index plus the delta overlay.
 func (p *Processor) maybeRebuildLocked() bool {
-	if p.pred == nil || p.rebuilding || p.updatesSeen == 0 || p.updatesSeen%p.Fu != 0 {
+	if p.pred == nil || p.rebuilding || p.retryPending || p.breakerOpen ||
+		p.updatesSeen == 0 || p.updatesSeen%p.Fu != 0 {
 		return false
 	}
 	if !p.pred.ShouldRebuild(p.currentFeaturesLocked()) {
@@ -344,7 +379,8 @@ func (p *Processor) currentSimLocked() float64 {
 
 // Rebuild forces a full index rebuild on the current data set. With a
 // Factory it starts a background rebuild and returns immediately
-// (WaitRebuild blocks until the swap); without one it rebuilds inline.
+// (WaitRebuild blocks until the swap); without one — or with the
+// circuit breaker open — it rebuilds inline under the write lock.
 // A Rebuild issued while one is already in flight is a no-op.
 func (p *Processor) Rebuild() {
 	p.mu.Lock()
@@ -352,21 +388,40 @@ func (p *Processor) Rebuild() {
 	if p.rebuilding {
 		return
 	}
-	if p.Factory != nil {
+	if p.Factory != nil && !p.breakerOpen {
 		p.startRebuildLocked()
 	} else {
 		p.rebuildBlockingLocked()
 	}
 }
 
-// rebuildBlockingLocked is the Factory-less path: build in place under
-// the write lock, then reset the delta state.
+// rebuildBlockingLocked is the inline path: build in place under the
+// write lock, then reset the delta state. A failed or panicking build
+// keeps the delta list — the pending updates are still pending, since
+// nothing absorbed them — and is recorded like a background failure.
 func (p *Processor) rebuildBlockingLocked() {
-	p.idx.Build(p.pts)
+	if err := p.buildInlineSafe(); err != nil {
+		p.recordFailureLocked(err)
+		return
+	}
 	p.rebuilds++
 	p.builtKeys, p.builtN, p.builtDist = summarize(p.pts, p.MapKey)
 	p.deltaList.Clear()
 	p.updatesSeen = 0
+	p.recordSuccessLocked()
+}
+
+// buildInlineSafe runs the in-place build with panic isolation.
+func (p *Processor) buildInlineSafe() (err error) {
+	defer func() {
+		if pe := parallel.Recovered(recover()); pe != nil {
+			err = pe
+		}
+	}()
+	if err := faults.Hit("rebuild/background"); err != nil {
+		return err
+	}
+	return p.idx.Build(p.pts)
 }
 
 // startRebuildLocked launches the background rebuild: freeze the data
@@ -390,9 +445,10 @@ func (p *Processor) startRebuildLocked() {
 		defer close(done)
 		// the expensive part — including the factory, which may set up
 		// builders — runs without the lock: queries and updates proceed
-		// against the old index + frozen + overlay
-		newIdx := factory()
-		err := newIdx.Build(frozenPts)
+		// against the old index + frozen + overlay. buildSafe recovers
+		// panics, so a panicking factory or build never kills the
+		// process or wedges the processor in the rebuilding state.
+		newIdx, err := buildSafe(factory, frozenPts)
 		var keys []float64
 		var n int
 		var dist float64
@@ -421,6 +477,8 @@ func (p *Processor) startRebuildLocked() {
 			}
 			p.deltaList = *restored
 			p.frozen = nil
+			p.recordFailureLocked(err)
+			p.scheduleRetryLocked(gen)
 			return
 		}
 		// atomic swap: the new index already contains everything the
@@ -430,7 +488,26 @@ func (p *Processor) startRebuildLocked() {
 		p.rebuilds++
 		p.builtKeys, p.builtN, p.builtDist = keys, n, dist
 		p.updatesSeen -= seenAtStart
+		p.recordSuccessLocked()
 	}()
+}
+
+// buildSafe runs one background build attempt with panic isolation.
+// Injection point: "rebuild/background".
+func buildSafe(factory func() Rebuildable, pts []geo.Point) (idx Rebuildable, err error) {
+	defer func() {
+		if pe := parallel.Recovered(recover()); pe != nil {
+			idx, err = nil, pe
+		}
+	}()
+	if err := faults.Hit("rebuild/background"); err != nil {
+		return nil, err
+	}
+	newIdx := factory()
+	if err := newIdx.Build(pts); err != nil {
+		return nil, err
+	}
+	return newIdx, nil
 }
 
 // WaitRebuild blocks until no background rebuild is in flight. It

@@ -1,0 +1,161 @@
+package rmi
+
+import (
+	"context"
+	"sync"
+
+	"elsi/internal/faults"
+	"elsi/internal/parallel"
+)
+
+// SafeTrain runs trainer on trainKeys with panic isolation: a panic
+// inside the trainer (NaN-poisoned weights, a degenerate slice bound)
+// comes back as a *parallel.PanicError instead of crashing the
+// process, which is what lets the degradation ladder move on to the
+// next method.
+func SafeTrain(trainer Trainer, trainKeys []float64) (m Model, err error) {
+	defer func() {
+		if pe := parallel.Recovered(recover()); pe != nil {
+			m, err = nil, pe
+		}
+	}()
+	return trainer(trainKeys), nil
+}
+
+// ErrorBoundsCtx is ErrorBoundsWorkers with cooperative cancellation
+// and panic isolation: the scan checks ctx at block boundaries and
+// aborts early when the build budget is spent. On success the bounds
+// are identical to ErrorBoundsWorkers for any worker count. Injection
+// point: "bounds/scan".
+func ErrorBoundsCtx(ctx context.Context, m Model, sortedKeys []float64, workers int) (errLo, errHi int, err error) {
+	if err := faults.HitCtx(ctx, "bounds/scan"); err != nil {
+		return 0, 0, err
+	}
+	n := len(sortedKeys)
+	// One predictor per worker goroutine, pooled so the block-granular
+	// callback does not allocate scratch per block.
+	pool := sync.Pool{New: func() any {
+		p := PredictorOf(m)
+		return &p
+	}}
+	return parallel.MaxReduceCtx(ctx, n, workers, func(lo, hi int) (int, int) {
+		pp := pool.Get().(*func(key float64) float64)
+		defer pool.Put(pp)
+		predict := *pp
+		cLo, cHi := 0, 0
+		for i := lo; i < hi; i++ {
+			pred := int(predict(sortedKeys[i]) * float64(n))
+			if pred < 0 {
+				pred = 0
+			}
+			if pred >= n {
+				pred = n - 1
+			}
+			if d := pred - i; d > cLo {
+				cLo = d
+			}
+			if d := i - pred; d > cHi {
+				cHi = d
+			}
+		}
+		return cLo, cHi
+	})
+}
+
+// NewBoundedCtx is NewBoundedWorkers with cancellation and panic
+// isolation across both stages: the training call is wrapped by
+// SafeTrain and the error-bound scan by ErrorBoundsCtx. On error the
+// returned Bounded is nil.
+func NewBoundedCtx(ctx context.Context, trainer Trainer, trainKeys, fullKeys []float64, workers int) (*Bounded, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m, err := SafeTrain(trainer, trainKeys)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi, err := ErrorBoundsCtx(ctx, m, fullKeys, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Bounded{Model: m, N: len(fullKeys), ErrLo: lo, ErrHi: hi}, nil
+}
+
+// NewStagedParallelCtx is NewStagedParallel for fallible leaf builders:
+// buildLeaf may return an error (a cancelled or failed per-leaf build),
+// leaf builder panics are recovered into *parallel.PanicError, and no
+// new leaves start once ctx is done. On any error the partial Staged is
+// discarded and the first error (panics outranking cancellations) is
+// returned.
+func NewStagedParallelCtx(ctx context.Context, sortedKeys []float64, fanout int, rootTrainer Trainer, buildLeaf func(start int, part []float64) (*Bounded, error), workers int) (*Staged, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := len(sortedKeys)
+	if fanout < 1 {
+		fanout = 1
+	}
+	workers = parallel.Resolve(workers)
+	root, err := NewBoundedCtx(ctx, rootTrainer, sortedKeys, sortedKeys, workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Staged{root: root, n: n}
+	s.splits = make([]int, fanout+1)
+	for i := 0; i <= fanout; i++ {
+		s.splits[i] = i * n / fanout
+	}
+	s.leaves = make([]*Bounded, fanout)
+	var sink parallel.ErrSink
+	build := func(i int) (err error) {
+		defer func() {
+			if pe := parallel.Recovered(recover()); pe != nil {
+				err = pe
+			}
+		}()
+		part := sortedKeys[s.splits[i]:s.splits[i+1]]
+		if len(part) == 0 {
+			s.leaves[i] = &Bounded{Model: constModel(0), N: 0}
+			return nil
+		}
+		b, err := buildLeaf(s.splits[i], part)
+		if err != nil {
+			return err
+		}
+		s.leaves[i] = b
+		return nil
+	}
+	if workers == 1 {
+		for i := 0; i < fanout; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := build(i); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < fanout; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sink.Record(build(i))
+		}(i)
+	}
+	wg.Wait()
+	if err := sink.Get(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -195,6 +195,13 @@ type FFNConfig struct {
 	Hidden int   // hidden layer width
 	Epochs int   // training epochs
 	Seed   int64 // RNG seed
+
+	// Cancel, when non-nil, is polled at epoch boundaries during
+	// training (see nn.Config.Cancel); a true return stops the run
+	// early and the trainer returns the partially trained model. Bind
+	// it to a build context's Err to make FFN training observe build
+	// budgets: func() bool { return ctx.Err() != nil }.
+	Cancel func() bool
 }
 
 // DefaultFFNConfig returns the configuration used throughout the
@@ -246,7 +253,7 @@ func FFNTrainer(cfg FFNConfig) Trainer {
 			xs[i] = xflat[i : i+1 : i+1]
 			ys[i] = yflat[i : i+1 : i+1]
 		}
-		net.Train(xs, ys, nn.Config{LearningRate: 0.01, Epochs: cfg.Epochs, BatchSize: 256, Seed: cfg.Seed})
+		net.Train(xs, ys, nn.Config{LearningRate: 0.01, Epochs: cfg.Epochs, BatchSize: 256, Seed: cfg.Seed, Cancel: cfg.Cancel})
 		return &FFNModel{net: net, min: min, max: max}
 	}
 }
@@ -507,19 +514,28 @@ func newStaged(sortedKeys []float64, fanout int, rootTrainer Trainer, buildLeaf 
 	return s
 }
 
+// leafIndex returns the leaf whose rank range contains global rank r:
+// the largest i with splits[i] <= r. The arithmetic shortcut
+// r*fanout/n disagrees with the floored split boundaries (and lands on
+// empty leaves when n < fanout), so the index is found on the actual
+// splits.
+func (s *Staged) leafIndex(r int) int {
+	li := sort.SearchInts(s.splits, r+1) - 1
+	if li < 0 {
+		li = 0
+	}
+	if li >= len(s.leaves) {
+		li = len(s.leaves) - 1
+	}
+	return li
+}
+
 // leafFor returns the leaf index the root model predicts for key.
 func (s *Staged) leafFor(key float64) int {
 	if s.n == 0 {
 		return 0
 	}
-	r := s.root.PredictRank(key)
-	// splits are equi-count, so the leaf index is direct.
-	fanout := len(s.leaves)
-	li := r * fanout / s.n
-	if li >= fanout {
-		li = fanout - 1
-	}
-	return li
+	return s.leafIndex(s.root.PredictRank(key))
 }
 
 // leafSpan returns the inclusive range of leaf indices the root model's
@@ -529,16 +545,7 @@ func (s *Staged) leafSpan(key float64) (liLo, liHi int) {
 	if rHi > 0 {
 		rHi--
 	}
-	fanout := len(s.leaves)
-	liLo = rLo * fanout / s.n
-	liHi = rHi * fanout / s.n
-	if liLo < 0 {
-		liLo = 0
-	}
-	if liHi >= fanout {
-		liHi = fanout - 1
-	}
-	return liLo, liHi
+	return s.leafIndex(rLo), s.leafIndex(rHi)
 }
 
 // SearchRange returns the global position range [lo, hi) the root's

@@ -412,3 +412,25 @@ func BenchmarkRadixSplinePredict(b *testing.B) {
 		m.PredictCDF(0.37)
 	}
 }
+
+// TestStagedTinyInputsRouting pins the n < fanout regression: with
+// integer split boundaries the rank-to-leaf mapping must follow the
+// actual splits, not the equi-count arithmetic (which lands single-key
+// builds on an empty leaf and returns an empty search range).
+func TestStagedTinyInputsRouting(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for fanout := 1; fanout <= 8; fanout++ {
+			keys := make([]float64, n)
+			for i := range keys {
+				keys[i] = float64(i+1) / float64(n+1)
+			}
+			s := NewStaged(keys, fanout, LinearTrainer(), LinearTrainer())
+			for i, k := range keys {
+				lo, hi := s.SearchRangeWide(k)
+				if i < lo || i >= hi {
+					t.Fatalf("n=%d fanout=%d: key %d outside range [%d,%d)", n, fanout, i, lo, hi)
+				}
+			}
+		}
+	}
+}

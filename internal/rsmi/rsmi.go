@@ -11,8 +11,10 @@
 package rsmi
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"elsi/internal/base"
 	"elsi/internal/curve"
@@ -43,6 +45,10 @@ type Config struct {
 	// serially so the stats report stays in traversal order; the
 	// per-node data preparation is where the work is.
 	Workers int
+	// BuildTimeout, when positive, bounds each Build call: BuildCtx
+	// runs under a context that expires after it, and the build
+	// returns the context error. Zero means unbounded.
+	BuildTimeout time.Duration
 }
 
 // Index is the RSMI.
@@ -98,12 +104,33 @@ func (ix *Index) Name() string { return "RSMI" }
 // Len implements index.Index.
 func (ix *Index) Len() int { return ix.size }
 
-// Build implements index.Index.
+// Build implements index.Index. It runs BuildCtx under a background
+// context, bounded by Config.BuildTimeout when set.
 func (ix *Index) Build(pts []geo.Point) error {
+	return ix.BuildCtx(context.Background(), pts)
+}
+
+// BuildCtx is Build with cooperative cancellation: the recursive node
+// build aborts between model builds when ctx is done (or the per-build
+// timeout expires) and returns the context's error. A failed build
+// leaves the index unusable; callers must discard it or rebuild.
+func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
+	if err := base.ValidatePoints(pts); err != nil {
+		return err
+	}
+	if ix.cfg.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ix.cfg.BuildTimeout)
+		defer cancel()
+	}
 	ix.stats = ix.stats[:0]
 	ix.size = len(pts)
 	ix.localRebuilds = 0
-	ix.root = ix.buildNode(pts, ix.cfg.Space)
+	root, err := ix.buildNodeCtx(ctx, pts, ix.cfg.Space)
+	if err != nil {
+		return err
+	}
+	ix.root = root
 	return nil
 }
 
@@ -113,8 +140,23 @@ func localKey(p geo.Point, bounds geo.Rect) float64 {
 	return float64(curve.ZEncode(p, bounds))
 }
 
-// buildNode builds the subtree for pts with the given spatial bounds.
+// buildNode builds the subtree for pts with the given spatial bounds,
+// panicking on model-build failure. It is the legacy entry used by
+// insert-triggered local rebuilds, which run without a context.
 func (ix *Index) buildNode(pts []geo.Point, bounds geo.Rect) *node {
+	n, err := ix.buildNodeCtx(context.Background(), pts, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// buildNodeCtx builds the subtree for pts with the given spatial
+// bounds, checking ctx between model builds.
+func (ix *Index) buildNodeCtx(ctx context.Context, pts []geo.Point, bounds geo.Rect) (*node, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dataBounds := geo.BoundingRect(pts)
 	if dataBounds.IsEmpty() {
 		dataBounds = bounds
@@ -129,15 +171,21 @@ func (ix *Index) buildNode(pts []geo.Point, bounds geo.Rect) *node {
 		}
 		n.st = store.NewSortedFromEntries(es)
 		if d.Len() > 0 {
-			m, st := ix.cfg.Builder.BuildModel(d)
+			m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, d)
+			if err != nil {
+				return nil, err
+			}
 			n.leafModel = m
 			ix.stats = append(ix.stats, st)
 		} else {
 			n.leafModel = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
 		}
-		return n
+		return n, nil
 	}
-	m, st := ix.cfg.Builder.BuildModel(d)
+	m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, d)
+	if err != nil {
+		return nil, err
+	}
 	n.model = m
 	ix.stats = append(ix.stats, st)
 	f := ix.cfg.Fanout
@@ -149,10 +197,14 @@ func (ix *Index) buildNode(pts []geo.Point, bounds geo.Rect) *node {
 			continue
 		}
 		childPts := append([]geo.Point(nil), d.Pts[lo:hi]...)
+		child, err := ix.buildNodeCtx(ctx, childPts, dataBounds)
+		if err != nil {
+			return nil, err
+		}
 		n.childMinKey = append(n.childMinKey, d.Keys[lo])
-		n.children = append(n.children, ix.buildNode(childPts, dataBounds))
+		n.children = append(n.children, child)
 	}
-	return n
+	return n, nil
 }
 
 // childSpan returns the inclusive child index range the node model's

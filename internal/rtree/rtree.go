@@ -8,6 +8,7 @@ package rtree
 import (
 	"sort"
 
+	"elsi/internal/base"
 	"elsi/internal/curve"
 	"elsi/internal/floats"
 	"elsi/internal/geo"
@@ -54,6 +55,9 @@ func (t *Tree) Len() int { return t.size }
 
 // Build implements index.Index.
 func (t *Tree) Build(pts []geo.Point) error {
+	if err := base.ValidatePoints(pts); err != nil {
+		return err
+	}
 	t.root = nil
 	t.size = 0
 	if t.bulk {

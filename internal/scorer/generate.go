@@ -1,6 +1,7 @@
 package scorer
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -89,14 +90,23 @@ func GenerateSamples(cfg GenConfig) []Sample {
 			pts := dataset.PointsWithUniformDistance(rng, n, dist)
 			d := prepareZOrder(pts)
 			st := storeOf(d)
-			// OG reference first
-			ogBuild, ogQuery := measure(builders[methods.NameOG], d, st, pts, cfg.Queries, rng)
+			// OG reference first; a failed reference build (injected
+			// fault, hostile data) voids the whole grid cell.
+			ogBuild, ogQuery, err := measure(builders[methods.NameOG], d, st, pts, cfg.Queries, rng)
+			if err != nil {
+				continue
+			}
 			for _, name := range pool {
 				var b, q float64
 				if name == methods.NameOG {
 					b, q = ogBuild, ogQuery
 				} else {
-					b, q = measure(builders[name], d, st, pts, cfg.Queries, rng)
+					b, q, err = measure(builders[name], d, st, pts, cfg.Queries, rng)
+					if err != nil {
+						// no measurement, no sample — the scorer trains
+						// on whatever the faults left standing
+						continue
+					}
 				}
 				samples = append(samples, Sample{
 					Method:       name,
@@ -128,13 +138,19 @@ func storeOf(d *base.SortedData) *store.Sorted {
 }
 
 // measure builds one model with b and times the build and the average
-// point query over the resulting predict-and-scan index.
-func measure(b base.ModelBuilder, d *base.SortedData, st *store.Sorted, pts []geo.Point, queries int, rng *rand.Rand) (buildSec, querySec float64) {
+// point query over the resulting predict-and-scan index. The build
+// runs through base.BuildModelCtx so a panicking or failing builder
+// (fault injection, hostile data) voids the measurement instead of
+// crashing ground-truth generation.
+func measure(b base.ModelBuilder, d *base.SortedData, st *store.Sorted, pts []geo.Point, queries int, rng *rand.Rand) (buildSec, querySec float64, err error) {
 	t0 := time.Now()
-	m, _ := b.BuildModel(d)
+	m, _, err := base.BuildModelCtx(context.Background(), b, d)
 	buildSec = time.Since(t0).Seconds()
+	if err != nil {
+		return 0, 0, err
+	}
 	if len(pts) == 0 {
-		return buildSec, 0
+		return buildSec, 0, nil
 	}
 	qs := make([]geo.Point, queries)
 	for i := range qs {
@@ -147,7 +163,7 @@ func measure(b base.ModelBuilder, d *base.SortedData, st *store.Sorted, pts []ge
 		st.FindPoint(lo, hi, q)
 	}
 	querySec = time.Since(t0).Seconds() / float64(queries)
-	return buildSec, querySec
+	return buildSec, querySec, nil
 }
 
 // MeasureDist computes dist(D_U, D) for a prepared data set — the

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"elsi/internal/methods"
 	"elsi/internal/mltree"
@@ -168,6 +169,30 @@ func (sel *Selector) Select(n int, dist float64) string {
 		}
 	}
 	return best
+}
+
+// Rank returns the pool ordered by descending score for a data set
+// summary — the degradation ladder's fallback order. Ties keep the
+// pool's own order (the sort is stable), so ranking is deterministic;
+// Rank(n, dist)[0] always equals Select(n, dist).
+func (sel *Selector) Rank(n int, dist float64) []string {
+	pool := sel.Pool
+	if len(pool) == 0 {
+		pool = methods.PoolNames()
+	}
+	wq := sel.WQ
+	if wq <= 0 {
+		wq = 1
+	}
+	ranked := append([]string(nil), pool...)
+	scores := make(map[string]float64, len(ranked))
+	for _, m := range ranked {
+		scores[m] = sel.Scorer.Score(m, n, dist, sel.Lambda, wq)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return scores[ranked[i]] > scores[ranked[j]]
+	})
+	return ranked
 }
 
 // --- ground truth & evaluation ----------------------------------------

@@ -1,9 +1,11 @@
 package scorer
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
+	"elsi/internal/base"
 	"elsi/internal/curve"
 	"elsi/internal/dataset"
 	"elsi/internal/geo"
@@ -115,8 +117,15 @@ func GenerateWindowSamples(cfg GenConfig, areaFrac float64) []WindowSample {
 			d := prepareZOrder(pts)
 			st := storeOf(d)
 			wins := dataset.WindowsFromData(rng, pts, geo.UnitRect, cfg.Queries/4+1, areaFrac)
-			ogBuild, ogQuery := measure(builders[methods.NameOG], d, st, pts, cfg.Queries, rng)
-			ogModel, _ := builders[methods.NameOG].BuildModel(d)
+			// a failed OG reference build voids the whole grid cell
+			ogBuild, ogQuery, err := measure(builders[methods.NameOG], d, st, pts, cfg.Queries, rng)
+			if err != nil {
+				continue
+			}
+			ogModel, _, err := base.BuildModelCtx(context.Background(), builders[methods.NameOG], d)
+			if err != nil {
+				continue
+			}
 			ogWindow := measureWindows(ogModel, st, wins)
 			for _, name := range pool {
 				s := WindowSample{}
@@ -124,8 +133,14 @@ func GenerateWindowSamples(cfg GenConfig, areaFrac float64) []WindowSample {
 				if name == methods.NameOG {
 					s.BuildSpeedup, s.QuerySpeedup, s.WindowSpeedup = 1, 1, 1
 				} else {
-					b, q := measure(builders[name], d, st, pts, cfg.Queries, rng)
-					m, _ := builders[name].BuildModel(d)
+					b, q, err := measure(builders[name], d, st, pts, cfg.Queries, rng)
+					if err != nil {
+						continue
+					}
+					m, _, err := base.BuildModelCtx(context.Background(), builders[name], d)
+					if err != nil {
+						continue
+					}
 					w := measureWindows(m, st, wins)
 					s.BuildSpeedup = ogBuild / maxF(b, 1e-9)
 					s.QuerySpeedup = ogQuery / maxF(q, 1e-12)

@@ -9,9 +9,11 @@
 package zm
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elsi/internal/base"
 	"elsi/internal/curve"
@@ -41,6 +43,10 @@ type Config struct {
 	// and concurrent leaf-model builds (0 = GOMAXPROCS, 1 = serial).
 	// Builds are bit-identical across worker counts.
 	Workers int
+	// BuildTimeout, when positive, bounds each Build call: BuildCtx
+	// runs under a context that expires after it, and the build
+	// returns the context error. Zero means unbounded.
+	BuildTimeout time.Duration
 }
 
 // Index is the ZM index.
@@ -84,8 +90,26 @@ func (ix *Index) MapKey(p geo.Point) float64 {
 	return float64(curve.ZEncode(p, ix.cfg.Space))
 }
 
-// Build implements index.Index (Algorithm 1 end to end).
+// Build implements index.Index (Algorithm 1 end to end). It runs
+// BuildCtx under a background context, bounded by Config.BuildTimeout
+// when set.
 func (ix *Index) Build(pts []geo.Point) error {
+	return ix.BuildCtx(context.Background(), pts)
+}
+
+// BuildCtx is Build with cooperative cancellation: the build aborts
+// between model builds when ctx is done (or the per-build timeout
+// expires) and returns the context's error. A failed build leaves the
+// index unusable; callers must discard it or rebuild.
+func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
+	if err := base.ValidatePoints(pts); err != nil {
+		return err
+	}
+	if ix.cfg.BuildTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ix.cfg.BuildTimeout)
+		defer cancel()
+	}
 	d := base.PrepareWorkers(pts, ix.cfg.Space, ix.MapKey, ix.cfg.Workers)
 	ix.st = store.NewSortedFromEntries(entriesOf(d))
 	ix.stats = ix.stats[:0]
@@ -95,7 +119,10 @@ func (ix *Index) Build(pts []geo.Point) error {
 		return nil
 	}
 	if ix.cfg.Fanout == 1 {
-		m, st := ix.cfg.Builder.BuildModel(d)
+		m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, d)
+		if err != nil {
+			return err
+		}
 		ix.single = m
 		ix.staged = nil
 		ix.stats = append(ix.stats, st)
@@ -107,19 +134,26 @@ func (ix *Index) Build(pts []geo.Point) error {
 	// the worker count, the stats report must not.
 	statsByStart := make(map[int]base.BuildStats, ix.cfg.Fanout)
 	var mu sync.Mutex
-	ix.staged = rmi.NewStagedParallel(d.Keys, ix.cfg.Fanout, ix.cfg.RootTrainer, func(start int, part []float64) *rmi.Bounded {
+	staged, err := rmi.NewStagedParallelCtx(ctx, d.Keys, ix.cfg.Fanout, ix.cfg.RootTrainer, func(start int, part []float64) (*rmi.Bounded, error) {
 		sub := &base.SortedData{
 			Pts:   d.Pts[start : start+len(part)],
 			Keys:  part,
 			Space: d.Space,
 			Map:   d.Map,
 		}
-		m, st := ix.cfg.Builder.BuildModel(sub)
+		m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, sub)
+		if err != nil {
+			return nil, err
+		}
 		mu.Lock()
 		statsByStart[start] = st
 		mu.Unlock()
-		return m
+		return m, nil
 	}, ix.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	ix.staged = staged
 	ix.stats = append(ix.stats, statsInOrder(statsByStart, len(d.Keys), ix.cfg.Fanout)...)
 	return nil
 }
