@@ -27,9 +27,11 @@ lint:
 	$(GO) run ./cmd/elsivet ./...
 
 # bench writes the machine-readable build/query medians (serial vs
-# parallel workers) consumed by README's Performance section.
+# parallel workers, plus window/kNN latency, allocations per point
+# query, and batched throughput) consumed by README's Performance and
+# Query performance sections.
 bench:
-	$(GO) run ./cmd/elsibench -json -n 50000 -queries 300 -epochs 40 > BENCH_pr3.json
+	$(GO) run ./cmd/elsibench -json -n 50000 -queries 300 -epochs 40 > BENCH_pr5.json
 
 microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...

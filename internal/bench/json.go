@@ -10,6 +10,9 @@ import (
 
 	"elsi/internal/base"
 	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/qserve"
 	"elsi/internal/rmi"
 )
 
@@ -37,6 +40,20 @@ type JSONResult struct {
 	// QueryMedianUS is the median (over Reps runs) of the average
 	// point-query latency.
 	QueryMedianUS float64 `json:"query_median_us"`
+	// PointQPS is point-query throughput derived from QueryMedianUS.
+	PointQPS float64 `json:"point_qps"`
+	// WindowMedianUS is the median average window-query latency using
+	// the zero-allocation append path with a reused result buffer.
+	WindowMedianUS float64 `json:"window_median_us"`
+	// KNNMedianUS is the median average k=10 kNN latency through the
+	// append path with a reused result buffer.
+	KNNMedianUS float64 `json:"knn_median_us"`
+	// PointAllocs is the measured allocations per point query in the
+	// steady state (0 for the learned families).
+	PointAllocs float64 `json:"point_allocs_per_op"`
+	// BatchedPointQPS is point-query throughput through the qserve
+	// batched engine at the same worker count.
+	BatchedPointQPS float64 `json:"batched_point_qps"`
 }
 
 // JSONReport is the full output of RunJSON.
@@ -77,6 +94,7 @@ func RunJSON(w io.Writer, opts JSONOptions) error {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	pts := dataset.PointsWithUniformDistance(rng, opts.N, 0.3)
 	queries := dataset.QueriesFromData(rng, pts, opts.Queries)
+	windows := dataset.WindowsFromData(rng, pts, geo.UnitRect, opts.Queries, 0.0001)
 
 	report := JSONReport{
 		N:          opts.N,
@@ -93,6 +111,10 @@ func RunJSON(w io.Writer, opts JSONOptions) error {
 			builder := &base.Direct{Trainer: trainer, Workers: workers}
 			buildMS := make([]float64, 0, opts.Reps)
 			queryUS := make([]float64, 0, opts.Reps)
+			windowUS := make([]float64, 0, opts.Reps)
+			knnUS := make([]float64, 0, opts.Reps)
+			batchedQPS := make([]float64, 0, opts.Reps)
+			pointAllocs := 0.0
 			for rep := 0; rep < opts.Reps; rep++ {
 				ix, err := NewLearnedWorkers(name, builder, opts.N, workers)
 				if err != nil {
@@ -108,18 +130,75 @@ func RunJSON(w io.Writer, opts JSONOptions) error {
 					ix.PointQuery(q)
 				}
 				queryUS = append(queryUS, float64(time.Since(t0).Nanoseconds())/1e3/float64(len(queries)))
+
+				var buf []geo.Point
+				t0 = time.Now()
+				for _, win := range windows {
+					buf = index.AppendWindow(ix, win, buf[:0])
+				}
+				windowUS = append(windowUS, float64(time.Since(t0).Nanoseconds())/1e3/float64(len(windows)))
+				t0 = time.Now()
+				for _, q := range queries {
+					buf = index.AppendKNN(ix, q, 10, buf[:0])
+				}
+				knnUS = append(knnUS, float64(time.Since(t0).Nanoseconds())/1e3/float64(len(queries)))
+
+				eng := qserve.New(ix, workers)
+				outs := eng.PointBatch(queries, nil) // warm the shard buffers
+				t0 = time.Now()
+				outs = eng.PointBatch(queries, outs)
+				if el := time.Since(t0).Seconds(); el > 0 {
+					batchedQPS = append(batchedQPS, float64(len(queries))/el)
+				}
+				_ = outs
+				if rep == 0 {
+					qi := 0
+					pointAllocs = allocsPerOp(200, func() {
+						ix.PointQuery(queries[qi%len(queries)])
+						qi++
+					})
+				}
 			}
 			report.Results = append(report.Results, JSONResult{
-				Index:         name,
-				Workers:       workers,
-				BuildMedianMS: median(buildMS),
-				QueryMedianUS: median(queryUS),
+				Index:           name,
+				Workers:         workers,
+				BuildMedianMS:   median(buildMS),
+				QueryMedianUS:   median(queryUS),
+				PointQPS:        qpsFromUS(median(queryUS)),
+				WindowMedianUS:  median(windowUS),
+				KNNMedianUS:     median(knnUS),
+				PointAllocs:     pointAllocs,
+				BatchedPointQPS: median(batchedQPS),
 			})
 		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// qpsFromUS converts an average per-query latency in microseconds to
+// queries per second.
+func qpsFromUS(us float64) float64 {
+	if us <= 0 {
+		return 0
+	}
+	return 1e6 / us
+}
+
+// allocsPerOp measures the average heap allocations per call of fn
+// over runs calls, after one warm-up call — the benchmark-binary
+// counterpart of testing.AllocsPerRun.
+func allocsPerOp(runs int, fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // warm pools and buffers
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
 }
 
 // median returns the middle value of xs (mean of the middle two for

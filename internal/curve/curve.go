@@ -170,36 +170,55 @@ type KeyRange struct {
 // Predict-and-scan indices use the ranges to restrict the portion of
 // the sorted array a window query must visit.
 func ZRanges(window geo.Rect, space geo.Rect, maxDepth int) []KeyRange {
+	return ZRangesAppend(window, space, maxDepth, nil)
+}
+
+// ZRangesAppend is ZRanges writing into out (which may hold unrelated
+// leading entries) and returning the extended slice. Query hot paths
+// pass a reused buffer so the decomposition allocates nothing once the
+// buffer has warmed up.
+func ZRangesAppend(window geo.Rect, space geo.Rect, maxDepth int, out []KeyRange) []KeyRange {
 	if !window.Intersects(space) {
-		return nil
+		return out
 	}
 	if maxDepth > Order {
 		maxDepth = Order
 	}
-	var out []KeyRange
-	var rec func(cx, cy uint32, level int, cell geo.Rect)
-	rec = func(cx, cy uint32, level int, cell geo.Rect) {
-		if !window.Intersects(cell) {
-			return
-		}
-		// Keys of the subtree rooted at this cell: the cell coordinates
-		// fix the top 2*level bits of the key.
-		shift := uint(2 * (Order - level))
-		base := ZEncodeCell(cx<<(Order-level), cy<<(Order-level))
-		span := uint64(1)<<shift - 1
-		if window.ContainsRect(cell) || level >= maxDepth {
-			out = append(out, KeyRange{base, base + span})
-			return
-		}
-		mx := (cell.MinX + cell.MaxX) / 2
-		my := (cell.MinY + cell.MaxY) / 2
-		rec(cx*2, cy*2, level+1, geo.Rect{MinX: cell.MinX, MinY: cell.MinY, MaxX: mx, MaxY: my})
-		rec(cx*2+1, cy*2, level+1, geo.Rect{MinX: mx, MinY: cell.MinY, MaxX: cell.MaxX, MaxY: my})
-		rec(cx*2, cy*2+1, level+1, geo.Rect{MinX: cell.MinX, MinY: my, MaxX: mx, MaxY: cell.MaxY})
-		rec(cx*2+1, cy*2+1, level+1, geo.Rect{MinX: mx, MinY: my, MaxX: cell.MaxX, MaxY: cell.MaxY})
+	z := zranger{window: window, maxDepth: maxDepth, out: out}
+	start := len(out)
+	z.rec(0, 0, 0, space)
+	merged := MergeRanges(z.out[start:])
+	return z.out[:start+len(merged)]
+}
+
+// zranger carries the recursion state of the Z-range decomposition; a
+// value receiver closure would force the output slice to escape on
+// every call, a struct keeps the recursion allocation-free.
+type zranger struct {
+	window   geo.Rect
+	maxDepth int
+	out      []KeyRange
+}
+
+func (z *zranger) rec(cx, cy uint32, level int, cell geo.Rect) {
+	if !z.window.Intersects(cell) {
+		return
 	}
-	rec(0, 0, 0, space)
-	return MergeRanges(out)
+	// Keys of the subtree rooted at this cell: the cell coordinates
+	// fix the top 2*level bits of the key.
+	shift := uint(2 * (Order - level))
+	base := ZEncodeCell(cx<<(Order-level), cy<<(Order-level))
+	span := uint64(1)<<shift - 1
+	if z.window.ContainsRect(cell) || level >= z.maxDepth {
+		z.out = append(z.out, KeyRange{base, base + span})
+		return
+	}
+	mx := (cell.MinX + cell.MaxX) / 2
+	my := (cell.MinY + cell.MaxY) / 2
+	z.rec(cx*2, cy*2, level+1, geo.Rect{MinX: cell.MinX, MinY: cell.MinY, MaxX: mx, MaxY: my})
+	z.rec(cx*2+1, cy*2, level+1, geo.Rect{MinX: mx, MinY: cell.MinY, MaxX: cell.MaxX, MaxY: my})
+	z.rec(cx*2, cy*2+1, level+1, geo.Rect{MinX: cell.MinX, MinY: my, MaxX: mx, MaxY: cell.MaxY})
+	z.rec(cx*2+1, cy*2+1, level+1, geo.Rect{MinX: mx, MinY: my, MaxX: cell.MaxX, MaxY: cell.MaxY})
 }
 
 // MergeRanges sorts ranges by Lo and merges adjacent or overlapping

@@ -10,6 +10,7 @@ package grid
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"elsi/internal/base"
 	"elsi/internal/geo"
@@ -176,7 +177,11 @@ func (g *Grid) Delete(p geo.Point) bool {
 
 // WindowQuery implements index.Index (exact).
 func (g *Grid) WindowQuery(win geo.Rect) []geo.Point {
-	var out []geo.Point
+	return g.WindowQueryAppend(win, nil)
+}
+
+// WindowQueryAppend implements index.WindowAppender.
+func (g *Grid) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if g.cells == nil {
 		return out
 	}
@@ -208,27 +213,45 @@ func (g *Grid) cellCoords(p geo.Point) (int, int) {
 // rings of cells are visited outward until every unvisited cell is
 // provably farther than the current k-th nearest candidate.
 func (g *Grid) KNN(q geo.Point, k int) []geo.Point {
+	return g.KNNAppend(q, k, nil)
+}
+
+// knnScratch holds the ring candidate set and the per-ring selection;
+// pooled so repeated kNN queries reuse one working set.
+type knnScratch struct {
+	cand []geo.Point
+	sel  []geo.Point
+}
+
+var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) }}
+
+// KNNAppend implements index.KNNAppender; KNN delegates here, so both
+// entry points return identical answers.
+func (g *Grid) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	if g.cells == nil || k <= 0 || g.size == 0 {
-		return nil
+		return out
 	}
+	s := knnScratchPool.Get().(*knnScratch)
+	defer knnScratchPool.Put(s)
+	s.cand = s.cand[:0]
 	qcx, qcy := g.cellCoords(q)
-	var cand []geo.Point
 	maxRing := g.nx + g.ny
 	minSide := math.Min(g.space.Width()/float64(g.nx), g.space.Height()/float64(g.ny))
 	for ring := 0; ring <= maxRing; ring++ {
-		g.collectRing(qcx, qcy, ring, &cand)
-		if len(cand) < k {
+		g.collectRing(qcx, qcy, ring, &s.cand)
+		if len(s.cand) < k {
 			continue
 		}
 		// Any cell at Chebyshev distance ring+1 lies at least
 		// ring*minSide away from q (q may sit on its own cell's edge).
-		best := index.KNNScan(cand, q, k)
-		dk := math.Sqrt(best[len(best)-1].Dist2(q))
+		s.sel = index.KNNScanAppend(s.cand, q, k, s.sel[:0])
+		dk := math.Sqrt(s.sel[len(s.sel)-1].Dist2(q))
 		if float64(ring)*minSide > dk {
-			return best
+			return append(out, s.sel...)
 		}
 	}
-	return index.KNNScan(cand, q, k)
+	s.sel = index.KNNScanAppend(s.cand, q, k, s.sel[:0])
+	return append(out, s.sel...)
 }
 
 // collectRing appends all points in cells at Chebyshev distance ring

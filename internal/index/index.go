@@ -7,6 +7,7 @@ package index
 
 import (
 	"sort"
+	"sync"
 
 	"elsi/internal/base"
 	"elsi/internal/geo"
@@ -30,6 +31,40 @@ type Index interface {
 	KNN(q geo.Point, k int) []geo.Point
 	// Len returns the number of stored points.
 	Len() int
+}
+
+// WindowAppender is the zero-allocation window-query entry point:
+// matches are appended to out (which may be a reused buffer) and the
+// extended slice is returned. Implementations return exactly the same
+// points in the same order as WindowQuery.
+type WindowAppender interface {
+	WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point
+}
+
+// KNNAppender is the zero-allocation kNN entry point, mirroring
+// WindowAppender: the k nearest points are appended to out in the same
+// order KNN returns them.
+type KNNAppender interface {
+	KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point
+}
+
+// AppendWindow routes a window query through ix's WindowQueryAppend
+// when it has one, falling back to WindowQuery plus a copy into out.
+// Batched query engines use it so reusable result buffers work with
+// every index, not just the ones with native append paths.
+func AppendWindow(ix Index, win geo.Rect, out []geo.Point) []geo.Point {
+	if wa, ok := ix.(WindowAppender); ok {
+		return wa.WindowQueryAppend(win, out)
+	}
+	return append(out, ix.WindowQuery(win)...)
+}
+
+// AppendKNN is AppendWindow's kNN counterpart.
+func AppendKNN(ix Index, q geo.Point, k int, out []geo.Point) []geo.Point {
+	if ka, ok := ix.(KNNAppender); ok {
+		return ka.KNNAppend(q, k, out)
+	}
+	return append(out, ix.KNN(q, k)...)
 }
 
 // Inserter is implemented by indices supporting point insertion.
@@ -90,7 +125,11 @@ func (b *BruteForce) WindowQuery(win geo.Rect) []geo.Point {
 	if count == 0 {
 		return nil
 	}
-	out := make([]geo.Point, 0, count)
+	return b.WindowQueryAppend(win, make([]geo.Point, 0, count))
+}
+
+// WindowQueryAppend implements WindowAppender.
+func (b *BruteForce) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	for _, p := range b.pts {
 		if win.Contains(p) {
 			out = append(out, p)
@@ -102,6 +141,11 @@ func (b *BruteForce) WindowQuery(win geo.Rect) []geo.Point {
 // KNN implements Index.
 func (b *BruteForce) KNN(q geo.Point, k int) []geo.Point {
 	return KNNScan(b.pts, q, k)
+}
+
+// KNNAppend implements KNNAppender.
+func (b *BruteForce) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
+	return KNNScanAppend(b.pts, q, k, out)
 }
 
 // Insert implements Inserter.
@@ -124,22 +168,47 @@ func KNNScan(pts []geo.Point, q geo.Point, k int) []geo.Point {
 	if k <= 0 || len(pts) == 0 {
 		return nil
 	}
-	type cand struct {
-		p geo.Point
-		d float64
+	if k > len(pts) {
+		k = len(pts)
 	}
-	cands := make([]cand, len(pts))
-	for i, p := range pts {
-		cands[i] = cand{p, p.Dist2(q)}
+	return KNNScanAppend(pts, q, k, make([]geo.Point, 0, k))
+}
+
+// knnSorter sorts parallel candidate point/distance columns by
+// ascending distance. Pooled so repeated kNN scans reuse one scratch.
+type knnSorter struct {
+	pts  []geo.Point
+	dist []float64
+}
+
+func (s *knnSorter) Len() int           { return len(s.pts) }
+func (s *knnSorter) Less(i, j int) bool { return s.dist[i] < s.dist[j] }
+func (s *knnSorter) Swap(i, j int) {
+	s.pts[i], s.pts[j] = s.pts[j], s.pts[i]
+	s.dist[i], s.dist[j] = s.dist[j], s.dist[i]
+}
+
+var knnSorterPool = sync.Pool{New: func() interface{} { return new(knnSorter) }}
+
+// KNNScanAppend is KNNScan appending the k nearest points to out and
+// returning the extended slice; its sort scratch is pooled, so the only
+// allocation in steady state is out's own growth.
+func KNNScanAppend(pts []geo.Point, q geo.Point, k int, out []geo.Point) []geo.Point {
+	if k <= 0 || len(pts) == 0 {
+		return out
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
-	if k > len(cands) {
-		k = len(cands)
+	s := knnSorterPool.Get().(*knnSorter)
+	s.pts = append(s.pts[:0], pts...)
+	s.dist = s.dist[:0]
+	for _, p := range pts {
+		s.dist = append(s.dist, p.Dist2(q))
 	}
-	out := make([]geo.Point, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].p
+	sort.Sort(s)
+	if k > len(s.pts) {
+		k = len(s.pts)
 	}
+	out = append(out, s.pts[:k]...)
+	knnSorterPool.Put(s)
 	return out
 }
 

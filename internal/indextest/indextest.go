@@ -2,11 +2,86 @@ package indextest
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"elsi/internal/geo"
 	"elsi/internal/index"
 )
+
+// AppendEquivalence asserts that idx's append-style query entry points
+// return exactly the same points in the same order as the allocating
+// ones, and that an existing out prefix is preserved. idx must already
+// be built on pts.
+func AppendEquivalence(t *testing.T, idx index.Index, pts []geo.Point, seed int64) {
+	t.Helper()
+	wa, isWA := idx.(index.WindowAppender)
+	ka, isKA := idx.(index.KNNAppender)
+	if !isWA {
+		t.Fatalf("%s: no WindowQueryAppend", idx.Name())
+	}
+	if !isKA {
+		t.Fatalf("%s: no KNNAppend", idx.Name())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sentinel := geo.Point{X: -12345, Y: -54321}
+	var buf []geo.Point
+	for trial := 0; trial < 30; trial++ {
+		c := pts[rng.Intn(len(pts))]
+		half := 0.005 + rng.Float64()*0.06
+		win := geo.Rect{MinX: c.X - half, MinY: c.Y - half, MaxX: c.X + half, MaxY: c.Y + half}
+		want := idx.WindowQuery(win)
+		buf = append(buf[:0], sentinel)
+		got := wa.WindowQueryAppend(win, buf)
+		if len(got) < 1 || got[0] != sentinel {
+			t.Fatalf("%s: WindowQueryAppend clobbered the out prefix", idx.Name())
+		}
+		assertSamePoints(t, idx.Name(), "WindowQueryAppend", got[1:], want)
+		buf = got
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := pts[rng.Intn(len(pts))]
+		k := 1 + rng.Intn(25)
+		want := idx.KNN(q, k)
+		buf = append(buf[:0], sentinel)
+		got := ka.KNNAppend(q, k, buf)
+		if len(got) < 1 || got[0] != sentinel {
+			t.Fatalf("%s: KNNAppend clobbered the out prefix", idx.Name())
+		}
+		assertSamePoints(t, idx.Name(), "KNNAppend", got[1:], want)
+		buf = got
+	}
+}
+
+func assertSamePoints(t *testing.T, name, api string, got, want []geo.Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %s returned %d points, serial path %d", name, api, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: %s result %d = %v, serial path %v", name, api, i, got[i], want[i])
+		}
+	}
+}
+
+// AssertZeroAllocs asserts fn performs no heap allocations per run.
+// It skips under the race detector, whose instrumentation allocates.
+func AssertZeroAllocs(t *testing.T, what string, fn func()) {
+	t.Helper()
+	if RaceEnabled {
+		t.Skipf("%s: alloc accounting is unreliable under -race", what)
+	}
+	fn() // warm pools and buffers outside the measured runs
+	// A GC cycle demotes pool contents to the victim cache; running one
+	// here plus a re-warm keeps a mid-measurement GC from showing up as
+	// a spurious pool refill.
+	runtime.GC()
+	fn()
+	if allocs := testing.AllocsPerRun(100, fn); allocs > 0 {
+		t.Fatalf("%s: %.1f allocs/op, want 0", what, allocs)
+	}
+}
 
 // Conformance runs the standard correctness suite against idx built on
 // pts: every stored point must be found by PointQuery, window queries

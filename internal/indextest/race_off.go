@@ -1,0 +1,7 @@
+//go:build !race
+
+package indextest
+
+// RaceEnabled reports whether the race detector is compiled in; alloc
+// guards skip under it because instrumentation allocates.
+const RaceEnabled = false

@@ -6,6 +6,7 @@ package kdb
 
 import (
 	"sort"
+	"sync"
 
 	"elsi/internal/base"
 	"elsi/internal/floats"
@@ -225,54 +226,75 @@ func (t *Tree) Delete(p geo.Point) bool {
 
 // WindowQuery implements index.Index (exact).
 func (t *Tree) WindowQuery(win geo.Rect) []geo.Point {
-	var out []geo.Point
-	var walk func(*node)
-	walk = func(n *node) {
-		if n == nil || !win.Intersects(n.region) {
-			return
-		}
-		if n.leaf {
-			for _, p := range n.pts {
-				if win.Contains(p) {
-					out = append(out, p)
-				}
-			}
-			return
-		}
-		walk(n.left)
-		walk(n.right)
-	}
-	walk(t.root)
-	return out
+	return t.WindowQueryAppend(win, nil)
 }
+
+// WindowQueryAppend implements index.WindowAppender with a closure-free
+// recursive walk threading out through the recursion.
+func (t *Tree) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
+	return windowNode(t.root, win, out)
+}
+
+func windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point {
+	if n == nil || !win.Intersects(n.region) {
+		return out
+	}
+	if n.leaf {
+		for _, p := range n.pts {
+			if win.Contains(p) {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	out = windowNode(n.left, win, out)
+	return windowNode(n.right, win, out)
+}
+
+// knnScratch pairs the traversal min-heap with the k-best candidate
+// heap; pooled so repeated kNN searches reuse both backing arrays.
+type knnScratch struct {
+	pq   pqueue.Min
+	best pqueue.KBest
+}
+
+var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) }}
 
 // KNN implements index.Index with best-first search over node regions.
 func (t *Tree) KNN(q geo.Point, k int) []geo.Point {
+	return t.KNNAppend(q, k, nil)
+}
+
+// KNNAppend implements index.KNNAppender; KNN delegates here, so both
+// entry points return identical answers.
+func (t *Tree) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	if t.root == nil || k <= 0 || t.size == 0 {
-		return nil
+		return out
 	}
-	var pq pqueue.Min
-	pq.Push(t.root, t.root.region.Dist2(q))
-	best := pqueue.NewKBest(k)
-	for pq.Len() > 0 {
-		it := pq.Pop()
-		if best.Full() && it.Dist > best.Worst() {
+	s := knnScratchPool.Get().(*knnScratch)
+	defer knnScratchPool.Put(s)
+	s.pq.Reset()
+	s.best.Reset(k)
+	s.pq.Push(t.root, t.root.region.Dist2(q))
+	for s.pq.Len() > 0 {
+		it := s.pq.Pop()
+		if s.best.Full() && it.Dist > s.best.Worst() {
 			break
 		}
 		n := it.Value.(*node)
 		if n.leaf {
 			for _, p := range n.pts {
-				best.Offer(p, p.Dist2(q))
+				s.best.Offer(p, p.Dist2(q))
 			}
 			continue
 		}
 		for _, c := range [2]*node{n.left, n.right} {
 			if c != nil {
-				pq.Push(c, c.region.Dist2(q))
+				s.pq.Push(c, c.region.Dist2(q))
 			}
 		}
 	}
-	return best.Points()
+	return s.best.AppendPoints(out)
 }
 
 // Depth returns the height of the tree.

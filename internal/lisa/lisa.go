@@ -48,10 +48,15 @@ type Config struct {
 
 // Index is the LISA index.
 type Index struct {
-	cfg         Config
-	colBounds   []float64 // ascending x boundaries, len = columns-1
-	model       *rmi.Bounded
-	shards      [][]store.Entry // shard id -> key-sorted entries
+	cfg       Config
+	colBounds []float64 // ascending x boundaries, len = columns-1
+	model     *rmi.Bounded
+	// Shards are parallel key/point columns per shard id, key-sorted
+	// within each shard. A fresh build aliases contiguous sub-ranges of
+	// the prepared columns (full-capacity slices, so an insert's append
+	// reallocates instead of clobbering the neighbouring shard).
+	shardKeys   [][]float64
+	shardPts    [][]geo.Point
 	size        int
 	stats       []base.BuildStats
 	invocations atomic.Int64
@@ -129,7 +134,8 @@ func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
 	d := base.PrepareWorkers(pts, ix.cfg.Space, ix.MapKey, ix.cfg.Workers)
 	if d.Len() == 0 {
 		ix.model = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
-		ix.shards = [][]store.Entry{nil}
+		ix.shardKeys = [][]float64{nil}
+		ix.shardPts = [][]geo.Point{nil}
 		return nil
 	}
 	m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, d)
@@ -138,12 +144,22 @@ func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
 	}
 	ix.model = m
 	ix.stats = append(ix.stats, st)
-	// shard-wise storage: rank i lands in shard i/B
+	// Shard-wise storage: rank i lands in shard i/B. Shards are
+	// contiguous rank ranges, so they alias the prepared columns
+	// directly instead of copying entry by entry; the three-index
+	// slices pin each shard's capacity to its length so a later append
+	// cannot write into the next shard's range.
 	numShards := (d.Len() + store.BlockSize - 1) / store.BlockSize
-	ix.shards = make([][]store.Entry, numShards)
-	for i := 0; i < d.Len(); i++ {
-		s := i / store.BlockSize
-		ix.shards[s] = append(ix.shards[s], store.Entry{Key: d.Keys[i], Point: d.Pts[i]})
+	ix.shardKeys = make([][]float64, numShards)
+	ix.shardPts = make([][]geo.Point, numShards)
+	for s := 0; s < numShards; s++ {
+		lo := s * store.BlockSize
+		hi := lo + store.BlockSize
+		if hi > d.Len() {
+			hi = d.Len()
+		}
+		ix.shardKeys[s] = d.Keys[lo:hi:hi]
+		ix.shardPts[s] = d.Pts[lo:hi:hi]
 	}
 	return nil
 }
@@ -161,8 +177,8 @@ func (ix *Index) shardSpan(key float64) (int, int) {
 	if sLo < 0 {
 		sLo = 0
 	}
-	if sHi >= len(ix.shards) {
-		sHi = len(ix.shards) - 1
+	if sHi >= len(ix.shardKeys) {
+		sHi = len(ix.shardKeys) - 1
 	}
 	return sLo, sHi
 }
@@ -174,23 +190,45 @@ func (ix *Index) predictShard(key float64) int {
 	if s < 0 {
 		s = 0
 	}
-	if s >= len(ix.shards) {
-		s = len(ix.shards) - 1
+	if s >= len(ix.shardKeys) {
+		s = len(ix.shardKeys) - 1
 	}
 	return s
 }
 
-// scanShards visits the entries of shards [sLo, sHi], charging the
-// scan counter.
-func (ix *Index) scanShards(sLo, sHi int, fn func(store.Entry) bool) {
-	for s := sLo; s <= sHi && s < len(ix.shards); s++ {
-		for _, e := range ix.shards[s] {
-			ix.scanned.Add(1)
-			if !fn(e) {
-				return
+// findInShards scans shards [sLo, sHi] for p, charging the entries
+// visited to the scan counter with a single atomic add.
+func (ix *Index) findInShards(sLo, sHi int, p geo.Point) bool {
+	visited := int64(0)
+	for s := sLo; s <= sHi && s < len(ix.shardPts); s++ {
+		for j, q := range ix.shardPts[s] {
+			if q == p {
+				ix.scanned.Add(visited + int64(j+1))
+				return true
 			}
 		}
+		visited += int64(len(ix.shardPts[s]))
 	}
+	ix.scanned.Add(visited)
+	return false
+}
+
+// collectWindowShards appends to out the points of shards [sLo, sHi]
+// whose keys lie in [loKey, hiKey] and which fall inside win, charging
+// the visited entries with a single atomic add.
+func (ix *Index) collectWindowShards(sLo, sHi int, loKey, hiKey float64, win geo.Rect, out []geo.Point) []geo.Point {
+	visited := int64(0)
+	for s := sLo; s <= sHi && s < len(ix.shardKeys); s++ {
+		ks, ps := ix.shardKeys[s], ix.shardPts[s]
+		for j, k := range ks {
+			if k >= loKey && k <= hiKey && win.Contains(ps[j]) {
+				out = append(out, ps[j])
+			}
+		}
+		visited += int64(len(ks))
+	}
+	ix.scanned.Add(visited)
+	return out
 }
 
 // PointQuery implements index.Index (exact): a stored point's key
@@ -211,21 +249,17 @@ func (ix *Index) PointQuery(p geo.Point) bool {
 	if ps > sHi {
 		sHi = ps
 	}
-	found := false
-	ix.scanShards(sLo, sHi, func(e store.Entry) bool {
-		if e.Point == p {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found
+	return ix.findInShards(sLo, sHi, p)
 }
 
 // WindowQuery implements index.Index (approximate when the shard model
 // is a non-monotone FFN): one key interval per overlapping column.
 func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
-	var out []geo.Point
+	return ix.WindowQueryAppend(win, nil)
+}
+
+// WindowQueryAppend implements index.WindowAppender.
+func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.size == 0 || ix.model == nil {
 		return out
 	}
@@ -250,12 +284,7 @@ func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
 		if sHi < sLo {
 			sLo, sHi = sHi, sLo
 		}
-		ix.scanShards(sLo, sHi, func(e store.Entry) bool {
-			if e.Key >= loKey && e.Key <= hiKey && win.Contains(e.Point) {
-				out = append(out, e.Point)
-			}
-			return true
-		})
+		out = ix.collectWindowShards(sLo, sHi, loKey, hiKey, win, out)
 	}
 	return out
 }
@@ -263,6 +292,12 @@ func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
 // KNN implements index.Index via expanding windows (approximate).
 func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
 	return zm.WindowKNN(ix, ix.cfg.Space, ix.size, q, k)
+}
+
+// KNNAppend implements index.KNNAppender via the shared expanding-
+// window append path.
+func (ix *Index) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
+	return zm.WindowKNNAppend(ix, ix.cfg.Space, ix.size, q, k, out)
 }
 
 // Insert implements index.Inserter: the point goes to its predicted
@@ -274,12 +309,18 @@ func (ix *Index) Insert(p geo.Point) {
 	}
 	key := ix.MapKey(p)
 	s := ix.predictShard(key)
-	shard := ix.shards[s]
-	pos := sort.Search(len(shard), func(i int) bool { return shard[i].Key >= key })
-	shard = append(shard, store.Entry{})
-	copy(shard[pos+1:], shard[pos:])
-	shard[pos] = store.Entry{Key: key, Point: p}
-	ix.shards[s] = shard
+	ks, ps := ix.shardKeys[s], ix.shardPts[s]
+	pos := sort.SearchFloat64s(ks, key)
+	// The append reallocates on a freshly built shard (capacity pinned
+	// to length), detaching it from the shared build columns.
+	ks = append(ks, 0)
+	ps = append(ps, geo.Point{})
+	copy(ks[pos+1:], ks[pos:])
+	copy(ps[pos+1:], ps[pos:])
+	ks[pos] = key
+	ps[pos] = p
+	ix.shardKeys[s] = ks
+	ix.shardPts[s] = ps
 	ix.size++
 }
 
@@ -298,12 +339,14 @@ func (ix *Index) Delete(p geo.Point) bool {
 	if ps > sHi {
 		sHi = ps
 	}
-	for s := sLo; s <= sHi && s < len(ix.shards); s++ {
-		for i, e := range ix.shards[s] {
-			if e.Point == p {
-				shard := ix.shards[s]
-				copy(shard[i:], shard[i+1:])
-				ix.shards[s] = shard[:len(shard)-1]
+	for s := sLo; s <= sHi && s < len(ix.shardPts); s++ {
+		for i, q := range ix.shardPts[s] {
+			if q == p {
+				ks, pts := ix.shardKeys[s], ix.shardPts[s]
+				copy(ks[i:], ks[i+1:])
+				copy(pts[i:], pts[i+1:])
+				ix.shardKeys[s] = ks[:len(ks)-1]
+				ix.shardPts[s] = pts[:len(pts)-1]
 				ix.size--
 				return true
 			}
@@ -331,8 +374,8 @@ func (ix *Index) ResetCounters() {
 // skew indicator the insertion experiments track.
 func (ix *Index) Pages() int {
 	pages := 0
-	for _, s := range ix.shards {
-		pages += (len(s) + store.BlockSize - 1) / store.BlockSize
+	for _, ks := range ix.shardKeys {
+		pages += (len(ks) + store.BlockSize - 1) / store.BlockSize
 	}
 	return pages
 }
@@ -340,9 +383,9 @@ func (ix *Index) Pages() int {
 // MaxShardLen returns the largest shard's entry count (skew metric).
 func (ix *Index) MaxShardLen() int {
 	max := 0
-	for _, s := range ix.shards {
-		if len(s) > max {
-			max = len(s)
+	for _, ks := range ix.shardKeys {
+		if len(ks) > max {
+			max = len(ks)
 		}
 	}
 	return max

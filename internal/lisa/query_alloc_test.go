@@ -1,0 +1,38 @@
+package lisa
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/indextest"
+	"elsi/internal/rmi"
+)
+
+func ffnBuilder() base.ModelBuilder {
+	return &base.Direct{Trainer: rmi.FFNTrainer(rmi.FFNConfig{Hidden: 8, Epochs: 8, Seed: 1})}
+}
+
+func TestQueryAppendEquivalence(t *testing.T) {
+	pts := dataset.UniformPoints(rand.New(rand.NewSource(41)), 3000)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder()})
+	if err := ix.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	indextest.AppendEquivalence(t, ix, pts, 42)
+}
+
+func TestPointQueryZeroAlloc(t *testing.T) {
+	pts := dataset.UniformPoints(rand.New(rand.NewSource(43)), 3000)
+	ix := New(Config{Space: geo.UnitRect, Builder: ffnBuilder()})
+	if err := ix.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	indextest.AssertZeroAllocs(t, "LISA.PointQuery", func() {
+		ix.PointQuery(pts[i%len(pts)])
+		i++
+	})
+}

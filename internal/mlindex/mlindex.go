@@ -148,11 +148,9 @@ func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
 		ix.refs = refs
 	}
 	d := base.PrepareWorkers(pts, ix.cfg.Space, ix.MapKey, ix.cfg.Workers)
-	es := make([]store.Entry, d.Len())
-	for i := range es {
-		es[i] = store.Entry{Key: d.Keys[i], Point: d.Pts[i]}
-	}
-	ix.st = store.NewSortedFromEntries(es)
+	// The prepared columns are already sorted and owned by this build;
+	// the store adopts them without the former per-build entry copy.
+	ix.st = store.NewSortedColumns(d.Keys, d.Pts)
 	if len(pts) == 0 {
 		ix.single = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
 		ix.staged = nil
@@ -234,7 +232,11 @@ func (ix *Index) PointQuery(p geo.Point) bool {
 // the reference inside [minDist(ref, win), maxDist(ref, win)], so the
 // corresponding key annulus is scanned and filtered.
 func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
-	var out []geo.Point
+	return ix.WindowQueryAppend(win, nil)
+}
+
+// WindowQueryAppend implements index.WindowAppender.
+func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.st == nil || ix.st.Len() == 0 {
 		return out
 	}
@@ -272,43 +274,60 @@ func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
 	if ix.st == nil || k <= 0 || ix.st.Len() == 0 {
 		return nil
 	}
+	return ix.KNNAppend(q, k, nil)
+}
+
+// knnScratch holds one radius search's reusable buffers.
+type knnScratch struct {
+	cand []geo.Point
+	sel  []geo.Point
+}
+
+var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) }}
+
+// KNNAppend implements index.KNNAppender: the iDistance radius search
+// with pooled candidate and selection buffers, appending the k results
+// to out. Annulus candidates are gathered with the closure-free
+// CollectRange kernel.
+func (ix *Index) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
+	if ix.st == nil || k <= 0 || ix.st.Len() == 0 {
+		return out
+	}
 	n := ix.st.Len()
 	if k > n {
 		k = n
 	}
+	s := knnScratchPool.Get().(*knnScratch)
 	r := math.Sqrt(float64(4*k)/float64(n)*ix.cfg.Space.Area()) / 2
 	if r <= 0 {
 		r = 0.01
 	}
 	maxR := stride / 2
 	for {
-		var cand []geo.Point
+		s.cand = s.cand[:0]
 		for id, ref := range ix.refs {
 			dq := q.Dist(ref)
 			loKey := float64(id)*stride + math.Max(0, dq-r)
 			hiKey := float64(id)*stride + dq + r
 			lo := ix.st.FirstGE(loKey, ix.predictRank(loKey))
 			hi := ix.st.FirstGT(hiKey, ix.predictRank(hiKey))
-			ix.st.ScanRange(lo, hi, func(e store.Entry) bool {
-				cand = append(cand, e.Point)
-				return true
-			})
+			s.cand = ix.st.CollectRange(lo, hi, s.cand)
 		}
-		if len(cand) >= k {
-			best := nearestK(cand, q, k)
-			if best[k-1].Dist(q) <= r || r >= maxR {
-				return best
+		if len(s.cand) >= k {
+			s.sel = zm.NearestKAppend(s.cand, q, k, s.sel[:0])
+			if s.sel[k-1].Dist(q) <= r || r >= maxR {
+				out = append(out, s.sel...)
+				knnScratchPool.Put(s)
+				return out
 			}
 		} else if r >= maxR {
-			return nearestK(cand, q, len(cand))
+			s.sel = zm.NearestKAppend(s.cand, q, len(s.cand), s.sel[:0])
+			out = append(out, s.sel...)
+			knnScratchPool.Put(s)
+			return out
 		}
 		r *= 2
 	}
-}
-
-// nearestK defers to the shared expanding-window helper's selection.
-func nearestK(cand []geo.Point, q geo.Point, k int) []geo.Point {
-	return zm.NearestK(cand, q, k)
 }
 
 // Stats returns per-model build statistics.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"elsi/internal/parallel"
 	"elsi/internal/rmi"
@@ -167,13 +168,18 @@ func (ix *Index) PointQuery(p Point) bool {
 // corner keys bound every inside point's key, and the boundaries are
 // located exactly by binary search seeded at the model prediction.
 func (ix *Index) WindowQuery(win Rect) []Point {
-	var out []Point
+	return ix.WindowQueryAppend(win, nil)
+}
+
+// WindowQueryAppend is WindowQuery appending matches to out and
+// returning the extended slice, for callers reusing result buffers.
+func (ix *Index) WindowQueryAppend(win Rect, out []Point) []Point {
 	if len(ix.pts) == 0 {
 		return out
 	}
 	loKey, hiKey := MinMaxKeys(win, ix.space)
 	lo := sort.SearchFloat64s(ix.keys, loKey)
-	hi := sort.Search(len(ix.keys), func(i int) bool { return ix.keys[i] > hiKey })
+	hi := searchGTKeys(ix.keys, hiKey)
 	for i := lo; i < hi; i++ {
 		if win.Contains(ix.pts[i]) {
 			out = append(out, ix.pts[i])
@@ -182,12 +188,51 @@ func (ix *Index) WindowQuery(win Rect) []Point {
 	return out
 }
 
+// searchGTKeys returns the first index whose key exceeds k — the
+// closure-free equivalent of sort.Search over a sorted key column.
+func searchGTKeys(keys []float64, k float64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // KNN returns the k nearest stored points to q by expanding a box
 // until the k-th candidate lies within the box radius (exact).
 func (ix *Index) KNN(q Point, k int) []Point {
+	return ix.KNNAppend(q, k, nil)
+}
+
+// knnScratch holds the expanding-window candidate set and its distance
+// column; pooled so repeated kNN queries reuse one working set.
+type knnScratch struct {
+	cand []Point
+	dist []float64
+	win  Rect
+}
+
+func (s *knnScratch) Len() int           { return len(s.cand) }
+func (s *knnScratch) Less(i, j int) bool { return s.dist[i] < s.dist[j] }
+func (s *knnScratch) Swap(i, j int) {
+	s.cand[i], s.cand[j] = s.cand[j], s.cand[i]
+	s.dist[i], s.dist[j] = s.dist[j], s.dist[i]
+}
+
+var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) }}
+
+// KNNAppend is KNN appending the answer to out and returning the
+// extended slice; both entry points share one implementation, so their
+// results are identical (including tie order).
+func (ix *Index) KNNAppend(q Point, k int, out []Point) []Point {
 	n := len(ix.pts)
 	if k <= 0 || n == 0 {
-		return nil
+		return out
 	}
 	if k > n {
 		k = n
@@ -204,35 +249,42 @@ func (ix *Index) KNN(q Point, k int) []Point {
 			maxR = side
 		}
 	}
+	s := knnScratchPool.Get().(*knnScratch)
+	defer knnScratchPool.Put(s)
+	if len(s.win.Min) != d {
+		s.win = Rect{Min: make(Point, d), Max: make(Point, d)}
+	}
 	for {
-		win := Rect{Min: make(Point, d), Max: make(Point, d)}
 		for i := 0; i < d; i++ {
-			win.Min[i] = q[i] - r
-			win.Max[i] = q[i] + r
+			s.win.Min[i] = q[i] - r
+			s.win.Max[i] = q[i] + r
 		}
-		cand := ix.WindowQuery(win)
-		if len(cand) >= k {
-			best := nearestK(cand, q, k)
-			if best[k-1].Dist2(q) <= r*r || r >= maxR {
-				return best
+		s.cand = ix.WindowQueryAppend(s.win, s.cand[:0])
+		if len(s.cand) >= k {
+			s.sortByDist(q)
+			if s.dist[k-1] <= r*r || r >= maxR {
+				return append(out, s.cand[:k]...)
 			}
 		} else if r >= maxR {
-			return nearestK(cand, q, min(k, len(cand)))
+			s.sortByDist(q)
+			return append(out, s.cand[:min(k, len(s.cand))]...)
 		}
 		r *= 2
 	}
 }
 
+// sortByDist orders the candidate column by ascending squared distance
+// to q, computing each distance once.
+func (s *knnScratch) sortByDist(q Point) {
+	s.dist = s.dist[:0]
+	for _, p := range s.cand {
+		s.dist = append(s.dist, p.Dist2(q))
+	}
+	sort.Sort(s)
+}
+
 // ErrWidth exposes the model's err_l + err_u.
 func (ix *Index) ErrWidth() int { return ix.model.ErrBoundsWidth() }
-
-func nearestK(cand []Point, q Point, k int) []Point {
-	if k > len(cand) {
-		k = len(cand)
-	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].Dist2(q) < cand[j].Dist2(q) })
-	return cand[:k]
-}
 
 // rootD returns v^(1/d).
 func rootD(v float64, d int) float64 {

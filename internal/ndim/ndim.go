@@ -177,7 +177,10 @@ func ZEncode(p Point, space Rect) uint64 {
 	d := p.Dim()
 	bits := BitsFor(d)
 	cells := uint64(1) << bits
-	cs := make([]uint64, d)
+	// d <= 52 (BitsFor needs at least one bit per dimension), so the
+	// cell coordinates fit a stack array — no allocation per encode.
+	var csArr [52]uint64
+	cs := csArr[:d]
 	for i := 0; i < d; i++ {
 		cs[i] = quantize(p[i], space.Min[i], space.Max[i], cells)
 	}

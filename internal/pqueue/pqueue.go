@@ -23,6 +23,10 @@ type Min struct {
 // Len returns the number of queued items.
 func (q *Min) Len() int { return len(q.items) }
 
+// Reset empties the queue, keeping its backing storage for reuse so a
+// pooled queue serves repeated kNN searches without reallocating.
+func (q *Min) Reset() { q.items = q.items[:0] }
+
 // Push adds an item.
 func (q *Min) Push(v interface{}, d float64) {
 	q.items = append(q.items, Item{Value: v, Dist: d})
@@ -72,6 +76,14 @@ type KBest struct {
 
 // NewKBest returns a KBest of capacity k.
 func NewKBest(k int) *KBest { return &KBest{k: k} }
+
+// Reset empties the heap and sets a new capacity, keeping the backing
+// storage for reuse.
+func (b *KBest) Reset(k int) {
+	b.k = k
+	b.pts = b.pts[:0]
+	b.dist = b.dist[:0]
+}
 
 // Full reports whether k candidates are held.
 func (b *KBest) Full() bool { return len(b.pts) >= b.k }
@@ -132,20 +144,27 @@ func (b *KBest) down(i int) {
 	}
 }
 
-// Points returns the candidates sorted by ascending distance.
+// Points returns the candidates sorted by ascending distance. Like
+// AppendPoints, it consumes the heap.
 func (b *KBest) Points() []geo.Point {
-	type pair struct {
-		p geo.Point
-		d float64
-	}
-	pairs := make([]pair, len(b.pts))
-	for i := range b.pts {
-		pairs[i] = pair{b.pts[i], b.dist[i]}
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
-	out := make([]geo.Point, len(pairs))
-	for i, pr := range pairs {
-		out[i] = pr.p
-	}
-	return out
+	return b.AppendPoints(nil)
+}
+
+// AppendPoints appends the candidates to out sorted by ascending
+// distance and returns the extended slice. It sorts the heap's own
+// storage in place (no scratch allocation), so the heap order is
+// consumed: Offer must not be called afterwards without a Reset.
+func (b *KBest) AppendPoints(out []geo.Point) []geo.Point {
+	sort.Sort(&byDist{b})
+	return append(out, b.pts...)
+}
+
+// byDist sorts a KBest's parallel point/distance columns by distance.
+type byDist struct{ b *KBest }
+
+func (s *byDist) Len() int           { return len(s.b.pts) }
+func (s *byDist) Less(i, j int) bool { return s.b.dist[i] < s.b.dist[j] }
+func (s *byDist) Swap(i, j int) {
+	s.b.pts[i], s.b.pts[j] = s.b.pts[j], s.b.pts[i]
+	s.b.dist[i], s.b.dist[j] = s.b.dist[j], s.b.dist[i]
 }

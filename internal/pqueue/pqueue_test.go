@@ -47,6 +47,14 @@ func TestKBestKeepsNearest(t *testing.T) {
 	for _, p := range pts {
 		b.Offer(p, p.X*p.X)
 	}
+	// Full and Worst must be read before Points, which sorts the heap's
+	// own storage in place and so consumes the max-heap order.
+	if !b.Full() {
+		t.Error("Full = false with k candidates")
+	}
+	if b.Worst() != 9 {
+		t.Errorf("Worst = %v, want 9", b.Worst())
+	}
 	got := b.Points()
 	if len(got) != 3 {
 		t.Fatalf("kept %d points", len(got))
@@ -55,12 +63,6 @@ func TestKBestKeepsNearest(t *testing.T) {
 		if got[i].X != want {
 			t.Errorf("point %d = %v, want X=%v", i, got[i], want)
 		}
-	}
-	if !b.Full() {
-		t.Error("Full = false with k candidates")
-	}
-	if b.Worst() != 9 {
-		t.Errorf("Worst = %v, want 9", b.Worst())
 	}
 }
 

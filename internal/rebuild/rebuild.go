@@ -589,39 +589,67 @@ func (p *Processor) isDeletedLocked(pt geo.Point) bool {
 // WindowQuery answers a window query, merging pending insertions and
 // filtering pending deletions from both delta layers.
 func (p *Processor) WindowQuery(win geo.Rect) []geo.Point {
+	return p.WindowQueryAppend(win, nil)
+}
+
+// WindowQueryAppend is WindowQuery appending the answer to out under
+// the same snapshot-consistent read lock; WindowQuery delegates here,
+// so both entry points return identical results. The index's matches
+// are written after len(out) and the deletion filter compacts only
+// that tail, so a caller's existing prefix is never touched.
+func (p *Processor) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	out := p.idx.WindowQuery(win)
+	base := len(out)
+	out = index.AppendWindow(p.idx, win, out)
 	if p.deltaList.Len() == 0 && p.frozen == nil {
 		return out
 	}
-	filtered := out[:0]
-	for _, pt := range out {
+	filtered := out[:base]
+	for _, pt := range out[base:] {
 		if !p.isDeletedLocked(pt) {
 			filtered = append(filtered, pt)
 		}
 	}
+	out = filtered
 	if p.frozen != nil {
 		// frozen insertions may since have been deleted in the overlay
 		p.frozen.ForEach(func(r delta.Record) {
 			if r.Op == delta.Inserted && win.Contains(r.Point) && !p.deltaList.IsDeleted(r.Point) {
-				filtered = append(filtered, r.Point)
+				out = append(out, r.Point)
 			}
 		})
 	}
-	return p.deltaList.InsertedWithin(win, filtered)
+	return p.deltaList.InsertedWithin(win, out)
 }
+
+// knnScratch holds the index candidate set and the delta-merged set of
+// a kNN query; pooled so steady-state queries reuse one working set.
+type knnScratch struct {
+	cand   []geo.Point
+	merged []geo.Point
+}
+
+var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) }}
 
 // KNN answers a kNN query over the combined state.
 func (p *Processor) KNN(q geo.Point, k int) []geo.Point {
+	return p.KNNAppend(q, k, nil)
+}
+
+// KNNAppend is KNN appending the answer to out; KNN delegates here, so
+// both entry points return identical results.
+func (p *Processor) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	cand := p.idx.KNN(q, k)
+	s := knnScratchPool.Get().(*knnScratch)
+	defer knnScratchPool.Put(s)
+	s.cand = index.AppendKNN(p.idx, q, k, s.cand[:0])
 	if p.deltaList.Len() == 0 && p.frozen == nil {
-		return cand
+		return append(out, s.cand...)
 	}
-	merged := make([]geo.Point, 0, len(cand)+p.deltaList.Len())
-	for _, pt := range cand {
+	merged := s.merged[:0]
+	for _, pt := range s.cand {
 		if !p.isDeletedLocked(pt) {
 			merged = append(merged, pt)
 		}
@@ -638,7 +666,8 @@ func (p *Processor) KNN(q geo.Point, k int) []geo.Point {
 			merged = append(merged, r.Point)
 		}
 	})
-	return index.KNNScan(merged, q, k)
+	s.merged = merged
+	return index.KNNScanAppend(merged, q, k, out)
 }
 
 // Index exposes the wrapped index. During a background rebuild this is

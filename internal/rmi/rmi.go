@@ -146,18 +146,39 @@ func NewBoundedWorkers(trainer Trainer, trainKeys, fullKeys []float64, workers i
 
 // FFNModel is the paper's model family: a feed-forward network with one
 // ReLU hidden layer mapping a min-max normalized key to a CDF estimate.
+// It is always handled by pointer (the embedded scratch pool must not
+// be copied).
 type FFNModel struct {
 	net      *nn.Network
 	min, max float64
+	// scratch pools per-goroutine forward buffers so PredictCDF is both
+	// concurrent-safe and allocation-free in steady state — the network
+	// forward pass was the last per-query allocation on the predict-
+	// and-scan hot path.
+	scratch sync.Pool
 }
 
-// PredictCDF implements Model.
+// ffnScratch is one pooled forward workspace: the 1-element input
+// vector plus the network's activation scratch.
+type ffnScratch struct {
+	x []float64
+	s *nn.Scratch
+}
+
+// PredictCDF implements Model. It is safe for concurrent use and does
+// not allocate once the scratch pool is warm.
 func (m *FFNModel) PredictCDF(key float64) float64 {
+	sc, _ := m.scratch.Get().(*ffnScratch)
+	if sc == nil {
+		sc = &ffnScratch{x: make([]float64, 1), s: m.net.NewScratch()}
+	}
 	x := 0.0
 	if m.max > m.min {
 		x = (key - m.min) / (m.max - m.min)
 	}
-	v := m.net.Forward1([]float64{x})
+	sc.x[0] = x
+	v := m.net.ForwardScratch(sc.s, sc.x)[0]
+	m.scratch.Put(sc)
 	if v < 0 {
 		return 0
 	}
@@ -329,8 +350,20 @@ func (m *PiecewiseModel) PredictCDF(key float64) float64 {
 	if len(m.segs) == 0 {
 		return 0
 	}
-	// find the last segment with startKey <= key
-	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].startKey > key })
+	// find the last segment with startKey <= key; inlined binary search
+	// (first index with startKey > key) keeps the query path free of
+	// sort.Search's indirect predicate calls
+	segs := m.segs
+	lo, hi := 0, len(segs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if segs[mid].startKey > key {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
 	if i == 0 {
 		i = 1
 	}

@@ -13,6 +13,7 @@ package rsmi
 import (
 	"context"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -165,11 +166,9 @@ func (ix *Index) buildNodeCtx(ctx context.Context, pts []geo.Point, bounds geo.R
 	mapKey := func(p geo.Point) float64 { return localKey(p, dataBounds) }
 	d := base.PrepareWorkers(pts, dataBounds, mapKey, ix.cfg.Workers)
 	if len(pts) <= ix.cfg.LeafCap {
-		es := make([]store.Entry, d.Len())
-		for i := range es {
-			es[i] = store.Entry{Key: d.Keys[i], Point: d.Pts[i]}
-		}
-		n.st = store.NewSortedFromEntries(es)
+		// The prepared columns are sorted and owned by this build; the
+		// leaf store adopts them without the former entry copy.
+		n.st = store.NewSortedColumns(d.Keys, d.Pts)
 		if d.Len() > 0 {
 			m, st, err := base.BuildModelCtx(ctx, ix.cfg.Builder, d)
 			if err != nil {
@@ -280,12 +279,30 @@ func (ix *Index) findPoint(n *node, p geo.Point) bool {
 
 // WindowQuery implements index.Index (approximate, as in the paper).
 func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
-	var out []geo.Point
+	return ix.WindowQueryAppend(win, nil)
+}
+
+// WindowQueryAppend implements index.WindowAppender; it returns the
+// same points in the same order as WindowQuery.
+func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.root == nil {
 		return out
 	}
 	return ix.windowNode(ix.root, win, out)
 }
+
+// span is a half-open scan interval [lo, hi) over a leaf store.
+type span struct{ lo, hi int }
+
+// leafScratch holds the per-leaf window-query working set (Z-range
+// decomposition and predicted scan spans); pooled so repeated queries
+// allocate nothing once warm.
+type leafScratch struct {
+	ranges []curve.KeyRange
+	spans  []span
+}
+
+var leafScratchPool = sync.Pool{New: func() interface{} { return new(leafScratch) }}
 
 func (ix *Index) windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point {
 	if !win.Intersects(n.mbr) {
@@ -314,9 +331,10 @@ func (ix *Index) windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point 
 	// what keeps RSMI approximate. The error-widened intervals of
 	// adjacent ranges overlap, so merge them before scanning to avoid
 	// duplicate results.
-	type span struct{ lo, hi int }
-	var spans []span
-	for _, r := range curve.ZRanges(clipped, n.keyBounds, ix.cfg.MaxZDepth) {
+	sc := leafScratchPool.Get().(*leafScratch)
+	sc.ranges = curve.ZRangesAppend(clipped, n.keyBounds, ix.cfg.MaxZDepth, sc.ranges[:0])
+	spans := sc.spans[:0]
+	for _, r := range sc.ranges {
 		ix.invocations.Add(2)
 		lo := n.leafModel.PredictRank(float64(r.Lo)) - n.leafModel.ErrLo
 		hi := n.leafModel.PredictRank(float64(r.Hi)) + n.leafModel.ErrHi + 1
@@ -331,7 +349,15 @@ func (ix *Index) windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point 
 		}
 		spans = append(spans, span{lo, hi})
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	sc.spans = spans
+	// Insertion sort by lo: the span count is bounded by the Z-range
+	// decomposition (tens at most), and unlike sort.Slice this does not
+	// allocate a closure.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j].lo < spans[j-1].lo; j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
 	merged := spans[:0]
 	for _, s := range spans {
 		if len(merged) > 0 && s.lo <= merged[len(merged)-1].hi {
@@ -345,12 +371,18 @@ func (ix *Index) windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point 
 	for _, s := range merged {
 		out = n.st.CollectWindow(s.lo, s.hi, win, out)
 	}
+	leafScratchPool.Put(sc)
 	return out
 }
 
 // KNN implements index.Index via expanding windows (approximate).
 func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
 	return zm.WindowKNN(ix, ix.cfg.Space, ix.size, q, k)
+}
+
+// KNNAppend implements index.KNNAppender.
+func (ix *Index) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
+	return zm.WindowKNNAppend(ix, ix.cfg.Space, ix.size, q, k, out)
 }
 
 // Insert implements index.Inserter: the point is routed to its leaf's
@@ -371,9 +403,7 @@ func (ix *Index) insertNode(n *node, p geo.Point) *node {
 		if len(n.extra) > ix.cfg.RetrainThreshold {
 			ix.localRebuilds++
 			pts := make([]geo.Point, 0, n.st.Len()+len(n.extra))
-			for i := 0; i < n.st.Len(); i++ {
-				pts = append(pts, n.st.At(i).Point)
-			}
+			pts = append(pts, n.st.Points()...)
 			pts = append(pts, n.extra...)
 			return ix.buildNode(pts, n.mbr)
 		}

@@ -130,11 +130,9 @@ func prepareZOrder(pts []geo.Point) *base.SortedData {
 }
 
 func storeOf(d *base.SortedData) *store.Sorted {
-	es := make([]store.Entry, d.Len())
-	for i := range es {
-		es[i] = store.Entry{Key: d.Keys[i], Point: d.Pts[i]}
-	}
-	return store.NewSortedFromEntries(es)
+	// The prepared columns are already sorted; adopt them directly
+	// instead of materializing an entry copy.
+	return store.NewSortedColumns(d.Keys, d.Pts)
 }
 
 // measure builds one model with b and times the build and the average

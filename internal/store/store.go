@@ -1,16 +1,24 @@
 // Package store provides the storage substrate shared by the indices:
-// a sorted array of (key, point) pairs with block-granular cost
-// accounting for the predict-and-scan learned indices, and fixed-
-// capacity data pages for LISA-style page storage. The paper stores
-// data in blocks of B = 100 points (Section VII-B1); the counters here
-// let the benchmark harness report scan work in the same units.
+// a sorted structure-of-arrays of (key, point) columns with block-
+// granular cost accounting for the predict-and-scan learned indices,
+// and fixed-capacity data pages for LISA-style page storage. The paper
+// stores data in blocks of B = 100 points (Section VII-B1); the
+// counters here let the benchmark harness report scan work in the same
+// units.
+//
+// The layout is deliberately columnar: binary searches touch only the
+// dense key column ([]float64, 8 bytes/entry) and bounded scans stream
+// through it without pulling the 16-byte points into cache, mirroring
+// the cache-conscious layouts of the RMI/PGM line of learned indices.
+// The scan kernels (FindPoint, CollectWindow, CollectRange) are
+// specialized loops rather than per-entry callbacks, and charge the
+// scan counter once per scan instead of once per entry.
 package store
 
 import (
 	"sort"
 	"sync/atomic"
 
-	"elsi/internal/floats"
 	"elsi/internal/geo"
 )
 
@@ -23,100 +31,180 @@ type Entry struct {
 	Point geo.Point
 }
 
-// Sorted is an immutable array of entries sorted by key — the storage
-// layout of a map-and-sort index. It counts scanned entries so
+// Sorted is an immutable pair of parallel columns sorted by key — the
+// storage layout of a map-and-sort index. It counts scanned entries so
 // experiments can report scan costs; the counter is atomic so that
 // concurrent readers (queries racing with a background rebuild) do
 // not race on the accounting.
 type Sorted struct {
-	entries []Entry
+	keys    []float64
+	pts     []geo.Point
 	scanned atomic.Int64
 }
 
 // NewSorted builds a Sorted store from keys and points (parallel
-// slices), sorting them together by key.
+// slices), copying and sorting them together by key. The inputs are
+// left untouched.
 func NewSorted(keys []float64, pts []geo.Point) *Sorted {
 	if len(keys) != len(pts) {
 		panic("store: keys and points length mismatch")
 	}
-	es := make([]Entry, len(keys))
-	for i := range keys {
-		es[i] = Entry{Key: keys[i], Point: pts[i]}
-	}
-	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
-	return &Sorted{entries: es}
+	ks := make([]float64, len(keys))
+	ps := make([]geo.Point, len(pts))
+	copy(ks, keys)
+	copy(ps, pts)
+	sort.Sort(&pairSorter{keys: ks, pts: ps})
+	return &Sorted{keys: ks, pts: ps}
 }
 
-// NewSortedFromEntries takes ownership of entries, sorting them by key.
+// NewSortedColumns takes ownership of already-sorted parallel columns
+// without copying or re-sorting — the zero-copy build path. The
+// map-and-sort preparation (base.PrepareWorkers) already emits sorted
+// columns, so index builds hand them straight to the store. Panics if
+// the columns mismatch in length or the keys are not ascending.
+func NewSortedColumns(keys []float64, pts []geo.Point) *Sorted {
+	if len(keys) != len(pts) {
+		panic("store: keys and points length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			panic("store: NewSortedColumns keys not sorted")
+		}
+	}
+	return &Sorted{keys: keys, pts: pts}
+}
+
+// NewSortedFromEntries takes ownership of entries, sorting them by key
+// and splitting them into columns.
 func NewSortedFromEntries(es []Entry) *Sorted {
 	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
-	return &Sorted{entries: es}
+	ks := make([]float64, len(es))
+	ps := make([]geo.Point, len(es))
+	for i, e := range es {
+		ks[i] = e.Key
+		ps[i] = e.Point
+	}
+	return &Sorted{keys: ks, pts: ps}
+}
+
+type pairSorter struct {
+	keys []float64
+	pts  []geo.Point
+}
+
+func (s *pairSorter) Len() int           { return len(s.keys) }
+func (s *pairSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *pairSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.pts[i], s.pts[j] = s.pts[j], s.pts[i]
 }
 
 // Len returns the number of stored entries.
-func (s *Sorted) Len() int { return len(s.entries) }
+func (s *Sorted) Len() int { return len(s.keys) }
 
-// Keys returns the sorted key column as a fresh slice.
-func (s *Sorted) Keys() []float64 {
-	keys := make([]float64, len(s.entries))
-	for i, e := range s.entries {
-		keys[i] = e.Key
-	}
-	return keys
-}
+// Keys returns the sorted key column as a view, not a copy. Callers
+// must treat it as read-only; the store is immutable after build, so
+// the view stays valid for the store's lifetime.
+func (s *Sorted) Keys() []float64 { return s.keys }
+
+// Points returns the point column (parallel to Keys) as a read-only
+// view.
+func (s *Sorted) Points() []geo.Point { return s.pts }
 
 // At returns the i-th entry in key order.
-func (s *Sorted) At(i int) Entry { return s.entries[i] }
+func (s *Sorted) At(i int) Entry { return Entry{Key: s.keys[i], Point: s.pts[i]} }
 
-// ScanRange visits entries in positions [lo, hi), invoking fn for each;
-// fn returning false stops the scan. Visited entries are charged to the
-// scan counter.
-func (s *Sorted) ScanRange(lo, hi int, fn func(Entry) bool) {
+// KeyAt returns the i-th key in key order.
+func (s *Sorted) KeyAt(i int) float64 { return s.keys[i] }
+
+// PointAt returns the i-th point in key order.
+func (s *Sorted) PointAt(i int) geo.Point { return s.pts[i] }
+
+func (s *Sorted) clamp(lo, hi int) (int, int) {
 	if lo < 0 {
 		lo = 0
 	}
-	if hi > len(s.entries) {
-		hi = len(s.entries)
+	if hi > len(s.keys) {
+		hi = len(s.keys)
 	}
-	visited := int64(0)
-	for i := lo; i < hi; i++ {
-		visited++
-		if !fn(s.entries[i]) {
-			break
-		}
+	if lo > hi {
+		lo = hi
 	}
-	s.scanned.Add(visited) // one atomic op per scan, not per entry
+	return lo, hi
 }
 
 // FindPoint scans positions [lo, hi) for a point equal to p and
 // reports whether it was found (the predict-and-scan point query).
+// Visited entries are charged to the scan counter with one atomic add.
 func (s *Sorted) FindPoint(lo, hi int, p geo.Point) bool {
-	found := false
-	s.ScanRange(lo, hi, func(e Entry) bool {
-		if e.Point == p {
-			found = true
-			return false
+	lo, hi = s.clamp(lo, hi)
+	pts := s.pts
+	for i := lo; i < hi; i++ {
+		if pts[i] == p {
+			s.scanned.Add(int64(i - lo + 1))
+			return true
 		}
-		return true
-	})
-	return found
+	}
+	s.scanned.Add(int64(hi - lo))
+	return false
 }
 
 // CollectWindow appends to out the points in positions [lo, hi) that
-// fall inside win and returns the extended slice.
+// fall inside win and returns the extended slice. The whole span is
+// charged with one atomic add.
 func (s *Sorted) CollectWindow(lo, hi int, win geo.Rect, out []geo.Point) []geo.Point {
-	s.ScanRange(lo, hi, func(e Entry) bool {
-		if win.Contains(e.Point) {
-			out = append(out, e.Point)
+	lo, hi = s.clamp(lo, hi)
+	for _, p := range s.pts[lo:hi] {
+		if win.Contains(p) {
+			out = append(out, p)
 		}
-		return true
-	})
+	}
+	s.scanned.Add(int64(hi - lo))
 	return out
+}
+
+// CollectRange appends every point in positions [lo, hi) to out and
+// returns the extended slice (the unfiltered scan kernel used by
+// KNN candidate collection). The span is charged with one atomic add.
+func (s *Sorted) CollectRange(lo, hi int, out []geo.Point) []geo.Point {
+	lo, hi = s.clamp(lo, hi)
+	out = append(out, s.pts[lo:hi]...)
+	s.scanned.Add(int64(hi - lo))
+	return out
+}
+
+// searchGE returns the first position in keys[lo:hi) holding a key
+// >= k, as an absolute index. The loop is the branch-light midpoint
+// form the compiler turns into conditional moves over the dense
+// []float64 column.
+func searchGE(keys []float64, lo, hi int, k float64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchGT is searchGE for the strict predicate key > k.
+func searchGT(keys []float64, lo, hi int, k float64) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // SearchKey returns the position of the first entry with key >= k.
 func (s *Sorted) SearchKey(k float64) int {
-	return sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Key >= k })
+	return searchGE(s.keys, 0, len(s.keys), k)
 }
 
 // FirstGE returns the position of the first entry with key >= k using
@@ -125,7 +213,8 @@ func (s *Sorted) SearchKey(k float64) int {
 // in the prediction error rather than in n. Learned indices use it to
 // turn a model prediction into an exact boundary.
 func (s *Sorted) FirstGE(k float64, hint int) int {
-	n := len(s.entries)
+	keys := s.keys
+	n := len(keys)
 	if n == 0 {
 		return 0
 	}
@@ -136,12 +225,12 @@ func (s *Sorted) FirstGE(k float64, hint int) int {
 		hint = n - 1
 	}
 	var lo, hi int
-	if s.entries[hint].Key >= k {
+	if keys[hint] >= k {
 		// answer is at or before hint: gallop left until a key < k
 		hi = hint + 1
 		step := 1
 		i := hint
-		for i >= 0 && s.entries[i].Key >= k {
+		for i >= 0 && keys[i] >= k {
 			i -= step
 			step *= 2
 		}
@@ -155,7 +244,7 @@ func (s *Sorted) FirstGE(k float64, hint int) int {
 		lo = hint
 		step := 1
 		i := hint
-		for i < n && s.entries[i].Key < k {
+		for i < n && keys[i] < k {
 			lo = i
 			i += step
 			step *= 2
@@ -166,17 +255,57 @@ func (s *Sorted) FirstGE(k float64, hint int) int {
 			hi = i + 1
 		}
 	}
-	return lo + sort.Search(hi-lo, func(i int) bool { return s.entries[lo+i].Key >= k })
+	return searchGE(keys, lo, hi, k)
 }
 
 // FirstGT returns the position of the first entry with key > k, with
-// the same galloping strategy as FirstGE.
+// the same galloping strategy as FirstGE but the strict predicate —
+// a second galloping binary search rather than a linear walk over the
+// duplicate run, so duplicate-heavy keys stay logarithmic.
 func (s *Sorted) FirstGT(k float64, hint int) int {
-	i := s.FirstGE(k, hint)
-	for i < len(s.entries) && floats.Eq(s.entries[i].Key, k) {
-		i++
+	keys := s.keys
+	n := len(keys)
+	if n == 0 {
+		return 0
 	}
-	return i
+	if hint < 0 {
+		hint = 0
+	}
+	if hint >= n {
+		hint = n - 1
+	}
+	var lo, hi int
+	if keys[hint] > k {
+		// answer is at or before hint: gallop left until a key <= k
+		hi = hint + 1
+		step := 1
+		i := hint
+		for i >= 0 && keys[i] > k {
+			i -= step
+			step *= 2
+		}
+		if i < 0 {
+			lo = 0
+		} else {
+			lo = i
+		}
+	} else {
+		// answer is after hint: gallop right until a key > k
+		lo = hint
+		step := 1
+		i := hint
+		for i < n && keys[i] <= k {
+			lo = i
+			i += step
+			step *= 2
+		}
+		if i >= n {
+			hi = n
+		} else {
+			hi = i + 1
+		}
+	}
+	return searchGT(keys, lo, hi, k)
 }
 
 // Scanned returns the cumulative number of entries visited by scans.
@@ -188,26 +317,19 @@ func (s *Sorted) ResetScanned() { s.scanned.Store(0) }
 
 // Blocks returns the number of B-sized blocks the store occupies.
 func (s *Sorted) Blocks() int {
-	return (len(s.entries) + BlockSize - 1) / BlockSize
+	return (len(s.keys) + BlockSize - 1) / BlockSize
 }
 
 // --- Pages (LISA-style) -----------------------------------------------
 
-// Page is a fixed-capacity data page. LISA appends inserted points to
-// the page their shard maps to and splits full pages.
-type Page struct {
-	Entries []Entry
-}
-
-// Full reports whether the page has reached BlockSize entries.
-func (p *Page) Full() bool { return len(p.Entries) >= BlockSize }
-
-// PageList is an ordered list of pages covering contiguous key ranges.
-// The scan counter is atomic for the same reason as Sorted's; the page
-// structure itself is only mutated by Insert/Truncate, which callers
-// must serialize against scans.
+// PageList is an ordered list of fixed-capacity pages covering
+// contiguous key ranges, stored as parallel key/point columns per
+// page. The scan counter is atomic for the same reason as Sorted's;
+// the page structure itself is only mutated by Insert/Truncate, which
+// callers must serialize against scans.
 type PageList struct {
-	pages   [][]Entry
+	keys    [][]float64
+	pts     [][]geo.Point
 	scanned atomic.Int64
 }
 
@@ -219,104 +341,151 @@ func NewPageList(sorted []Entry) *PageList {
 		if end > len(sorted) {
 			end = len(sorted)
 		}
-		page := make([]Entry, end-start, BlockSize+1)
-		copy(page, sorted[start:end])
-		pl.pages = append(pl.pages, page)
+		ks := make([]float64, end-start, BlockSize+1)
+		ps := make([]geo.Point, end-start, BlockSize+1)
+		for i, e := range sorted[start:end] {
+			ks[i] = e.Key
+			ps[i] = e.Point
+		}
+		pl.keys = append(pl.keys, ks)
+		pl.pts = append(pl.pts, ps)
 	}
 	return pl
 }
 
 // NumPages returns the page count.
-func (pl *PageList) NumPages() int { return len(pl.pages) }
+func (pl *PageList) NumPages() int { return len(pl.keys) }
 
 // Len returns the total number of stored entries.
 func (pl *PageList) Len() int {
 	total := 0
-	for _, p := range pl.pages {
-		total += len(p)
+	for _, ks := range pl.keys {
+		total += len(ks)
 	}
 	return total
 }
 
-// Page returns the i-th page's entries.
-func (pl *PageList) Page(i int) []Entry { return pl.pages[i] }
+// PageKeys returns the i-th page's key column as a read-only view.
+func (pl *PageList) PageKeys(i int) []float64 { return pl.keys[i] }
 
-// ScanPages visits pages [lo, hi), charging every entry visited.
-func (pl *PageList) ScanPages(lo, hi int, fn func(Entry) bool) {
+// PagePoints returns the i-th page's point column as a read-only view.
+func (pl *PageList) PagePoints(i int) []geo.Point { return pl.pts[i] }
+
+func (pl *PageList) clampPages(lo, hi int) (int, int) {
 	if lo < 0 {
 		lo = 0
 	}
-	if hi > len(pl.pages) {
-		hi = len(pl.pages)
+	if hi > len(pl.keys) {
+		hi = len(pl.keys)
 	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// FindPointPages scans pages [lo, hi) for a point equal to p,
+// charging every entry visited with one atomic add per page scanned.
+func (pl *PageList) FindPointPages(lo, hi int, p geo.Point) bool {
+	lo, hi = pl.clampPages(lo, hi)
 	visited := int64(0)
-	defer func() { pl.scanned.Add(visited) }()
 	for i := lo; i < hi; i++ {
-		for _, e := range pl.pages[i] {
-			visited++
-			if !fn(e) {
-				return
+		for j, q := range pl.pts[i] {
+			if q == p {
+				pl.scanned.Add(visited + int64(j+1))
+				return true
 			}
 		}
+		visited += int64(len(pl.pts[i]))
 	}
+	pl.scanned.Add(visited)
+	return false
+}
+
+// CollectWindowPages appends to out the points in pages [lo, hi) that
+// fall inside win, charging every entry visited with one atomic add.
+func (pl *PageList) CollectWindowPages(lo, hi int, win geo.Rect, out []geo.Point) []geo.Point {
+	lo, hi = pl.clampPages(lo, hi)
+	visited := int64(0)
+	for i := lo; i < hi; i++ {
+		for _, q := range pl.pts[i] {
+			if win.Contains(q) {
+				out = append(out, q)
+			}
+		}
+		visited += int64(len(pl.pts[i]))
+	}
+	pl.scanned.Add(visited)
+	return out
 }
 
 // Insert adds e to page i, keeping the page's key order, and splits the
 // page when it overflows. It returns the number of pages after the
 // insert (splits shift subsequent page indices).
 func (pl *PageList) Insert(i int, e Entry) int {
-	if len(pl.pages) == 0 {
-		pl.pages = [][]Entry{{e}}
+	if len(pl.keys) == 0 {
+		pl.keys = [][]float64{{e.Key}}
+		pl.pts = [][]geo.Point{{e.Point}}
 		return 1
 	}
 	if i < 0 {
 		i = 0
 	}
-	if i >= len(pl.pages) {
-		i = len(pl.pages) - 1
+	if i >= len(pl.keys) {
+		i = len(pl.keys) - 1
 	}
-	page := pl.pages[i]
-	pos := sort.Search(len(page), func(j int) bool { return page[j].Key >= e.Key })
-	page = append(page, Entry{})
-	copy(page[pos+1:], page[pos:])
-	page[pos] = e
-	if len(page) > BlockSize {
-		mid := len(page) / 2
-		left := page[:mid]
-		right := make([]Entry, len(page)-mid, BlockSize+1)
-		copy(right, page[mid:])
-		pl.pages[i] = left
-		pl.pages = append(pl.pages, nil)
-		copy(pl.pages[i+2:], pl.pages[i+1:])
-		pl.pages[i+1] = right
+	ks, ps := pl.keys[i], pl.pts[i]
+	pos := searchGE(ks, 0, len(ks), e.Key)
+	ks = append(ks, 0)
+	ps = append(ps, geo.Point{})
+	copy(ks[pos+1:], ks[pos:])
+	copy(ps[pos+1:], ps[pos:])
+	ks[pos] = e.Key
+	ps[pos] = e.Point
+	if len(ks) > BlockSize {
+		mid := len(ks) / 2
+		rightK := make([]float64, len(ks)-mid, BlockSize+1)
+		rightP := make([]geo.Point, len(ps)-mid, BlockSize+1)
+		copy(rightK, ks[mid:])
+		copy(rightP, ps[mid:])
+		pl.keys[i] = ks[:mid]
+		pl.pts[i] = ps[:mid]
+		pl.keys = append(pl.keys, nil)
+		pl.pts = append(pl.pts, nil)
+		copy(pl.keys[i+2:], pl.keys[i+1:])
+		copy(pl.pts[i+2:], pl.pts[i+1:])
+		pl.keys[i+1] = rightK
+		pl.pts[i+1] = rightP
 	} else {
-		pl.pages[i] = page
+		pl.keys[i] = ks
+		pl.pts[i] = ps
 	}
-	return len(pl.pages)
+	return len(pl.keys)
 }
 
 // Truncate shrinks page i to its first n entries.
 func (pl *PageList) Truncate(i, n int) {
-	if i < 0 || i >= len(pl.pages) {
+	if i < 0 || i >= len(pl.keys) {
 		return
 	}
 	if n < 0 {
 		n = 0
 	}
-	if n > len(pl.pages[i]) {
-		n = len(pl.pages[i])
+	if n > len(pl.keys[i]) {
+		n = len(pl.keys[i])
 	}
-	pl.pages[i] = pl.pages[i][:n]
+	pl.keys[i] = pl.keys[i][:n]
+	pl.pts[i] = pl.pts[i][:n]
 }
 
 // PageFor returns the index of the page whose key range should hold k
 // (the last page whose first key is <= k).
 func (pl *PageList) PageFor(k float64) int {
-	if len(pl.pages) == 0 {
+	if len(pl.keys) == 0 {
 		return 0
 	}
-	i := sort.Search(len(pl.pages), func(j int) bool {
-		return len(pl.pages[j]) > 0 && pl.pages[j][0].Key > k
+	i := sort.Search(len(pl.keys), func(j int) bool {
+		return len(pl.keys[j]) > 0 && pl.keys[j][0] > k
 	})
 	if i == 0 {
 		return 0

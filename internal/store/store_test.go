@@ -29,6 +29,24 @@ func TestNewSortedSortsByKey(t *testing.T) {
 	if s.Len() != 500 {
 		t.Errorf("Len = %d", s.Len())
 	}
+	// keys and points stay parallel through the co-sort
+	for i := 0; i < s.Len(); i++ {
+		if s.PointAt(i).X != s.KeyAt(i) {
+			t.Fatalf("entry %d: key %v detached from point %v", i, s.KeyAt(i), s.PointAt(i))
+		}
+	}
+}
+
+func TestNewSortedLeavesInputsUntouched(t *testing.T) {
+	keys := []float64{3, 1, 2}
+	pts := []geo.Point{{X: 3}, {X: 1}, {X: 2}}
+	s := NewSorted(keys, pts)
+	if keys[0] != 3 || pts[0].X != 3 {
+		t.Error("NewSorted mutated its inputs")
+	}
+	if s.KeyAt(0) != 1 || s.PointAt(2).X != 3 {
+		t.Error("NewSorted did not sort its copy")
+	}
 }
 
 func TestNewSortedMismatchPanics(t *testing.T) {
@@ -40,31 +58,31 @@ func TestNewSortedMismatchPanics(t *testing.T) {
 	NewSorted([]float64{1}, nil)
 }
 
-func TestScanRangeCountsAndClamps(t *testing.T) {
-	s := makeSorted(t, 100, 2)
-	count := 0
-	s.ScanRange(-5, 1000, func(Entry) bool { count++; return true })
-	if count != 100 {
-		t.Errorf("visited %d entries, want 100", count)
+func TestNewSortedColumnsAliases(t *testing.T) {
+	keys := []float64{1, 2, 3}
+	pts := []geo.Point{{X: 1}, {X: 2}, {X: 3}}
+	s := NewSortedColumns(keys, pts)
+	if &s.Keys()[0] != &keys[0] {
+		t.Error("NewSortedColumns copied the key column")
 	}
-	if s.Scanned() != 100 {
-		t.Errorf("Scanned = %d", s.Scanned())
-	}
-	s.ResetScanned()
-	if s.Scanned() != 0 {
-		t.Errorf("after reset Scanned = %d", s.Scanned())
+	if &s.Points()[0] != &pts[0] {
+		t.Error("NewSortedColumns copied the point column")
 	}
 }
 
-func TestScanRangeEarlyStop(t *testing.T) {
-	s := makeSorted(t, 100, 3)
-	count := 0
-	s.ScanRange(0, 100, func(Entry) bool { count++; return count < 10 })
-	if count != 10 {
-		t.Errorf("early stop visited %d", count)
-	}
-	if s.Scanned() != 10 {
-		t.Errorf("Scanned = %d", s.Scanned())
+func TestNewSortedColumnsUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unsorted keys")
+		}
+	}()
+	NewSortedColumns([]float64{2, 1}, make([]geo.Point, 2))
+}
+
+func TestKeysIsView(t *testing.T) {
+	s := makeSorted(t, 64, 9)
+	if &s.Keys()[0] != &s.Keys()[0] {
+		t.Error("Keys() is not a stable view")
 	}
 }
 
@@ -79,6 +97,20 @@ func TestFindPoint(t *testing.T) {
 	}
 	if s.FindPoint(58, s.Len(), target) {
 		t.Error("point found outside scan range")
+	}
+}
+
+func TestFindPointAccounting(t *testing.T) {
+	s := makeSorted(t, 100, 13)
+	s.ResetScanned()
+	s.FindPoint(-5, 1000, geo.Point{X: -1, Y: -1})
+	if s.Scanned() != 100 {
+		t.Errorf("miss scanned %d entries, want 100", s.Scanned())
+	}
+	s.ResetScanned()
+	s.FindPoint(0, s.Len(), s.At(9).Point)
+	if s.Scanned() != 10 {
+		t.Errorf("hit at position 9 charged %d, want 10", s.Scanned())
 	}
 }
 
@@ -99,6 +131,30 @@ func TestCollectWindow(t *testing.T) {
 		if !win.Contains(p) {
 			t.Errorf("collected point %v outside window", p)
 		}
+	}
+	if s.Scanned() != 300 {
+		t.Errorf("Scanned = %d, want 300", s.Scanned())
+	}
+}
+
+func TestCollectRange(t *testing.T) {
+	s := makeSorted(t, 50, 8)
+	out := s.CollectRange(10, 20, nil)
+	if len(out) != 10 {
+		t.Fatalf("CollectRange returned %d points, want 10", len(out))
+	}
+	for i, p := range out {
+		if p != s.PointAt(10+i) {
+			t.Errorf("out[%d] = %v, want %v", i, p, s.PointAt(10+i))
+		}
+	}
+	if s.Scanned() != 10 {
+		t.Errorf("Scanned = %d, want 10", s.Scanned())
+	}
+	// clamped and appending to a prefix
+	out = s.CollectRange(45, 99, out)
+	if len(out) != 15 {
+		t.Errorf("appended CollectRange len = %d, want 15", len(out))
 	}
 }
 
@@ -135,14 +191,18 @@ func TestPageListBuild(t *testing.T) {
 	if pl.Len() != 550 {
 		t.Errorf("Len = %d", pl.Len())
 	}
-	// pages hold contiguous sorted runs
+	// pages hold contiguous sorted runs with parallel columns
 	var prev float64 = -1
 	for i := 0; i < pl.NumPages(); i++ {
-		for _, e := range pl.Page(i) {
-			if e.Key < prev {
+		ks, ps := pl.PageKeys(i), pl.PagePoints(i)
+		if len(ks) != len(ps) {
+			t.Fatalf("page %d: column lengths diverge", i)
+		}
+		for _, k := range ks {
+			if k < prev {
 				t.Fatal("page entries out of order")
 			}
-			prev = e.Key
+			prev = k
 		}
 	}
 }
@@ -150,27 +210,31 @@ func TestPageListBuild(t *testing.T) {
 func TestPageInsertAndSplit(t *testing.T) {
 	entries := make([]Entry, BlockSize)
 	for i := range entries {
-		entries[i] = Entry{Key: float64(i)}
+		entries[i] = Entry{Key: float64(i), Point: geo.Point{X: float64(i)}}
 	}
 	pl := NewPageList(entries)
 	if pl.NumPages() != 1 {
 		t.Fatalf("NumPages = %d", pl.NumPages())
 	}
-	pl.Insert(0, Entry{Key: 50.5})
+	pl.Insert(0, Entry{Key: 50.5, Point: geo.Point{X: 50.5}})
 	if pl.NumPages() != 2 {
 		t.Fatalf("expected split, NumPages = %d", pl.NumPages())
 	}
 	if pl.Len() != BlockSize+1 {
 		t.Errorf("Len = %d", pl.Len())
 	}
-	// keys still globally ordered across pages
+	// keys still globally ordered across pages, points still parallel
 	var prev float64 = -1
 	for i := 0; i < pl.NumPages(); i++ {
-		for _, e := range pl.Page(i) {
-			if e.Key < prev {
+		ks, ps := pl.PageKeys(i), pl.PagePoints(i)
+		for j, k := range ks {
+			if k < prev {
 				t.Fatal("split broke ordering")
 			}
-			prev = e.Key
+			if ps[j].X != k {
+				t.Fatalf("split detached point %v from key %v", ps[j], k)
+			}
+			prev = k
 		}
 	}
 }
@@ -200,19 +264,26 @@ func TestPageFor(t *testing.T) {
 	}
 }
 
-func TestPageListScan(t *testing.T) {
+func TestPageListKernels(t *testing.T) {
 	var entries []Entry
 	for i := 0; i < 250; i++ {
-		entries = append(entries, Entry{Key: float64(i)})
+		entries = append(entries, Entry{Key: float64(i), Point: geo.Point{X: float64(i)}})
 	}
 	pl := NewPageList(entries)
-	count := 0
-	pl.ScanPages(1, 2, func(Entry) bool { count++; return true })
-	if count != BlockSize {
-		t.Errorf("scanned %d entries in one page", count)
+	if !pl.FindPointPages(0, pl.NumPages(), geo.Point{X: 120}) {
+		t.Error("stored point not found")
+	}
+	if pl.FindPointPages(0, 1, geo.Point{X: 120}) {
+		t.Error("point found outside page range")
+	}
+	pl.ResetScanned()
+	win := geo.Rect{MinX: 99.5, MinY: -1, MaxX: 130.5, MaxY: 1}
+	got := pl.CollectWindowPages(1, 2, win, nil)
+	if len(got) != 31 {
+		t.Errorf("CollectWindowPages found %d points, want 31", len(got))
 	}
 	if pl.Scanned() != int64(BlockSize) {
-		t.Errorf("Scanned = %d", pl.Scanned())
+		t.Errorf("Scanned = %d, want %d", pl.Scanned(), BlockSize)
 	}
 	pl.ResetScanned()
 	if pl.Scanned() != 0 {
@@ -268,5 +339,56 @@ func TestFirstGT(t *testing.T) {
 	}
 	if got := s.FirstGT(0.5, 2); got != 0 {
 		t.Errorf("FirstGT(0.5) = %d, want 0", got)
+	}
+	empty := NewSorted(nil, nil)
+	if got := empty.FirstGT(1, 0); got != 0 {
+		t.Errorf("empty store: %d", got)
+	}
+}
+
+// TestFirstGTDuplicateRuns pins the galloping FirstGT against the
+// brute-force definition on duplicate-heavy keys for every hint.
+func TestFirstGTDuplicateRuns(t *testing.T) {
+	keys := make([]float64, 0, 600)
+	for run := 0; run < 6; run++ {
+		for i := 0; i < 100; i++ {
+			keys = append(keys, float64(run))
+		}
+	}
+	s := NewSorted(keys, make([]geo.Point, len(keys)))
+	probes := []float64{-1, 0, 0.5, 1, 2.5, 3, 5, 6}
+	for _, k := range probes {
+		want := 0
+		for want < len(keys) && keys[want] <= k {
+			want++
+		}
+		for hint := -1; hint <= len(keys); hint += 37 {
+			if got := s.FirstGT(k, hint); got != want {
+				t.Fatalf("FirstGT(%v, hint=%d) = %d, want %d", k, hint, got, want)
+			}
+		}
+	}
+}
+
+// TestFirstGTMatchesFirstGE cross-checks FirstGT against
+// FirstGE(nextafter(k)) on random data.
+func TestFirstGTMatchesFirstGE(t *testing.T) {
+	s := makeSorted(t, 1000, 21)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 500; trial++ {
+		var k float64
+		if trial%2 == 0 {
+			k = s.At(rng.Intn(s.Len())).Key
+		} else {
+			k = rng.Float64() * 1.2
+		}
+		hint := rng.Intn(s.Len())
+		want := s.SearchKey(k)
+		for want < s.Len() && s.KeyAt(want) <= k {
+			want++
+		}
+		if got := s.FirstGT(k, hint); got != want {
+			t.Fatalf("FirstGT(%v, hint=%d) = %d, want %d", k, hint, got, want)
+		}
 	}
 }

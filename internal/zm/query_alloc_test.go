@@ -1,0 +1,55 @@
+package zm
+
+import (
+	"math/rand"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/indextest"
+	"elsi/internal/rmi"
+)
+
+func ffnBuilder() base.ModelBuilder {
+	return &base.Direct{Trainer: rmi.FFNTrainer(rmi.FFNConfig{Hidden: 8, Epochs: 8, Seed: 1})}
+}
+
+func TestQueryAppendEquivalence(t *testing.T) {
+	pts := dataset.UniformPoints(rand.New(rand.NewSource(41)), 3000)
+	ix := New(Config{Space: geo.UnitRect, Builder: ogBuilder(), Fanout: 4})
+	if err := ix.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	indextest.AppendEquivalence(t, ix, pts, 42)
+}
+
+func TestPointQueryZeroAlloc(t *testing.T) {
+	pts := dataset.UniformPoints(rand.New(rand.NewSource(43)), 3000)
+	ix := New(Config{Space: geo.UnitRect, Builder: ffnBuilder(), Fanout: 4})
+	if err := ix.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	indextest.AssertZeroAllocs(t, "ZM.PointQuery", func() {
+		ix.PointQuery(pts[i%len(pts)])
+		i++
+	})
+}
+
+func TestWindowAndKNNAppendZeroAllocSteadyState(t *testing.T) {
+	pts := dataset.UniformPoints(rand.New(rand.NewSource(44)), 3000)
+	ix := New(Config{Space: geo.UnitRect, Builder: ffnBuilder(), Fanout: 4})
+	if err := ix.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	win := geo.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.45, MaxY: 0.45}
+	var buf []geo.Point
+	indextest.AssertZeroAllocs(t, "ZM.WindowQueryAppend", func() {
+		buf = ix.WindowQueryAppend(win, buf[:0])
+	})
+	q := geo.Point{X: 0.5, Y: 0.5}
+	indextest.AssertZeroAllocs(t, "ZM.KNNAppend", func() {
+		buf = ix.KNNAppend(q, 10, buf[:0])
+	})
+}

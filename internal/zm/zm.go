@@ -111,7 +111,9 @@ func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
 		defer cancel()
 	}
 	d := base.PrepareWorkers(pts, ix.cfg.Space, ix.MapKey, ix.cfg.Workers)
-	ix.st = store.NewSortedFromEntries(entriesOf(d))
+	// The prepared columns are already sorted and owned by this build;
+	// the store adopts them without the former per-build entry copy.
+	ix.st = store.NewSortedColumns(d.Keys, d.Pts)
 	ix.stats = ix.stats[:0]
 	if len(pts) == 0 {
 		ix.single = &rmi.Bounded{Model: rmi.ConstModel(0), N: 0}
@@ -172,16 +174,6 @@ func statsInOrder(byStart map[int]base.BuildStats, n, fanout int) []base.BuildSt
 	return out
 }
 
-// entriesOf converts prepared data into store entries (already in key
-// order).
-func entriesOf(d *base.SortedData) []store.Entry {
-	es := make([]store.Entry, d.Len())
-	for i := range es {
-		es[i] = store.Entry{Key: d.Keys[i], Point: d.Pts[i]}
-	}
-	return es
-}
-
 // searchRange returns the guaranteed scan range for key.
 func (ix *Index) searchRange(key float64) (int, int) {
 	ix.invocations.Add(1)
@@ -215,27 +207,47 @@ func (ix *Index) PointQuery(p geo.Point) bool {
 // WindowQuery implements index.Index (exact): either the recursive
 // Z-range decomposition or the BIGMIN skip-scan, per configuration.
 func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
-	if ix.cfg.UseBigMin {
-		return ix.WindowQueryBigMin(win)
-	}
-	return ix.WindowQueryZRanges(win)
+	return ix.WindowQueryAppend(win, nil)
 }
+
+// WindowQueryAppend implements index.WindowAppender: matches are
+// appended to out, so steady-state window queries allocate only for
+// the result slice's own growth.
+func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
+	if ix.cfg.UseBigMin {
+		return ix.WindowQueryBigMinAppend(win, out)
+	}
+	return ix.WindowQueryZRangesAppend(win, out)
+}
+
+// zrangeBufPool recycles Z-range decomposition buffers across window
+// queries (any index instance; the ranges are recomputed per call).
+var zrangeBufPool = sync.Pool{New: func() interface{} { return new([]curve.KeyRange) }}
 
 // WindowQueryZRanges answers a window query by cutting the window into
 // Z-ranges; each range's boundaries are located with a model-seeded
 // exponential search (exact).
 func (ix *Index) WindowQueryZRanges(win geo.Rect) []geo.Point {
-	var out []geo.Point
+	return ix.WindowQueryZRangesAppend(win, nil)
+}
+
+// WindowQueryZRangesAppend is WindowQueryZRanges appending into out,
+// with the Z-range buffer drawn from a pool.
+func (ix *Index) WindowQueryZRangesAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.st == nil || ix.st.Len() == 0 {
 		return out
 	}
-	for _, r := range curve.ZRanges(win, ix.cfg.Space, ix.cfg.MaxZDepth) {
+	buf := zrangeBufPool.Get().(*[]curve.KeyRange)
+	rs := curve.ZRangesAppend(win, ix.cfg.Space, ix.cfg.MaxZDepth, (*buf)[:0])
+	for _, r := range rs {
 		loKey := float64(r.Lo)
 		hiKey := float64(r.Hi)
 		lo := ix.st.FirstGE(loKey, ix.predictRank(loKey))
 		hi := ix.st.FirstGT(hiKey, ix.predictRank(hiKey))
 		out = ix.st.CollectWindow(lo, hi, win, out)
 	}
+	*buf = rs[:0]
+	zrangeBufPool.Put(buf)
 	return out
 }
 
@@ -245,7 +257,12 @@ func (ix *Index) WindowQueryZRanges(win geo.Rect) []geo.Point {
 // jump directly to BIGMIN — the next key that can be inside — instead
 // of filtering through the out-of-window run.
 func (ix *Index) WindowQueryBigMin(win geo.Rect) []geo.Point {
-	var out []geo.Point
+	return ix.WindowQueryBigMinAppend(win, nil)
+}
+
+// WindowQueryBigMinAppend is WindowQueryBigMin appending into out. The
+// skip-scan streams the dense key column directly.
+func (ix *Index) WindowQueryBigMinAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.st == nil || ix.st.Len() == 0 {
 		return out
 	}
@@ -258,14 +275,13 @@ func (ix *Index) WindowQueryBigMin(win geo.Rect) []geo.Point {
 	pos := ix.st.FirstGE(float64(zmin), ix.predictRank(float64(zmin)))
 	n := ix.st.Len()
 	for pos < n {
-		e := ix.st.At(pos)
-		key := uint64(e.Key)
+		key := uint64(ix.st.KeyAt(pos))
 		if key > zmax {
 			break
 		}
 		if curve.ZCellInBox(key, zmin, zmax) {
-			if win.Contains(e.Point) {
-				out = append(out, e.Point)
+			if p := ix.st.PointAt(pos); win.Contains(p) {
+				out = append(out, p)
 			}
 			pos++
 			continue
@@ -284,6 +300,12 @@ func (ix *Index) WindowQueryBigMin(win geo.Rect) []geo.Point {
 // which makes the result exact given the exact window query.
 func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
 	return WindowKNN(ix, ix.cfg.Space, ix.Len(), q, k)
+}
+
+// KNNAppend implements index.KNNAppender through the shared expanding-
+// window helper's append path.
+func (ix *Index) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
+	return WindowKNNAppend(ix, ix.cfg.Space, ix.Len(), q, k, out)
 }
 
 // Stats returns the per-model build statistics of the last Build.
@@ -312,6 +334,12 @@ func (ix *Index) ResetCounters() {
 // windowQuerier is the subset of index behaviour WindowKNN needs.
 type windowQuerier interface {
 	WindowQuery(win geo.Rect) []geo.Point
+}
+
+// WindowAppender is the subset WindowKNNAppend needs (satisfied by the
+// learned indices' WindowQueryAppend methods).
+type WindowAppender interface {
+	WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point
 }
 
 // WindowKNN is the shared kNN-by-expanding-window strategy the learned
@@ -348,6 +376,60 @@ func WindowKNN(ix windowQuerier, space geo.Rect, n int, q geo.Point, k int) []ge
 	}
 }
 
+// knnScratch holds one expanding-window search's reusable buffers: the
+// window candidates and the selected k-best.
+type knnScratch struct {
+	cand []geo.Point
+	sel  []geo.Point
+}
+
+var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) }}
+
+// WindowKNNAppend is WindowKNN appending the k results to out, with
+// all intermediate buffers (window candidates, selection scratch)
+// pooled. It returns exactly the same points in the same order as
+// WindowKNN.
+func WindowKNNAppend(ix WindowAppender, space geo.Rect, n int, q geo.Point, k int, out []geo.Point) []geo.Point {
+	if k <= 0 || n == 0 {
+		return out
+	}
+	if k > n {
+		k = n
+	}
+	s := knnScratchPool.Get().(*knnScratch)
+	r := math.Sqrt(float64(4*k) / float64(n) * space.Area() / math.Pi)
+	if r <= 0 {
+		r = 0.01
+	}
+	maxR := math.Max(space.Width(), space.Height()) * 1.5
+	for {
+		win := geo.Rect{MinX: q.X - r, MinY: q.Y - r, MaxX: q.X + r, MaxY: q.Y + r}
+		s.cand = ix.WindowQueryAppend(win, s.cand[:0])
+		if len(s.cand) >= k {
+			s.sel = NearestKAppend(s.cand, q, k, s.sel[:0])
+			if s.sel[k-1].Dist(q) <= r || r >= maxR {
+				out = append(out, s.sel...)
+				knnScratchPool.Put(s)
+				return out
+			}
+		} else if r >= maxR {
+			s.sel = NearestKAppend(s.cand, q, min(k, len(s.cand)), s.sel[:0])
+			out = append(out, s.sel...)
+			knnScratchPool.Put(s)
+			return out
+		}
+		r *= 2
+	}
+}
+
+// pointDist pairs a candidate with its squared distance to the query.
+type pointDist struct {
+	p geo.Point
+	d float64
+}
+
+var pdPool = sync.Pool{New: func() interface{} { return new([]pointDist) }}
+
 // NearestK returns the k nearest of cand to q, sorted by distance. It
 // is shared by the learned indices' expanding-window query paths.
 func NearestK(cand []geo.Point, q geo.Point, k int) []geo.Point {
@@ -357,15 +439,24 @@ func NearestK(cand []geo.Point, q geo.Point, k int) []geo.Point {
 	if k == 0 {
 		return nil
 	}
-	// partial selection via the shared KNNScan would import index;
-	// sort inline instead (candidate sets are small).
-	type pd struct {
-		p geo.Point
-		d float64
+	return NearestKAppend(cand, q, k, make([]geo.Point, 0, k))
+}
+
+// NearestKAppend is NearestK appending into out, with the selection
+// scratch pooled; in steady state it allocates only for out's growth.
+func NearestKAppend(cand []geo.Point, q geo.Point, k int, out []geo.Point) []geo.Point {
+	if k > len(cand) {
+		k = len(cand)
 	}
-	ps := make([]pd, len(cand))
-	for i, p := range cand {
-		ps[i] = pd{p, p.Dist2(q)}
+	if k == 0 {
+		return out
+	}
+	// partial selection via the shared KNNScan would import index;
+	// select inline instead (candidate sets are small).
+	buf := pdPool.Get().(*[]pointDist)
+	ps := (*buf)[:0]
+	for _, p := range cand {
+		ps = append(ps, pointDist{p, p.Dist2(q)})
 	}
 	for i := 0; i < k; i++ {
 		minJ := i
@@ -376,10 +467,11 @@ func NearestK(cand []geo.Point, q geo.Point, k int) []geo.Point {
 		}
 		ps[i], ps[minJ] = ps[minJ], ps[i]
 	}
-	out := make([]geo.Point, k)
 	for i := 0; i < k; i++ {
-		out[i] = ps[i].p
+		out = append(out, ps[i].p)
 	}
+	*buf = ps[:0]
+	pdPool.Put(buf)
 	return out
 }
 

@@ -1,0 +1,120 @@
+package elsi
+
+// Microbenchmarks for the query engine: per-query latency and
+// allocations of the serial and batched paths. Run with
+//
+//	go test -bench=Query -benchmem -run=^$
+//
+// The learned families report 0 allocs/op on the point and append
+// paths once the per-caller scratch pools are warm.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/qserve"
+	"elsi/internal/rmi"
+	"elsi/internal/zm"
+)
+
+const queryBenchN = 20000
+
+var (
+	queryOnce sync.Once
+	queryPts  []geo.Point
+	queryWins []geo.Rect
+	queryIxs  map[string]index.Index
+)
+
+func queryState(b *testing.B) ([]geo.Point, []geo.Rect, map[string]index.Index) {
+	b.Helper()
+	queryOnce.Do(func() {
+		rng := rand.New(rand.NewSource(7))
+		queryPts = dataset.UniformPoints(rng, queryBenchN)
+		queryWins = dataset.WindowsFromData(rng, queryPts, geo.UnitRect, 200, 0.0001)
+		zmIx := zm.New(zm.Config{
+			Space:   geo.UnitRect,
+			Builder: &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)},
+			Fanout:  4,
+		})
+		if err := zmIx.Build(queryPts); err != nil {
+			panic(err)
+		}
+		bf := index.NewBruteForce()
+		if err := bf.Build(queryPts); err != nil {
+			panic(err)
+		}
+		queryIxs = map[string]index.Index{"ZM": zmIx, "BruteForce": bf}
+	})
+	return queryPts, queryWins, queryIxs
+}
+
+func BenchmarkQueryPointZM(b *testing.B) {
+	pts, _, ixs := queryState(b)
+	ix := ixs["ZM"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.PointQuery(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkQueryWindowAppendZM(b *testing.B) {
+	_, wins, ixs := queryState(b)
+	ix := ixs["ZM"]
+	var buf []geo.Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = index.AppendWindow(ix, wins[i%len(wins)], buf[:0])
+	}
+}
+
+func BenchmarkQueryKNNAppendZM(b *testing.B) {
+	pts, _, ixs := queryState(b)
+	ix := ixs["ZM"]
+	var buf []geo.Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = index.AppendKNN(ix, pts[i%len(pts)], 10, buf[:0])
+	}
+}
+
+func BenchmarkQueryPointBatchedZM(b *testing.B) {
+	pts, _, ixs := queryState(b)
+	eng := qserve.New(ixs["ZM"], 0)
+	batch := pts[:512]
+	var out []bool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = eng.PointBatch(batch, out)
+	}
+}
+
+func BenchmarkQueryWindowBatchedZM(b *testing.B) {
+	_, wins, ixs := queryState(b)
+	eng := qserve.New(ixs["ZM"], 0)
+	var out [][]geo.Point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = eng.WindowBatch(wins, out)
+	}
+}
+
+func BenchmarkQueryWindowSerialBruteForce(b *testing.B) {
+	_, wins, ixs := queryState(b)
+	ix := ixs["BruteForce"]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.WindowQuery(wins[i%len(wins)])
+	}
+}
