@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet lint bench microbench
+.PHONY: check build test race vet lint bench microbench serve loadtest
 
 check: vet lint race
 
@@ -35,3 +35,15 @@ bench:
 
 microbench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# serve runs the long-running server (HTTP+JSON on :8080, binary
+# protocol on :9090) over a generated uniform data set. Ctrl-C drains
+# in-flight requests before exiting.
+serve:
+	$(GO) run ./cmd/elsid -http 127.0.0.1:8080 -tcp 127.0.0.1:9090 -n 100000
+
+# loadtest stands up the full serving stack in-process and drives both
+# transports with seeded open-loop Poisson arrivals, writing the
+# p50/p99/p999 latency report consumed by README's Serving section.
+loadtest:
+	$(GO) run ./cmd/elsiload -inproc -n 50000 -rate 2000 -duration 3s -conns 64 -o BENCH_pr6.json

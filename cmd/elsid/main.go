@@ -1,0 +1,146 @@
+// Command elsid is the long-running ELSI server: it builds a learned
+// index over a generated data set, wraps it in the update processor
+// (learned rebuild trigger, background rebuilds) and the batching
+// serving engine, and exposes point/window/kNN queries plus
+// insert/delete over two transports at once — an HTTP+JSON API and
+// the compact binary TCP protocol (internal/protocol). GET /stats
+// reports the engine and rebuild counters.
+//
+// Usage:
+//
+//	elsid -http 127.0.0.1:8080 -tcp 127.0.0.1:9090 -n 100000
+//	curl -s localhost:8080/query/knn -d '{"x":0.5,"y":0.5,"k":3}'
+//
+// SIGINT/SIGTERM shut down gracefully: listeners stop, in-flight
+// requests drain through the engine's shutdown flush, and the process
+// exits once every admitted request has been answered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/engine"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/rebuild"
+	"elsi/internal/rmi"
+	"elsi/internal/server"
+	"elsi/internal/zm"
+)
+
+func main() {
+	var (
+		httpAddr = flag.String("http", "127.0.0.1:8080", "HTTP listen address (empty disables)")
+		tcpAddr  = flag.String("tcp", "127.0.0.1:9090", "binary-protocol listen address (empty disables)")
+		family   = flag.String("index", "zm", "index family: zm or brute")
+		data     = flag.String("dataset", dataset.Uniform, "initial data set")
+		n        = flag.Int("n", 100000, "initial cardinality")
+		seed     = flag.Int64("seed", 1, "random seed")
+		fu       = flag.Int("fu", 0, "rebuild-predictor check frequency in updates (0 = n/10)")
+		workers  = flag.Int("workers", 0, "query workers per batch (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 64, "flush a batch at this size")
+		flush    = flag.Duration("flush", 200*time.Microsecond, "flush a batch after this deadline")
+		inflight = flag.Int("max-inflight", 4096, "admitted in-flight request bound")
+	)
+	flag.Parse()
+
+	if err := run(*httpAddr, *tcpAddr, *family, *data, *n, *seed, *fu, engine.Config{
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
+		FlushInterval: *flush,
+		MaxInFlight:   *inflight,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "elsid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu int, cfg engine.Config) error {
+	log.SetPrefix("elsid: ")
+	log.SetFlags(log.Ltime)
+
+	pts, err := dataset.Generate(data, n, seed)
+	if err != nil {
+		return err
+	}
+	if fu <= 0 {
+		fu = n / 10
+	}
+
+	proc, err := buildProcessor(family, pts, seed, fu)
+	if err != nil {
+		return err
+	}
+	eng := engine.New(proc, nil, cfg)
+	srv := server.New(eng)
+	if err := srv.Start(httpAddr, tcpAddr); err != nil {
+		return err
+	}
+	if a := srv.HTTPAddr(); a != "" {
+		log.Printf("HTTP on http://%s (POST /query/{point,window,knn}, /insert, /delete; GET /stats)", a)
+	}
+	if a := srv.TCPAddr(); a != "" {
+		log.Printf("binary protocol on %s", a)
+	}
+	log.Printf("serving %d %s points over %s", proc.Len(), data, family)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	log.Printf("%v: draining...", sig)
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	st := eng.Stats()
+	log.Printf("drained: %d point, %d window, %d kNN queries, %d inserts, %d deletes, %d rebuilds, %d batches",
+		st.PointQueries, st.WindowQueries, st.KNNQueries, st.Inserts, st.Deletes, st.Rebuilds, st.Batches)
+	return nil
+}
+
+// buildProcessor assembles the index family, the trained rebuild
+// predictor, and the update processor with a background-rebuild
+// factory.
+func buildProcessor(family string, pts []geo.Point, seed int64, fu int) (*rebuild.Processor, error) {
+	pred, err := rebuild.TrainPredictor(
+		rebuild.HeuristicSamples(rand.New(rand.NewSource(seed)), 1000),
+		rebuild.PredictorConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+
+	var factory func() rebuild.Rebuildable
+	var mapKey func(geo.Point) float64
+	switch family {
+	case "zm":
+		factory = func() rebuild.Rebuildable {
+			return zm.New(zm.Config{
+				Space:   geo.UnitRect,
+				Builder: &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)},
+				Fanout:  8,
+			})
+		}
+		mapKey = factory().(*zm.Index).MapKey
+	case "brute":
+		factory = func() rebuild.Rebuildable { return index.NewBruteForce() }
+		mapKey = func(p geo.Point) float64 { return p.X }
+	default:
+		return nil, fmt.Errorf("unknown index family %q (want zm or brute)", family)
+	}
+
+	proc, err := rebuild.NewProcessor(factory(), pred, pts, mapKey, fu)
+	if err != nil {
+		return nil, err
+	}
+	proc.Factory = factory
+	proc.Retry = &rebuild.RetryPolicy{}
+	return proc, nil
+}

@@ -1,0 +1,365 @@
+// Command elsiload is the open-loop load generator for elsid: it
+// fires requests at the server with seeded Poisson arrivals (the
+// inter-arrival gaps are Exp(rate) draws from a deterministic
+// generator — wall-clock time is used only to measure latency, never
+// as a randomness source) and reports client-observed p50/p99/p999
+// latency per operation, overall throughput, and the server's own
+// /stats counters.
+//
+// Open loop means arrivals do not wait for completions: when the
+// server falls behind, requests queue and the measured latency grows —
+// the honest failure mode closed-loop generators hide.
+//
+// Usage:
+//
+//	elsiload -target tcp://127.0.0.1:9090 -rate 2000 -duration 10s
+//	elsiload -target http://127.0.0.1:8080 -rate 500 -duration 5s
+//	elsiload -inproc -rate 3000 -duration 3s -o BENCH_pr6.json
+//
+// With -inproc, elsiload stands up the full elsid stack in-process on
+// ephemeral localhost ports and drives both transports back to back —
+// the one-command, no-daemon way to produce the serving benchmark
+// artifact.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"elsi/internal/base"
+	"elsi/internal/client"
+	"elsi/internal/dataset"
+	"elsi/internal/engine"
+	"elsi/internal/geo"
+	"elsi/internal/rebuild"
+	"elsi/internal/rmi"
+	"elsi/internal/server"
+	"elsi/internal/zm"
+)
+
+// apiClient is the operation surface both transports expose.
+type apiClient interface {
+	PointQuery(pt geo.Point) (bool, error)
+	WindowQuery(win geo.Rect) ([]geo.Point, error)
+	KNN(q geo.Point, k int) ([]geo.Point, error)
+	Insert(pt geo.Point) (bool, error)
+	Delete(pt geo.Point) (bool, error)
+	Stats() (engine.Stats, error)
+}
+
+func main() {
+	var (
+		target   = flag.String("target", "", "server address: tcp://host:port or http://host:port (empty requires -inproc)")
+		inproc   = flag.Bool("inproc", false, "stand up the serving stack in-process and drive both transports")
+		rate     = flag.Float64("rate", 1000, "offered load in requests/second")
+		duration = flag.Duration("duration", 5*time.Second, "load duration per run")
+		conns    = flag.Int("conns", 16, "connection pool size (TCP conns / HTTP concurrency bound)")
+		seed     = flag.Int64("seed", 1, "random seed for arrivals and the op mix")
+		n        = flag.Int("n", 50000, "in-process data set cardinality (-inproc)")
+		out      = flag.String("o", "-", "output path for the JSON report (- = stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*target, *inproc, *rate, *duration, *conns, *seed, *n, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "elsiload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target string, inproc bool, rate float64, duration time.Duration, conns int, seed int64, n int, out string) error {
+	report := benchReport{
+		Name:     "serving-loadtest",
+		Seed:     seed,
+		RateRPS:  rate,
+		Duration: duration.String(),
+		Conns:    conns,
+	}
+
+	if inproc {
+		srv, cleanup, err := startInproc(n, seed)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		for _, tr := range []string{"tcp", "http"} {
+			addr := "tcp://" + srv.TCPAddr()
+			if tr == "http" {
+				addr = "http://" + srv.HTTPAddr()
+			}
+			res, err := runLoad(addr, rate, duration, conns, seed)
+			if err != nil {
+				return err
+			}
+			report.Runs = append(report.Runs, res)
+		}
+	} else {
+		if target == "" {
+			return fmt.Errorf("need -target or -inproc")
+		}
+		res, err := runLoad(target, rate, duration, conns, seed)
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, res)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// startInproc builds the elsid stack on ephemeral localhost ports.
+func startInproc(n int, seed int64) (*server.Server, func(), error) {
+	pts := dataset.MustGenerate(dataset.Uniform, n, seed)
+	pred, err := rebuild.TrainPredictor(
+		rebuild.HeuristicSamples(rand.New(rand.NewSource(seed)), 1000),
+		rebuild.PredictorConfig{Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	factory := func() rebuild.Rebuildable {
+		return zm.New(zm.Config{
+			Space:   geo.UnitRect,
+			Builder: &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)},
+			Fanout:  8,
+		})
+	}
+	proc, err := rebuild.NewProcessor(factory(), pred, pts, factory().(*zm.Index).MapKey, n/10)
+	if err != nil {
+		return nil, nil, err
+	}
+	proc.Factory = factory
+	proc.Retry = &rebuild.RetryPolicy{}
+	eng := engine.New(proc, nil, engine.Config{})
+	srv := server.New(eng)
+	if err := srv.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		return nil, nil, err
+	}
+	return srv, func() { srv.Close() }, nil
+}
+
+// dialPool builds the bounded client pool for a target URL.
+func dialPool(target string, conns int) (chan apiClient, string, func(), error) {
+	pool := make(chan apiClient, conns)
+	switch {
+	case strings.HasPrefix(target, "tcp://"):
+		addr := strings.TrimPrefix(target, "tcp://")
+		var opened []*client.TCP
+		for i := 0; i < conns; i++ {
+			c, err := client.DialTCP(addr)
+			if err != nil {
+				for _, o := range opened {
+					o.Close()
+				}
+				return nil, "", nil, err
+			}
+			opened = append(opened, c)
+			pool <- c
+		}
+		return pool, "tcp", func() {
+			for _, o := range opened {
+				o.Close()
+			}
+		}, nil
+	case strings.HasPrefix(target, "http://"):
+		hc := &client.HTTP{Base: target, C: &http.Client{
+			Transport: &http.Transport{MaxIdleConns: conns, MaxIdleConnsPerHost: conns},
+		}}
+		// one shared HTTP client; the pool's slots bound the concurrency
+		for i := 0; i < conns; i++ {
+			pool <- hc
+		}
+		return pool, "http", func() {}, nil
+	default:
+		return nil, "", nil, fmt.Errorf("target %q: want tcp://host:port or http://host:port", target)
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	op  string
+	lat time.Duration
+	err error
+}
+
+// runLoad fires the Poisson-arrival request stream at target.
+func runLoad(target string, rate float64, duration time.Duration, conns int, seed int64) (runResult, error) {
+	pool, transport, cleanup, err := dialPool(target, conns)
+	if err != nil {
+		return runResult{}, err
+	}
+	defer cleanup()
+
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	next := start
+	for {
+		// Exp(rate) inter-arrival gap from the seeded generator
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if next.Sub(start) > duration {
+			break
+		}
+		op, call := nextOp(rng)
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		arrival := next // latency includes any queueing for a pool slot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := <-pool
+			err := call(c)
+			pool <- c
+			record(sample{op: op, lat: time.Since(arrival), err: err})
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := summarize(samples, elapsed)
+	res.Transport = transport
+	res.Target = target
+
+	// the server's own view of the run
+	c := <-pool
+	if st, err := c.Stats(); err == nil {
+		res.ServerStats = &st
+	}
+	pool <- c
+	return res, nil
+}
+
+// nextOp draws one operation from the fixed mix: 40% point query,
+// 15% kNN, 10% window, 20% insert, 15% delete.
+func nextOp(rng *rand.Rand) (string, func(apiClient) error) {
+	q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	switch r := rng.Float64(); {
+	case r < 0.40:
+		return "point", func(c apiClient) error { _, err := c.PointQuery(q); return err }
+	case r < 0.55:
+		k := 1 + rng.Intn(16)
+		return "knn", func(c apiClient) error { _, err := c.KNN(q, k); return err }
+	case r < 0.65:
+		win := geo.Rect{MinX: q.X, MinY: q.Y, MaxX: q.X + 0.02, MaxY: q.Y + 0.02}
+		return "window", func(c apiClient) error { _, err := c.WindowQuery(win); return err }
+	case r < 0.85:
+		return "insert", func(c apiClient) error { _, err := c.Insert(q); return err }
+	default:
+		return "delete", func(c apiClient) error { _, err := c.Delete(q); return err }
+	}
+}
+
+// --- reporting ----------------------------------------------------------
+
+type latencySummary struct {
+	Count      int     `json:"count"`
+	Errors     int     `json:"errors"`
+	Overloaded int     `json:"overloaded"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	P999Ms     float64 `json:"p999_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+type runResult struct {
+	Transport   string                    `json:"transport"`
+	Target      string                    `json:"target"`
+	AchievedRPS float64                   `json:"achieved_rps"`
+	Overall     latencySummary            `json:"overall"`
+	PerOp       map[string]latencySummary `json:"per_op"`
+	ServerStats *engine.Stats             `json:"server_stats,omitempty"`
+}
+
+type benchReport struct {
+	Name     string      `json:"name"`
+	Seed     int64       `json:"seed"`
+	RateRPS  float64     `json:"rate_rps"`
+	Duration string      `json:"duration"`
+	Conns    int         `json:"conns"`
+	Runs     []runResult `json:"runs"`
+}
+
+func summarize(samples []sample, elapsed time.Duration) runResult {
+	res := runResult{
+		AchievedRPS: float64(len(samples)) / elapsed.Seconds(),
+		Overall:     summarizeOp(samples),
+		PerOp:       map[string]latencySummary{},
+	}
+	byOp := map[string][]sample{}
+	for _, s := range samples {
+		byOp[s.op] = append(byOp[s.op], s)
+	}
+	for op, ss := range byOp {
+		res.PerOp[op] = summarizeOp(ss)
+	}
+	return res
+}
+
+func summarizeOp(samples []sample) latencySummary {
+	sum := latencySummary{Count: len(samples)}
+	lats := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if s.err != nil {
+			if errors.Is(s.err, engine.ErrOverloaded) {
+				sum.Overloaded++
+			} else {
+				sum.Errors++
+			}
+			continue
+		}
+		lats = append(lats, float64(s.lat)/float64(time.Millisecond))
+	}
+	sort.Float64s(lats)
+	sum.P50Ms = percentile(lats, 0.50)
+	sum.P90Ms = percentile(lats, 0.90)
+	sum.P99Ms = percentile(lats, 0.99)
+	sum.P999Ms = percentile(lats, 0.999)
+	if len(lats) > 0 {
+		sum.MaxMs = lats[len(lats)-1]
+	}
+	return sum
+}
+
+// percentile returns the q-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

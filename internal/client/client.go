@@ -1,0 +1,230 @@
+// Package client holds the two matching clients of the serving
+// stack: HTTP speaks the JSON API and TCP speaks the binary protocol.
+// Both expose the same five-operation surface plus Stats, and both
+// translate the server's backpressure signal (HTTP 429, the
+// protocol's overloaded status) back into engine.ErrOverloaded so
+// callers — the load generator in particular — can treat shed load
+// uniformly across transports.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"elsi/internal/engine"
+	"elsi/internal/geo"
+	"elsi/internal/protocol"
+	"elsi/internal/server"
+)
+
+// HTTP is a client for the JSON API. The zero value with Base set is
+// ready to use; it is safe for concurrent use (requests are
+// independent HTTP round trips).
+type HTTP struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// C overrides http.DefaultClient.
+	C *http.Client
+}
+
+func (c *HTTP) client() *http.Client {
+	if c.C != nil {
+		return c.C
+	}
+	return http.DefaultClient
+}
+
+// post runs one JSON round trip, decoding into out (which may be nil
+// for callers that only care about the status).
+func (c *HTTP) post(path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client().Post(c.Base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	return decodeHTTP(resp, out)
+}
+
+func decodeHTTP(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, protocol.MaxFrame))
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		return engine.ErrOverloaded
+	case http.StatusServiceUnavailable:
+		return engine.ErrClosed
+	default:
+		var e server.ErrorBody
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s", e.Error)
+		}
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// PointQuery reports whether pt is stored.
+func (c *HTTP) PointQuery(pt geo.Point) (bool, error) {
+	var out server.FoundBody
+	err := c.post("/query/point", server.PointBody{X: pt.X, Y: pt.Y}, &out)
+	return out.Found, err
+}
+
+// WindowQuery returns the points inside win.
+func (c *HTTP) WindowQuery(win geo.Rect) ([]geo.Point, error) {
+	var out server.PointsBody
+	err := c.post("/query/window", server.WindowBody{MinX: win.MinX, MinY: win.MinY, MaxX: win.MaxX, MaxY: win.MaxY}, &out)
+	return fromPointsBody(out), err
+}
+
+// KNN returns the k nearest stored points to q.
+func (c *HTTP) KNN(q geo.Point, k int) ([]geo.Point, error) {
+	var out server.PointsBody
+	err := c.post("/query/knn", server.KNNBody{X: q.X, Y: q.Y, K: k}, &out)
+	return fromPointsBody(out), err
+}
+
+// Insert adds pt, reporting whether it triggered a rebuild.
+func (c *HTTP) Insert(pt geo.Point) (bool, error) {
+	var out server.RebuildBody
+	err := c.post("/insert", server.PointBody{X: pt.X, Y: pt.Y}, &out)
+	return out.Rebuild, err
+}
+
+// Delete removes pt, reporting whether it triggered a rebuild.
+func (c *HTTP) Delete(pt geo.Point) (bool, error) {
+	var out server.RebuildBody
+	err := c.post("/delete", server.PointBody{X: pt.X, Y: pt.Y}, &out)
+	return out.Rebuild, err
+}
+
+// Stats fetches the server's stats snapshot.
+func (c *HTTP) Stats() (engine.Stats, error) {
+	resp, err := c.client().Get(c.Base + "/stats")
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	var st engine.Stats
+	err = decodeHTTP(resp, &st)
+	return st, err
+}
+
+func fromPointsBody(body server.PointsBody) []geo.Point {
+	out := make([]geo.Point, len(body.Points))
+	for i, p := range body.Points {
+		out[i] = geo.Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+// TCP is a client for the binary protocol. One TCP serializes its
+// round trips over a single connection (the protocol has no request
+// IDs); open one per concurrent caller for parallelism.
+type TCP struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// DialTCP connects to a binary-protocol address.
+func DialTCP(addr string) (*TCP, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCP{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *TCP) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *TCP) roundTrip(req protocol.Request) (protocol.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = protocol.AppendRequest(c.buf[:0], req)
+	if err := protocol.WriteFrame(c.bw, c.buf); err != nil {
+		return protocol.Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return protocol.Response{}, err
+	}
+	body, err := protocol.ReadFrame(c.br)
+	if err != nil {
+		return protocol.Response{}, err
+	}
+	resp, err := protocol.DecodeResponse(body)
+	if err != nil {
+		return protocol.Response{}, err
+	}
+	switch resp.Status {
+	case protocol.StatusOK:
+		return resp, nil
+	case protocol.StatusOverloaded:
+		return resp, engine.ErrOverloaded
+	default:
+		return resp, fmt.Errorf("server: %s", resp.Text)
+	}
+}
+
+// PointQuery reports whether pt is stored.
+func (c *TCP) PointQuery(pt geo.Point) (bool, error) {
+	resp, err := c.roundTrip(protocol.Request{Op: protocol.OpPoint, Pt: pt})
+	return resp.Bool, err
+}
+
+// WindowQuery returns the points inside win.
+func (c *TCP) WindowQuery(win geo.Rect) ([]geo.Point, error) {
+	resp, err := c.roundTrip(protocol.Request{Op: protocol.OpWindow, Win: win})
+	return resp.Points, err
+}
+
+// KNN returns the k nearest stored points to q.
+func (c *TCP) KNN(q geo.Point, k int) ([]geo.Point, error) {
+	resp, err := c.roundTrip(protocol.Request{Op: protocol.OpKNN, Pt: q, K: k})
+	return resp.Points, err
+}
+
+// Insert adds pt, reporting whether it triggered a rebuild.
+func (c *TCP) Insert(pt geo.Point) (bool, error) {
+	resp, err := c.roundTrip(protocol.Request{Op: protocol.OpInsert, Pt: pt})
+	return resp.Bool, err
+}
+
+// Delete removes pt, reporting whether it triggered a rebuild.
+func (c *TCP) Delete(pt geo.Point) (bool, error) {
+	resp, err := c.roundTrip(protocol.Request{Op: protocol.OpDelete, Pt: pt})
+	return resp.Bool, err
+}
+
+// Stats fetches the server's stats snapshot.
+func (c *TCP) Stats() (engine.Stats, error) {
+	resp, err := c.roundTrip(protocol.Request{Op: protocol.OpStats})
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	var st engine.Stats
+	err = json.Unmarshal([]byte(resp.Text), &st)
+	return st, err
+}

@@ -37,6 +37,7 @@ type node struct {
 type List struct {
 	root *node
 	size int
+	dels int
 
 	insCount map[geo.Point]int
 	delCount map[geo.Point]int
@@ -45,6 +46,12 @@ type List struct {
 
 // Len returns the number of pending updates.
 func (l *List) Len() int { return l.size }
+
+// Deletions returns the number of pending deletion records. Query
+// paths that fetch candidates from the base index and filter deletions
+// afterwards use it to widen the fetch so the filter cannot eat into
+// the requested answer size.
+func (l *List) Deletions() int { return l.dels }
 
 // Insert records the insertion of point p with identifier id. If id is
 // already pending as a deletion of the same point, the records cancel
@@ -118,6 +125,7 @@ func (l *List) HasInserted(p geo.Point) bool {
 func (l *List) Clear() {
 	l.root = nil
 	l.size = 0
+	l.dels = 0
 	l.insCount = nil
 	l.delCount = nil
 	l.insIDs = nil
@@ -148,6 +156,7 @@ func (l *List) Freeze() *List {
 	snap := &List{
 		root:     l.root,
 		size:     l.size,
+		dels:     l.dels,
 		insCount: l.insCount,
 		delCount: l.delCount,
 		insIDs:   l.insIDs,
@@ -202,13 +211,20 @@ func (l *List) put(rec Record) {
 
 func (l *List) remove(id int64) {
 	old := l.find(id)
+	if old == nil {
+		return
+	}
+	// copy the record before the tree mutation: deleting a node with
+	// two children overwrites it in place with its in-order successor
+	// (del's n.rec = succ.rec), so reading old.rec afterwards would
+	// adjust the successor's counters instead of the removed record's —
+	// silently dropping a *different* point's pending state.
+	rec := old.rec
 	var removed bool
 	l.root, removed = del(l.root, id)
 	if removed {
 		l.size--
-		if old != nil {
-			l.countAdjust(old.rec, -1)
-		}
+		l.countAdjust(rec, -1)
 	}
 }
 
@@ -244,6 +260,7 @@ func (l *List) countAdjust(rec Record, delta int) {
 			l.delCount = map[geo.Point]int{}
 		}
 		m = l.delCount
+		l.dels += delta
 	}
 	m[rec.Point] += delta
 	if m[rec.Point] <= 0 {

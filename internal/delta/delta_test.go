@@ -305,3 +305,63 @@ func BenchmarkDeltaAVLLookup(b *testing.B) {
 		l.Get(int64(i % 10000))
 	}
 }
+
+// Regression for the AVL counter-corruption bug: deleting a node with
+// two children replaces it in place with its in-order successor, so
+// remove() must capture the removed record *before* the tree mutation.
+// It used to read it afterwards, decrementing the successor's counters
+// instead — one RemoveInsertedPoint could silently erase a different
+// point's pending deletion (resurrecting it in query answers).
+func TestRemoveTwoChildrenAdjustsRightCounters(t *testing.T) {
+	var l List
+	a, b, c := geo.Point{X: 1}, geo.Point{X: 2}, geo.Point{X: 3}
+	l.Insert(1, a)
+	l.Insert(2, b) // root with two children after balancing
+	l.Delete(3, c) // the in-order successor of id 2
+	if !l.IsDeleted(c) || !l.HasInserted(b) {
+		t.Fatal("setup: expected pending ins(b) and del(c)")
+	}
+	if !l.RemoveInsertedPoint(b) {
+		t.Fatal("RemoveInsertedPoint(b) found nothing")
+	}
+	if l.HasInserted(b) {
+		t.Error("b still has a pending insertion after removal")
+	}
+	if !l.IsDeleted(c) {
+		t.Error("removing ins(b) erased the unrelated pending deletion of c")
+	}
+	if got := l.Deletions(); got != 1 {
+		t.Errorf("Deletions() = %d, want 1", got)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+}
+
+// TestDeletionsCounter pins the pending-deletion count across insert,
+// delete, cancellation, Freeze, and Clear.
+func TestDeletionsCounter(t *testing.T) {
+	var l List
+	a, b := geo.Point{X: 1}, geo.Point{X: 2}
+	if l.Deletions() != 0 {
+		t.Fatal("zero value must report 0 deletions")
+	}
+	l.Delete(1, a)
+	l.Delete(2, b)
+	l.Insert(3, a)
+	if got := l.Deletions(); got != 2 {
+		t.Fatalf("Deletions() = %d, want 2 (insert of a different id must not cancel)", got)
+	}
+	l.Insert(2, b) // same id + point: cancels the deletion record
+	if got := l.Deletions(); got != 1 {
+		t.Fatalf("Deletions() after cancel = %d, want 1", got)
+	}
+	snap := l.Freeze()
+	if snap.Deletions() != 1 || l.Deletions() != 0 {
+		t.Fatalf("Freeze: snap=%d live=%d, want 1/0", snap.Deletions(), l.Deletions())
+	}
+	snap.Clear()
+	if snap.Deletions() != 0 {
+		t.Fatalf("Clear left %d deletions", snap.Deletions())
+	}
+}

@@ -1,0 +1,267 @@
+// Package protocol is the compact binary wire format of the TCP
+// serving path: length-prefixed frames carrying one request or one
+// response each.
+//
+// A frame is a big-endian uint32 body length followed by the body.
+// Request bodies start with an op byte, response bodies with a status
+// byte and a payload-kind byte; all coordinates are IEEE-754 float64
+// bits, big-endian. The format is self-describing on both directions,
+// so a response decodes without knowing the request that caused it.
+//
+// Decoding is defensive by construction: the length prefix is capped
+// at MaxFrame before any allocation, every payload length is checked
+// against its op, and a truncated or trailing-garbage body is a typed
+// error — never a panic or an oversized allocation. The fuzz tests
+// hold the package to that.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"elsi/internal/geo"
+)
+
+// MaxFrame bounds the body length of any frame (1 MiB). A window or
+// kNN response larger than this fails server-side with an error
+// response, rather than growing without bound.
+const MaxFrame = 1 << 20
+
+// Request ops.
+const (
+	OpPoint  byte = 1 // payload: point (16 bytes)
+	OpWindow byte = 2 // payload: rect (32 bytes)
+	OpKNN    byte = 3 // payload: point + int32 k (20 bytes)
+	OpInsert byte = 4 // payload: point (16 bytes)
+	OpDelete byte = 5 // payload: point (16 bytes)
+	OpStats  byte = 6 // payload: empty
+)
+
+// Response statuses.
+const (
+	StatusOK         byte = 0
+	StatusError      byte = 1 // payload kind KindText: the error message
+	StatusOverloaded byte = 2 // server backpressure; retry later
+)
+
+// Response payload kinds.
+const (
+	KindNone   byte = 0 // no payload
+	KindBool   byte = 1 // 1 byte, 0 or 1
+	KindPoints byte = 2 // n*16 bytes of points
+	KindText   byte = 3 // UTF-8 bytes (error message or stats JSON)
+)
+
+// Typed decode errors. Handlers check them to distinguish a malformed
+// peer from an I/O failure.
+var (
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("protocol: truncated frame")
+	ErrBadOp         = errors.New("protocol: unknown op")
+	ErrBadPayload    = errors.New("protocol: payload length does not match op")
+)
+
+// Request is one decoded client request. Pt doubles as the query
+// point (OpPoint, OpKNN) and the update point (OpInsert, OpDelete).
+type Request struct {
+	Op  byte
+	Pt  geo.Point
+	Win geo.Rect
+	K   int
+}
+
+// Response is one decoded server response. Exactly one of Bool,
+// Points, Text is meaningful, per Kind.
+type Response struct {
+	Status byte
+	Kind   byte
+	Bool   bool
+	Points []geo.Point
+	Text   string
+}
+
+// --- frame I/O ----------------------------------------------------------
+
+// WriteFrame writes body as one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame body, enforcing MaxFrame before any
+// allocation. io.EOF is returned untouched on a clean end-of-stream
+// (no prefix bytes at all); a stream that dies mid-frame returns
+// ErrTruncated.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return body, nil
+}
+
+// --- primitives ---------------------------------------------------------
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendPoint(dst []byte, p geo.Point) []byte {
+	return appendFloat(appendFloat(dst, p.X), p.Y)
+}
+
+func getFloat(b []byte) float64 {
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+func getPoint(b []byte) geo.Point {
+	return geo.Point{X: getFloat(b), Y: getFloat(b[8:])}
+}
+
+// --- requests -----------------------------------------------------------
+
+// AppendRequest appends req's frame body (without the length prefix)
+// to dst and returns it.
+func AppendRequest(dst []byte, req Request) []byte {
+	dst = append(dst, req.Op)
+	switch req.Op {
+	case OpPoint, OpInsert, OpDelete:
+		dst = appendPoint(dst, req.Pt)
+	case OpWindow:
+		dst = appendFloat(dst, req.Win.MinX)
+		dst = appendFloat(dst, req.Win.MinY)
+		dst = appendFloat(dst, req.Win.MaxX)
+		dst = appendFloat(dst, req.Win.MaxY)
+	case OpKNN:
+		dst = appendPoint(dst, req.Pt)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(req.K)))
+	case OpStats:
+		// no payload
+	}
+	return dst
+}
+
+// DecodeRequest decodes one request frame body.
+func DecodeRequest(body []byte) (Request, error) {
+	if len(body) == 0 {
+		return Request{}, ErrTruncated
+	}
+	req := Request{Op: body[0]}
+	payload := body[1:]
+	switch req.Op {
+	case OpPoint, OpInsert, OpDelete:
+		if len(payload) != 16 {
+			return Request{}, ErrBadPayload
+		}
+		req.Pt = getPoint(payload)
+	case OpWindow:
+		if len(payload) != 32 {
+			return Request{}, ErrBadPayload
+		}
+		req.Win = geo.Rect{
+			MinX: getFloat(payload),
+			MinY: getFloat(payload[8:]),
+			MaxX: getFloat(payload[16:]),
+			MaxY: getFloat(payload[24:]),
+		}
+	case OpKNN:
+		if len(payload) != 20 {
+			return Request{}, ErrBadPayload
+		}
+		req.Pt = getPoint(payload)
+		req.K = int(int32(binary.BigEndian.Uint32(payload[16:])))
+	case OpStats:
+		if len(payload) != 0 {
+			return Request{}, ErrBadPayload
+		}
+	default:
+		return Request{}, ErrBadOp
+	}
+	return req, nil
+}
+
+// --- responses ----------------------------------------------------------
+
+// AppendResponse appends resp's frame body (without the length
+// prefix) to dst and returns it.
+func AppendResponse(dst []byte, resp Response) []byte {
+	dst = append(dst, resp.Status, resp.Kind)
+	switch resp.Kind {
+	case KindBool:
+		if resp.Bool {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindPoints:
+		for _, pt := range resp.Points {
+			dst = appendPoint(dst, pt)
+		}
+	case KindText:
+		dst = append(dst, resp.Text...)
+	}
+	return dst
+}
+
+// DecodeResponse decodes one response frame body. The point count of
+// a KindPoints payload is derived from the payload length (which the
+// frame layer has already capped), so a hostile count can never force
+// an allocation beyond MaxFrame.
+func DecodeResponse(body []byte) (Response, error) {
+	if len(body) < 2 {
+		return Response{}, ErrTruncated
+	}
+	resp := Response{Status: body[0], Kind: body[1]}
+	payload := body[2:]
+	switch resp.Kind {
+	case KindNone:
+		if len(payload) != 0 {
+			return Response{}, ErrBadPayload
+		}
+	case KindBool:
+		if len(payload) != 1 || payload[0] > 1 {
+			return Response{}, ErrBadPayload
+		}
+		resp.Bool = payload[0] == 1
+	case KindPoints:
+		if len(payload)%16 != 0 {
+			return Response{}, ErrBadPayload
+		}
+		resp.Points = make([]geo.Point, len(payload)/16)
+		for i := range resp.Points {
+			resp.Points[i] = getPoint(payload[i*16:])
+		}
+	case KindText:
+		resp.Text = string(payload)
+	default:
+		return Response{}, ErrBadPayload
+	}
+	switch resp.Status {
+	case StatusOK, StatusError, StatusOverloaded:
+	default:
+		return Response{}, ErrBadPayload
+	}
+	return resp, nil
+}

@@ -1,0 +1,239 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"elsi/internal/geo"
+)
+
+func sampleRequests() []Request {
+	return []Request{
+		{Op: OpPoint, Pt: geo.Point{X: 0.25, Y: 0.75}},
+		{Op: OpInsert, Pt: geo.Point{X: -1.5, Y: math.SmallestNonzeroFloat64}},
+		{Op: OpDelete, Pt: geo.Point{X: math.MaxFloat64, Y: -math.MaxFloat64}},
+		{Op: OpWindow, Win: geo.Rect{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4}},
+		{Op: OpWindow, Win: geo.Rect{MinX: 0.8, MinY: 0.8, MaxX: 0.2, MaxY: 0.2}}, // inverted survives the wire
+		{Op: OpKNN, Pt: geo.Point{X: 0.5, Y: 0.5}, K: 10},
+		{Op: OpKNN, Pt: geo.Point{}, K: -3}, // negative k survives the wire
+		{Op: OpStats},
+	}
+}
+
+func sampleResponses() []Response {
+	return []Response{
+		{Status: StatusOK, Kind: KindBool, Bool: true},
+		{Status: StatusOK, Kind: KindBool, Bool: false},
+		{Status: StatusOK, Kind: KindPoints, Points: []geo.Point{{X: 1, Y: 2}, {X: -3, Y: 4.5}}},
+		{Status: StatusOK, Kind: KindPoints, Points: []geo.Point{}},
+		{Status: StatusOK, Kind: KindText, Text: `{"Len":42}`},
+		{Status: StatusError, Kind: KindText, Text: "boom"},
+		{Status: StatusOverloaded, Kind: KindNone},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range sampleRequests() {
+		body := AppendRequest(nil, req)
+		got, err := DecodeRequest(body)
+		if err != nil {
+			t.Errorf("op %d: DecodeRequest: %v", req.Op, err)
+			continue
+		}
+		if got != req {
+			t.Errorf("op %d: round trip = %+v, want %+v", req.Op, got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for i, resp := range sampleResponses() {
+		body := AppendResponse(nil, resp)
+		got, err := DecodeResponse(body)
+		if err != nil {
+			t.Errorf("case %d: DecodeResponse: %v", i, err)
+			continue
+		}
+		if got.Status != resp.Status || got.Kind != resp.Kind || got.Bool != resp.Bool || got.Text != resp.Text {
+			t.Errorf("case %d: round trip = %+v, want %+v", i, got, resp)
+		}
+		if len(got.Points) != len(resp.Points) {
+			t.Errorf("case %d: %d points, want %d", i, len(got.Points), len(resp.Points))
+			continue
+		}
+		for j := range got.Points {
+			if got.Points[j] != resp.Points[j] {
+				t.Errorf("case %d: point %d = %v, want %v", i, j, got.Points[j], resp.Points[j])
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{{}, {1}, bytes.Repeat([]byte{0xab}, 1000)}
+	for _, b := range bodies {
+		if err := WriteFrame(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range bodies {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReadFrameHostileInputs pins the defensive paths: an oversize
+// length prefix is rejected before any allocation, truncation at
+// every boundary is a typed error, and none of it panics.
+func TestReadFrameHostileInputs(t *testing.T) {
+	huge := []byte{0xff, 0xff, 0xff, 0xff} // 4 GiB claimed
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+	over := []byte{0x00, 0x10, 0x00, 0x01} // MaxFrame+1
+	if _, err := ReadFrame(bytes.NewReader(over)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("MaxFrame+1 prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+	// truncated at every possible cut of a valid frame
+	full := AppendRequest(nil, Request{Op: OpKNN, Pt: geo.Point{X: 1, Y: 2}, K: 5})
+	var framed bytes.Buffer
+	if err := WriteFrame(&framed, full); err != nil {
+		t.Fatal(err)
+	}
+	wire := framed.Bytes()
+	for cut := 1; cut < len(wire); cut++ {
+		_, err := ReadFrame(bytes.NewReader(wire[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestWriteFrameRejectsOversizeBody(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestDecodeRequestMalformed tables the malformed bodies a hostile
+// client can send: wrong payload sizes, unknown ops, empty frames.
+func TestDecodeRequestMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"empty body", nil, ErrTruncated},
+		{"unknown op", []byte{0xee, 0, 0}, ErrBadOp},
+		{"op zero", []byte{0}, ErrBadOp},
+		{"point short", append([]byte{OpPoint}, make([]byte, 15)...), ErrBadPayload},
+		{"point long", append([]byte{OpPoint}, make([]byte, 17)...), ErrBadPayload},
+		{"window short", append([]byte{OpWindow}, make([]byte, 31)...), ErrBadPayload},
+		{"knn short", append([]byte{OpKNN}, make([]byte, 16)...), ErrBadPayload},
+		{"stats with payload", []byte{OpStats, 1}, ErrBadPayload},
+		{"insert empty", []byte{OpInsert}, ErrBadPayload},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.body); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeResponseMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"status only", []byte{StatusOK}},
+		{"unknown kind", []byte{StatusOK, 0xee}},
+		{"unknown status", []byte{0xee, KindNone}},
+		{"bool short", []byte{StatusOK, KindBool}},
+		{"bool out of range", []byte{StatusOK, KindBool, 2}},
+		{"points ragged", append([]byte{StatusOK, KindPoints}, make([]byte, 15)...)},
+		{"none with payload", []byte{StatusOK, KindNone, 7}},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeResponse(tc.body); err == nil {
+			t.Errorf("%s: DecodeResponse accepted malformed body", tc.name)
+		}
+	}
+}
+
+// FuzzDecodeRequest asserts decode never panics and every accepted
+// body re-encodes to exactly the bytes that were decoded (the codec
+// is canonical).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, req := range sampleRequests() {
+		f.Add(AppendRequest(nil, req))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRequest(body)
+		if err != nil {
+			return
+		}
+		if got := AppendRequest(nil, req); !bytes.Equal(got, body) {
+			t.Errorf("accepted body is not canonical: % x -> %+v -> % x", body, req, got)
+		}
+	})
+}
+
+// FuzzDecodeResponse asserts decode never panics and accepted bodies
+// re-encode canonically.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, resp := range sampleResponses() {
+		f.Add(AppendResponse(nil, resp))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 2, 1})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := DecodeResponse(body)
+		if err != nil {
+			return
+		}
+		if got := AppendResponse(nil, resp); !bytes.Equal(got, body) {
+			t.Errorf("accepted body is not canonical: % x -> %+v -> % x", body, resp, got)
+		}
+	})
+}
+
+// FuzzReadFrame asserts the frame reader never panics or allocates
+// past MaxFrame on arbitrary byte streams, including multi-frame ones.
+func FuzzReadFrame(f *testing.F) {
+	var ok bytes.Buffer
+	_ = WriteFrame(&ok, []byte{OpStats})
+	_ = WriteFrame(&ok, AppendRequest(nil, Request{Op: OpPoint, Pt: geo.Point{X: 1, Y: 2}}))
+	f.Add(ok.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		for i := 0; i < 64; i++ {
+			body, err := ReadFrame(r)
+			if err != nil {
+				if errors.Is(err, ErrTruncated) || errors.Is(err, ErrFrameTooLarge) || err == io.EOF {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if len(body) > MaxFrame {
+				t.Fatalf("frame body of %d bytes exceeds MaxFrame", len(body))
+			}
+		}
+	})
+}

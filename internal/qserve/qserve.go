@@ -130,6 +130,28 @@ func (e *Engine) KNNBatch(qs []geo.Point, k int, out [][]geo.Point) [][]geo.Poin
 	return out
 }
 
+// KNNVarBatch is KNNBatch with a per-query k: it answers the ks[i]
+// nearest neighbors of qs[i] into out[i]. len(ks) must equal len(qs).
+// A non-positive ks[i] yields an empty answer, exactly like the serial
+// paths. The serving layer funnels concurrently arriving kNN requests
+// — which carry their own k each — through this entry point.
+func (e *Engine) KNNVarBatch(qs []geo.Point, ks []int, out [][]geo.Point) [][]geo.Point {
+	if len(ks) != len(qs) {
+		panic("qserve: KNNVarBatch len(ks) != len(qs)")
+	}
+	out = growSlices(out, len(qs))
+	e.shard(len(qs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if e.ka != nil {
+				out[i] = e.ka.KNNAppend(qs[i], ks[i], out[i][:0])
+			} else {
+				out[i] = append(out[i][:0], e.src.KNN(qs[i], ks[i])...)
+			}
+		}
+	})
+	return out
+}
+
 // growBools returns out resized to n, reallocating only when the
 // capacity is short.
 func growBools(out []bool, n int) []bool {

@@ -1,0 +1,163 @@
+package rebuild
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"elsi/internal/geo"
+	"elsi/internal/index"
+)
+
+// sortByDist orders pts by squared distance to q (ties by coordinates)
+// so kNN answers compare deterministically.
+func sortByDist(pts []geo.Point, q geo.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		di, dj := pts[i].Dist2(q), pts[j].Dist2(q)
+		if di != dj {
+			return di < dj
+		}
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+// Regression for the kNN-under-deletions bug: KNNAppend used to fetch
+// exactly k candidates from the base index and only then filter pending
+// deletions, so deleting any of the k nearest silently dropped the true
+// k-th neighbor (ranked k+1..k+d in the base index) from the answer.
+func TestKNNEquivalenceUnderDeletions(t *testing.T) {
+	// 100 points on a line; delete the three nearest to the query. The
+	// correct 5-NN answer is pts[3..7]; the buggy path returned only
+	// the two survivors of the base index's 5 candidates.
+	pts := make([]geo.Point, 100)
+	for i := range pts {
+		pts[i] = geo.Point{X: float64(i) * 0.01, Y: 0}
+	}
+	p, err := NewProcessor(index.NewBruteForce(), nil, pts, xKey, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geo.Point{X: 0, Y: 0}
+	for i := 0; i < 3; i++ {
+		p.Delete(pts[i])
+	}
+	got := p.KNN(q, 5)
+	want := []geo.Point{pts[3], pts[4], pts[5], pts[6], pts[7]}
+	if len(got) != len(want) {
+		t.Fatalf("KNN returned %d points, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KNN[%d] = %v, want %v (full answer %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestKNNBruteForceEquivalenceRandomized cross-checks KNNAppend against
+// a full scan of the live point set under a randomized mix of deletions
+// (both of near and far neighbors) and insertions, for a sweep of k —
+// including k larger than the number of survivors.
+func TestKNNBruteForceEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(150)
+		pts := make([]geo.Point, 0, n)
+		seen := map[geo.Point]bool{}
+		for len(pts) < n {
+			pt := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+			if !seen[pt] {
+				seen[pt] = true
+				pts = append(pts, pt)
+			}
+		}
+		p, err := NewProcessor(index.NewBruteForce(), nil, pts, xKey, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := append([]geo.Point(nil), pts...)
+		// delete a random third of the base points
+		for i := 0; i < n/3; i++ {
+			j := rng.Intn(len(live))
+			p.Delete(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		// and insert a few fresh ones
+		for i := 0; i < 10; i++ {
+			pt := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+			if seen[pt] {
+				continue
+			}
+			seen[pt] = true
+			p.Insert(pt)
+			live = append(live, pt)
+		}
+		q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		for _, k := range []int{1, 3, 10, len(live), len(live) + 5} {
+			got := p.KNN(q, k)
+			want := append([]geo.Point(nil), live...)
+			sortByDist(want, q)
+			if k < len(want) {
+				want = want[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: got %d points, want %d", trial, k, len(got), len(want))
+			}
+			sortByDist(got, q)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d k=%d: answer[%d] = %v, want %v", trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKNNDeletionsAcrossLayers pins the fix across both delta layers:
+// deletions recorded before a background rebuild started live in the
+// frozen snapshot, later ones in the overlay, and the candidate fetch
+// must widen by the deletions pending in both.
+func TestKNNDeletionsAcrossLayers(t *testing.T) {
+	pts := make([]geo.Point, 60)
+	for i := range pts {
+		pts[i] = geo.Point{X: float64(i) * 0.01, Y: 0}
+	}
+	p, err := NewProcessor(index.NewBruteForce(), nil, pts, xKey, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// two deletions land in the live list, then freeze them under an
+	// in-flight rebuild and delete two more into the overlay
+	p.Delete(pts[0])
+	p.Delete(pts[2])
+	gate := make(chan struct{})
+	p.Factory = func() Rebuildable { return &gatedIndex{gate: gate} }
+	p.Rebuild() // frozen now holds the first two deletions
+	p.Delete(pts[1])
+	p.Delete(pts[3])
+
+	q := geo.Point{X: 0, Y: 0}
+	got := p.KNN(q, 4)
+	want := []geo.Point{pts[4], pts[5], pts[6], pts[7]}
+	if len(got) != len(want) {
+		t.Fatalf("KNN during rebuild returned %d points, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KNN[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	close(gate)
+	p.WaitRebuild()
+	// after the swap the overlay deletions still filter the new index
+	got = p.KNN(q, 4)
+	want = []geo.Point{pts[4], pts[5], pts[6], pts[7]}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-swap KNN[%d] = %v, want %v (answer %v)", i, got[i], want[i], got)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package rebuild
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"elsi/internal/geo"
+	"elsi/internal/index"
+)
+
+// The model-based fuzz drives the processor and a plain map reference
+// model through the same randomized update/query stream and fails on
+// the first divergence. Coordinates are drawn from a coarse grid so
+// collisions — re-insert of a base-resident point, delete-then-insert,
+// insert-then-delete across the frozen/overlay layers — happen
+// constantly, and a gated background rebuild is held in flight for
+// stretches of the stream (sometimes failing, to exercise the frozen
+// restore/replay path). Run under -race, the in-flight build goroutine
+// also checks the locking of every query path.
+
+const fuzzGridSide = 24
+
+func gridPoint(rng *rand.Rand) geo.Point {
+	return geo.Point{
+		X: float64(rng.Intn(fuzzGridSide)) / fuzzGridSide,
+		Y: float64(rng.Intn(fuzzGridSide)) / fuzzGridSide,
+	}
+}
+
+// modelPoints returns the reference set as a slice.
+func modelPoints(model map[geo.Point]bool) []geo.Point {
+	out := make([]geo.Point, 0, len(model))
+	for pt := range model {
+		out = append(out, pt)
+	}
+	return out
+}
+
+// sortPoints orders points lexicographically for multiset comparison.
+func sortPoints(pts []geo.Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+func samePointSlices(a, b []geo.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedDist2 returns the ascending squared distances of pts to q.
+func sortedDist2(pts []geo.Point, q geo.Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, pt := range pts {
+		out[i] = pt.Dist2(q)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestProcessorModelFuzz(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runModelFuzz(t, seed)
+		})
+	}
+}
+
+func runModelFuzz(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	model := map[geo.Point]bool{}
+	for len(model) < 120 {
+		model[gridPoint(rng)] = true
+	}
+	initial := modelPoints(model)
+	sortPoints(initial) // deterministic build order
+
+	p, err := NewProcessor(index.NewBruteForce(), nil, initial, xKey, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("injected rebuild failure")
+	var gate chan struct{}
+	gateOpsLeft := 0
+	failNext := false
+
+	ops := 4000
+	if testing.Short() {
+		ops = 1200
+	}
+	for op := 0; op < ops; op++ {
+		// rebuild scheduling: every ~300 ops start a gated background
+		// rebuild and hold it in flight for ~120 ops; every other one
+		// fails at the gate, exercising the frozen restore path.
+		if gate == nil && op%300 == 150 {
+			gate = make(chan struct{})
+			g := &gatedIndex{gate: gate}
+			if failNext {
+				g.buildErr = boom
+			}
+			failNext = !failNext
+			p.Factory = func() Rebuildable { return g }
+			p.Rebuild()
+			gateOpsLeft = 120
+		}
+		if gate != nil {
+			if gateOpsLeft--; gateOpsLeft <= 0 {
+				close(gate)
+				p.WaitRebuild()
+				gate = nil
+			}
+		}
+
+		switch r := rng.Float64(); {
+		case r < 0.25: // insert (frequently a collision with a live point)
+			pt := gridPoint(rng)
+			p.Insert(pt)
+			model[pt] = true
+		case r < 0.45: // delete (sometimes of an absent point)
+			pt := gridPoint(rng)
+			delete(model, pt)
+			p.Delete(pt)
+		case r < 0.65: // point query
+			pt := gridPoint(rng)
+			if got, want := p.PointQuery(pt), model[pt]; got != want {
+				t.Fatalf("op %d: PointQuery(%v) = %v, want %v", op, pt, got, want)
+			}
+		case r < 0.85: // window query, including degenerate windows
+			var win geo.Rect
+			switch rng.Intn(8) {
+			case 0: // zero-area (a grid line)
+				x := float64(rng.Intn(fuzzGridSide)) / fuzzGridSide
+				win = geo.Rect{MinX: x, MinY: 0, MaxX: x, MaxY: 1}
+			case 1: // inverted
+				win = geo.Rect{MinX: 0.8, MinY: 0.8, MaxX: 0.2, MaxY: 0.2}
+			default:
+				x0, y0 := rng.Float64(), rng.Float64()
+				win = geo.Rect{MinX: x0, MinY: y0, MaxX: x0 + rng.Float64()*0.5, MaxY: y0 + rng.Float64()*0.5}
+			}
+			got := append([]geo.Point(nil), p.WindowQuery(win)...)
+			var want []geo.Point
+			for pt := range model {
+				if win.Contains(pt) {
+					want = append(want, pt)
+				}
+			}
+			sortPoints(got)
+			sortPoints(want)
+			if !samePointSlices(got, want) {
+				t.Fatalf("op %d: WindowQuery(%v) diverged\n got %v\nwant %v", op, win, got, want)
+			}
+		default: // kNN (compare the distance multiset: ties are legal)
+			q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+			k := rng.Intn(12)
+			got := p.KNN(q, k)
+			live := modelPoints(model)
+			wantLen := k
+			if wantLen > len(live) {
+				wantLen = len(live)
+			}
+			if k <= 0 {
+				wantLen = 0
+			}
+			if len(got) != wantLen {
+				t.Fatalf("op %d: KNN(%v, %d) returned %d points, want %d", op, q, k, len(got), wantLen)
+			}
+			gd := sortedDist2(got, q)
+			wd := sortedDist2(live, q)[:wantLen]
+			for i := range wd {
+				if gd[i] != wd[i] {
+					t.Fatalf("op %d: KNN(%v, %d) distance[%d] = %v, want %v", op, q, k, i, gd[i], wd[i])
+				}
+			}
+			// answers must come from the live set, without duplicates
+			seen := map[geo.Point]bool{}
+			for _, pt := range got {
+				if !model[pt] {
+					t.Fatalf("op %d: KNN returned dead point %v", op, pt)
+				}
+				if seen[pt] {
+					t.Fatalf("op %d: KNN returned duplicate point %v", op, pt)
+				}
+				seen[pt] = true
+			}
+		}
+	}
+	if gate != nil {
+		close(gate)
+		p.WaitRebuild()
+	}
+	// final full-space sweep: the processor and the model must agree
+	// exactly once all rebuilds have settled
+	got := append([]geo.Point(nil), p.WindowQuery(geo.UnitRect)...)
+	want := modelPoints(model)
+	sortPoints(got)
+	sortPoints(want)
+	if !samePointSlices(got, want) {
+		t.Fatalf("final sweep diverged: got %d points, want %d", len(got), len(want))
+	}
+	if p.Len() != len(model) {
+		t.Fatalf("Len() = %d, model has %d", p.Len(), len(model))
+	}
+}

@@ -262,9 +262,20 @@ func summarize(pts []geo.Point, mapKey func(geo.Point) float64) (keys []float64,
 
 // Insert adds a point through the update processor. It reports
 // whether the insertion triggered a full rebuild.
+//
+// The processor maintains set semantics over the updated points:
+// inserting a point that is already stored — in the base index, the
+// frozen view of an in-flight rebuild, or the live overlay — is a
+// no-op. Without the guard a re-insert of a base-resident point put a
+// second copy into the overlay and window/kNN answers emitted the
+// point twice (and the duplicate pushed a true neighbor out of kNN
+// answers).
 func (p *Processor) Insert(pt geo.Point) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.pointLiveLocked(pt) {
+		return false
+	}
 	p.pts = append(p.pts, pt)
 	if ins, ok := p.idx.(index.Inserter); ok && p.UseBuiltin && !p.rebuilding {
 		ins.Insert(pt)
@@ -278,29 +289,39 @@ func (p *Processor) Insert(pt geo.Point) bool {
 
 // Delete removes a point through the delta list. It reports whether a
 // rebuild was triggered.
+//
+// Deletion is by value and removes the point entirely (set semantics,
+// matching the query-time deletion filter, which drops every answer
+// copy equal to a deleted point): all copies leave the source-of-truth
+// point set, so pre- and post-rebuild answers agree even if the
+// initial build set contained duplicates.
 func (p *Processor) Delete(pt geo.Point) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	removed := false
 	for i := len(p.pts) - 1; i >= 0; i-- {
 		if p.pts[i] == pt {
 			p.pts[i] = p.pts[len(p.pts)-1]
 			p.pts = p.pts[:len(p.pts)-1]
-			// a pending insertion of this point cancels out; only
-			// points living in an index (or in the frozen view an
-			// in-flight rebuild is folding in) need a deletion record
-			if !p.deltaList.RemoveInsertedPoint(pt) {
-				if del, ok := p.idx.(index.Deleter); ok && p.UseBuiltin && !p.rebuilding && del.Delete(pt) {
-					// removed through the index's own deletion path
-				} else {
-					p.nextID++
-					p.deltaList.Delete(p.nextID, pt)
-				}
-			}
-			p.updatesSeen++
-			return p.maybeRebuildLocked()
+			removed = true
 		}
 	}
-	return false
+	if !removed {
+		return false
+	}
+	// a pending insertion of this point cancels out; only points
+	// living in an index (or in the frozen view an in-flight rebuild
+	// is folding in) need a deletion record
+	if !p.deltaList.RemoveInsertedPoint(pt) {
+		if del, ok := p.idx.(index.Deleter); ok && p.UseBuiltin && !p.rebuilding && del.Delete(pt) {
+			// removed through the index's own deletion path
+		} else {
+			p.nextID++
+			p.deltaList.Delete(p.nextID, pt)
+		}
+	}
+	p.updatesSeen++
+	return p.maybeRebuildLocked()
 }
 
 // maybeRebuildLocked consults the predictor every Fu updates. Called
@@ -561,6 +582,13 @@ func (p *Processor) Len() int {
 func (p *Processor) PointQuery(pt geo.Point) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	return p.pointLiveLocked(pt)
+}
+
+// pointLiveLocked reports whether pt is currently stored, layering the
+// live overlay over the frozen view over the base index. Called with
+// either lock held; Insert uses it to keep the stored points a set.
+func (p *Processor) pointLiveLocked(pt geo.Point) bool {
 	if p.deltaList.HasInserted(pt) {
 		return true
 	}
@@ -639,20 +667,46 @@ func (p *Processor) KNN(q geo.Point, k int) []geo.Point {
 
 // KNNAppend is KNN appending the answer to out; KNN delegates here, so
 // both entry points return identical results.
+//
+// The candidate fetch from the base index is widened by the number of
+// pending deletions in both delta layers: fetching exactly k and then
+// filtering would silently drop the true k-th neighbor whenever any of
+// the base index's k nearest is pending deletion (it ranks k+1..k+d in
+// the base order). An escalation loop covers the residual case where
+// even the widened fetch loses too many candidates (e.g. duplicate
+// points sharing one deletion filter): it doubles the fetch until k
+// survivors are found or the index is exhausted.
 func (p *Processor) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	s := knnScratchPool.Get().(*knnScratch)
 	defer knnScratchPool.Put(s)
-	s.cand = index.AppendKNN(p.idx, q, k, s.cand[:0])
 	if p.deltaList.Len() == 0 && p.frozen == nil {
+		s.cand = index.AppendKNN(p.idx, q, k, s.cand[:0])
 		return append(out, s.cand...)
 	}
-	merged := s.merged[:0]
-	for _, pt := range s.cand {
-		if !p.isDeletedLocked(pt) {
-			merged = append(merged, pt)
+	need := k
+	if k > 0 {
+		need += p.deltaList.Deletions()
+		if p.frozen != nil {
+			need += p.frozen.Deletions()
 		}
+	}
+	merged := s.merged[:0]
+	for {
+		s.cand = index.AppendKNN(p.idx, q, need, s.cand[:0])
+		merged = merged[:0]
+		for _, pt := range s.cand {
+			if !p.isDeletedLocked(pt) {
+				merged = append(merged, pt)
+			}
+		}
+		// done when k base survivors were found or the index has no
+		// further candidates to offer (it returned fewer than asked)
+		if len(merged) >= k || len(s.cand) < need {
+			break
+		}
+		need *= 2
 	}
 	if p.frozen != nil {
 		p.frozen.ForEach(func(r delta.Record) {
