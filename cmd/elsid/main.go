@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -82,7 +83,9 @@ func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu int, cfg 
 	}
 	eng := engine.New(proc, nil, cfg)
 	srv := server.New(eng)
-	if err := srv.Start(httpAddr, tcpAddr); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Start(ctx, httpAddr, tcpAddr); err != nil {
 		return err
 	}
 	if a := srv.HTTPAddr(); a != "" {
@@ -93,11 +96,12 @@ func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu int, cfg 
 	}
 	log.Printf("serving %d %s points over %s", proc.Len(), data, family)
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	sig := <-sigc
-	log.Printf("%v: draining...", sig)
-	if err := srv.Close(); err != nil {
+	<-ctx.Done()
+	stop()
+	log.Printf("shutdown signal: draining...")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
 		return err
 	}
 	st := eng.Stats()

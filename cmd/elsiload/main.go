@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -149,7 +150,7 @@ func startInproc(n int, seed int64) (*server.Server, func(), error) {
 	proc.Retry = &rebuild.RetryPolicy{}
 	eng := engine.New(proc, nil, engine.Config{})
 	srv := server.New(eng)
-	if err := srv.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+	if err := srv.Start(context.Background(), "127.0.0.1:0", "127.0.0.1:0"); err != nil {
 		return nil, nil, err
 	}
 	return srv, func() { srv.Close() }, nil

@@ -1,20 +1,27 @@
 // Command elsivet is the repository's house-rule multichecker: it
 // loads the packages matched by its arguments (default ./...) and runs
-// the four custom analyzers from internal/analysis over them.
+// the eight custom analyzers from internal/analysis over them.
 //
 //	elsivet ./...            # lint the whole module (what `make lint` does)
 //	elsivet -list            # describe the analyzers
 //	elsivet -run floateq ./internal/geo/...
+//	elsivet -json ./...      # machine-readable findings (one JSON object)
 //
 // A finding can be suppressed at a specific line with
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // on the flagged line or the line above it; the reason is mandatory.
-// Exit status is 1 when findings remain, 2 on a driver error.
+// Ignore directives that no longer suppress anything are listed as
+// dead after a clean run so they can be deleted; they never affect the
+// exit status.
+//
+// Exit status: 0 when the tree is clean, 1 when findings remain, 2
+// when the packages could not be loaded or an analyzer failed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,23 +29,55 @@ import (
 
 	"elsi/internal/analysis"
 	"elsi/internal/analysis/atomicfield"
+	"elsi/internal/analysis/ctxprop"
 	"elsi/internal/analysis/detrand"
 	"elsi/internal/analysis/floateq"
+	"elsi/internal/analysis/gorolife"
 	"elsi/internal/analysis/lockedcall"
+	"elsi/internal/analysis/lockorder"
+	"elsi/internal/analysis/noalloc"
 )
 
 var all = []*analysis.Analyzer{
 	atomicfield.Analyzer,
+	ctxprop.Analyzer,
 	detrand.Analyzer,
 	floateq.Analyzer,
+	gorolife.Analyzer,
 	lockedcall.Analyzer,
+	lockorder.Analyzer,
+	noalloc.Analyzer,
+}
+
+// jsonFinding is the machine-readable shape of one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// jsonIgnore is the machine-readable shape of one ignore directive's
+// usage record.
+type jsonIgnore struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Used     bool   `json:"used"`
+}
+
+type jsonOutput struct {
+	Findings []jsonFinding `json:"findings"`
+	Ignores  []jsonIgnore  `json:"ignores"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings and ignore usage as JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: elsivet [-list] [-run analyzers] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: elsivet [-list] [-json] [-run analyzers] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,16 +116,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "elsivet: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Run(pkgs, analyzers)
+	res, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "elsivet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	dead := res.DeadIgnores(analyzers)
+	if *jsonOut {
+		out := jsonOutput{Findings: []jsonFinding{}, Ignores: []jsonIgnore{}}
+		for _, f := range res.Findings {
+			out.Findings = append(out.Findings, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		for _, ig := range res.Ignores {
+			out.Ignores = append(out.Ignores, jsonIgnore{
+				Analyzer: ig.Analyzer,
+				File:     ig.Pos.Filename,
+				Line:     ig.Pos.Line,
+				Used:     ig.Used,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "elsivet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+		for _, ig := range dead {
+			fmt.Fprintf(os.Stderr, "elsivet: dead //lint:ignore %s at %s:%d: suppresses nothing, delete it\n",
+				ig.Analyzer, ig.Pos.Filename, ig.Pos.Line)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "elsivet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+	if len(res.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "elsivet: %d finding(s)\n", len(res.Findings))
 		os.Exit(1)
 	}
 }

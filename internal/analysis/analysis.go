@@ -36,6 +36,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the module-wide directive store (//elsi:noalloc,
+	// //elsi:lockorder), built from every loaded package before any
+	// analyzer runs. Never nil when driven by Run or analysistest.
+	Facts *Facts
+
 	// Report delivers a diagnostic to the driver. Analyzers normally
 	// use Reportf instead.
 	Report func(Diagnostic)

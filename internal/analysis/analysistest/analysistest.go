@@ -92,6 +92,10 @@ func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
 	for _, f := range bad {
 		t.Errorf("%s: %s", f.Pos, f.Message)
 	}
+	facts := analysis.NewFacts()
+	for _, f := range facts.AddPackage(fset, files, info) {
+		t.Errorf("%s: %s", f.Pos, f.Message)
+	}
 
 	type diag struct {
 		pos token.Position
@@ -104,6 +108,7 @@ func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		Facts:     facts,
 	}
 	pass.Report = func(d analysis.Diagnostic) {
 		pos := fset.Position(d.Pos)

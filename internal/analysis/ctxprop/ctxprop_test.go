@@ -1,0 +1,12 @@
+package ctxprop_test
+
+import (
+	"testing"
+
+	"elsi/internal/analysis/analysistest"
+	"elsi/internal/analysis/ctxprop"
+)
+
+func TestCtxProp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxprop.Analyzer, "a")
+}

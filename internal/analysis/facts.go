@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Facts is the package-spanning fact store. It is built once per
+// driver invocation from the //elsi: directives of every loaded module
+// package (dependencies included), so an analyzer looking at package P
+// can ask about a function or mutex field defined in a package P
+// imports. Object identity holds across packages because the loader
+// shares one *types.Package per import path.
+//
+// Directive grammar (each on a doc or trailing comment line):
+//
+//	//elsi:noalloc
+//	    On a function or method declaration: the function promises not
+//	    to allocate. The noalloc analyzer enforces the promise and
+//	    requires every statically-resolved module callee to carry the
+//	    same mark.
+//
+//	//elsi:lockorder [before=<target>[,<target>...]]
+//	    On a struct field of type sync.Mutex or sync.RWMutex: the mutex
+//	    participates in the package's declared lock order. Each target
+//	    names a mutex that must be acquired strictly before this one:
+//	    acquiring a target while this mutex is held is a cycle. A
+//	    target is either a sibling field name in the same struct or
+//	    Type.Field naming a mutex field of another struct in the same
+//	    package.
+//
+// Unknown //elsi: verbs and unresolvable targets are reported as
+// malformed-directive findings under the pseudo-analyzer "elsivet".
+type Facts struct {
+	noalloc map[*types.Func]bool
+	// lockBefore maps a mutex field to the mutex fields declared to
+	// come earlier in the acquisition order (its before= targets).
+	lockBefore map[*types.Var][]*types.Var
+	// ordered marks every mutex field carrying any lockorder directive.
+	ordered map[*types.Var]bool
+}
+
+// NewFacts returns an empty fact store. Populate it with AddPackage.
+func NewFacts() *Facts {
+	return &Facts{
+		noalloc:    make(map[*types.Func]bool),
+		lockBefore: make(map[*types.Var][]*types.Var),
+		ordered:    make(map[*types.Var]bool),
+	}
+}
+
+// NoAlloc reports whether fn is marked //elsi:noalloc.
+func (f *Facts) NoAlloc(fn *types.Func) bool {
+	if f == nil || fn == nil {
+		return false
+	}
+	return f.noalloc[fn]
+}
+
+// LockOrdered reports whether the mutex field v carries a lockorder
+// directive.
+func (f *Facts) LockOrdered(v *types.Var) bool {
+	if f == nil {
+		return false
+	}
+	return f.ordered[v]
+}
+
+// LockBefore returns the mutexes declared to be acquired strictly
+// before v (v's before= targets).
+func (f *Facts) LockBefore(v *types.Var) []*types.Var {
+	if f == nil {
+		return nil
+	}
+	return f.lockBefore[v]
+}
+
+// OrderedMutexes returns every mutex field carrying a lockorder
+// directive, in no particular order.
+func (f *Facts) OrderedMutexes() []*types.Var {
+	if f == nil {
+		return nil
+	}
+	out := make([]*types.Var, 0, len(f.ordered))
+	for v := range f.ordered {
+		out = append(out, v)
+	}
+	return out
+}
+
+// AddPackage scans one type-checked package for //elsi: directives and
+// records the facts. Malformed directives are returned as findings;
+// they do not abort the scan.
+func (f *Facts) AddPackage(fset *token.FileSet, files []*ast.File, info *types.Info) []Finding {
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{Analyzer: "elsivet", Pos: fset.Position(pos), Message: msg})
+	}
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				f.addFuncDirectives(n, info, report)
+				return false // directives never nest inside bodies
+			case *ast.TypeSpec:
+				if st, ok := n.Type.(*ast.StructType); ok {
+					f.addStructDirectives(n, st, info, report)
+				}
+				return false
+			}
+			return true
+		})
+		// Directives attached to anything else are mistakes worth
+		// hearing about: scan every comment and flag elsi: lines that
+		// the declaration walks above did not consume.
+		f.checkStrayDirectives(file, info, report)
+	}
+	return bad
+}
+
+// directive splits an //elsi: comment into verb and argument text.
+// ok is false when c is not an elsi directive at all.
+func directive(c *ast.Comment) (verb, args string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//elsi:")
+	if !found {
+		return "", "", false
+	}
+	verb, args, _ = strings.Cut(text, " ")
+	return verb, strings.TrimSpace(args), true
+}
+
+func (f *Facts) addFuncDirectives(fd *ast.FuncDecl, info *types.Info, report func(token.Pos, string)) {
+	if fd.Doc == nil {
+		return
+	}
+	for _, c := range fd.Doc.List {
+		verb, args, ok := directive(c)
+		if !ok {
+			continue
+		}
+		switch verb {
+		case "noalloc":
+			if args != "" {
+				report(c.Pos(), "malformed //elsi:noalloc directive: takes no arguments")
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				report(c.Pos(), "//elsi:noalloc: cannot resolve function "+fd.Name.Name)
+				continue
+			}
+			f.noalloc[fn] = true
+		case "lockorder":
+			report(c.Pos(), "//elsi:lockorder applies to sync.Mutex struct fields, not functions")
+		default:
+			report(c.Pos(), "unknown directive //elsi:"+verb)
+		}
+	}
+}
+
+// addStructDirectives handles lockorder directives on mutex fields.
+// before= targets are resolved after all fields of the struct are
+// seen, so a field may name a later sibling.
+func (f *Facts) addStructDirectives(ts *ast.TypeSpec, st *ast.StructType, info *types.Info, report func(token.Pos, string)) {
+	type pending struct {
+		mutex   *types.Var
+		targets []string
+		pos     token.Pos
+	}
+	var pend []pending
+	siblings := make(map[string]*types.Var)
+
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			v, _ := info.Defs[name].(*types.Var)
+			if v == nil {
+				continue
+			}
+			siblings[name.Name] = v
+			for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+				if cg == nil {
+					continue
+				}
+				for _, c := range cg.List {
+					verb, args, ok := directive(c)
+					if !ok {
+						continue
+					}
+					switch verb {
+					case "lockorder":
+						if !isMutexType(v.Type()) {
+							report(c.Pos(), "//elsi:lockorder on non-mutex field "+name.Name+" (want sync.Mutex or sync.RWMutex)")
+							continue
+						}
+						f.ordered[v] = true
+						if args == "" {
+							continue
+						}
+						// Only the first token is the clause; any
+						// following prose is commentary.
+						val, found := strings.CutPrefix(strings.Fields(args)[0], "before=")
+						if !found || val == "" {
+							report(c.Pos(), "malformed //elsi:lockorder directive: want `//elsi:lockorder [before=field[,field...]]`")
+							continue
+						}
+						pend = append(pend, pending{mutex: v, targets: strings.Split(val, ","), pos: c.Pos()})
+					case "noalloc":
+						report(c.Pos(), "//elsi:noalloc applies to function declarations, not fields")
+					default:
+						report(c.Pos(), "unknown directive //elsi:"+verb)
+					}
+				}
+			}
+		}
+	}
+
+	tsObj := info.Defs[ts.Name]
+	for _, p := range pend {
+		for _, target := range p.targets {
+			tv := resolveMutexTarget(target, siblings, tsObj, report, p.pos)
+			if tv == nil {
+				continue
+			}
+			f.ordered[tv] = true
+			f.lockBefore[p.mutex] = append(f.lockBefore[p.mutex], tv)
+		}
+	}
+}
+
+// resolveMutexTarget resolves a before= target: either a sibling field
+// name or Type.Field within the same package.
+func resolveMutexTarget(target string, siblings map[string]*types.Var, tsObj types.Object, report func(token.Pos, string), pos token.Pos) *types.Var {
+	if tname, fname, qualified := strings.Cut(target, "."); qualified {
+		if tsObj == nil || tsObj.Pkg() == nil {
+			report(pos, "//elsi:lockorder: cannot resolve target "+target)
+			return nil
+		}
+		obj := tsObj.Pkg().Scope().Lookup(tname)
+		tn, _ := obj.(*types.TypeName)
+		if tn == nil {
+			report(pos, "//elsi:lockorder: no type "+tname+" in package for target "+target)
+			return nil
+		}
+		st, _ := tn.Type().Underlying().(*types.Struct)
+		if st == nil {
+			report(pos, "//elsi:lockorder: target type "+tname+" is not a struct")
+			return nil
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if fv := st.Field(i); fv.Name() == fname {
+				if !isMutexType(fv.Type()) {
+					report(pos, "//elsi:lockorder: target "+target+" is not a mutex field")
+					return nil
+				}
+				return fv
+			}
+		}
+		report(pos, "//elsi:lockorder: no field "+fname+" on "+tname)
+		return nil
+	}
+	v := siblings[target]
+	if v == nil {
+		report(pos, "//elsi:lockorder: no sibling field "+target+" (use Type.Field for other structs)")
+		return nil
+	}
+	if !isMutexType(v.Type()) {
+		report(pos, "//elsi:lockorder: target "+target+" is not a mutex field")
+		return nil
+	}
+	return v
+}
+
+// checkStrayDirectives flags //elsi: comments that are not attached to
+// a function declaration or struct field — a floating directive does
+// nothing, and silence would hide the typo.
+func (f *Facts) checkStrayDirectives(file *ast.File, info *types.Info, report func(token.Pos, string)) {
+	attached := make(map[*ast.Comment]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		var groups []*ast.CommentGroup
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			groups = append(groups, n.Doc)
+		case *ast.Field:
+			groups = append(groups, n.Doc, n.Comment)
+		}
+		for _, cg := range groups {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				attached[c] = true
+			}
+		}
+		return true
+	})
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if attached[c] {
+				continue
+			}
+			if verb, _, ok := directive(c); ok {
+				report(c.Pos(), "floating //elsi:"+verb+" directive: attach it to a function declaration or struct field")
+			}
+		}
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, _ := t.(*types.Named)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const factsSrc = `package p
+
+import "sync"
+
+//elsi:noalloc
+func fast(v int) int { return v }
+
+//elsi:noalloc extra words
+func badargs() {}
+
+//elsi:lockorder
+func notafield() {}
+
+type S struct {
+	a sync.Mutex
+	//elsi:lockorder before=a
+	b sync.Mutex
+	//elsi:lockorder
+	c sync.RWMutex
+	//elsi:lockorder
+	n int
+	//elsi:lockorder before=missing
+	d sync.Mutex
+	//elsi:lockorder before=T.m
+	e sync.Mutex
+}
+
+type T struct {
+	m sync.Mutex
+}
+
+//elsi:frobnicate
+func unknown() {}
+`
+
+func checkFacts(t *testing.T, src string) (*Facts, []Finding, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := NewFacts()
+	bad := facts.AddPackage(fset, []*ast.File{f}, info)
+	return facts, bad, pkg, info
+}
+
+func TestFactsDirectives(t *testing.T) {
+	facts, bad, pkg, _ := checkFacts(t, factsSrc)
+
+	fast, _ := pkg.Scope().Lookup("fast").(*types.Func)
+	if fast == nil || !facts.NoAlloc(fast) {
+		t.Errorf("fast should be marked noalloc")
+	}
+
+	st := pkg.Scope().Lookup("S").Type().Underlying().(*types.Struct)
+	field := func(name string) *types.Var {
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == name {
+				return st.Field(i)
+			}
+		}
+		t.Fatalf("no field %s", name)
+		return nil
+	}
+	a, b, c := field("a"), field("b"), field("c")
+	if !facts.LockOrdered(b) || !facts.LockOrdered(c) {
+		t.Errorf("b and c carry lockorder directives")
+	}
+	if !facts.LockOrdered(a) {
+		t.Errorf("a is a before= target and should be tracked")
+	}
+	befores := facts.LockBefore(b)
+	if len(befores) != 1 || befores[0] != a {
+		t.Errorf("LockBefore(b) = %v, want [a]", befores)
+	}
+	// Cross-type target resolves to T.m.
+	tm := pkg.Scope().Lookup("T").Type().Underlying().(*types.Struct).Field(0)
+	e := field("e")
+	if got := facts.LockBefore(e); len(got) != 1 || got[0] != tm {
+		t.Errorf("LockBefore(e) = %v, want [T.m]", got)
+	}
+
+	wantBad := []string{
+		"takes no arguments",
+		"applies to sync.Mutex struct fields, not functions",
+		"on non-mutex field n",
+		"no sibling field missing",
+		"unknown directive //elsi:frobnicate",
+	}
+	for _, want := range wantBad {
+		found := false
+		for _, f := range bad {
+			if strings.Contains(f.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no malformed-directive finding containing %q in %v", want, bad)
+		}
+	}
+	if len(bad) != len(wantBad) {
+		t.Errorf("got %d malformed findings, want %d: %v", len(bad), len(wantBad), bad)
+	}
+}
+
+func TestFactsFloatingDirective(t *testing.T) {
+	_, bad, _, _ := checkFacts(t, `package p
+
+//elsi:noalloc
+
+var x int
+`)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "floating //elsi:noalloc") {
+		t.Errorf("floating directive: got %v", bad)
+	}
+}

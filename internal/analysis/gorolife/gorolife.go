@@ -1,0 +1,181 @@
+// Package gorolife flags fire-and-forget goroutines: every go
+// statement must have a visible join or drain path, so shutdown can
+// actually wait for the work it started (the discipline behind
+// engine.Close and server.Close draining before teardown).
+//
+// A go statement is accounted for when any of the following holds:
+//
+//   - a sync.WaitGroup Add call appears before it in the same
+//     enclosing function or literal body (the Add-before-go idiom; the
+//     spawned body is then expected to Done, usually via defer);
+//   - the spawned function literal signals completion itself: it calls
+//     (*sync.WaitGroup).Done, closes a channel, or sends on a channel
+//     (directly or in a defer);
+//   - the spawned callee is a function declared in the same package
+//     whose body signals completion the same way.
+//
+// Anything else is a goroutine nothing can wait for, and is reported.
+package gorolife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"elsi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gorolife",
+	Doc:  "every go statement needs a visible join/drain path (WaitGroup Add/Done, channel close or send)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildGraph(pass)
+	for _, fi := range g.Funcs {
+		if fi.Decl.Body == nil {
+			continue
+		}
+		checkScope(pass, g, fi.Decl.Body)
+	}
+	return nil
+}
+
+// checkScope examines one function or literal body: go statements
+// directly in it are checked against Adds directly in it, and nested
+// literal bodies recurse as fresh scopes.
+func checkScope(pass *analysis.Pass, g *analysis.Graph, body *ast.BlockStmt) {
+	var adds []token.Pos
+	var gos []*ast.GoStmt
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			checkScope(pass, g, n.Body)
+			return
+		case *ast.GoStmt:
+			gos = append(gos, n)
+			// The spawned expression's own literal is inspected by
+			// accountedFor, not treated as a nested scope here; but a
+			// literal nested in the call's ARGUMENTS is.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkScope(pass, g, lit.Body)
+			}
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, func(c ast.Node) bool {
+					if lit, ok := c.(*ast.FuncLit); ok {
+						checkScope(pass, g, lit.Body)
+						return false
+					}
+					return true
+				})
+			}
+			return
+		case *ast.CallExpr:
+			if isWaitGroupMethod(pass.TypesInfo, n, "Add") {
+				adds = append(adds, n.Pos())
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c)
+			return false
+		})
+	}
+	walk(body)
+
+	for _, g2 := range gos {
+		if accountedFor(pass, g, g2, adds) {
+			continue
+		}
+		pass.Reportf(g2.Pos(), "fire-and-forget goroutine: no WaitGroup Add before the go statement and the spawned body never signals completion (Done, close, or channel send)")
+	}
+}
+
+// accountedFor decides whether one go statement has a join/drain path.
+func accountedFor(pass *analysis.Pass, g *analysis.Graph, goStmt *ast.GoStmt, adds []token.Pos) bool {
+	for _, p := range adds {
+		if p < goStmt.Pos() {
+			return true
+		}
+	}
+	if lit, ok := goStmt.Call.Fun.(*ast.FuncLit); ok {
+		return signalsCompletion(pass.TypesInfo, lit.Body)
+	}
+	if callee := analysis.StaticCallee(pass.TypesInfo, goStmt.Call); callee != nil {
+		if fi := g.Lookup(callee); fi != nil && fi.Decl.Body != nil {
+			return signalsCompletion(pass.TypesInfo, fi.Decl.Body)
+		}
+	}
+	return false
+}
+
+// signalsCompletion reports whether body contains a completion signal:
+// a WaitGroup Done, a close, or a channel send (including in defers,
+// excluding nested literals that the body merely constructs but may
+// never run).
+func signalsCompletion(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if found || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.SendStmt:
+			found = true
+			return
+		case *ast.CallExpr:
+			if isWaitGroupMethod(info, n, "Done") || isClose(info, n) {
+				found = true
+				return
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c)
+			return false
+		})
+	}
+	walk(body)
+	return found
+}
+
+// isWaitGroupMethod reports whether call invokes the named method of
+// sync.WaitGroup.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := analysis.StaticCallee(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, _ := recv.(*types.Named)
+	return named != nil && named.Obj().Name() == "WaitGroup"
+}
+
+// isClose reports whether call is the close builtin.
+func isClose(info *types.Info, call *ast.CallExpr) bool {
+	id, _ := ast.Unparen(call.Fun).(*ast.Ident)
+	if id == nil {
+		return false
+	}
+	b, _ := info.Uses[id].(*types.Builtin)
+	return b != nil && b.Name() == "close"
+}

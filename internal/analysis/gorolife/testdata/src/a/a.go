@@ -1,0 +1,92 @@
+// Fixture for gorolife: fire-and-forget goroutines are flagged; the
+// Add-before-go idiom, completion signals in the spawned body, and
+// same-package callees that signal are all clean.
+package a
+
+import "sync"
+
+func work() {}
+
+// Fire-and-forget: nothing can ever wait for this.
+
+func Leak() {
+	go func() { // want `fire-and-forget goroutine`
+		work()
+	}()
+}
+
+func LeakCall() {
+	go work() // want `fire-and-forget goroutine`
+}
+
+// The Add-before-go idiom is clean.
+
+func Joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// A body that signals completion itself is clean.
+
+func Signals(ch chan int) {
+	go func() {
+		work()
+		ch <- 1
+	}()
+}
+
+func Closes(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+// A same-package callee whose body signals is clean.
+
+var pool sync.WaitGroup
+
+func worker() {
+	defer pool.Done()
+	work()
+}
+
+func SpawnWorker() {
+	go worker()
+}
+
+// An Add after the go statement does not count: the race the idiom
+// exists to prevent.
+
+func AddAfter() {
+	var wg sync.WaitGroup
+	go func() { // want `fire-and-forget goroutine`
+		work()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+// Literal scopes are independent: an Add in the outer function does
+// not excuse a spawn inside a nested literal.
+
+func Nested() func() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	return func() {
+		go work() // want `fire-and-forget goroutine`
+		wg.Done()
+	}
+}
+
+// The escape hatch works.
+
+func Sanctioned() {
+	//lint:ignore gorolife detached telemetry flusher, lifecycle owned by the process
+	go work()
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallKind classifies where in the control shape of a function a call
+// site sits. The graph is intraprocedural: every call a function
+// lexically contains is recorded, tagged by whether it runs inline, at
+// return (defer), on a new goroutine, or inside a nested function
+// literal (whose execution time is unknown).
+type CallKind uint8
+
+const (
+	// CallDirect runs on the function's own goroutine, in statement order.
+	CallDirect CallKind = iota
+	// CallDeferred runs when the function returns.
+	CallDeferred
+	// CallGo is the call expression of a go statement.
+	CallGo
+	// CallInLiteral sits inside a nested func literal; when (and
+	// whether) it runs depends on what the literal's value is used for.
+	CallInLiteral
+)
+
+func (k CallKind) String() string {
+	switch k {
+	case CallDirect:
+		return "direct"
+	case CallDeferred:
+		return "deferred"
+	case CallGo:
+		return "go"
+	case CallInLiteral:
+		return "in-literal"
+	}
+	return "unknown"
+}
+
+// Call is one call site inside a function.
+type Call struct {
+	Site   *ast.CallExpr
+	Callee *types.Func // nil for func values, builtins and conversions
+	Kind   CallKind
+}
+
+// GoSite is one go statement inside a function.
+type GoSite struct {
+	Stmt *ast.GoStmt
+	// InLiteral is true when the go statement itself sits inside a
+	// nested func literal rather than directly in the function body.
+	InLiteral bool
+}
+
+// FuncInfo is the per-function node of the graph.
+type FuncInfo struct {
+	Decl  *ast.FuncDecl
+	Obj   *types.Func // nil only if type checking lost the declaration
+	Calls []Call
+	Gos   []GoSite
+	// Lits holds every func literal lexically inside the body,
+	// outermost first.
+	Lits []*ast.FuncLit
+}
+
+// Graph holds one FuncInfo per function declaration in a package, in
+// file order.
+type Graph struct {
+	Funcs []*FuncInfo
+	byObj map[*types.Func]*FuncInfo
+}
+
+// Lookup returns the node for fn, or nil if fn is not declared in the
+// graph's package.
+func (g *Graph) Lookup(fn *types.Func) *FuncInfo {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.byObj[fn]
+}
+
+// BuildGraph constructs the call/defer/goroutine graph for the pass's
+// package.
+func BuildGraph(pass *Pass) *Graph {
+	g := &Graph{byObj: make(map[*types.Func]*FuncInfo)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fi := &FuncInfo{Decl: fd}
+			fi.Obj, _ = pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			collectFunc(fd.Body, pass.TypesInfo, fi)
+			g.Funcs = append(g.Funcs, fi)
+			if fi.Obj != nil {
+				g.byObj[fi.Obj] = fi
+			}
+		}
+	}
+	return g
+}
+
+// collectFunc walks a function body classifying call sites. ctx tracks
+// the pending classification for the next CallExpr encountered on the
+// spine (defer / go); descending into a FuncLit switches every nested
+// call to CallInLiteral.
+func collectFunc(body ast.Node, info *types.Info, fi *FuncInfo) {
+	var walk func(n ast.Node, kind CallKind, inLit bool)
+	walk = func(n ast.Node, kind CallKind, inLit bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.GoStmt:
+			fi.Gos = append(fi.Gos, GoSite{Stmt: n, InLiteral: inLit})
+			fi.Calls = append(fi.Calls, Call{Site: n.Call, Callee: StaticCallee(info, n.Call), Kind: CallGo})
+			walkChildren(n.Call, info, fi, kind, inLit, walk)
+			return
+		case *ast.DeferStmt:
+			k := CallDeferred
+			if inLit {
+				k = CallInLiteral
+			}
+			fi.Calls = append(fi.Calls, Call{Site: n.Call, Callee: StaticCallee(info, n.Call), Kind: k})
+			walkChildren(n.Call, info, fi, kind, inLit, walk)
+			return
+		case *ast.FuncLit:
+			fi.Lits = append(fi.Lits, n)
+			walk(n.Body, CallInLiteral, true)
+			return
+		case *ast.CallExpr:
+			fi.Calls = append(fi.Calls, Call{Site: n, Callee: StaticCallee(info, n), Kind: kind})
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, kind, inLit)
+			return false
+		})
+	}
+	walk(body, CallDirect, false)
+}
+
+// walkChildren visits the arguments (and Fun operand) of a call whose
+// own classification has already been recorded.
+func walkChildren(call *ast.CallExpr, info *types.Info, fi *FuncInfo, kind CallKind, inLit bool, walk func(ast.Node, CallKind, bool)) {
+	walk(call.Fun, kind, inLit)
+	for _, arg := range call.Args {
+		walk(arg, kind, inLit)
+	}
+}
+
+// StaticCallee resolves the *types.Func a call statically dispatches
+// to: a package function, a method (possibly through an interface), or
+// nil for builtins, conversions and func-typed values.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

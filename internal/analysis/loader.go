@@ -48,10 +48,12 @@ type listEntry struct {
 
 // Load lists patterns with the go command (rooted at dir), parses and
 // type-checks every matched module package plus its in-module
-// dependencies, and returns the pattern-matched packages in import
-// path order. Test files are not loaded: the suite lints the library
-// surface, and fixture code under testdata is exercised separately by
-// the analysistest package.
+// dependencies, and returns every module package in import path order
+// — dependency-only packages included, flagged DepOnly, so the fact
+// store can see directives on imported code while Run lints only the
+// pattern-matched set. Test files are not loaded: the suite lints the
+// library surface, and fixture code under testdata is exercised
+// separately by the analysistest package.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	entries, err := golist(dir, patterns)
 	if err != nil {
@@ -79,9 +81,7 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			return nil, err
 		}
 		loaded[e.ImportPath] = pkg.Types
-		if !e.DepOnly {
-			out = append(out, pkg)
-		}
+		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil

@@ -1,0 +1,409 @@
+// Package lockorder derives a package-level lock-acquisition order and
+// reports the two ways concurrent shutdown code deadlocks:
+//
+//  1. Order cycles. Every time a mutex B is acquired while mutex A is
+//     held, the analyzer records the edge A→B. //elsi:lockorder
+//     before=X directives on mutex fields contribute declared edges
+//     X→field. A cycle in the combined graph means two code paths (or
+//     a code path and the declared design) acquire the same mutexes in
+//     opposite orders — the classic AB/BA deadlock.
+//
+//  2. Blocking while holding. A channel send or receive, a select with
+//     no default, a range over a channel, (*sync.WaitGroup).Wait, or
+//     time.Sleep executed while any mutex is held parks the goroutine
+//     with the lock still taken — exactly the shutdown hazard the
+//     server drain order exists to avoid (engine must be drained
+//     before teardown precisely so no one blocks under the state
+//     lock).
+//
+// The analysis is intraprocedural and flow-approximate: events in one
+// function (or function literal — each literal is a fresh scope) are
+// swept in source order, a deferred Unlock keeps the mutex held to the
+// end of the scope, and an explicit Unlock releases it at that point.
+// Mutexes are identified by their struct field (so every instance of a
+// type shares one node), or by the variable for locals.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"elsi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "lock-acquisition cycles (observed or vs //elsi:lockorder declarations) and blocking operations while a mutex is held",
+	Run:  run,
+}
+
+type eventKind uint8
+
+const (
+	evAcquire eventKind = iota
+	evRelease
+	evDeferRelease
+	evBlock
+)
+
+type event struct {
+	kind  eventKind
+	pos   token.Pos
+	mutex types.Object // acquire/release
+	what  string       // block: description of the blocking operation
+}
+
+// edge is one observed or declared ordering constraint: from is held
+// (or declared earlier) when to is acquired.
+type edge struct {
+	from, to types.Object
+}
+
+func run(pass *analysis.Pass) error {
+	observed := make(map[edge]token.Pos)
+	nodes := make(map[types.Object]bool)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sweepScopes(pass, fd.Body, observed, nodes)
+		}
+	}
+
+	// Declared edges: before=X on field m means X is acquired before
+	// m, i.e. the edge X→m. Restrict to mutexes of this package so a
+	// package is only diagnosed for its own declarations.
+	declared := make(map[edge]bool)
+	for _, m := range pass.Facts.OrderedMutexes() {
+		if m.Pkg() != pass.Pkg {
+			continue
+		}
+		nodes[m] = true
+		for _, x := range pass.Facts.LockBefore(m) {
+			declared[edge{from: x, to: m}] = true
+			nodes[x] = true
+		}
+	}
+
+	reportCycles(pass, observed, declared, nodes)
+	return nil
+}
+
+// sweepScopes collects lock/block events for the body and each nested
+// function literal (a fresh scope: a literal runs on an unknown
+// goroutine, so it inherits no held set), then sweeps each scope.
+func sweepScopes(pass *analysis.Pass, body *ast.BlockStmt, observed map[edge]token.Pos, nodes map[types.Object]bool) {
+	var events []event
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			sweepScopes(pass, n.Body, observed, nodes)
+			return
+		case *ast.DeferStmt:
+			walk(n.Call, true)
+			return
+		case *ast.SendStmt:
+			events = append(events, event{kind: evBlock, pos: n.Pos(), what: "channel send"})
+			// fall through to children for nested receives etc.
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, event{kind: evBlock, pos: n.Pos(), what: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			blocking := true
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					blocking = false
+				}
+			}
+			if blocking {
+				events = append(events, event{kind: evBlock, pos: n.Pos(), what: "select"})
+			}
+			// Walk only the case bodies: the comm clauses' sends and
+			// receives are part of the select just accounted for.
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						walk(s, deferred)
+					}
+				}
+			}
+			return
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					events = append(events, event{kind: evBlock, pos: n.Pos(), what: "range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			if ev, ok := classifyCall(pass, n, deferred); ok {
+				events = append(events, ev)
+			}
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, deferred)
+			return false
+		})
+	}
+	walk(body, false)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	sweep(pass, events, observed, nodes)
+}
+
+// classifyCall turns a call into a lock event or blocking event.
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr, deferred bool) (event, bool) {
+	fn := analysis.StaticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return event{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		switch fn.Name() {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if m := mutexOf(pass, call); m != nil {
+				if deferred {
+					return event{}, false // deferred acquire: out of scope
+				}
+				return event{kind: evAcquire, pos: call.Pos(), mutex: m}, true
+			}
+		case "Unlock", "RUnlock":
+			if m := mutexOf(pass, call); m != nil {
+				k := evRelease
+				if deferred {
+					k = evDeferRelease
+				}
+				return event{kind: k, pos: call.Pos(), mutex: m}, true
+			}
+		case "Wait":
+			if recvNamed(fn) == "WaitGroup" {
+				return event{kind: evBlock, pos: call.Pos(), what: "sync.WaitGroup.Wait"}, true
+			}
+		}
+	case "time":
+		if fn.Name() == "Sleep" {
+			return event{kind: evBlock, pos: call.Pos(), what: "time.Sleep"}, true
+		}
+	}
+	return event{}, false
+}
+
+// sweep runs the source-order lock-state machine over one scope's
+// events, recording observed edges and reporting blocking-while-held.
+func sweep(pass *analysis.Pass, events []event, observed map[edge]token.Pos, nodes map[types.Object]bool) {
+	held := make(map[types.Object]token.Pos) // mutex -> acquire pos
+	for _, ev := range events {
+		switch ev.kind {
+		case evAcquire:
+			nodes[ev.mutex] = true
+			for other := range held {
+				if other == ev.mutex {
+					continue
+				}
+				e := edge{from: other, to: ev.mutex}
+				if _, ok := observed[e]; !ok {
+					observed[e] = ev.pos
+				}
+			}
+			held[ev.mutex] = ev.pos
+		case evRelease:
+			delete(held, ev.mutex)
+		case evDeferRelease:
+			// Held until the end of the scope: leave it in the set.
+		case evBlock:
+			if len(held) == 0 {
+				continue
+			}
+			pass.Reportf(ev.pos, "%s while holding %s: blocking with a mutex held stalls every other acquirer (release the lock before blocking, as the engine drain order does)",
+				ev.what, heldNames(held))
+		}
+	}
+}
+
+// reportCycles finds strongly connected components in the combined
+// observed+declared order graph and reports every observed edge inside
+// one; declared-only cycles are reported at the mutex declarations.
+func reportCycles(pass *analysis.Pass, observed map[edge]token.Pos, declared map[edge]bool, nodes map[types.Object]bool) {
+	succ := make(map[types.Object][]types.Object)
+	addEdge := func(e edge) {
+		succ[e.from] = append(succ[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	for e := range observed {
+		addEdge(e)
+	}
+	for e := range declared {
+		addEdge(e)
+	}
+
+	comp := scc(nodes, succ)
+	inCycle := func(e edge) bool {
+		c, ok := comp[e.from]
+		return ok && c == comp[e.to] && c.size > 1
+	}
+
+	type rep struct {
+		pos token.Pos
+		msg string
+	}
+	var reps []rep
+	observedIn := make(map[*component]bool)
+	for e, pos := range observed {
+		if !inCycle(e) {
+			continue
+		}
+		observedIn[comp[e.from]] = true
+		reps = append(reps, rep{pos: pos, msg: fmt.Sprintf(
+			"lock order cycle: %s acquired while %s is held, but another path (or an //elsi:lockorder declaration) orders %s before %s",
+			objName(e.to), objName(e.from), objName(e.to), objName(e.from))})
+	}
+	for e := range declared {
+		if !inCycle(e) {
+			continue
+		}
+		// Report the declared half only when no observed edge already
+		// localises this component's cycle to code.
+		if !observedIn[comp[e.from]] {
+			reps = append(reps, rep{pos: e.to.Pos(), msg: fmt.Sprintf(
+				"//elsi:lockorder declarations form a cycle involving %s and %s", objName(e.from), objName(e.to))})
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool { return reps[i].pos < reps[j].pos })
+	for _, r := range reps {
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+}
+
+// component is one strongly connected component.
+type component struct{ size int }
+
+// scc computes strongly connected components with Tarjan's algorithm.
+func scc(nodes map[types.Object]bool, succ map[types.Object][]types.Object) map[types.Object]*component {
+	index := make(map[types.Object]int)
+	low := make(map[types.Object]int)
+	onStack := make(map[types.Object]bool)
+	comp := make(map[types.Object]*component)
+	var stack []types.Object
+	next := 0
+
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			c := &component{}
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = c
+				c.size++
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	// Deterministic iteration: sort nodes by position.
+	ordered := make([]types.Object, 0, len(nodes))
+	for v := range nodes {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+	for _, v := range ordered {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comp
+}
+
+// mutexOf resolves the mutex a Lock/Unlock call operates on: the
+// struct field for x.mu.Lock() chains (shared across instances), or
+// the variable object for locals.
+func mutexOf(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if sel == nil {
+		return nil
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s := pass.TypesInfo.Selections[x]; s != nil && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		// Package-qualified: pkg.Mu.Lock().
+		if obj, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// recvNamed returns the name of a method's receiver type, or "".
+func recvNamed(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	if named == nil {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// objName renders a mutex object with its owner type when it is a
+// struct field.
+func objName(o types.Object) string {
+	if v, ok := o.(*types.Var); ok && v.IsField() {
+		return "field " + v.Name()
+	}
+	return o.Name()
+}
+
+// heldNames renders the held set deterministically.
+func heldNames(held map[types.Object]token.Pos) string {
+	names := make([]string, 0, len(held))
+	for m := range held {
+		names = append(names, objName(m))
+	}
+	sort.Strings(names)
+	s := names[0]
+	for _, n := range names[1:] {
+		s += ", " + n
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"elsi/internal/analysis/analysistest"
+	"elsi/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer, "a", "shutdown")
+}

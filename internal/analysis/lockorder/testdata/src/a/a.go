@@ -1,0 +1,139 @@
+// Fixture for lockorder: observed and declared acquisition-order
+// cycles, blocking-while-held hazards, and the clean idioms that must
+// stay silent.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+// Observed-only cycle: two paths acquire the pair in opposite orders.
+// Both acquisition sites participate — a deadlock needs two paths — so
+// both are reported.
+
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *Pair) AB() {
+	p.a.Lock()
+	p.b.Lock() // want `lock order cycle: field b acquired while field a is held`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) BA() {
+	p.b.Lock()
+	p.a.Lock() // want `lock order cycle: field a acquired while field b is held`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Declared order vs. code: reg must be acquired before inner. Nest
+// follows the declaration, Inverted breaks it; the combined graph is
+// cyclic, so both sites report.
+
+type Registry struct {
+	reg sync.Mutex
+	//elsi:lockorder before=reg
+	inner sync.Mutex
+}
+
+func (r *Registry) Nest() {
+	r.reg.Lock()
+	r.inner.Lock() // want `lock order cycle: field inner acquired while field reg is held`
+	r.inner.Unlock()
+	r.reg.Unlock()
+}
+
+func (r *Registry) Inverted() {
+	r.inner.Lock()
+	defer r.inner.Unlock()
+	r.reg.Lock() // want `lock order cycle: field reg acquired while field inner is held`
+	r.reg.Unlock()
+}
+
+// A declared order the code follows is silent.
+
+type Ordered struct {
+	first sync.Mutex
+	//elsi:lockorder before=first
+	second sync.Mutex
+}
+
+func (o *Ordered) Both() {
+	o.first.Lock()
+	o.second.Lock()
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+// Declared-only cycle: the directives contradict each other before any
+// code runs.
+
+type Cyclic struct {
+	//elsi:lockorder before=down
+	up sync.Mutex // want `//elsi:lockorder declarations form a cycle`
+	//elsi:lockorder before=up
+	down sync.Mutex // want `//elsi:lockorder declarations form a cycle`
+}
+
+// Blocking-while-held hazards.
+
+func SleepUnderLock(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding mu`
+	mu.Unlock()
+}
+
+func RecvUnderLock(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return <-ch // want `channel receive while holding mu`
+}
+
+func DrainUnderLock(mu *sync.Mutex, ch chan int) int {
+	total := 0
+	mu.Lock()
+	defer mu.Unlock()
+	for v := range ch { // want `range over channel while holding mu`
+		total += v
+	}
+	return total
+}
+
+// The clean shapes: release before blocking, non-blocking select, and
+// function literals as fresh scopes.
+
+func UnlockFirst(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	x := 1
+	mu.Unlock()
+	return x + <-ch
+}
+
+func TryNotify(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func LiteralScope(mu *sync.Mutex, ch chan int) func() {
+	mu.Lock()
+	defer mu.Unlock()
+	return func() { ch <- 1 }
+}
+
+// The escape hatch works.
+
+func SanctionedSleep(mu *sync.Mutex) {
+	mu.Lock()
+	//lint:ignore lockorder deliberate throttle while exclusive
+	time.Sleep(time.Millisecond)
+	mu.Unlock()
+}

@@ -1,0 +1,50 @@
+// Fixture reproducing the server shutdown-ordering invariant: Close
+// must drain in-flight work BEFORE tearing down under the state lock.
+// The reverse order deadlocks — a handler that needs the lock to
+// finish can never complete, so Wait never returns — and lockorder
+// turns that blessed ordering into a checked invariant.
+package shutdown
+
+import "sync"
+
+type Server struct {
+	//elsi:lockorder
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	closed  bool
+	pending map[int]chan struct{}
+}
+
+// CloseBad waits for handlers while holding the state lock: the
+// pre-drain-order bug.
+func (s *Server) CloseBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.wg.Wait() // want `sync.WaitGroup.Wait while holding field mu`
+}
+
+// CloseGood is the blessed order: flip the flag under the lock,
+// release it, then drain.
+func (s *Server) CloseGood() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// NotifyBad parks on a channel send with the lock held.
+func (s *Server) NotifyBad(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.pending[id]
+	ch <- struct{}{} // want `channel send while holding field mu`
+}
+
+// NotifyGood copies what it needs under the lock and sends after.
+func (s *Server) NotifyGood(id int) {
+	s.mu.Lock()
+	ch := s.pending[id]
+	s.mu.Unlock()
+	ch <- struct{}{}
+}

@@ -1,0 +1,468 @@
+// Package noalloc is the compile-time face of the PR 5 zero-allocation
+// guarantee: a function marked //elsi:noalloc may not contain
+// allocation sites, and every statically-resolved call to module code
+// must target a function carrying the same mark, so the promise holds
+// transitively over the whole call chain the way AssertZeroAllocs
+// checks it at runtime.
+//
+// Reported allocation sites:
+//
+//   - slice and map composite literals, and &T{} (escaping composite);
+//   - make, new;
+//   - function literals that capture variables from the enclosing
+//     function (a capturing closure's context is heap-allocated);
+//   - append whose result is not assigned back to its first argument
+//     (x = append(x, ...) and return append(x, ...) are the sanctioned
+//     amortized-growth forms; anything else grows an unhinted slice);
+//   - converting a concrete non-pointer-shaped value to an interface
+//     (boxing), at call arguments, assignments, returns and sends;
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - calls into fmt, errors and log (allocation is their job);
+//   - go statements (a goroutine is an allocation), defer inside a
+//     loop (heap-allocated defer record);
+//   - method values (x.M used as a value allocates a bound closure);
+//   - static calls to module functions not marked //elsi:noalloc.
+//
+// Dynamic dispatch — interface method calls and func-typed values — is
+// deliberately allowed: the mark is checked on every implementation a
+// hot path names, not at the dispatch site, matching how the runtime
+// guard exercises whatever the call resolves to. Standard-library
+// calls outside the denylist are trusted (sync, atomic, sort, math);
+// the runtime AssertZeroAllocs gates in CI keep that trust honest.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"elsi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions marked //elsi:noalloc must not contain allocation sites, and their module callees must carry the mark",
+	Run:  run,
+}
+
+// denied are the stdlib packages whose entire purpose is building
+// values on the heap.
+var denied = map[string]bool{"fmt": true, "errors": true, "log": true, "reflect": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil || !pass.Facts.NoAlloc(fn) {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checker carries the per-function state.
+type checker struct {
+	pass    *analysis.Pass
+	fd      *ast.FuncDecl
+	parents map[ast.Node]ast.Node
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, fd: fd, parents: make(map[ast.Node]ast.Node)}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			c.parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			c.compositeLit(n)
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.FuncLit:
+			c.funcLit(n)
+		case *ast.BinaryExpr:
+			c.binary(n)
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement in //elsi:noalloc function: spawning a goroutine allocates")
+		case *ast.DeferStmt:
+			if c.inLoop(n) {
+				c.pass.Reportf(n.Pos(), "defer inside a loop in //elsi:noalloc function: each iteration heap-allocates a defer record")
+			}
+		case *ast.SelectorExpr:
+			c.methodValue(n)
+		case *ast.AssignStmt:
+			c.boxingInAssign(n)
+		case *ast.ReturnStmt:
+			c.boxingInReturn(n)
+		case *ast.SendStmt:
+			c.boxingAt(n.Value, c.chanElem(n.Chan), "channel send")
+		}
+		return true
+	})
+}
+
+func (c *checker) parent(n ast.Node) ast.Node { return c.parents[n] }
+
+func (c *checker) inLoop(n ast.Node) bool {
+	for p := c.parent(n); p != nil; p = c.parent(p) {
+		switch p.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// compositeLit flags slice/map literals and escaping struct literals.
+func (c *checker) compositeLit(n *ast.CompositeLit) {
+	t := c.pass.TypesInfo.TypeOf(n)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.pass.Reportf(n.Pos(), "slice literal allocates in //elsi:noalloc function")
+	case *types.Map:
+		c.pass.Reportf(n.Pos(), "map literal allocates in //elsi:noalloc function")
+	default:
+		if u, ok := c.parent(n).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			c.pass.Reportf(n.Pos(), "&composite literal escapes to the heap in //elsi:noalloc function")
+		}
+	}
+}
+
+func (c *checker) call(n *ast.CallExpr) {
+	fun := ast.Unparen(n.Fun)
+
+	// Type conversions.
+	if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		c.conversion(n, tv.Type)
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.pass.Reportf(n.Pos(), "make allocates in //elsi:noalloc function")
+			case "new":
+				c.pass.Reportf(n.Pos(), "new allocates in //elsi:noalloc function")
+			case "append":
+				if !c.sanctionedAppend(n) {
+					c.pass.Reportf(n.Pos(), "append result is not reassigned to its first argument; growth escapes the amortized in-place idiom (use x = append(x, ...) or return append(x, ...))")
+				}
+			}
+			return
+		}
+	}
+
+	callee := analysis.StaticCallee(c.pass.TypesInfo, n)
+	c.boxingInCall(n, callee)
+
+	if callee == nil {
+		return // func value: dynamic, checked at the implementations
+	}
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return // interface dispatch: checked at the implementations
+		}
+	}
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return
+	}
+	if denied[pkg.Path()] {
+		c.pass.Reportf(n.Pos(), "call to %s.%s in //elsi:noalloc function: %s exists to allocate", pkg.Name(), callee.Name(), pkg.Path())
+		return
+	}
+	if c.isModulePkg(pkg) && !c.pass.Facts.NoAlloc(callee) {
+		c.pass.Reportf(n.Pos(), "call to %s, which is not marked //elsi:noalloc: the zero-alloc promise must hold down the chain", callee.Name())
+	}
+}
+
+// isModulePkg reports whether p is part of this module (as opposed to
+// the standard library).
+func (c *checker) isModulePkg(p *types.Package) bool {
+	if p == c.pass.Pkg {
+		return true
+	}
+	return p.Path() == "elsi" || strings.HasPrefix(p.Path(), "elsi/")
+}
+
+// conversion flags string<->slice conversions and interface boxing via
+// explicit conversion.
+func (c *checker) conversion(n *ast.CallExpr, dst types.Type) {
+	if len(n.Args) != 1 {
+		return
+	}
+	src := c.pass.TypesInfo.TypeOf(n.Args[0])
+	if src == nil {
+		return
+	}
+	du, su := dst.Underlying(), src.Underlying()
+	if _, ok := du.(*types.Slice); ok {
+		if isString(su) {
+			c.pass.Reportf(n.Pos(), "string-to-slice conversion allocates in //elsi:noalloc function")
+		}
+		return
+	}
+	if isString(du) && !isString(su) {
+		if _, ok := su.(*types.Basic); !ok {
+			c.pass.Reportf(n.Pos(), "slice-to-string conversion allocates in //elsi:noalloc function")
+		}
+		return
+	}
+	if types.IsInterface(du) {
+		c.boxingAt(n.Args[0], dst, "interface conversion")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// funcLit flags literals that capture enclosing variables.
+func (c *checker) funcLit(lit *ast.FuncLit) {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal.
+		if v.Pos() >= c.fd.Pos() && v.Pos() < lit.Pos() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() <= lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	if captured != "" {
+		c.pass.Reportf(lit.Pos(), "func literal captures %s and allocates its closure context in //elsi:noalloc function (hoist the state or write a closure-free kernel)", captured)
+	}
+}
+
+// sanctionedAppend reports whether an append call sits in one of the
+// allocation-amortizing positions.
+func (c *checker) sanctionedAppend(n *ast.CallExpr) bool {
+	if len(n.Args) == 0 {
+		return false
+	}
+	p := c.parent(n)
+	for {
+		if pp, ok := p.(*ast.ParenExpr); ok {
+			p = c.parent(pp)
+			continue
+		}
+		break
+	}
+	switch p := p.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) == n && i < len(p.Lhs) {
+				return exprEq(p.Lhs[i], c.baseAppendArg(n))
+			}
+		}
+	case *ast.CallExpr:
+		// Nested first argument of another sanctioned append:
+		// x = append(append(x, a), b).
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+				return len(p.Args) > 0 && ast.Unparen(p.Args[0]) == n && c.sanctionedAppend(p)
+			}
+		}
+	}
+	return false
+}
+
+// baseAppendArg resolves an append chain to its ultimate first
+// argument: for append(append(x, a), b) it returns x. Reslices are
+// unwrapped to their operand so the buffer-reuse idiom
+// x = append(x[:0], ...) counts as amortizing x.
+func (c *checker) baseAppendArg(n *ast.CallExpr) ast.Expr {
+	arg := ast.Unparen(n.Args[0])
+	for {
+		if sl, ok := arg.(*ast.SliceExpr); ok {
+			arg = ast.Unparen(sl.X)
+			continue
+		}
+		break
+	}
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(inner.Fun).(*ast.Ident); ok {
+			if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(inner.Args) > 0 {
+				return c.baseAppendArg(inner)
+			}
+		}
+	}
+	return arg
+}
+
+// exprEq compares two expressions structurally (identifier and
+// selector chains).
+func exprEq(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && exprEq(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && exprEq(a.X, b.X) && exprEq(a.Index, b.Index)
+	}
+	return false
+}
+
+// binary flags string concatenation.
+func (c *checker) binary(n *ast.BinaryExpr) {
+	if n.Op != token.ADD {
+		return
+	}
+	if t := c.pass.TypesInfo.TypeOf(n); t != nil && isString(t.Underlying()) {
+		c.pass.Reportf(n.Pos(), "string concatenation allocates in //elsi:noalloc function")
+	}
+}
+
+// methodValue flags x.M used as a value rather than called.
+func (c *checker) methodValue(sel *ast.SelectorExpr) {
+	s := c.pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return
+	}
+	if call, ok := c.parent(sel).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+		return
+	}
+	c.pass.Reportf(sel.Pos(), "method value %s.%s allocates a bound closure in //elsi:noalloc function", exprString(sel.X), sel.Sel.Name)
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "expr"
+}
+
+// boxingInCall checks every argument against its parameter type.
+func (c *checker) boxingInCall(n *ast.CallExpr, callee *types.Func) {
+	sigT := c.pass.TypesInfo.TypeOf(n.Fun)
+	sig, _ := sigT.(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range n.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if n.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // slice passed whole
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.boxingAt(arg, pt, "argument")
+	}
+}
+
+func (c *checker) boxingInAssign(n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Rhs {
+		lt := c.pass.TypesInfo.TypeOf(n.Lhs[i])
+		c.boxingAt(n.Rhs[i], lt, "assignment")
+	}
+}
+
+func (c *checker) boxingInReturn(n *ast.ReturnStmt) {
+	sig, _ := c.pass.TypesInfo.TypeOf(c.fd.Name).(*types.Signature)
+	if sig == nil || len(n.Results) != sig.Results().Len() {
+		return
+	}
+	for i, r := range n.Results {
+		c.boxingAt(r, sig.Results().At(i).Type(), "return")
+	}
+}
+
+func (c *checker) chanElem(ch ast.Expr) types.Type {
+	t := c.pass.TypesInfo.TypeOf(ch)
+	if t == nil {
+		return nil
+	}
+	cc, _ := t.Underlying().(*types.Chan)
+	if cc == nil {
+		return nil
+	}
+	return cc.Elem()
+}
+
+// boxingAt reports when expr (of concrete, non-pointer-shaped type) is
+// converted to an interface-typed destination.
+func (c *checker) boxingAt(expr ast.Expr, dst types.Type, where string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	st := c.pass.TypesInfo.TypeOf(expr)
+	if st == nil || types.IsInterface(st) {
+		return
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(st) {
+		return
+	}
+	c.pass.Reportf(expr.Pos(), "%s boxes %s into an interface and allocates in //elsi:noalloc function (pass a pointer-shaped value instead)", where, st.String())
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without allocating.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+// Fixture for noalloc: each allocation-site class is flagged inside a
+// marked function, the sanctioned zero-alloc idioms stay silent, the
+// mark is required down the static call chain, and the //lint:ignore
+// escape hatch works.
+package a
+
+import "fmt"
+
+// Unmarked functions may allocate freely.
+func Unchecked() []int {
+	return []int{1, 2, 3}
+}
+
+//elsi:noalloc
+func SliceLit() []int {
+	return []int{1, 2} // want `slice literal allocates`
+}
+
+//elsi:noalloc
+func MapLit() int {
+	m := map[int]int{1: 2} // want `map literal allocates`
+	return m[1]
+}
+
+//elsi:noalloc
+func Escape() *int {
+	type pt struct{ x int }
+	p := &pt{x: 1} // want `&composite literal escapes to the heap`
+	return &p.x
+}
+
+//elsi:noalloc
+func Make(n int) int {
+	buf := make([]int, n) // want `make allocates`
+	return len(buf)
+}
+
+// The amortized append idioms are the whole point of the append-form
+// query APIs: reassignment to the first argument and direct return.
+
+//elsi:noalloc
+func GoodAppend(out []int, v int) []int {
+	out = append(out, v)
+	out = append(append(out, v), v)
+	out = append(out[:0], v) // buffer-reuse reslice idiom
+	return append(out, v)
+}
+
+//elsi:noalloc
+func BadAppend(a, b []int, v int) []int {
+	b = append(a, v) // want `append result is not reassigned to its first argument`
+	return b
+}
+
+//elsi:noalloc
+func Capture(xs []int) int {
+	total := 0
+	each(xs, func(v int) { total += v }) // want `func literal captures total`
+	return total
+}
+
+//elsi:noalloc
+func CleanLiteral(xs []int) {
+	each(xs, func(v int) {}) // non-capturing: no closure context
+}
+
+//elsi:noalloc
+func each(xs []int, f func(int)) {
+	for _, v := range xs {
+		f(v) // calling a func value is dynamic dispatch: allowed
+	}
+}
+
+// Interface boxing: concrete non-pointer-shaped values allocate;
+// pointers ride in the interface word.
+
+//elsi:noalloc
+func BoxReturn(v int) any {
+	return v // want `return boxes int into an interface`
+}
+
+//elsi:noalloc
+func PointerReturn(p *int) any {
+	return p
+}
+
+//elsi:noalloc
+func BoxAssign(v float64) any {
+	var x any
+	x = v // want `assignment boxes float64 into an interface`
+	return x
+}
+
+// The allocation-as-a-service packages are denied outright.
+
+//elsi:noalloc
+func Format(n int64) {
+	fmt.Println(n) // want `argument boxes int64 into an interface` `call to fmt.Println in //elsi:noalloc function`
+}
+
+// The mark is required down the static call chain.
+
+func plain(v int) int { return v + 1 }
+
+//elsi:noalloc
+func marked(v int) int { return v + 1 }
+
+//elsi:noalloc
+func Chain(v int) int {
+	v = marked(v)
+	return plain(v) // want `call to plain, which is not marked //elsi:noalloc`
+}
+
+// Strings are heap objects.
+
+//elsi:noalloc
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//elsi:noalloc
+func Bytes(s string) int {
+	return len([]byte(s)) // want `string-to-slice conversion allocates`
+}
+
+// Goroutines and looping defers allocate their records.
+
+//elsi:noalloc
+func Spawn(ch chan int) {
+	go send(ch) // want `go statement in //elsi:noalloc function`
+}
+
+//elsi:noalloc
+func send(ch chan int) {
+	ch <- 1
+}
+
+//elsi:noalloc
+func DeferLoop(mu interface{ Unlock() }, n int) {
+	for i := 0; i < n; i++ {
+		defer mu.Unlock() // want `defer inside a loop`
+	}
+}
+
+// The escape hatch works.
+
+//elsi:noalloc
+func Sanctioned() []int {
+	//lint:ignore noalloc one-time warmup path measured to stay off the hot loop
+	return []int{1}
+}

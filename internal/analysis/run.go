@@ -26,15 +26,61 @@ func (f Finding) String() string {
 	return s
 }
 
-// Run applies every analyzer to every package and returns the
-// surviving findings in file/line order. Diagnostics suppressed by a
-// //lint:ignore directive are dropped; malformed directives are
-// themselves reported under the pseudo-analyzer name "elsivet".
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
+// IgnoreStat records one (directive, analyzer) pair and whether it
+// suppressed anything during the run. A pair naming an analyzer that
+// ran but matched no diagnostic is a dead ignore — the code it excused
+// no longer trips the check and the directive should be deleted.
+type IgnoreStat struct {
+	Pos      token.Position
+	Analyzer string
+	Used     bool
+}
+
+// Result is the outcome of one Run: the surviving findings plus the
+// //lint:ignore usage ledger for the linted packages.
+type Result struct {
+	Findings []Finding
+	Ignores  []IgnoreStat
+}
+
+// DeadIgnores returns the ignore directives that suppressed nothing,
+// restricted to the analyzers that actually ran.
+func (r *Result) DeadIgnores(ran []*Analyzer) []IgnoreStat {
+	names := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		names[a.Name] = true
+	}
+	var dead []IgnoreStat
+	for _, ig := range r.Ignores {
+		if names[ig.Analyzer] && !ig.Used {
+			dead = append(dead, ig)
+		}
+	}
+	return dead
+}
+
+// Run applies every analyzer to every non-dependency package and
+// returns the surviving findings in file/line order. The fact store is
+// built from ALL packages first (dependencies included) so directives
+// on imported module code are visible to every pass. Diagnostics
+// suppressed by a //lint:ignore directive are dropped; malformed
+// //lint:ignore and //elsi: directives are themselves reported under
+// the pseudo-analyzer name "elsivet".
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	facts := NewFacts()
+	factBad := make(map[*Package][]Finding)
 	for _, pkg := range pkgs {
+		factBad[pkg] = facts.AddPackage(pkg.Fset, pkg.Syntax, pkg.TypesInfo)
+	}
+
+	res := &Result{}
+	for _, pkg := range pkgs {
+		if pkg.DepOnly {
+			continue
+		}
 		ignores, bad := ParseIgnores(pkg.Fset, pkg.Syntax)
-		findings = append(findings, bad...)
+		res.Findings = append(res.Findings, bad...)
+		res.Findings = append(res.Findings, factBad[pkg]...)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -42,6 +88,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
 			}
 			pass.Report = func(d Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
@@ -52,15 +99,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				for _, fix := range d.SuggestedFixes {
 					f.Fixes = append(f.Fixes, fix.Message)
 				}
-				findings = append(findings, f)
+				res.Findings = append(res.Findings, f)
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
+		res.Ignores = append(res.Ignores, ignores.Stats()...)
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -72,26 +120,69 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	sort.Slice(res.Ignores, func(i, j int) bool {
+		a, b := res.Ignores[i], res.Ignores[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+// ignoreDirective is one //lint:ignore comment; the same directive is
+// reachable from two lines (its own and the one below), so usage is
+// tracked on the shared record.
+type ignoreDirective struct {
+	pos    token.Position
+	name   string
+	usedBy bool
 }
 
 // IgnoreSet records which analyzers are suppressed on which lines.
 type IgnoreSet struct {
-	// byFile maps filename -> line -> analyzer names ignored there.
-	byFile map[string]map[int][]string
+	// byFile maps filename -> line -> directives applying there.
+	byFile map[string]map[int][]*ignoreDirective
 }
 
-// Ignored reports whether the named analyzer is suppressed at pos.
+// Ignored reports whether the named analyzer is suppressed at pos, and
+// marks the matching directive as used.
 func (s *IgnoreSet) Ignored(analyzer string, pos token.Position) bool {
 	if s == nil || s.byFile == nil {
 		return false
 	}
-	for _, name := range s.byFile[pos.Filename][pos.Line] {
-		if name == analyzer {
-			return true
+	hit := false
+	for _, d := range s.byFile[pos.Filename][pos.Line] {
+		if d.name == analyzer {
+			d.usedBy = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// Stats returns one IgnoreStat per (directive, analyzer) pair.
+func (s *IgnoreSet) Stats() []IgnoreStat {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[*ignoreDirective]bool)
+	var out []IgnoreStat
+	for _, lines := range s.byFile {
+		for _, ds := range lines {
+			for _, d := range ds {
+				if seen[d] {
+					continue
+				}
+				seen[d] = true
+				out = append(out, IgnoreStat{Pos: d.pos, Analyzer: d.name, Used: d.usedBy})
+			}
+		}
+	}
+	return out
 }
 
 // ParseIgnores scans the files' comments for //lint:ignore directives.
@@ -105,7 +196,7 @@ func (s *IgnoreSet) Ignored(analyzer string, pos token.Position) bool {
 // no analyzer name or no reason is malformed and reported as a
 // finding.
 func ParseIgnores(fset *token.FileSet, files []*ast.File) (*IgnoreSet, []Finding) {
-	set := &IgnoreSet{byFile: make(map[string]map[int][]string)}
+	set := &IgnoreSet{byFile: make(map[string]map[int][]*ignoreDirective)}
 	var bad []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -126,12 +217,13 @@ func ParseIgnores(fset *token.FileSet, files []*ast.File) (*IgnoreSet, []Finding
 				}
 				lines := set.byFile[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*ignoreDirective)
 					set.byFile[pos.Filename] = lines
 				}
 				for _, name := range strings.Split(fields[0], ",") {
-					lines[pos.Line] = append(lines[pos.Line], name)
-					lines[pos.Line+1] = append(lines[pos.Line+1], name)
+					d := &ignoreDirective{pos: pos, name: name}
+					lines[pos.Line] = append(lines[pos.Line], d)
+					lines[pos.Line+1] = append(lines[pos.Line+1], d)
 				}
 			}
 		}

@@ -19,7 +19,14 @@ import (
 // time, method-specific extra time, |error| bounds) of every pool
 // method on the OSM1 surrogate with ZM as the base index, plus the
 // shared map-and-sort data preparation cost.
+// Table1Ctx is the cancellable form.
 func Table1(w io.Writer, e *Env) error {
+	return Table1Ctx(context.Background(), w, e)
+}
+
+// Table1Ctx is Table1 with build cancellation: ctx is threaded into
+// every pool-method build.
+func Table1Ctx(ctx context.Context, w io.Writer, e *Env) error {
 	pts := dataset.MustGenerate(dataset.OSM1, e.N, e.Seed)
 	t0 := time.Now()
 	d := base.Prepare(pts, geo.UnitRect, func(p geo.Point) float64 {
@@ -37,7 +44,7 @@ func Table1(w io.Writer, e *Env) error {
 		if mr, ok := b.(interface{ Prepare() }); ok {
 			mr.Prepare() // MR's pool pre-training is offline (Sec. VII-B2)
 		}
-		_, stats, err := base.BuildModelCtx(context.Background(), b, d)
+		_, stats, err := base.BuildModelCtx(ctx, b, d)
 		if err != nil {
 			// chaos mode: a failed method reports NA instead of a row
 			row(tw, name, "NA", "NA", "NA", "NA", "NA")

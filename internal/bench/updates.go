@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -168,7 +169,15 @@ func sampleLatenciesWhile(proc *rebuild.Processor, qs []geo.Point, cond func() b
 // from the old index + delta view throughout). The background rows
 // should show a flat tail; the blocking rows show the build time
 // leaking into P99/max.
+// ExtConcurrentCtx is the cancellable form.
 func ExtConcurrent(w io.Writer, e *Env) error {
+	return ExtConcurrentCtx(context.Background(), w, e)
+}
+
+// ExtConcurrentCtx is ExtConcurrent with cancellation: an expired ctx
+// stops the insert writer between updates, so the study unwinds
+// instead of hammering the processor until the rebuild lands.
+func ExtConcurrentCtx(ctx context.Context, w io.Writer, e *Env) error {
 	n0 := e.N / 4
 	if n0 < 2000 {
 		n0 = 2000
@@ -224,6 +233,8 @@ func ExtConcurrent(w io.Writer, e *Env) error {
 			for i := 0; ; i++ {
 				select {
 				case <-stop:
+					return
+				case <-ctx.Done():
 					return
 				default:
 				}

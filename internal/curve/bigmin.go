@@ -12,6 +12,8 @@ package curve
 // inside the box whose minimum and maximum cells encode to zmin and
 // zmax. It requires zmin <= z <= zmax; when no key inside the box is
 // greater than z it returns zmax+1 (one past the end).
+//
+//elsi:noalloc
 func BigMin(z, zmin, zmax uint64) uint64 {
 	var bigmin uint64
 	haveBigmin := false
@@ -59,6 +61,8 @@ func BigMin(z, zmin, zmax uint64) uint64 {
 // sameDimBelow returns the mask of bit positions below p belonging to
 // the same dimension as p (Morton bits alternate dimensions, so same-
 // dimension bits are at p-2, p-4, ...).
+//
+//elsi:noalloc
 func sameDimBelow(p int) uint64 {
 	// 0x5555... has bits at even positions; shift to align with p's parity
 	mask := uint64(0x5555555555555555)
@@ -71,18 +75,24 @@ func sameDimBelow(p int) uint64 {
 
 // withOneZerosBelow returns v with bit p set to 1 and the same-
 // dimension bits below p cleared ("LOAD 1000..." of the paper).
+//
+//elsi:noalloc
 func withOneZerosBelow(v uint64, p int) uint64 {
 	return (v | uint64(1)<<uint(p)) &^ sameDimBelow(p)
 }
 
 // withZeroOnesBelow returns v with bit p cleared and the same-
 // dimension bits below p set ("LOAD 0111...").
+//
+//elsi:noalloc
 func withZeroOnesBelow(v uint64, p int) uint64 {
 	return (v &^ (uint64(1) << uint(p))) | sameDimBelow(p)
 }
 
 // ZCellInBox reports whether key's cell lies inside the cell box
 // spanned per dimension by the corner keys zmin and zmax.
+//
+//elsi:noalloc
 func ZCellInBox(key, zmin, zmax uint64) bool {
 	kx, ky := ZDecodeCell(key)
 	lx, ly := ZDecodeCell(zmin)

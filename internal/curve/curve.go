@@ -22,6 +22,8 @@ const cells = 1 << Order
 const MaxKey = uint64(cells)*uint64(cells) - 1
 
 // quantize maps v in [lo, hi] to an integer cell in [0, cells-1].
+//
+//elsi:noalloc
 func quantize(v, lo, hi float64) uint32 {
 	if hi <= lo {
 		return 0
@@ -47,6 +49,8 @@ func dequantize(c uint32, lo, hi float64) float64 {
 
 // interleave spreads the low Order bits of v so that there is a zero
 // bit between every pair of consecutive bits.
+//
+//elsi:noalloc
 func interleave(v uint32) uint64 {
 	x := uint64(v) & 0x00000000ffffffff
 	x = (x | x<<16) & 0x0000ffff0000ffff
@@ -58,6 +62,8 @@ func interleave(v uint32) uint64 {
 }
 
 // deinterleave compacts every other bit of x back into a uint32.
+//
+//elsi:noalloc
 func deinterleave(x uint64) uint32 {
 	x &= 0x5555555555555555
 	x = (x | x>>1) & 0x3333333333333333
@@ -69,17 +75,23 @@ func deinterleave(x uint64) uint32 {
 }
 
 // ZEncodeCell packs integer grid coordinates into a Morton key.
+//
+//elsi:noalloc
 func ZEncodeCell(cx, cy uint32) uint64 {
 	return interleave(cx) | interleave(cy)<<1
 }
 
 // ZDecodeCell unpacks a Morton key into grid coordinates.
+//
+//elsi:noalloc
 func ZDecodeCell(key uint64) (cx, cy uint32) {
 	return deinterleave(key), deinterleave(key >> 1)
 }
 
 // ZEncode maps p, interpreted relative to the data-space rectangle
 // space, to its Z-order key.
+//
+//elsi:noalloc
 func ZEncode(p geo.Point, space geo.Rect) uint64 {
 	cx := quantize(p.X, space.MinX, space.MaxX)
 	cy := quantize(p.Y, space.MinY, space.MaxY)
@@ -177,6 +189,8 @@ func ZRanges(window geo.Rect, space geo.Rect, maxDepth int) []KeyRange {
 // leading entries) and returning the extended slice. Query hot paths
 // pass a reused buffer so the decomposition allocates nothing once the
 // buffer has warmed up.
+//
+//elsi:noalloc
 func ZRangesAppend(window geo.Rect, space geo.Rect, maxDepth int, out []KeyRange) []KeyRange {
 	if !window.Intersects(space) {
 		return out
@@ -200,6 +214,7 @@ type zranger struct {
 	out      []KeyRange
 }
 
+//elsi:noalloc
 func (z *zranger) rec(cx, cy uint32, level int, cell geo.Rect) {
 	if !z.window.Intersects(cell) {
 		return
@@ -223,6 +238,8 @@ func (z *zranger) rec(cx, cy uint32, level int, cell geo.Rect) {
 
 // MergeRanges sorts ranges by Lo and merges adjacent or overlapping
 // entries. The input slice is modified in place.
+//
+//elsi:noalloc
 func MergeRanges(rs []KeyRange) []KeyRange {
 	if len(rs) <= 1 {
 		return rs
@@ -245,6 +262,7 @@ func MergeRanges(rs []KeyRange) []KeyRange {
 	return out
 }
 
+//elsi:noalloc
 func sortRanges(rs []KeyRange) {
 	// insertion sort: range lists are short (tens of entries).
 	for i := 1; i < len(rs); i++ {

@@ -45,12 +45,16 @@ type List struct {
 }
 
 // Len returns the number of pending updates.
+//
+//elsi:noalloc
 func (l *List) Len() int { return l.size }
 
 // Deletions returns the number of pending deletion records. Query
 // paths that fetch candidates from the base index and filter deletions
 // afterwards use it to widen the fetch so the filter cannot eat into
 // the requested answer size.
+//
+//elsi:noalloc
 func (l *List) Deletions() int { return l.dels }
 
 // Insert records the insertion of point p with identifier id. If id is
@@ -100,22 +104,69 @@ func (l *List) ForEach(fn func(Record)) {
 }
 
 // InsertedWithin appends to out the pending insertions inside win.
+//
+//elsi:noalloc
 func (l *List) InsertedWithin(win geo.Rect, out []geo.Point) []geo.Point {
-	l.ForEach(func(r Record) {
-		if r.Op == Inserted && win.Contains(r.Point) {
-			out = append(out, r.Point)
-		}
-	})
-	return out
+	return appendInsertedWithin(l.root, true, win, nil, out)
+}
+
+// AppendInserted appends every pending insertion's point to out, in ID
+// order. It is the closure-free form of ForEach-with-filter for the
+// query hot paths: the recursion carries the output slice instead of
+// capturing it.
+//
+//elsi:noalloc
+func (l *List) AppendInserted(out []geo.Point) []geo.Point {
+	return appendInsertedWithin(l.root, false, geo.Rect{}, nil, out)
+}
+
+// InsertedNotDeletedIn appends the pending insertions that do not have
+// a pending deletion in dels (the newer overlay layered above this
+// frozen snapshot). A nil dels filters nothing.
+//
+//elsi:noalloc
+func (l *List) InsertedNotDeletedIn(dels *List, out []geo.Point) []geo.Point {
+	return appendInsertedWithin(l.root, false, geo.Rect{}, dels, out)
+}
+
+// InsertedWithinNotDeletedIn combines the window filter with the
+// overlay-deletion filter.
+//
+//elsi:noalloc
+func (l *List) InsertedWithinNotDeletedIn(win geo.Rect, dels *List, out []geo.Point) []geo.Point {
+	return appendInsertedWithin(l.root, true, win, dels, out)
+}
+
+// appendInsertedWithin is the shared in-order recursion behind the
+// Inserted* appenders: windowed reports whether win filters (a
+// degenerate window is still a window, so a sentinel value cannot
+// stand in for "unfiltered").
+//
+//elsi:noalloc
+func appendInsertedWithin(n *node, windowed bool, win geo.Rect, dels *List, out []geo.Point) []geo.Point {
+	if n == nil {
+		return out
+	}
+	out = appendInsertedWithin(n.left, windowed, win, dels, out)
+	if n.rec.Op == Inserted &&
+		(!windowed || win.Contains(n.rec.Point)) &&
+		(dels == nil || !dels.IsDeleted(n.rec.Point)) {
+		out = append(out, n.rec.Point)
+	}
+	return appendInsertedWithin(n.right, windowed, win, dels, out)
 }
 
 // IsDeleted reports whether a point equal to p has a pending deletion.
+//
+//elsi:noalloc
 func (l *List) IsDeleted(p geo.Point) bool {
 	return l.delCount[p] > 0
 }
 
 // HasInserted reports whether a point equal to p has a pending
 // insertion (used by point queries over the delta list).
+//
+//elsi:noalloc
 func (l *List) HasInserted(p geo.Point) bool {
 	return l.insCount[p] > 0
 }

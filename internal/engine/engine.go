@@ -84,7 +84,12 @@ type Engine struct {
 	qe   *qserve.Engine
 	cfg  Config
 
-	mu       sync.Mutex // guards admission state and the accumulators
+	// mu guards admission state and the accumulators. It is a leaf
+	// lock on the engine's fast path: enqueue and flush release it
+	// before blocking on batch results or downstream locks.
+	//
+	//elsi:lockorder
+	mu       sync.Mutex
 	closed   bool
 	inFlight int
 	wg       sync.WaitGroup // one unit per admitted request

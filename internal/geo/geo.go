@@ -17,6 +17,8 @@ type Point struct {
 // Dist2 returns the squared Euclidean distance between p and q.
 // Squared distances are used throughout the query paths so that
 // comparisons avoid the math.Sqrt call.
+//
+//elsi:noalloc
 func (p Point) Dist2(q Point) float64 {
 	dx := p.X - q.X
 	dy := p.Y - q.Y
@@ -24,6 +26,8 @@ func (p Point) Dist2(q Point) float64 {
 }
 
 // Dist returns the Euclidean distance between p and q.
+//
+//elsi:noalloc
 func (p Point) Dist(q Point) float64 {
 	return math.Sqrt(p.Dist2(q))
 }
@@ -54,27 +58,37 @@ func EmptyRect() Rect {
 
 // IsEmpty reports whether r is the empty rectangle (has no extent and
 // contains no point).
+//
+//elsi:noalloc
 func (r Rect) IsEmpty() bool {
 	return r.MinX > r.MaxX || r.MinY > r.MaxY
 }
 
 // Contains reports whether the point p lies inside r (boundaries included).
+//
+//elsi:noalloc
 func (r Rect) Contains(p Point) bool {
 	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
 }
 
 // ContainsRect reports whether s lies entirely inside r.
+//
+//elsi:noalloc
 func (r Rect) ContainsRect(s Rect) bool {
 	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
 }
 
 // Intersects reports whether r and s share at least one point.
+//
+//elsi:noalloc
 func (r Rect) Intersects(s Rect) bool {
 	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
 }
 
 // Intersection returns the overlap of r and s; the result is empty when
 // the rectangles are disjoint.
+//
+//elsi:noalloc
 func (r Rect) Intersection(s Rect) Rect {
 	out := Rect{
 		MinX: math.Max(r.MinX, s.MinX),
@@ -122,6 +136,8 @@ func (r Rect) Extend(p Point) Rect {
 }
 
 // Area returns the area of r; empty rectangles have zero area.
+//
+//elsi:noalloc
 func (r Rect) Area() float64 {
 	if r.IsEmpty() {
 		return 0
@@ -144,11 +160,17 @@ func (r Rect) Center() Point {
 }
 
 // Width and Height return the side lengths of r.
-func (r Rect) Width() float64  { return r.MaxX - r.MinX }
+//
+//elsi:noalloc
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+//elsi:noalloc
 func (r Rect) Height() float64 { return r.MaxY - r.MinY }
 
 // Dist2 returns the squared minimum distance from p to r (zero when p
 // is inside r). It is the MINDIST bound used by branch-and-bound kNN.
+//
+//elsi:noalloc
 func (r Rect) Dist2(p Point) float64 {
 	var dx, dy float64
 	switch {

@@ -64,6 +64,8 @@ func (g *Grid) Build(pts []geo.Point) error {
 }
 
 // cellOf returns the cell index for p, clamped into the grid.
+//
+//elsi:noalloc
 func (g *Grid) cellOf(p geo.Point) int {
 	cx := int((p.X - g.space.MinX) / g.space.Width() * float64(g.nx))
 	cy := int((p.Y - g.space.MinY) / g.space.Height() * float64(g.ny))
@@ -136,6 +138,8 @@ func (g *Grid) splitBlock(ci int, b *block) {
 }
 
 // PointQuery implements index.Index.
+//
+//elsi:noalloc
 func (g *Grid) PointQuery(p geo.Point) bool {
 	if g.cells == nil {
 		return false
@@ -181,6 +185,8 @@ func (g *Grid) WindowQuery(win geo.Rect) []geo.Point {
 }
 
 // WindowQueryAppend implements index.WindowAppender.
+//
+//elsi:noalloc
 func (g *Grid) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if g.cells == nil {
 		return out
@@ -204,6 +210,7 @@ func (g *Grid) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	return out
 }
 
+//elsi:noalloc
 func (g *Grid) cellCoords(p geo.Point) (int, int) {
 	ci := g.cellOf(p)
 	return ci % g.nx, ci / g.nx
@@ -227,6 +234,8 @@ var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) 
 
 // KNNAppend implements index.KNNAppender; KNN delegates here, so both
 // entry points return identical answers.
+//
+//elsi:noalloc
 func (g *Grid) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	if g.cells == nil || k <= 0 || g.size == 0 {
 		return out
@@ -238,7 +247,7 @@ func (g *Grid) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	maxRing := g.nx + g.ny
 	minSide := math.Min(g.space.Width()/float64(g.nx), g.space.Height()/float64(g.ny))
 	for ring := 0; ring <= maxRing; ring++ {
-		g.collectRing(qcx, qcy, ring, &s.cand)
+		s.cand = g.collectRing(qcx, qcy, ring, s.cand)
 		if len(s.cand) < k {
 			continue
 		}
@@ -255,31 +264,38 @@ func (g *Grid) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 }
 
 // collectRing appends all points in cells at Chebyshev distance ring
-// from (qcx, qcy) to cand, returning how many were added.
-func (g *Grid) collectRing(qcx, qcy, ring int, cand *[]geo.Point) int {
-	added := 0
-	visit := func(cx, cy int) {
-		if cx < 0 || cx >= g.nx || cy < 0 || cy >= g.ny {
-			return
-		}
-		for _, b := range g.cells[cy*g.nx+cx] {
-			*cand = append(*cand, b.pts...)
-			added += len(b.pts)
-		}
-	}
+// from (qcx, qcy) to cand and returns the extended slice. The cell
+// visits go through appendCell rather than a visit closure so the
+// per-ring walk carries its state on the call stack.
+//
+//elsi:noalloc
+func (g *Grid) collectRing(qcx, qcy, ring int, cand []geo.Point) []geo.Point {
 	if ring == 0 {
-		visit(qcx, qcy)
-		return added
+		return g.appendCell(qcx, qcy, cand)
 	}
 	for d := -ring; d <= ring; d++ {
-		visit(qcx+d, qcy-ring)
-		visit(qcx+d, qcy+ring)
+		cand = g.appendCell(qcx+d, qcy-ring, cand)
+		cand = g.appendCell(qcx+d, qcy+ring, cand)
 	}
 	for d := -ring + 1; d < ring; d++ {
-		visit(qcx-ring, qcy+d)
-		visit(qcx+ring, qcy+d)
+		cand = g.appendCell(qcx-ring, qcy+d, cand)
+		cand = g.appendCell(qcx+ring, qcy+d, cand)
 	}
-	return added
+	return cand
+}
+
+// appendCell appends the points of cell (cx, cy) to cand, ignoring
+// out-of-range coordinates (ring walks run past the grid edges).
+//
+//elsi:noalloc
+func (g *Grid) appendCell(cx, cy int, cand []geo.Point) []geo.Point {
+	if cx < 0 || cx >= g.nx || cy < 0 || cy >= g.ny {
+		return cand
+	}
+	for _, b := range g.cells[cy*g.nx+cx] {
+		cand = append(cand, b.pts...)
+	}
+	return cand
 }
 
 // Blocks returns the total number of data blocks (for size accounting).

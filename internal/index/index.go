@@ -52,6 +52,8 @@ type KNNAppender interface {
 // when it has one, falling back to WindowQuery plus a copy into out.
 // Batched query engines use it so reusable result buffers work with
 // every index, not just the ones with native append paths.
+//
+//elsi:noalloc
 func AppendWindow(ix Index, win geo.Rect, out []geo.Point) []geo.Point {
 	if wa, ok := ix.(WindowAppender); ok {
 		return wa.WindowQueryAppend(win, out)
@@ -60,6 +62,8 @@ func AppendWindow(ix Index, win geo.Rect, out []geo.Point) []geo.Point {
 }
 
 // AppendKNN is AppendWindow's kNN counterpart.
+//
+//elsi:noalloc
 func AppendKNN(ix Index, q geo.Point, k int, out []geo.Point) []geo.Point {
 	if ka, ok := ix.(KNNAppender); ok {
 		return ka.KNNAppend(q, k, out)
@@ -102,6 +106,8 @@ func (b *BruteForce) Build(pts []geo.Point) error {
 func (b *BruteForce) Len() int { return len(b.pts) }
 
 // PointQuery implements Index.
+//
+//elsi:noalloc
 func (b *BruteForce) PointQuery(p geo.Point) bool {
 	for _, q := range b.pts {
 		if q == p {
@@ -129,6 +135,8 @@ func (b *BruteForce) WindowQuery(win geo.Rect) []geo.Point {
 }
 
 // WindowQueryAppend implements WindowAppender.
+//
+//elsi:noalloc
 func (b *BruteForce) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	for _, p := range b.pts {
 		if win.Contains(p) {
@@ -144,6 +152,8 @@ func (b *BruteForce) KNN(q geo.Point, k int) []geo.Point {
 }
 
 // KNNAppend implements KNNAppender.
+//
+//elsi:noalloc
 func (b *BruteForce) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	return KNNScanAppend(b.pts, q, k, out)
 }
@@ -193,6 +203,8 @@ var knnSorterPool = sync.Pool{New: func() interface{} { return new(knnSorter) }}
 // KNNScanAppend is KNNScan appending the k nearest points to out and
 // returning the extended slice; its sort scratch is pooled, so the only
 // allocation in steady state is out's own growth.
+//
+//elsi:noalloc
 func KNNScanAppend(pts []geo.Point, q geo.Point, k int, out []geo.Point) []geo.Point {
 	if k <= 0 || len(pts) == 0 {
 		return out

@@ -112,6 +112,8 @@ func partitionSorted(pts []geo.Point, axis int) (split float64, mid int, ok bool
 }
 
 // descend returns the leaf that should hold p.
+//
+//elsi:noalloc
 func (t *Tree) descend(p geo.Point) *node {
 	n := t.root
 	for n != nil && !n.leaf {
@@ -124,6 +126,7 @@ func (t *Tree) descend(p geo.Point) *node {
 	return n
 }
 
+//elsi:noalloc
 func coord(p geo.Point, axis int) float64 {
 	if axis == 0 {
 		return p.X
@@ -194,6 +197,8 @@ func splitLeaf(n *node) {
 }
 
 // PointQuery implements index.Index.
+//
+//elsi:noalloc
 func (t *Tree) PointQuery(p geo.Point) bool {
 	n := t.descend(p)
 	if n == nil {
@@ -231,10 +236,13 @@ func (t *Tree) WindowQuery(win geo.Rect) []geo.Point {
 
 // WindowQueryAppend implements index.WindowAppender with a closure-free
 // recursive walk threading out through the recursion.
+//
+//elsi:noalloc
 func (t *Tree) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	return windowNode(t.root, win, out)
 }
 
+//elsi:noalloc
 func windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point {
 	if n == nil || !win.Intersects(n.region) {
 		return out
@@ -267,6 +275,8 @@ func (t *Tree) KNN(q geo.Point, k int) []geo.Point {
 
 // KNNAppend implements index.KNNAppender; KNN delegates here, so both
 // entry points return identical answers.
+//
+//elsi:noalloc
 func (t *Tree) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	if t.root == nil || k <= 0 || t.size == 0 {
 		return out

@@ -75,12 +75,16 @@ func (ix *Index) Name() string { return "LISA" }
 func (ix *Index) Len() int { return ix.size }
 
 // columnOf returns the column index of x.
+//
+//elsi:noalloc
 func (ix *Index) columnOf(x float64) int {
 	return sort.SearchFloat64s(ix.colBounds, x)
 }
 
 // MapKey is LISA's grid mapping: column index plus the normalized y
 // offset, so keys order column-major.
+//
+//elsi:noalloc
 func (ix *Index) MapKey(p geo.Point) float64 {
 	col := ix.columnOf(p.X)
 	ny := (p.Y - ix.cfg.Space.MinY) / ix.cfg.Space.Height()
@@ -166,6 +170,8 @@ func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
 
 // shardSpan converts the model's rank window for key into a shard
 // index window [sLo, sHi].
+//
+//elsi:noalloc
 func (ix *Index) shardSpan(key float64) (int, int) {
 	ix.invocations.Add(1)
 	rLo, rHi := ix.model.SearchRange(key)
@@ -184,6 +190,8 @@ func (ix *Index) shardSpan(key float64) (int, int) {
 }
 
 // predictShard returns the single shard an insertion of key targets.
+//
+//elsi:noalloc
 func (ix *Index) predictShard(key float64) int {
 	ix.invocations.Add(1)
 	s := ix.model.PredictRank(key) / store.BlockSize
@@ -198,6 +206,8 @@ func (ix *Index) predictShard(key float64) int {
 
 // findInShards scans shards [sLo, sHi] for p, charging the entries
 // visited to the scan counter with a single atomic add.
+//
+//elsi:noalloc
 func (ix *Index) findInShards(sLo, sHi int, p geo.Point) bool {
 	visited := int64(0)
 	for s := sLo; s <= sHi && s < len(ix.shardPts); s++ {
@@ -216,6 +226,8 @@ func (ix *Index) findInShards(sLo, sHi int, p geo.Point) bool {
 // collectWindowShards appends to out the points of shards [sLo, sHi]
 // whose keys lie in [loKey, hiKey] and which fall inside win, charging
 // the visited entries with a single atomic add.
+//
+//elsi:noalloc
 func (ix *Index) collectWindowShards(sLo, sHi int, loKey, hiKey float64, win geo.Rect, out []geo.Point) []geo.Point {
 	visited := int64(0)
 	for s := sLo; s <= sHi && s < len(ix.shardKeys); s++ {
@@ -234,6 +246,8 @@ func (ix *Index) collectWindowShards(sLo, sHi int, loKey, hiKey float64, win geo
 // PointQuery implements index.Index (exact): a stored point's key
 // always predicts into the shard window that holds it — bounds cover
 // built keys, and inserted points were placed by the same prediction.
+//
+//elsi:noalloc
 func (ix *Index) PointQuery(p geo.Point) bool {
 	if ix.size == 0 || ix.model == nil {
 		return false
@@ -259,6 +273,8 @@ func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
 }
 
 // WindowQueryAppend implements index.WindowAppender.
+//
+//elsi:noalloc
 func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.size == 0 || ix.model == nil {
 		return out
@@ -296,6 +312,8 @@ func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
 
 // KNNAppend implements index.KNNAppender via the shared expanding-
 // window append path.
+//
+//elsi:noalloc
 func (ix *Index) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	return zm.WindowKNNAppend(ix, ix.cfg.Space, ix.size, q, k, out)
 }

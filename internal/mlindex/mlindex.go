@@ -92,6 +92,8 @@ func (ix *Index) Len() int {
 }
 
 // refFor returns the nearest reference point's id and distance.
+//
+//elsi:noalloc
 func (ix *Index) refFor(p geo.Point) (int, float64) {
 	best, bestD := 0, math.Inf(1)
 	for i, r := range ix.refs {
@@ -103,6 +105,8 @@ func (ix *Index) refFor(p geo.Point) (int, float64) {
 }
 
 // MapKey is the iDistance mapping.
+//
+//elsi:noalloc
 func (ix *Index) MapKey(p geo.Point) float64 {
 	id, d := ix.refFor(p)
 	return float64(id)*stride + d
@@ -201,6 +205,7 @@ func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
 	return nil
 }
 
+//elsi:noalloc
 func (ix *Index) searchRange(key float64) (int, int) {
 	ix.invocations.Add(1)
 	if ix.staged != nil {
@@ -209,6 +214,7 @@ func (ix *Index) searchRange(key float64) (int, int) {
 	return ix.single.SearchRange(key)
 }
 
+//elsi:noalloc
 func (ix *Index) predictRank(key float64) int {
 	ix.invocations.Add(1)
 	if ix.staged != nil {
@@ -219,6 +225,8 @@ func (ix *Index) predictRank(key float64) int {
 }
 
 // PointQuery implements index.Index.
+//
+//elsi:noalloc
 func (ix *Index) PointQuery(p geo.Point) bool {
 	if ix.st == nil || ix.st.Len() == 0 {
 		return false
@@ -236,6 +244,8 @@ func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
 }
 
 // WindowQueryAppend implements index.WindowAppender.
+//
+//elsi:noalloc
 func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.st == nil || ix.st.Len() == 0 {
 		return out
@@ -254,6 +264,8 @@ func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 
 // maxDistToRect returns the maximum distance from p to any point of r
 // (attained at a corner).
+//
+//elsi:noalloc
 func maxDistToRect(p geo.Point, r geo.Rect) float64 {
 	d2 := 0.0
 	for _, c := range [4]geo.Point{
@@ -289,6 +301,8 @@ var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) 
 // with pooled candidate and selection buffers, appending the k results
 // to out. Annulus candidates are gathered with the closure-free
 // CollectRange kernel.
+//
+//elsi:noalloc
 func (ix *Index) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	if ix.st == nil || k <= 0 || ix.st.Len() == 0 {
 		return out

@@ -4,8 +4,6 @@
 package pqueue
 
 import (
-	"sort"
-
 	"elsi/internal/geo"
 )
 
@@ -21,13 +19,21 @@ type Min struct {
 }
 
 // Len returns the number of queued items.
+//
+//elsi:noalloc
 func (q *Min) Len() int { return len(q.items) }
 
 // Reset empties the queue, keeping its backing storage for reuse so a
 // pooled queue serves repeated kNN searches without reallocating.
+//
+//elsi:noalloc
 func (q *Min) Reset() { q.items = q.items[:0] }
 
-// Push adds an item.
+// Push adds an item. Callers must pass pointer-shaped values (the
+// traversal pushes *node) so the interface conversion does not heap-
+// allocate.
+//
+//elsi:noalloc
 func (q *Min) Push(v interface{}, d float64) {
 	q.items = append(q.items, Item{Value: v, Dist: d})
 	i := len(q.items) - 1
@@ -42,6 +48,8 @@ func (q *Min) Push(v interface{}, d float64) {
 }
 
 // Pop removes and returns the item with the smallest Dist.
+//
+//elsi:noalloc
 func (q *Min) Pop() Item {
 	top := q.items[0]
 	last := len(q.items) - 1
@@ -79,6 +87,8 @@ func NewKBest(k int) *KBest { return &KBest{k: k} }
 
 // Reset empties the heap and sets a new capacity, keeping the backing
 // storage for reuse.
+//
+//elsi:noalloc
 func (b *KBest) Reset(k int) {
 	b.k = k
 	b.pts = b.pts[:0]
@@ -86,10 +96,14 @@ func (b *KBest) Reset(k int) {
 }
 
 // Full reports whether k candidates are held.
+//
+//elsi:noalloc
 func (b *KBest) Full() bool { return len(b.pts) >= b.k }
 
 // Worst returns the distance of the current k-th best candidate, or
 // +Inf semantics via 0 when empty (callers must check Full first).
+//
+//elsi:noalloc
 func (b *KBest) Worst() float64 {
 	if len(b.dist) == 0 {
 		return 0
@@ -98,6 +112,8 @@ func (b *KBest) Worst() float64 {
 }
 
 // Offer considers point p at squared distance d.
+//
+//elsi:noalloc
 func (b *KBest) Offer(p geo.Point, d float64) {
 	if len(b.pts) < b.k {
 		b.pts = append(b.pts, p)
@@ -112,6 +128,7 @@ func (b *KBest) Offer(p geo.Point, d float64) {
 	b.down(0)
 }
 
+//elsi:noalloc
 func (b *KBest) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -124,8 +141,14 @@ func (b *KBest) up(i int) {
 	}
 }
 
-func (b *KBest) down(i int) {
-	n := len(b.dist)
+//elsi:noalloc
+func (b *KBest) down(i int) { b.downN(i, len(b.dist)) }
+
+// downN sifts index i down within the heap prefix [0, n) — the bounded
+// form heapsort needs to restore the shrinking heap.
+//
+//elsi:noalloc
+func (b *KBest) downN(i, n int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
@@ -151,20 +174,17 @@ func (b *KBest) Points() []geo.Point {
 }
 
 // AppendPoints appends the candidates to out sorted by ascending
-// distance and returns the extended slice. It sorts the heap's own
-// storage in place (no scratch allocation), so the heap order is
-// consumed: Offer must not be called afterwards without a Reset.
+// distance and returns the extended slice. It heapsorts the heap's own
+// parallel columns in place (the max-heap invariant already holds, so
+// no sort.Interface indirection and no scratch allocation), consuming
+// the heap order: Offer must not be called afterwards without a Reset.
+//
+//elsi:noalloc
 func (b *KBest) AppendPoints(out []geo.Point) []geo.Point {
-	sort.Sort(&byDist{b})
+	for end := len(b.dist) - 1; end > 0; end-- {
+		b.dist[0], b.dist[end] = b.dist[end], b.dist[0]
+		b.pts[0], b.pts[end] = b.pts[end], b.pts[0]
+		b.downN(0, end)
+	}
 	return append(out, b.pts...)
-}
-
-// byDist sorts a KBest's parallel point/distance columns by distance.
-type byDist struct{ b *KBest }
-
-func (s *byDist) Len() int           { return len(s.b.pts) }
-func (s *byDist) Less(i, j int) bool { return s.b.dist[i] < s.b.dist[j] }
-func (s *byDist) Swap(i, j int) {
-	s.b.pts[i], s.b.pts[j] = s.b.pts[j], s.b.pts[i]
-	s.b.dist[i], s.b.dist[j] = s.b.dist[j], s.b.dist[i]
 }

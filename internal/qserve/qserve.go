@@ -87,12 +87,20 @@ func (e *Engine) shard(n int, fn func(lo, hi int)) {
 // returning it. A caller-reused out makes the batch allocation-free.
 func (e *Engine) PointBatch(pts []geo.Point, out []bool) []bool {
 	out = growBools(out, len(pts))
-	e.shard(len(pts), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = e.src.PointQuery(pts[i])
-		}
-	})
+	e.shard(len(pts), func(lo, hi int) { e.pointSpan(pts, out, lo, hi) })
 	return out
+}
+
+// pointSpan answers pts[lo:hi] into out[lo:hi] — the per-worker kernel
+// of PointBatch. All per-query work lives here so the enforced no-
+// allocation surface covers everything that runs len(batch) times; the
+// shard closure above it runs once per worker.
+//
+//elsi:noalloc
+func (e *Engine) pointSpan(pts []geo.Point, out []bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = e.src.PointQuery(pts[i])
+	}
 }
 
 // WindowBatch answers wins[i] into out[i], reusing each out[i]'s
@@ -100,16 +108,21 @@ func (e *Engine) PointBatch(pts []geo.Point, out []bool) []bool {
 // answers match serial WindowQuery calls element for element.
 func (e *Engine) WindowBatch(wins []geo.Rect, out [][]geo.Point) [][]geo.Point {
 	out = growSlices(out, len(wins))
-	e.shard(len(wins), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if e.wa != nil {
-				out[i] = e.wa.WindowQueryAppend(wins[i], out[i][:0])
-			} else {
-				out[i] = append(out[i][:0], e.src.WindowQuery(wins[i])...)
-			}
-		}
-	})
+	e.shard(len(wins), func(lo, hi int) { e.windowSpan(wins, out, lo, hi) })
 	return out
+}
+
+// windowSpan is WindowBatch's per-worker kernel.
+//
+//elsi:noalloc
+func (e *Engine) windowSpan(wins []geo.Rect, out [][]geo.Point, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if e.wa != nil {
+			out[i] = e.wa.WindowQueryAppend(wins[i], out[i][:0])
+		} else {
+			out[i] = append(out[i][:0], e.src.WindowQuery(wins[i])...)
+		}
+	}
 }
 
 // KNNBatch answers the k nearest neighbors of qs[i] into out[i],
@@ -118,15 +131,7 @@ func (e *Engine) WindowBatch(wins []geo.Rect, out [][]geo.Point) [][]geo.Point {
 // element.
 func (e *Engine) KNNBatch(qs []geo.Point, k int, out [][]geo.Point) [][]geo.Point {
 	out = growSlices(out, len(qs))
-	e.shard(len(qs), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if e.ka != nil {
-				out[i] = e.ka.KNNAppend(qs[i], k, out[i][:0])
-			} else {
-				out[i] = append(out[i][:0], e.src.KNN(qs[i], k)...)
-			}
-		}
-	})
+	e.shard(len(qs), func(lo, hi int) { e.knnSpan(qs, k, nil, out, lo, hi) })
 	return out
 }
 
@@ -140,16 +145,26 @@ func (e *Engine) KNNVarBatch(qs []geo.Point, ks []int, out [][]geo.Point) [][]ge
 		panic("qserve: KNNVarBatch len(ks) != len(qs)")
 	}
 	out = growSlices(out, len(qs))
-	e.shard(len(qs), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if e.ka != nil {
-				out[i] = e.ka.KNNAppend(qs[i], ks[i], out[i][:0])
-			} else {
-				out[i] = append(out[i][:0], e.src.KNN(qs[i], ks[i])...)
-			}
-		}
-	})
+	e.shard(len(qs), func(lo, hi int) { e.knnSpan(qs, 0, ks, out, lo, hi) })
 	return out
+}
+
+// knnSpan is the per-worker kernel shared by KNNBatch and KNNVarBatch:
+// a nil ks means every query uses the fixed k, otherwise ks[i] wins.
+//
+//elsi:noalloc
+func (e *Engine) knnSpan(qs []geo.Point, k int, ks []int, out [][]geo.Point, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ki := k
+		if ks != nil {
+			ki = ks[i]
+		}
+		if e.ka != nil {
+			out[i] = e.ka.KNNAppend(qs[i], ki, out[i][:0])
+		} else {
+			out[i] = append(out[i][:0], e.src.KNN(qs[i], ki)...)
+		}
+	}
 }
 
 // growBools returns out resized to n, reallocating only when the

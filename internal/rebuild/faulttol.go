@@ -123,7 +123,9 @@ func (p *Processor) scheduleRetryLocked(gen uint64) {
 	}
 	delay := r.backoff(p.consecFail, p.retryRNG)
 	p.retryPending = true
+	p.retryWG.Add(1)
 	go func() {
+		defer p.retryWG.Done()
 		r.sleep(delay)
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -134,6 +136,26 @@ func (p *Processor) scheduleRetryLocked(gen uint64) {
 		p.retries++
 		p.startRebuildLocked()
 	}()
+}
+
+// Quiesce blocks until every armed retry goroutine has run to
+// completion and no background rebuild is in flight — the clean-
+// shutdown join for the fault-tolerance machinery. A retry that fires
+// during the wait starts a rebuild, which Quiesce then also waits out;
+// callers who want a faster stop should open the breaker first (set
+// BreakerThreshold negative or let failures trip it) so fired retries
+// become no-ops.
+func (p *Processor) Quiesce() {
+	for {
+		p.retryWG.Wait()
+		p.WaitRebuild()
+		p.mu.RLock()
+		idle := !p.retryPending && !p.rebuilding
+		p.mu.RUnlock()
+		if idle {
+			return
+		}
+	}
 }
 
 // RebuildErrors returns the ring of recent rebuild errors, oldest

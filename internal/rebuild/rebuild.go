@@ -190,7 +190,12 @@ type Processor struct {
 	// The breaker closes on the next successful rebuild or ResetBreaker.
 	BreakerThreshold int
 
-	mu sync.RWMutex // guards everything below
+	// mu guards everything below. Background builds run outside the
+	// lock against a frozen snapshot; completion re-acquires it only
+	// for the swap, so no channel wait ever happens while it is held.
+	//
+	//elsi:lockorder
+	mu sync.RWMutex
 
 	idx       Rebuildable
 	pts       []geo.Point // current data set (source of truth)
@@ -223,6 +228,12 @@ type Processor struct {
 	retryPending bool
 	breakerOpen  bool
 	retryRNG     *rand.Rand
+
+	// retryWG joins the backoff-sleeper goroutines armed by
+	// scheduleRetryLocked, so Quiesce can prove none outlive the
+	// processor. It is not guarded by mu: Add happens before the
+	// spawn under the write lock, Wait only in Quiesce.
+	retryWG sync.WaitGroup
 }
 
 // NewProcessor builds idx on pts and wraps it. The data set must be
@@ -579,6 +590,8 @@ func (p *Processor) Len() int {
 // view (results combined/filtered per Section IV-B2). During a
 // background rebuild the overlay is newer than the frozen snapshot,
 // so it is consulted first.
+//
+//elsi:noalloc
 func (p *Processor) PointQuery(pt geo.Point) bool {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -588,6 +601,8 @@ func (p *Processor) PointQuery(pt geo.Point) bool {
 // pointLiveLocked reports whether pt is currently stored, layering the
 // live overlay over the frozen view over the base index. Called with
 // either lock held; Insert uses it to keep the stored points a set.
+//
+//elsi:noalloc
 func (p *Processor) pointLiveLocked(pt geo.Point) bool {
 	if p.deltaList.HasInserted(pt) {
 		return true
@@ -607,6 +622,8 @@ func (p *Processor) pointLiveLocked(pt geo.Point) bool {
 }
 
 // isDeletedLocked reports a pending deletion in either delta layer.
+//
+//elsi:noalloc
 func (p *Processor) isDeletedLocked(pt geo.Point) bool {
 	if p.deltaList.IsDeleted(pt) {
 		return true
@@ -625,6 +642,8 @@ func (p *Processor) WindowQuery(win geo.Rect) []geo.Point {
 // so both entry points return identical results. The index's matches
 // are written after len(out) and the deletion filter compacts only
 // that tail, so a caller's existing prefix is never touched.
+//
+//elsi:noalloc
 func (p *Processor) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -642,11 +661,7 @@ func (p *Processor) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point
 	out = filtered
 	if p.frozen != nil {
 		// frozen insertions may since have been deleted in the overlay
-		p.frozen.ForEach(func(r delta.Record) {
-			if r.Op == delta.Inserted && win.Contains(r.Point) && !p.deltaList.IsDeleted(r.Point) {
-				out = append(out, r.Point)
-			}
-		})
+		out = p.frozen.InsertedWithinNotDeletedIn(win, &p.deltaList, out)
 	}
 	return p.deltaList.InsertedWithin(win, out)
 }
@@ -676,6 +691,8 @@ func (p *Processor) KNN(q geo.Point, k int) []geo.Point {
 // even the widened fetch loses too many candidates (e.g. duplicate
 // points sharing one deletion filter): it doubles the fetch until k
 // survivors are found or the index is exhausted.
+//
+//elsi:noalloc
 func (p *Processor) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -709,17 +726,9 @@ func (p *Processor) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 		need *= 2
 	}
 	if p.frozen != nil {
-		p.frozen.ForEach(func(r delta.Record) {
-			if r.Op == delta.Inserted && !p.deltaList.IsDeleted(r.Point) {
-				merged = append(merged, r.Point)
-			}
-		})
+		merged = p.frozen.InsertedNotDeletedIn(&p.deltaList, merged)
 	}
-	p.deltaList.ForEach(func(r delta.Record) {
-		if r.Op == delta.Inserted {
-			merged = append(merged, r.Point)
-		}
-	})
+	merged = p.deltaList.AppendInserted(merged)
 	s.merged = merged
 	return index.KNNScanAppend(merged, q, k, out)
 }

@@ -40,6 +40,8 @@ type Bounded struct {
 }
 
 // PredictRank returns the estimated storage position of key in [0, N-1].
+//
+//elsi:noalloc
 func (b *Bounded) PredictRank(key float64) int {
 	if b.N == 0 {
 		return 0
@@ -56,6 +58,8 @@ func (b *Bounded) PredictRank(key float64) int {
 
 // SearchRange returns the inclusive-exclusive position range
 // [lo, hi) guaranteed to contain key if it is stored.
+//
+//elsi:noalloc
 func (b *Bounded) SearchRange(key float64) (lo, hi int) {
 	r := b.PredictRank(key)
 	lo = r - b.ErrLo
@@ -288,6 +292,8 @@ type LinearModel struct {
 }
 
 // PredictCDF implements Model.
+//
+//elsi:noalloc
 func (m *LinearModel) PredictCDF(key float64) float64 {
 	v := m.Slope*key + m.Intercept
 	if v < 0 {
@@ -346,6 +352,8 @@ type PiecewiseModel struct {
 }
 
 // PredictCDF implements Model.
+//
+//elsi:noalloc
 func (m *PiecewiseModel) PredictCDF(key float64) float64 {
 	if len(m.segs) == 0 {
 		return 0
@@ -552,6 +560,8 @@ func newStaged(sortedKeys []float64, fanout int, rootTrainer Trainer, buildLeaf 
 // r*fanout/n disagrees with the floored split boundaries (and lands on
 // empty leaves when n < fanout), so the index is found on the actual
 // splits.
+//
+//elsi:noalloc
 func (s *Staged) leafIndex(r int) int {
 	li := sort.SearchInts(s.splits, r+1) - 1
 	if li < 0 {
@@ -564,6 +574,8 @@ func (s *Staged) leafIndex(r int) int {
 }
 
 // leafFor returns the leaf index the root model predicts for key.
+//
+//elsi:noalloc
 func (s *Staged) leafFor(key float64) int {
 	if s.n == 0 {
 		return 0
@@ -573,6 +585,8 @@ func (s *Staged) leafFor(key float64) int {
 
 // leafSpan returns the inclusive range of leaf indices the root model's
 // error bounds allow key to land in.
+//
+//elsi:noalloc
 func (s *Staged) leafSpan(key float64) (liLo, liHi int) {
 	rLo, rHi := s.root.SearchRange(key)
 	if rHi > 0 {
@@ -585,6 +599,8 @@ func (s *Staged) leafSpan(key float64) (liLo, liHi int) {
 // best-guess leaf would scan for key. It is not guaranteed to contain
 // the key when the root misdispatches; use SearchRangeWide for the
 // guaranteed window.
+//
+//elsi:noalloc
 func (s *Staged) SearchRange(key float64) (lo, hi int) {
 	if s.n == 0 {
 		return 0, 0
@@ -599,6 +615,8 @@ func (s *Staged) SearchRange(key float64) (lo, hi int) {
 // SearchRangeWide returns the global position range guaranteed to
 // contain key if it is stored: it consults every leaf the root's
 // empirical error bounds allow and unions their windows.
+//
+//elsi:noalloc
 func (s *Staged) SearchRangeWide(key float64) (lo, hi int) {
 	if s.n == 0 {
 		return 0, 0

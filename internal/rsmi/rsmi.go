@@ -80,6 +80,7 @@ type node struct {
 	extra     []geo.Point
 }
 
+//elsi:noalloc
 func (n *node) isLeaf() bool { return n.children == nil }
 
 // New returns an unbuilt RSMI.
@@ -137,6 +138,8 @@ func (ix *Index) BuildCtx(ctx context.Context, pts []geo.Point) error {
 
 // localKey maps p into the node's rank space: the Z-order value
 // relative to the node's own bounds.
+//
+//elsi:noalloc
 func localKey(p geo.Point, bounds geo.Rect) float64 {
 	return float64(curve.ZEncode(p, bounds))
 }
@@ -208,6 +211,8 @@ func (ix *Index) buildNodeCtx(ctx context.Context, pts []geo.Point, bounds geo.R
 
 // childSpan returns the inclusive child index range the node model's
 // error bounds allow key to land in.
+//
+//elsi:noalloc
 func (n *node) childSpan(key float64) (int, int) {
 	total := n.model.N
 	f := len(n.children)
@@ -227,6 +232,8 @@ func (n *node) childSpan(key float64) (int, int) {
 }
 
 // PointQuery implements index.Index (exact).
+//
+//elsi:noalloc
 func (ix *Index) PointQuery(p geo.Point) bool {
 	if ix.root == nil {
 		return false
@@ -234,6 +241,7 @@ func (ix *Index) PointQuery(p geo.Point) bool {
 	return ix.findPoint(ix.root, p)
 }
 
+//elsi:noalloc
 func (ix *Index) findPoint(n *node, p geo.Point) bool {
 	if n.isLeaf() {
 		for _, q := range n.extra {
@@ -284,6 +292,8 @@ func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
 
 // WindowQueryAppend implements index.WindowAppender; it returns the
 // same points in the same order as WindowQuery.
+//
+//elsi:noalloc
 func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.root == nil {
 		return out
@@ -304,6 +314,7 @@ type leafScratch struct {
 
 var leafScratchPool = sync.Pool{New: func() interface{} { return new(leafScratch) }}
 
+//elsi:noalloc
 func (ix *Index) windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point {
 	if !win.Intersects(n.mbr) {
 		return out
@@ -381,6 +392,8 @@ func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
 }
 
 // KNNAppend implements index.KNNAppender.
+//
+//elsi:noalloc
 func (ix *Index) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	return zm.WindowKNNAppend(ix, ix.cfg.Space, ix.size, q, k, out)
 }

@@ -307,32 +307,37 @@ func chooseSplit(n int, sortBy func(axis int), rectAt func(i int) geo.Rect, capa
 	return bestAxis, bestPos
 }
 
-// PointQuery implements index.Index.
+// PointQuery implements index.Index with a closure-free recursive
+// descent: the query point rides the call stack, so the walk performs
+// no closure-context allocation.
+//
+//elsi:noalloc
 func (t *Tree) PointQuery(p geo.Point) bool {
 	if t.root == nil {
 		return false
 	}
-	var walk func(*node) bool
-	walk = func(n *node) bool {
-		if !n.mbr.Contains(p) {
-			return false
-		}
-		if n.leaf {
-			for _, q := range n.pts {
-				if q == p {
-					return true
-				}
-			}
-			return false
-		}
-		for _, c := range n.children {
-			if walk(c) {
+	return findPointNode(t.root, p)
+}
+
+//elsi:noalloc
+func findPointNode(n *node, p geo.Point) bool {
+	if !n.mbr.Contains(p) {
+		return false
+	}
+	if n.leaf {
+		for _, q := range n.pts {
+			if q == p {
 				return true
 			}
 		}
 		return false
 	}
-	return walk(t.root)
+	for _, c := range n.children {
+		if findPointNode(c, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // Delete implements index.Deleter (simple variant: remove in place
@@ -378,6 +383,8 @@ func (t *Tree) WindowQuery(win geo.Rect) []geo.Point {
 
 // WindowQueryAppend implements index.WindowAppender with a closure-free
 // recursive walk threading out through the recursion.
+//
+//elsi:noalloc
 func (t *Tree) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if t.root == nil {
 		return out
@@ -385,6 +392,7 @@ func (t *Tree) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	return windowNode(t.root, win, out)
 }
 
+//elsi:noalloc
 func windowNode(n *node, win geo.Rect, out []geo.Point) []geo.Point {
 	if !n.mbr.Intersects(win) {
 		return out
@@ -419,6 +427,8 @@ func (t *Tree) KNN(q geo.Point, k int) []geo.Point {
 
 // KNNAppend implements index.KNNAppender; KNN delegates here, so both
 // entry points return identical answers.
+//
+//elsi:noalloc
 func (t *Tree) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	if t.root == nil || k <= 0 || t.size == 0 {
 		return out

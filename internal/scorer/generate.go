@@ -74,7 +74,15 @@ func PoolBuildersWorkers(trainer rmi.Trainer, seed int64, workers int) map[strin
 // GenerateSamples measures every pool method on every generated data
 // set and returns the speedup samples. The OG rows are included (with
 // speedup 1 by definition) so the scorer learns the baseline too.
+// GenerateSamplesCtx is the cancellable form.
 func GenerateSamples(cfg GenConfig) []Sample {
+	return GenerateSamplesCtx(context.Background(), cfg)
+}
+
+// GenerateSamplesCtx is GenerateSamples with build cancellation: ctx is
+// threaded into every pool-method build, so an expired deadline voids
+// the remaining measurements instead of running the grid to the end.
+func GenerateSamplesCtx(ctx context.Context, cfg GenConfig) []Sample {
 	if cfg.Queries <= 0 {
 		cfg.Queries = 200
 	}
@@ -92,7 +100,7 @@ func GenerateSamples(cfg GenConfig) []Sample {
 			st := storeOf(d)
 			// OG reference first; a failed reference build (injected
 			// fault, hostile data) voids the whole grid cell.
-			ogBuild, ogQuery, err := measure(builders[methods.NameOG], d, st, pts, cfg.Queries, rng)
+			ogBuild, ogQuery, err := measure(ctx, builders[methods.NameOG], d, st, pts, cfg.Queries, rng)
 			if err != nil {
 				continue
 			}
@@ -101,7 +109,7 @@ func GenerateSamples(cfg GenConfig) []Sample {
 				if name == methods.NameOG {
 					b, q = ogBuild, ogQuery
 				} else {
-					b, q, err = measure(builders[name], d, st, pts, cfg.Queries, rng)
+					b, q, err = measure(ctx, builders[name], d, st, pts, cfg.Queries, rng)
 					if err != nil {
 						// no measurement, no sample — the scorer trains
 						// on whatever the faults left standing
@@ -140,9 +148,9 @@ func storeOf(d *base.SortedData) *store.Sorted {
 // runs through base.BuildModelCtx so a panicking or failing builder
 // (fault injection, hostile data) voids the measurement instead of
 // crashing ground-truth generation.
-func measure(b base.ModelBuilder, d *base.SortedData, st *store.Sorted, pts []geo.Point, queries int, rng *rand.Rand) (buildSec, querySec float64, err error) {
+func measure(ctx context.Context, b base.ModelBuilder, d *base.SortedData, st *store.Sorted, pts []geo.Point, queries int, rng *rand.Rand) (buildSec, querySec float64, err error) {
 	t0 := time.Now()
-	m, _, err := base.BuildModelCtx(context.Background(), b, d)
+	m, _, err := base.BuildModelCtx(ctx, b, d)
 	buildSec = time.Since(t0).Seconds()
 	if err != nil {
 		return 0, 0, err

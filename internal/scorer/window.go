@@ -100,7 +100,14 @@ func (s *WindowScorer) SelectMixed(pool []string, n int, dist, lambda, wQ, windo
 // query measurement per build: windows following the data distribution
 // covering areaFrac of the space are answered with Z-range
 // decomposition over the single-model predict-and-scan store.
+// GenerateWindowSamplesCtx is the cancellable form.
 func GenerateWindowSamples(cfg GenConfig, areaFrac float64) []WindowSample {
+	return GenerateWindowSamplesCtx(context.Background(), cfg, areaFrac)
+}
+
+// GenerateWindowSamplesCtx is GenerateWindowSamples with build
+// cancellation: ctx is threaded into every pool-method build.
+func GenerateWindowSamplesCtx(ctx context.Context, cfg GenConfig, areaFrac float64) []WindowSample {
 	if cfg.Queries <= 0 {
 		cfg.Queries = 200
 	}
@@ -118,11 +125,11 @@ func GenerateWindowSamples(cfg GenConfig, areaFrac float64) []WindowSample {
 			st := storeOf(d)
 			wins := dataset.WindowsFromData(rng, pts, geo.UnitRect, cfg.Queries/4+1, areaFrac)
 			// a failed OG reference build voids the whole grid cell
-			ogBuild, ogQuery, err := measure(builders[methods.NameOG], d, st, pts, cfg.Queries, rng)
+			ogBuild, ogQuery, err := measure(ctx, builders[methods.NameOG], d, st, pts, cfg.Queries, rng)
 			if err != nil {
 				continue
 			}
-			ogModel, _, err := base.BuildModelCtx(context.Background(), builders[methods.NameOG], d)
+			ogModel, _, err := base.BuildModelCtx(ctx, builders[methods.NameOG], d)
 			if err != nil {
 				continue
 			}
@@ -133,11 +140,11 @@ func GenerateWindowSamples(cfg GenConfig, areaFrac float64) []WindowSample {
 				if name == methods.NameOG {
 					s.BuildSpeedup, s.QuerySpeedup, s.WindowSpeedup = 1, 1, 1
 				} else {
-					b, q, err := measure(builders[name], d, st, pts, cfg.Queries, rng)
+					b, q, err := measure(ctx, builders[name], d, st, pts, cfg.Queries, rng)
 					if err != nil {
 						continue
 					}
-					m, _, err := base.BuildModelCtx(context.Background(), builders[name], d)
+					m, _, err := base.BuildModelCtx(ctx, builders[name], d)
 					if err != nil {
 						continue
 					}

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"math"
@@ -52,7 +53,7 @@ func startServer(t *testing.T, proc *rebuild.Processor, cfg engine.Config) (*ser
 	t.Helper()
 	eng := engine.New(proc, nil, cfg)
 	srv := server.New(eng)
-	if err := srv.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+	if err := srv.Start(context.Background(), "127.0.0.1:0", "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })

@@ -83,6 +83,11 @@ type Server struct {
 	httpLn  net.Listener
 	tcpLn   net.Listener
 
+	// mu guards closed and conns. It is a leaf lock: nothing blocks
+	// while holding it — Shutdown drains the engine and waits for
+	// handlers only after releasing it (see the ordering comment
+	// there), which is exactly what the lockorder analyzer checks.
+	//elsi:lockorder
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
@@ -98,15 +103,22 @@ func New(eng *engine.Engine) *Server {
 
 // Start listens and serves on the given addresses (":0" picks an
 // ephemeral port; "" disables that transport). It returns once both
-// listeners are up; serving continues until Close.
-func (s *Server) Start(httpAddr, tcpAddr string) error {
+// listeners are up; serving continues until Shutdown/Close. The
+// context bounds listener setup and becomes the base context of every
+// HTTP request, so cancelling it after Start reaches in-flight
+// handlers; it does not by itself stop the server — call Shutdown.
+func (s *Server) Start(ctx context.Context, httpAddr, tcpAddr string) error {
+	var lc net.ListenConfig
 	if httpAddr != "" {
-		ln, err := net.Listen("tcp", httpAddr)
+		ln, err := lc.Listen(ctx, "tcp", httpAddr)
 		if err != nil {
 			return err
 		}
 		s.httpLn = ln
-		s.httpSrv = &http.Server{Handler: s.Handler()}
+		s.httpSrv = &http.Server{
+			Handler:     s.Handler(),
+			BaseContext: func(net.Listener) context.Context { return ctx },
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -116,7 +128,7 @@ func (s *Server) Start(httpAddr, tcpAddr string) error {
 		}()
 	}
 	if tcpAddr != "" {
-		ln, err := net.Listen("tcp", tcpAddr)
+		ln, err := lc.Listen(ctx, "tcp", tcpAddr)
 		if err != nil {
 			if s.httpLn != nil {
 				s.httpLn.Close()
@@ -146,11 +158,12 @@ func (s *Server) TCPAddr() string {
 	return s.tcpLn.Addr().String()
 }
 
-// Close drains and shuts down: stop accepting, drain HTTP handlers,
-// drain the engine (flushing its accumulated batches), then unblock
-// idle TCP connections and wait for every handler to exit. Safe to
-// call more than once.
-func (s *Server) Close() error {
+// Shutdown drains and shuts down: stop accepting, drain the engine,
+// wait for HTTP handlers, then unblock idle TCP connections and wait
+// for every handler to exit. The context bounds only the HTTP
+// response-drain phase — admitted work is always flushed through the
+// engine. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
@@ -175,9 +188,7 @@ func (s *Server) Close() error {
 	s.eng.Close()
 	// 3. wait for the HTTP handlers to finish writing their responses
 	if s.httpSrv != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		_ = s.httpSrv.Shutdown(ctx)
-		cancel()
 	}
 	// 4. in-flight TCP requests have finished inside the engine; their
 	// handlers may still be writing responses. An expired read
@@ -190,6 +201,15 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
+}
+
+// Close is the io.Closer form of Shutdown with a 30-second bound on
+// the HTTP response drain.
+func (s *Server) Close() error {
+	//lint:ignore ctxprop io.Closer compatibility wrapper; Shutdown is the context-aware form
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
 }
 
 // --- HTTP transport -----------------------------------------------------

@@ -100,6 +100,8 @@ func (s *pairSorter) Swap(i, j int) {
 }
 
 // Len returns the number of stored entries.
+//
+//elsi:noalloc
 func (s *Sorted) Len() int { return len(s.keys) }
 
 // Keys returns the sorted key column as a view, not a copy. Callers
@@ -115,11 +117,16 @@ func (s *Sorted) Points() []geo.Point { return s.pts }
 func (s *Sorted) At(i int) Entry { return Entry{Key: s.keys[i], Point: s.pts[i]} }
 
 // KeyAt returns the i-th key in key order.
+//
+//elsi:noalloc
 func (s *Sorted) KeyAt(i int) float64 { return s.keys[i] }
 
 // PointAt returns the i-th point in key order.
+//
+//elsi:noalloc
 func (s *Sorted) PointAt(i int) geo.Point { return s.pts[i] }
 
+//elsi:noalloc
 func (s *Sorted) clamp(lo, hi int) (int, int) {
 	if lo < 0 {
 		lo = 0
@@ -136,6 +143,8 @@ func (s *Sorted) clamp(lo, hi int) (int, int) {
 // FindPoint scans positions [lo, hi) for a point equal to p and
 // reports whether it was found (the predict-and-scan point query).
 // Visited entries are charged to the scan counter with one atomic add.
+//
+//elsi:noalloc
 func (s *Sorted) FindPoint(lo, hi int, p geo.Point) bool {
 	lo, hi = s.clamp(lo, hi)
 	pts := s.pts
@@ -152,6 +161,8 @@ func (s *Sorted) FindPoint(lo, hi int, p geo.Point) bool {
 // CollectWindow appends to out the points in positions [lo, hi) that
 // fall inside win and returns the extended slice. The whole span is
 // charged with one atomic add.
+//
+//elsi:noalloc
 func (s *Sorted) CollectWindow(lo, hi int, win geo.Rect, out []geo.Point) []geo.Point {
 	lo, hi = s.clamp(lo, hi)
 	for _, p := range s.pts[lo:hi] {
@@ -166,6 +177,8 @@ func (s *Sorted) CollectWindow(lo, hi int, win geo.Rect, out []geo.Point) []geo.
 // CollectRange appends every point in positions [lo, hi) to out and
 // returns the extended slice (the unfiltered scan kernel used by
 // KNN candidate collection). The span is charged with one atomic add.
+//
+//elsi:noalloc
 func (s *Sorted) CollectRange(lo, hi int, out []geo.Point) []geo.Point {
 	lo, hi = s.clamp(lo, hi)
 	out = append(out, s.pts[lo:hi]...)
@@ -177,6 +190,8 @@ func (s *Sorted) CollectRange(lo, hi int, out []geo.Point) []geo.Point {
 // >= k, as an absolute index. The loop is the branch-light midpoint
 // form the compiler turns into conditional moves over the dense
 // []float64 column.
+//
+//elsi:noalloc
 func searchGE(keys []float64, lo, hi int, k float64) int {
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -190,6 +205,8 @@ func searchGE(keys []float64, lo, hi int, k float64) int {
 }
 
 // searchGT is searchGE for the strict predicate key > k.
+//
+//elsi:noalloc
 func searchGT(keys []float64, lo, hi int, k float64) int {
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -203,6 +220,8 @@ func searchGT(keys []float64, lo, hi int, k float64) int {
 }
 
 // SearchKey returns the position of the first entry with key >= k.
+//
+//elsi:noalloc
 func (s *Sorted) SearchKey(k float64) int {
 	return searchGE(s.keys, 0, len(s.keys), k)
 }
@@ -212,6 +231,8 @@ func (s *Sorted) SearchKey(k float64) int {
 // with a binary search inside the bracket, so the cost is logarithmic
 // in the prediction error rather than in n. Learned indices use it to
 // turn a model prediction into an exact boundary.
+//
+//elsi:noalloc
 func (s *Sorted) FirstGE(k float64, hint int) int {
 	keys := s.keys
 	n := len(keys)
@@ -262,6 +283,8 @@ func (s *Sorted) FirstGE(k float64, hint int) int {
 // the same galloping strategy as FirstGE but the strict predicate —
 // a second galloping binary search rather than a linear walk over the
 // duplicate run, so duplicate-heavy keys stay logarithmic.
+//
+//elsi:noalloc
 func (s *Sorted) FirstGT(k float64, hint int) int {
 	keys := s.keys
 	n := len(keys)
@@ -371,6 +394,7 @@ func (pl *PageList) PageKeys(i int) []float64 { return pl.keys[i] }
 // PagePoints returns the i-th page's point column as a read-only view.
 func (pl *PageList) PagePoints(i int) []geo.Point { return pl.pts[i] }
 
+//elsi:noalloc
 func (pl *PageList) clampPages(lo, hi int) (int, int) {
 	if lo < 0 {
 		lo = 0
@@ -386,6 +410,8 @@ func (pl *PageList) clampPages(lo, hi int) (int, int) {
 
 // FindPointPages scans pages [lo, hi) for a point equal to p,
 // charging every entry visited with one atomic add per page scanned.
+//
+//elsi:noalloc
 func (pl *PageList) FindPointPages(lo, hi int, p geo.Point) bool {
 	lo, hi = pl.clampPages(lo, hi)
 	visited := int64(0)
@@ -404,6 +430,8 @@ func (pl *PageList) FindPointPages(lo, hi int, p geo.Point) bool {
 
 // CollectWindowPages appends to out the points in pages [lo, hi) that
 // fall inside win, charging every entry visited with one atomic add.
+//
+//elsi:noalloc
 func (pl *PageList) CollectWindowPages(lo, hi int, win geo.Rect, out []geo.Point) []geo.Point {
 	lo, hi = pl.clampPages(lo, hi)
 	visited := int64(0)
@@ -479,18 +507,25 @@ func (pl *PageList) Truncate(i, n int) {
 }
 
 // PageFor returns the index of the page whose key range should hold k
-// (the last page whose first key is <= k).
+// (the last page whose first key is <= k). The binary search is spelled
+// out rather than phrased through sort.Search, whose predicate closure
+// would capture pl and k and escape to the heap on every lookup.
+//
+//elsi:noalloc
 func (pl *PageList) PageFor(k float64) int {
-	if len(pl.keys) == 0 {
+	lo, hi := 0, len(pl.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if len(pl.keys[mid]) > 0 && pl.keys[mid][0] > k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return 0
 	}
-	i := sort.Search(len(pl.keys), func(j int) bool {
-		return len(pl.keys[j]) > 0 && pl.keys[j][0] > k
-	})
-	if i == 0 {
-		return 0
-	}
-	return i - 1
+	return lo - 1
 }
 
 // Scanned returns the cumulative entries visited.

@@ -77,6 +77,8 @@ func New(cfg Config) *Index {
 func (ix *Index) Name() string { return "ZM" }
 
 // Len implements index.Index.
+//
+//elsi:noalloc
 func (ix *Index) Len() int {
 	if ix.st == nil {
 		return 0
@@ -86,6 +88,8 @@ func (ix *Index) Len() int {
 
 // MapKey returns the Z-order key of p — the base index's map()
 // function of Algorithm 1.
+//
+//elsi:noalloc
 func (ix *Index) MapKey(p geo.Point) float64 {
 	return float64(curve.ZEncode(p, ix.cfg.Space))
 }
@@ -175,6 +179,8 @@ func statsInOrder(byStart map[int]base.BuildStats, n, fanout int) []base.BuildSt
 }
 
 // searchRange returns the guaranteed scan range for key.
+//
+//elsi:noalloc
 func (ix *Index) searchRange(key float64) (int, int) {
 	ix.invocations.Add(1)
 	if ix.staged != nil {
@@ -184,6 +190,8 @@ func (ix *Index) searchRange(key float64) (int, int) {
 }
 
 // predictRank returns the model's best-guess rank for key.
+//
+//elsi:noalloc
 func (ix *Index) predictRank(key float64) int {
 	ix.invocations.Add(1)
 	if ix.staged != nil {
@@ -195,6 +203,8 @@ func (ix *Index) predictRank(key float64) int {
 
 // PointQuery implements index.Index: one model invocation plus a
 // bounded scan.
+//
+//elsi:noalloc
 func (ix *Index) PointQuery(p geo.Point) bool {
 	if ix.st == nil || ix.st.Len() == 0 {
 		return false
@@ -213,6 +223,8 @@ func (ix *Index) WindowQuery(win geo.Rect) []geo.Point {
 // WindowQueryAppend implements index.WindowAppender: matches are
 // appended to out, so steady-state window queries allocate only for
 // the result slice's own growth.
+//
+//elsi:noalloc
 func (ix *Index) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.cfg.UseBigMin {
 		return ix.WindowQueryBigMinAppend(win, out)
@@ -233,6 +245,8 @@ func (ix *Index) WindowQueryZRanges(win geo.Rect) []geo.Point {
 
 // WindowQueryZRangesAppend is WindowQueryZRanges appending into out,
 // with the Z-range buffer drawn from a pool.
+//
+//elsi:noalloc
 func (ix *Index) WindowQueryZRangesAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.st == nil || ix.st.Len() == 0 {
 		return out
@@ -262,6 +276,8 @@ func (ix *Index) WindowQueryBigMin(win geo.Rect) []geo.Point {
 
 // WindowQueryBigMinAppend is WindowQueryBigMin appending into out. The
 // skip-scan streams the dense key column directly.
+//
+//elsi:noalloc
 func (ix *Index) WindowQueryBigMinAppend(win geo.Rect, out []geo.Point) []geo.Point {
 	if ix.st == nil || ix.st.Len() == 0 {
 		return out
@@ -304,6 +320,8 @@ func (ix *Index) KNN(q geo.Point, k int) []geo.Point {
 
 // KNNAppend implements index.KNNAppender through the shared expanding-
 // window helper's append path.
+//
+//elsi:noalloc
 func (ix *Index) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
 	return WindowKNNAppend(ix, ix.cfg.Space, ix.Len(), q, k, out)
 }
@@ -389,6 +407,8 @@ var knnScratchPool = sync.Pool{New: func() interface{} { return new(knnScratch) 
 // all intermediate buffers (window candidates, selection scratch)
 // pooled. It returns exactly the same points in the same order as
 // WindowKNN.
+//
+//elsi:noalloc
 func WindowKNNAppend(ix WindowAppender, space geo.Rect, n int, q geo.Point, k int, out []geo.Point) []geo.Point {
 	if k <= 0 || n == 0 {
 		return out
@@ -444,6 +464,8 @@ func NearestK(cand []geo.Point, q geo.Point, k int) []geo.Point {
 
 // NearestKAppend is NearestK appending into out, with the selection
 // scratch pooled; in steady state it allocates only for out's growth.
+//
+//elsi:noalloc
 func NearestKAppend(cand []geo.Point, q geo.Point, k int, out []geo.Point) []geo.Point {
 	if k > len(cand) {
 		k = len(cand)
@@ -475,6 +497,7 @@ func NearestKAppend(cand []geo.Point, q geo.Point, k int, out []geo.Point) []geo
 	return out
 }
 
+//elsi:noalloc
 func min(a, b int) int {
 	if a < b {
 		return a
