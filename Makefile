@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet lint bench microbench serve loadtest
+.PHONY: check build test race vet lint bench microbench serve loadtest loadtest-shards shard-race
 
 check: lint race
 
@@ -59,3 +59,18 @@ serve:
 # p50/p99/p999 latency report consumed by README's Serving section.
 loadtest:
 	$(GO) run ./cmd/elsiload -inproc -n 50000 -rate 2000 -duration 3s -conns 64 -o BENCH_pr6.json
+
+# loadtest-shards sweeps the spatial shard count at the loadtest
+# workload — one in-proc TCP run per S, directly comparable rows —
+# writing the report consumed by README's Sharding section. Pin
+# GOMAXPROCS >= 4 so the per-shard parallelism is real.
+loadtest-shards:
+	GOMAXPROCS=4 $(GO) run ./cmd/elsiload -sweep-shards 1,4,16 -n 50000 -rate 2000 -duration 3s -conns 64 -o BENCH_pr8.json
+
+# shard-race is the focused sharding gate: the sharded-vs-unsharded
+# equivalence suite and the sharded server e2e under the race
+# detector, plus the house linters over the router.
+shard-race:
+	$(GO) test -race -short ./internal/shard/ ./internal/server/ ./internal/engine/
+	$(GO) vet ./internal/shard/
+	$(GO) run ./cmd/elsivet ./internal/shard/

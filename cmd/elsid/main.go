@@ -35,6 +35,7 @@ import (
 	"elsi/internal/rebuild"
 	"elsi/internal/rmi"
 	"elsi/internal/server"
+	"elsi/internal/shard"
 	"elsi/internal/zm"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		n        = flag.Int("n", 100000, "initial cardinality")
 		seed     = flag.Int64("seed", 1, "random seed")
 		fu       = flag.Int("fu", 0, "rebuild-predictor check frequency in updates (0 = n/10)")
+		shards   = flag.Int("shards", 1, "spatial shard count (1 = unsharded)")
 		workers  = flag.Int("workers", 0, "query workers per batch (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 64, "flush a batch at this size")
 		flush    = flag.Duration("flush", 200*time.Microsecond, "flush a batch after this deadline")
@@ -54,7 +56,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*httpAddr, *tcpAddr, *family, *data, *n, *seed, *fu, engine.Config{
+	if err := run(*httpAddr, *tcpAddr, *family, *data, *n, *seed, *fu, *shards, engine.Config{
 		Workers:       *workers,
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flush,
@@ -65,7 +67,7 @@ func main() {
 	}
 }
 
-func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu int, cfg engine.Config) error {
+func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu, shards int, cfg engine.Config) error {
 	log.SetPrefix("elsid: ")
 	log.SetFlags(log.Ltime)
 
@@ -77,11 +79,11 @@ func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu int, cfg 
 		fu = n / 10
 	}
 
-	proc, err := buildProcessor(family, pts, seed, fu)
+	be, err := buildBackend(family, pts, seed, fu, shards, cfg.Workers)
 	if err != nil {
 		return err
 	}
-	eng := engine.New(proc, nil, cfg)
+	eng := engine.NewWithBackend(be, nil, cfg)
 	srv := server.New(eng)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -94,7 +96,11 @@ func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu int, cfg 
 	if a := srv.TCPAddr(); a != "" {
 		log.Printf("binary protocol on %s", a)
 	}
-	log.Printf("serving %d %s points over %s", proc.Len(), data, family)
+	if st := be.BackendStats(); len(st.Shards) > 1 {
+		log.Printf("serving %d %s points over %s across %d shards", st.Len, data, family, len(st.Shards))
+	} else {
+		log.Printf("serving %d %s points over %s", st.Len, data, family)
+	}
 
 	<-ctx.Done()
 	stop()
@@ -110,41 +116,62 @@ func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu int, cfg 
 	return nil
 }
 
-// buildProcessor assembles the index family, the trained rebuild
-// predictor, and the update processor with a background-rebuild
-// factory.
-func buildProcessor(family string, pts []geo.Point, seed int64, fu int) (*rebuild.Processor, error) {
+// buildBackend assembles the serving backend: for shards <= 1 a single
+// update processor, otherwise a Hilbert-partitioned router of shard
+// processors sharing one trained rebuild predictor. The per-shard
+// predictor check frequency is fu divided across the shards, keeping
+// the fleet-wide check cadence of the unsharded configuration.
+func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, workers int) (engine.Backend, error) {
 	pred, err := rebuild.TrainPredictor(
 		rebuild.HeuristicSamples(rand.New(rand.NewSource(seed)), 1000),
 		rebuild.PredictorConfig{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
+	factory, mapKey, err := familyStack(family)
+	if err != nil {
+		return nil, err
+	}
+	sfu := fu
+	if shards > 1 {
+		sfu = max(1, fu/shards)
+	}
+	mk := func(sub []geo.Point) (*rebuild.Processor, error) {
+		proc, err := rebuild.NewProcessor(factory(), pred, sub, mapKey, sfu)
+		if err != nil {
+			return nil, err
+		}
+		proc.Factory = factory
+		proc.Retry = &rebuild.RetryPolicy{}
+		return proc, nil
+	}
+	if shards <= 1 {
+		proc, err := mk(pts)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewSingle(proc, workers), nil
+	}
+	return shard.New(pts, geo.UnitRect, shard.Config{Shards: shards, Workers: workers}, mk)
+}
 
-	var factory func() rebuild.Rebuildable
-	var mapKey func(geo.Point) float64
+// familyStack returns the index factory and sort-key extractor of an
+// index family.
+func familyStack(family string) (func() rebuild.Rebuildable, func(geo.Point) float64, error) {
 	switch family {
 	case "zm":
-		factory = func() rebuild.Rebuildable {
+		factory := func() rebuild.Rebuildable {
 			return zm.New(zm.Config{
 				Space:   geo.UnitRect,
 				Builder: &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)},
 				Fanout:  8,
 			})
 		}
-		mapKey = factory().(*zm.Index).MapKey
+		return factory, factory().(*zm.Index).MapKey, nil
 	case "brute":
-		factory = func() rebuild.Rebuildable { return index.NewBruteForce() }
-		mapKey = func(p geo.Point) float64 { return p.X }
+		factory := func() rebuild.Rebuildable { return index.NewBruteForce() }
+		return factory, func(p geo.Point) float64 { return p.X }, nil
 	default:
-		return nil, fmt.Errorf("unknown index family %q (want zm or brute)", family)
+		return nil, nil, fmt.Errorf("unknown index family %q (want zm or brute)", family)
 	}
-
-	proc, err := rebuild.NewProcessor(factory(), pred, pts, mapKey, fu)
-	if err != nil {
-		return nil, err
-	}
-	proc.Factory = factory
-	proc.Retry = &rebuild.RetryPolicy{}
-	return proc, nil
 }

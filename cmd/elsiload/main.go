@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"elsi/internal/rebuild"
 	"elsi/internal/rmi"
 	"elsi/internal/server"
+	"elsi/internal/shard"
 	"elsi/internal/zm"
 )
 
@@ -67,17 +69,19 @@ func main() {
 		conns    = flag.Int("conns", 16, "connection pool size (TCP conns / HTTP concurrency bound)")
 		seed     = flag.Int64("seed", 1, "random seed for arrivals and the op mix")
 		n        = flag.Int("n", 50000, "in-process data set cardinality (-inproc)")
+		shards   = flag.Int("shards", 1, "in-process spatial shard count (-inproc)")
+		sweep    = flag.String("sweep-shards", "", "comma-separated shard counts: one in-proc TCP run per count (e.g. 1,4,16)")
 		out      = flag.String("o", "-", "output path for the JSON report (- = stdout)")
 	)
 	flag.Parse()
 
-	if err := run(*target, *inproc, *rate, *duration, *conns, *seed, *n, *out); err != nil {
+	if err := run(*target, *inproc, *rate, *duration, *conns, *seed, *n, *shards, *sweep, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "elsiload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, inproc bool, rate float64, duration time.Duration, conns int, seed int64, n int, out string) error {
+func run(target string, inproc bool, rate float64, duration time.Duration, conns int, seed int64, n, shards int, sweep, out string) error {
 	report := benchReport{
 		Name:     "serving-loadtest",
 		Seed:     seed,
@@ -86,8 +90,28 @@ func run(target string, inproc bool, rate float64, duration time.Duration, conns
 		Conns:    conns,
 	}
 
-	if inproc {
-		srv, cleanup, err := startInproc(n, seed)
+	if sweep != "" {
+		// shard-count sweep: one in-proc TCP run per count, same
+		// workload, so the per-S rows are directly comparable
+		for _, f := range strings.Split(sweep, ",") {
+			s, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || s < 1 {
+				return fmt.Errorf("bad -sweep-shards entry %q", f)
+			}
+			srv, cleanup, err := startInproc(n, seed, s)
+			if err != nil {
+				return err
+			}
+			res, err := runLoad("tcp://"+srv.TCPAddr(), rate, duration, conns, seed)
+			cleanup()
+			if err != nil {
+				return err
+			}
+			res.Shards = s
+			report.Runs = append(report.Runs, res)
+		}
+	} else if inproc {
+		srv, cleanup, err := startInproc(n, seed, shards)
 		if err != nil {
 			return err
 		}
@@ -101,6 +125,7 @@ func run(target string, inproc bool, rate float64, duration time.Duration, conns
 			if err != nil {
 				return err
 			}
+			res.Shards = shards
 			report.Runs = append(report.Runs, res)
 		}
 	} else {
@@ -126,8 +151,9 @@ func run(target string, inproc bool, rate float64, duration time.Duration, conns
 	return os.WriteFile(out, data, 0o644)
 }
 
-// startInproc builds the elsid stack on ephemeral localhost ports.
-func startInproc(n int, seed int64) (*server.Server, func(), error) {
+// startInproc builds the elsid stack on ephemeral localhost ports:
+// unsharded for shards <= 1, a Hilbert-partitioned router otherwise.
+func startInproc(n int, seed int64, shards int) (*server.Server, func(), error) {
 	pts := dataset.MustGenerate(dataset.Uniform, n, seed)
 	pred, err := rebuild.TrainPredictor(
 		rebuild.HeuristicSamples(rand.New(rand.NewSource(seed)), 1000),
@@ -142,13 +168,35 @@ func startInproc(n int, seed int64) (*server.Server, func(), error) {
 			Fanout:  8,
 		})
 	}
-	proc, err := rebuild.NewProcessor(factory(), pred, pts, factory().(*zm.Index).MapKey, n/10)
-	if err != nil {
-		return nil, nil, err
+	mapKey := factory().(*zm.Index).MapKey
+	fu := n / 10
+	if shards > 1 {
+		fu = max(1, fu/shards)
 	}
-	proc.Factory = factory
-	proc.Retry = &rebuild.RetryPolicy{}
-	eng := engine.New(proc, nil, engine.Config{})
+	mk := func(sub []geo.Point) (*rebuild.Processor, error) {
+		proc, err := rebuild.NewProcessor(factory(), pred, sub, mapKey, fu)
+		if err != nil {
+			return nil, err
+		}
+		proc.Factory = factory
+		proc.Retry = &rebuild.RetryPolicy{}
+		return proc, nil
+	}
+	var be engine.Backend
+	if shards <= 1 {
+		proc, err := mk(pts)
+		if err != nil {
+			return nil, nil, err
+		}
+		be = engine.NewSingle(proc, 0)
+	} else {
+		r, err := shard.New(pts, geo.UnitRect, shard.Config{Shards: shards}, mk)
+		if err != nil {
+			return nil, nil, err
+		}
+		be = r
+	}
+	eng := engine.NewWithBackend(be, nil, engine.Config{})
 	srv := server.New(eng)
 	if err := srv.Start(context.Background(), "127.0.0.1:0", "127.0.0.1:0"); err != nil {
 		return nil, nil, err
@@ -294,6 +342,7 @@ type latencySummary struct {
 type runResult struct {
 	Transport   string                    `json:"transport"`
 	Target      string                    `json:"target"`
+	Shards      int                       `json:"shards,omitempty"`
 	AchievedRPS float64                   `json:"achieved_rps"`
 	Overall     latencySummary            `json:"overall"`
 	PerOp       map[string]latencySummary `json:"per_op"`

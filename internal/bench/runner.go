@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"ext-latency", "Extension: point-query tail latencies (P50/P95/P99)", ExtLatency},
 		{"ext-perindex", "Extension: per-index scorer ground truth (Sec. VII-B2)", ExtPerIndex},
 		{"ext-3d", "Extension: d=3 build study (OG vs RS-reduced training)", Ext3D},
+		{"ext-sharded", "Extension: Hilbert-sharded scatter-gather query routing (S=1/4/16)", ExtSharded},
 	}
 }
 

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"elsi/internal/base"
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/rebuild"
+	"elsi/internal/rmi"
+	"elsi/internal/shard"
+	"elsi/internal/zm"
+)
+
+// ExtSharded measures the Hilbert-sharded router against the same
+// index unsharded: one ZM processor fleet per shard count, the three
+// query types routed through the scatter-gather surface. The scatter
+// columns report how much of the fleet each query actually touched —
+// window queries visit only shards whose Hilbert ranges intersect the
+// window's range decomposition, kNN prunes shards whose key-range MBR
+// lies beyond the current k-th best — so per-query work shrinks as S
+// grows even on one core.
+func ExtSharded(w io.Writer, e *Env) error {
+	n0 := e.N / 2
+	if n0 < 2000 {
+		n0 = 2000
+	}
+	pts := dataset.MustGenerate(dataset.OSM1, n0, e.Seed)
+
+	factory := func() rebuild.Rebuildable {
+		return zm.New(zm.Config{
+			Space:   geo.UnitRect,
+			Builder: &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 256)},
+			Fanout:  8,
+		})
+	}
+	mapKey := factory().(*zm.Index).MapKey
+
+	tw := table(w)
+	defer tw.Flush()
+	row(tw, "shards", "point_query", "window_query", "w_recall", "knn_query", "k_recall", "w_visited", "k_visited")
+	for _, s := range []int{1, 4, 16} {
+		mk := func(sub []geo.Point) (*rebuild.Processor, error) {
+			proc, err := rebuild.NewProcessor(factory(), e.Predictor, sub, mapKey, len(sub)/8+1)
+			if err != nil {
+				return nil, err
+			}
+			proc.Factory = factory
+			return proc, nil
+		}
+		r, err := shard.New(pts, geo.UnitRect, shard.Config{Shards: s, Workers: 1}, mk)
+		if err != nil {
+			return err
+		}
+		pq := PointQueryTime(r, pts, e.Queries/2, e.Seed+301)
+		wq := WindowQueryTime(r, pts, e.Queries/8+5, 0.0001, e.Seed+303)
+		kq := KNNQueryTime(r, pts, e.Queries/8+5, 25, e.Seed+305)
+		var wVisited, wPruned, kVisited, kPruned int64
+		for _, ss := range r.BackendStats().Shards {
+			wVisited += ss.WindowQueries
+			wPruned += ss.WindowsPruned
+			kVisited += ss.KNNQueries
+			kPruned += ss.KNNsPruned
+		}
+		row(tw, r.NumShards(),
+			micros(pq), micros(wq.AvgTime), fmt.Sprintf("%.3f", wq.Recall),
+			micros(kq.AvgTime), fmt.Sprintf("%.3f", kq.Recall),
+			visitedFrac(wVisited, wPruned),
+			visitedFrac(kVisited, kPruned))
+	}
+	return nil
+}
+
+// visitedFrac formats the fraction of candidate shard visits that
+// actually ran: the aggregate counters sum per-shard visits and
+// per-shard pruned visits, so visits/(visits+pruned) is the share of
+// the fleet the average query touched.
+func visitedFrac(visited, pruned int64) string {
+	total := visited + pruned
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(visited)/float64(total))
+}

@@ -109,7 +109,9 @@ func ZDecode(key uint64, space geo.Rect) geo.Point {
 
 // HEncode maps p to its Hilbert-curve key relative to space. The
 // Hilbert curve preserves locality better than the Z curve and is used
-// for bulk-loading the HRR R-tree.
+// for bulk-loading the HRR R-tree and for routing points to shards.
+//
+//elsi:noalloc
 func HEncode(p geo.Point, space geo.Rect) uint64 {
 	cx := quantize(p.X, space.MinX, space.MaxX)
 	cy := quantize(p.Y, space.MinY, space.MaxY)
@@ -118,6 +120,8 @@ func HEncode(p geo.Point, space geo.Rect) uint64 {
 
 // HEncodeCell converts integer grid coordinates to the Hilbert index
 // using the classical rotate-and-fold construction.
+//
+//elsi:noalloc
 func HEncodeCell(cx, cy uint32) uint64 {
 	x, y := uint64(cx), uint64(cy)
 	var rx, ry, d uint64

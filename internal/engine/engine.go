@@ -26,7 +26,6 @@ import (
 	"elsi/internal/base"
 	"elsi/internal/core"
 	"elsi/internal/geo"
-	"elsi/internal/qserve"
 	"elsi/internal/rebuild"
 )
 
@@ -77,12 +76,12 @@ type knnReq struct {
 }
 
 // Engine is the serving facade. All methods are safe for concurrent
-// use. Create with New; the zero value is not usable.
+// use. Create with New or NewWithBackend; the zero value is not
+// usable.
 type Engine struct {
-	proc *rebuild.Processor
-	sys  *core.System // optional: selector counters for Stats
-	qe   *qserve.Engine
-	cfg  Config
+	be  Backend
+	sys *core.System // optional: selector counters for Stats
+	cfg Config
 
 	// mu guards admission state and the accumulators. It is a leaf
 	// lock on the engine's fast path: enqueue and flush release it
@@ -107,28 +106,43 @@ type Engine struct {
 	cOverloads                atomic.Int64
 }
 
-// New wraps proc. sys, when non-nil, is the builder behind the
-// processor's index family; its selection and fallback counters are
-// surfaced through Stats.
+// New wraps proc in a Single backend. sys, when non-nil, is the
+// builder behind the processor's index family; its selection and
+// fallback counters are surfaced through Stats.
 func New(proc *rebuild.Processor, sys *core.System, cfg Config) *Engine {
-	e := &Engine{proc: proc, sys: sys, cfg: cfg.withDefaults()}
-	e.qe = qserve.New(proc, e.cfg.Workers)
-	e.points.init(e, func(qs []geo.Point) []bool { return e.qe.PointBatch(qs, nil) })
-	e.windows.init(e, func(qs []geo.Rect) [][]geo.Point { return e.qe.WindowBatch(qs, nil) })
+	return NewWithBackend(NewSingle(proc, cfg.Workers), sys, cfg)
+}
+
+// NewWithBackend serves an arbitrary backend — a Single processor or
+// the sharded router — behind the same accumulator and admission
+// machinery.
+func NewWithBackend(be Backend, sys *core.System, cfg Config) *Engine {
+	e := &Engine{be: be, sys: sys, cfg: cfg.withDefaults()}
+	e.points.init(e, func(qs []geo.Point) []bool { return e.be.PointBatch(qs, nil) })
+	e.windows.init(e, func(qs []geo.Rect) [][]geo.Point { return e.be.WindowBatch(qs, nil) })
 	e.knns.init(e, func(reqs []knnReq) [][]geo.Point {
 		qs := make([]geo.Point, len(reqs))
 		ks := make([]int, len(reqs))
 		for i, r := range reqs {
 			qs[i], ks[i] = r.q, r.k
 		}
-		return e.qe.KNNVarBatch(qs, ks, nil)
+		return e.be.KNNVarBatch(qs, ks, nil)
 	})
 	return e
 }
 
-// Processor exposes the wrapped update processor (for transports that
-// need to reach past the facade, e.g. a warmup path).
-func (e *Engine) Processor() *rebuild.Processor { return e.proc }
+// Backend exposes the storage side the engine serves.
+func (e *Engine) Backend() Backend { return e.be }
+
+// Processor exposes the update processor behind a Single backend (for
+// transports that need to reach past the facade, e.g. a warmup path).
+// It returns nil when the engine serves a sharded backend.
+func (e *Engine) Processor() *rebuild.Processor {
+	if s, ok := e.be.(*Single); ok {
+		return s.Processor()
+	}
+	return nil
+}
 
 // --- admission ----------------------------------------------------------
 
@@ -202,7 +216,7 @@ func (e *Engine) Insert(pt geo.Point) (bool, error) {
 	}
 	defer e.release()
 	e.cInserts.Add(1)
-	return e.proc.Insert(pt), nil
+	return e.be.Insert(pt), nil
 }
 
 // Delete removes pt by value. It reports whether the update triggered
@@ -213,7 +227,7 @@ func (e *Engine) Delete(pt geo.Point) (bool, error) {
 	}
 	defer e.release()
 	e.cDeletes.Add(1)
-	return e.proc.Delete(pt), nil
+	return e.be.Delete(pt), nil
 }
 
 // --- shutdown -----------------------------------------------------------
@@ -281,6 +295,11 @@ type Stats struct {
 	// selector counters, when the engine was given a core.System
 	Selections map[string]int `json:",omitempty"`
 	Fallbacks  map[string]int `json:",omitempty"`
+
+	// per-shard breakdown: one entry for a Single backend, one per
+	// shard for the sharded router (including its scatter/prune
+	// counters)
+	Shards []ShardStats `json:",omitempty"`
 }
 
 // Stats snapshots the counters. It is safe to call while requests are
@@ -306,18 +325,18 @@ func (e *Engine) Stats() Stats {
 	st.FlushByClose = e.cFlushClose.Load()
 	st.Overloads = e.cOverloads.Load()
 
-	st.Len = e.proc.Len()
-	st.PendingUpdates = e.proc.PendingUpdates()
-	st.Rebuilding = e.proc.Rebuilding()
-	st.Rebuilds = e.proc.Rebuilds()
-	st.RebuildFailures = e.proc.Failures()
-	st.RebuildRetries = e.proc.Retries()
-	st.ConsecutiveFailures = e.proc.ConsecutiveFailures()
-	st.BreakerOpen = e.proc.BreakerOpen()
+	bs := e.be.BackendStats()
+	st.Len = bs.Len
+	st.PendingUpdates = bs.PendingUpdates
+	st.Rebuilding = bs.Rebuilding
+	st.Rebuilds = bs.Rebuilds
+	st.RebuildFailures = bs.RebuildFailures
+	st.RebuildRetries = bs.RebuildRetries
+	st.ConsecutiveFailures = bs.ConsecutiveFailures
+	st.BreakerOpen = bs.BreakerOpen
+	st.BuildStats = bs.BuildStats
+	st.Shards = bs.Shards
 
-	if bs, ok := e.proc.Index().(interface{ Stats() []base.BuildStats }); ok {
-		st.BuildStats = bs.Stats()
-	}
 	if e.sys != nil {
 		st.Selections = e.sys.Selections()
 		st.Fallbacks = e.sys.Fallbacks()

@@ -167,6 +167,21 @@ func (b *KBest) downN(i, n int) {
 	}
 }
 
+// MergeAppend offers every candidate held by o into b under b's
+// k-bound. o is read, not consumed — its heap order is untouched, so a
+// scatter-gather path can fill one scratch heap per shard in parallel
+// and fold them into a global k-best serially, reusing every heap
+// across queries. Merging is order-insensitive: the result holds the k
+// smallest distances of the union, exactly as if every candidate had
+// been Offered directly.
+//
+//elsi:noalloc
+func (b *KBest) MergeAppend(o *KBest) {
+	for i := range o.pts {
+		b.Offer(o.pts[i], o.dist[i])
+	}
+}
+
 // Points returns the candidates sorted by ascending distance. Like
 // AppendPoints, it consumes the heap.
 func (b *KBest) Points() []geo.Point {

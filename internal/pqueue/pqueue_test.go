@@ -105,3 +105,89 @@ func TestKBestRandomAgainstSort(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeAppendMatchesDirectOffer splits a candidate stream across
+// several per-shard heaps, merges them into a global heap, and checks
+// the result is identical to offering every candidate directly.
+func TestMergeAppendMatchesDirectOffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + rng.Intn(16)
+		shards := 1 + rng.Intn(6)
+		direct := NewKBest(k)
+		parts := make([]*KBest, shards)
+		for i := range parts {
+			parts[i] = NewKBest(k)
+		}
+		n := rng.Intn(300)
+		for i := 0; i < n; i++ {
+			d := rng.Float64()
+			p := geo.Point{X: d, Y: float64(i)}
+			direct.Offer(p, d)
+			parts[rng.Intn(shards)].Offer(p, d)
+		}
+		global := NewKBest(k)
+		for _, part := range parts {
+			before := len(part.pts)
+			global.MergeAppend(part)
+			if len(part.pts) != before {
+				t.Fatalf("trial %d: MergeAppend consumed the source heap", trial)
+			}
+		}
+		got := global.Points()
+		want := direct.Points()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d candidates, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].X != want[i].X {
+				t.Fatalf("trial %d: rank %d dist %v, want %v", trial, i, got[i].X, want[i].X)
+			}
+		}
+	}
+}
+
+// TestMergeAppendRespectsBound merges an overfull source into a small
+// heap and checks the k-bound holds with the smallest distances kept.
+func TestMergeAppendRespectsBound(t *testing.T) {
+	src := NewKBest(10)
+	for i := 0; i < 10; i++ {
+		src.Offer(geo.Point{X: float64(i)}, float64(i))
+	}
+	dst := NewKBest(3)
+	dst.Offer(geo.Point{X: 0.5}, 0.5)
+	dst.MergeAppend(src)
+	got := dst.Points()
+	if len(got) != 3 {
+		t.Fatalf("kept %d, want 3", len(got))
+	}
+	for i, want := range []float64{0, 0.5, 1} {
+		if got[i].X != want {
+			t.Errorf("rank %d = %v, want %v", i, got[i].X, want)
+		}
+	}
+}
+
+// TestMergeAppendZeroAlloc checks the gather path allocates nothing
+// once both heaps' storage has warmed up.
+func TestMergeAppendZeroAlloc(t *testing.T) {
+	src := NewKBest(8)
+	dst := NewKBest(8)
+	fill := func() {
+		src.Reset(8)
+		dst.Reset(8)
+		for i := 0; i < 12; i++ {
+			src.Offer(geo.Point{X: float64(i)}, float64(i))
+			dst.Offer(geo.Point{X: float64(i) + 0.5}, float64(i)+0.5)
+		}
+	}
+	fill()
+	dst.MergeAppend(src) // warm both backing arrays
+	allocs := testing.AllocsPerRun(100, func() {
+		fill()
+		dst.MergeAppend(src)
+	})
+	if allocs != 0 {
+		t.Errorf("MergeAppend allocates %.1f per run, want 0", allocs)
+	}
+}

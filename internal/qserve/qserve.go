@@ -86,7 +86,7 @@ func (e *Engine) shard(n int, fn func(lo, hi int)) {
 // PointBatch answers pts[i] into out[i], growing out to len(pts) and
 // returning it. A caller-reused out makes the batch allocation-free.
 func (e *Engine) PointBatch(pts []geo.Point, out []bool) []bool {
-	out = growBools(out, len(pts))
+	out = GrowBools(out, len(pts))
 	e.shard(len(pts), func(lo, hi int) { e.pointSpan(pts, out, lo, hi) })
 	return out
 }
@@ -107,7 +107,7 @@ func (e *Engine) pointSpan(pts []geo.Point, out []bool, lo, hi int) {
 // backing array, growing out to len(wins), and returning it. The
 // answers match serial WindowQuery calls element for element.
 func (e *Engine) WindowBatch(wins []geo.Rect, out [][]geo.Point) [][]geo.Point {
-	out = growSlices(out, len(wins))
+	out = GrowSlices(out, len(wins))
 	e.shard(len(wins), func(lo, hi int) { e.windowSpan(wins, out, lo, hi) })
 	return out
 }
@@ -130,7 +130,7 @@ func (e *Engine) windowSpan(wins []geo.Rect, out [][]geo.Point, lo, hi int) {
 // returning it. The answers match serial KNN calls element for
 // element.
 func (e *Engine) KNNBatch(qs []geo.Point, k int, out [][]geo.Point) [][]geo.Point {
-	out = growSlices(out, len(qs))
+	out = GrowSlices(out, len(qs))
 	e.shard(len(qs), func(lo, hi int) { e.knnSpan(qs, k, nil, out, lo, hi) })
 	return out
 }
@@ -144,7 +144,7 @@ func (e *Engine) KNNVarBatch(qs []geo.Point, ks []int, out [][]geo.Point) [][]ge
 	if len(ks) != len(qs) {
 		panic("qserve: KNNVarBatch len(ks) != len(qs)")
 	}
-	out = growSlices(out, len(qs))
+	out = GrowSlices(out, len(qs))
 	e.shard(len(qs), func(lo, hi int) { e.knnSpan(qs, 0, ks, out, lo, hi) })
 	return out
 }
@@ -167,9 +167,9 @@ func (e *Engine) knnSpan(qs []geo.Point, k int, ks []int, out [][]geo.Point, lo,
 	}
 }
 
-// growBools returns out resized to n, reallocating only when the
+// GrowBools returns out resized to n, reallocating only when the
 // capacity is short.
-func growBools(out []bool, n int) []bool {
+func GrowBools(out []bool, n int) []bool {
 	if cap(out) < n {
 		next := make([]bool, n)
 		copy(next, out)
@@ -178,9 +178,9 @@ func growBools(out []bool, n int) []bool {
 	return out[:n]
 }
 
-// growSlices returns out resized to n, keeping the per-element result
+// GrowSlices returns out resized to n, keeping the per-element result
 // buffers already allocated in earlier batches.
-func growSlices(out [][]geo.Point, n int) [][]geo.Point {
+func GrowSlices(out [][]geo.Point, n int) [][]geo.Point {
 	if cap(out) < n {
 		next := make([][]geo.Point, n)
 		copy(next, out)

@@ -1,0 +1,81 @@
+package rebuild
+
+import (
+	"testing"
+	"time"
+
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+)
+
+// signalIndex reports when its Build is entered and then blocks until
+// released, so the gate test can observe exactly which builds are
+// running at any moment.
+type signalIndex struct {
+	index.BruteForce
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *signalIndex) Build(pts []geo.Point) error {
+	s.entered <- struct{}{}
+	<-s.release
+	return s.BruteForce.Build(pts)
+}
+
+// TestBuildGateBoundsConcurrentBuilds shares a capacity-1 semaphore
+// gate between two processors, exactly how the sharded router staggers
+// per-shard rebuilds. While the first build holds the gate the second
+// processor's build must not start; freeing the gate lets it through,
+// and both rebuilds complete normally.
+func TestBuildGateBoundsConcurrentBuilds(t *testing.T) {
+	sem := make(chan struct{}, 1)
+	gate := func() (release func()) {
+		sem <- struct{}{}
+		return func() { <-sem }
+	}
+	mk := func(seed int64) (*Processor, *signalIndex) {
+		pts := dataset.MustGenerate(dataset.Uniform, 200, seed)
+		p, err := NewProcessor(index.NewBruteForce(), nil, pts, xKey, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si := &signalIndex{entered: make(chan struct{}, 1), release: make(chan struct{})}
+		p.Factory = func() Rebuildable { return si }
+		p.BuildGate = gate
+		return p, si
+	}
+	p1, s1 := mk(21)
+	p2, s2 := mk(22)
+
+	p1.Rebuild()
+	select {
+	case <-s1.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first gated build never entered")
+	}
+	p2.Rebuild()
+	// The second build goroutine is parked inside the gate call; its
+	// index Build must not be entered while the first holds the slot.
+	select {
+	case <-s2.entered:
+		t.Fatal("second build entered while the first held the gate")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(s1.release)
+	select {
+	case <-s2.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second build never entered after the gate freed")
+	}
+	close(s2.release)
+	p1.WaitRebuild()
+	p2.WaitRebuild()
+	if p1.Rebuilds() != 1 || p2.Rebuilds() != 1 {
+		t.Fatalf("rebuilds = %d, %d, want 1, 1", p1.Rebuilds(), p2.Rebuilds())
+	}
+	if p1.Failures() != 0 || p2.Failures() != 0 {
+		t.Fatalf("failures = %d, %d, want 0, 0", p1.Failures(), p2.Failures())
+	}
+}

@@ -181,6 +181,19 @@ type Processor struct {
 	// capped exponential backoff (see RetryPolicy). Nil disables
 	// retries: a failed rebuild stays failed until the next trigger.
 	Retry *RetryPolicy
+	// BuildGate, when non-nil, is called by the background-rebuild
+	// goroutine immediately before the build phase; the build starts
+	// once it returns and the returned release function is called when
+	// the build finishes (success, failure, or recovered panic). A
+	// sharded deployment installs a shared semaphore here so at most a
+	// fixed number of shards rebuild concurrently — a rebuild wave
+	// across the fleet never saturates every core at once. While a
+	// shard waits at the gate it keeps serving from its old index plus
+	// the delta overlay, exactly as during the build itself. Inline
+	// (blocking) rebuilds are not gated: they run under the write lock,
+	// and waiting there on other shards' builds would stall this
+	// shard's readers for unrelated work.
+	BuildGate func() (release func())
 	// BreakerThreshold is the number of consecutive rebuild failures
 	// that opens the circuit breaker (0 selects the default of 5,
 	// negative disables the breaker). While open, automatic rebuilds
@@ -472,6 +485,7 @@ func (p *Processor) startRebuildLocked() {
 	seenAtStart := p.updatesSeen
 	factory := p.Factory
 	mapKey := p.MapKey
+	gate := p.BuildGate
 
 	go func() {
 		defer close(done)
@@ -479,8 +493,17 @@ func (p *Processor) startRebuildLocked() {
 		// builders — runs without the lock: queries and updates proceed
 		// against the old index + frozen + overlay. buildSafe recovers
 		// panics, so a panicking factory or build never kills the
-		// process or wedges the processor in the rebuilding state.
-		newIdx, err := buildSafe(factory, frozenPts)
+		// process or wedges the processor in the rebuilding state. The
+		// gate (when installed) bounds how many such builds run at once
+		// across a shard fleet; buildSafe never panics out, so release
+		// always runs.
+		newIdx, err := func() (Rebuildable, error) {
+			if gate != nil {
+				release := gate()
+				defer release()
+			}
+			return buildSafe(factory, frozenPts)
+		}()
 		var keys []float64
 		var n int
 		var dist float64

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"elsi/internal/curve"
+	"elsi/internal/geo"
+	"elsi/internal/parallel"
+	"elsi/internal/qserve"
+)
+
+// pointScatter carries one point batch's re-sharding buffers: the
+// per-shard sub-batches, the original position of each routed query,
+// and the per-shard answers.
+type pointScatter struct {
+	sub  [][]geo.Point
+	pos  [][]int
+	outs [][]bool
+	fns  []func()
+}
+
+func (sc *pointScatter) grow(n int) {
+	for len(sc.sub) < n {
+		sc.sub = append(sc.sub, nil)
+		sc.pos = append(sc.pos, nil)
+		sc.outs = append(sc.outs, nil)
+	}
+	for i := 0; i < n; i++ {
+		sc.sub[i] = sc.sub[i][:0]
+		sc.pos[i] = sc.pos[i][:0]
+	}
+}
+
+// PointBatch re-shards the batch: each query joins its home shard's
+// sub-batch, the sub-batches run through the per-shard qserve engines
+// concurrently, and every answer is written back at its query's input
+// position — so the output order is the input order regardless of the
+// partitioning.
+func (r *Router) PointBatch(pts []geo.Point, out []bool) []bool {
+	out = qserve.GrowBools(out, len(pts))
+	if len(r.shards) == 1 {
+		s := &r.shards[0]
+		s.c.points.Add(int64(len(pts)))
+		return s.qe.PointBatch(pts, out)
+	}
+	sc := r.ptScratch.Get().(*pointScatter)
+	sc.grow(len(r.shards))
+	for i, p := range pts {
+		si := r.shardIndex(curve.HEncode(p, r.space))
+		sc.sub[si] = append(sc.sub[si], p)
+		sc.pos[si] = append(sc.pos[si], i)
+	}
+	sc.fns = sc.fns[:0]
+	for si := range r.shards {
+		if len(sc.sub[si]) == 0 {
+			continue
+		}
+		si := si
+		s := &r.shards[si]
+		s.c.points.Add(int64(len(sc.sub[si])))
+		sc.fns = append(sc.fns, func() {
+			sc.outs[si] = s.qe.PointBatch(sc.sub[si], sc.outs[si])
+		})
+	}
+	parallel.Do(sc.fns...)
+	for si := range r.shards {
+		for j, pos := range sc.pos[si] {
+			out[pos] = sc.outs[si][j]
+		}
+	}
+	r.ptScratch.Put(sc)
+	return out
+}
+
+// WindowBatch runs the queries concurrently, each one a serial
+// scatter-gather with Hilbert-range pruning. Answers land at their
+// input positions via the router's own qserve engine.
+func (r *Router) WindowBatch(wins []geo.Rect, out [][]geo.Point) [][]geo.Point {
+	return r.selfQE.WindowBatch(wins, out)
+}
+
+// KNNVarBatch runs the queries concurrently, each one a serial
+// best-first search over the shards.
+func (r *Router) KNNVarBatch(qs []geo.Point, ks []int, out [][]geo.Point) [][]geo.Point {
+	return r.selfQE.KNNVarBatch(qs, ks, out)
+}

@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"elsi/internal/dataset"
+	"elsi/internal/geo"
+)
+
+// The scatter benchmarks show the pruning at work: a small window or a
+// local kNN visits only the shards whose Hilbert ranges it can touch,
+// so per-query work shrinks as S grows even on one core.
+
+func BenchmarkWindowScatter(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.Uniform, 50000, 3)
+	rng := rand.New(rand.NewSource(1))
+	wins := make([]geo.Rect, 256)
+	for i := range wins {
+		x, y := rng.Float64()*0.95, rng.Float64()*0.95
+		wins[i] = geo.Rect{MinX: x, MinY: y, MaxX: x + 0.05, MaxY: y + 0.05}
+	}
+	for _, s := range []int{1, 4, 16} {
+		r, err := New(pts, geo.UnitRect, Config{Shards: s, Workers: 1}, bruteMaker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			var out []geo.Point
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = r.WindowQueryAppend(wins[i%len(wins)], out[:0])
+			}
+		})
+	}
+}
+
+func BenchmarkKNNScatter(b *testing.B) {
+	pts := dataset.MustGenerate(dataset.Uniform, 50000, 5)
+	rng := rand.New(rand.NewSource(2))
+	qs := make([]geo.Point, 256)
+	for i := range qs {
+		qs[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	for _, s := range []int{1, 4, 16} {
+		r, err := New(pts, geo.UnitRect, Config{Shards: s, Workers: 1}, bruteMaker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			var out []geo.Point
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = r.KNNAppend(qs[i%len(qs)], 10, out[:0])
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+// Package shard partitions the data space across independent update
+// processors along the Hilbert curve and serves the fleet behind the
+// engine's Backend seam. Point queries and updates route to exactly
+// one shard; window queries scatter only to shards whose Hilbert key
+// ranges intersect the window's range decomposition; kNN searches the
+// shards best-first by MINDIST to each shard's key-range MBR, pruning
+// against the current k-th best distance. Results are deterministic:
+// identical for every shard count and worker count.
+package shard
+
+import (
+	"sort"
+
+	"elsi/internal/curve"
+	"elsi/internal/geo"
+)
+
+// partition computes the inclusive Hilbert key ranges of up to want
+// shards from a sample of the build points: equal-mass split keys are
+// read off the sorted sample at evenly spaced ranks, duplicate or
+// colliding split keys are dropped (so heavily skewed data may yield
+// fewer, never empty, partitions), and the ranges are padded to cover
+// the whole key space [0, MaxKey]. sampleCap bounds the sample size;
+// the sample is a deterministic stride over pts, so the same inputs
+// always produce the same partitioning.
+func partition(pts []geo.Point, space geo.Rect, want, sampleCap int) []curve.KeyRange {
+	if want < 1 {
+		want = 1
+	}
+	if want == 1 || len(pts) == 0 {
+		return []curve.KeyRange{{Lo: 0, Hi: curve.MaxKey}}
+	}
+	if sampleCap <= 0 {
+		sampleCap = defaultSampleCap
+	}
+	stride := (len(pts) + sampleCap - 1) / sampleCap
+	if stride < 1 {
+		stride = 1
+	}
+	keys := make([]uint64, 0, (len(pts)+stride-1)/stride)
+	for i := 0; i < len(pts); i += stride {
+		keys = append(keys, curve.HEncode(pts[i], space))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// bounds[j] is the first key of partition j+1. Kept strictly
+	// increasing and above the smallest sample key, every partition
+	// holds at least one sample point: the segment below a bound
+	// contains the previous bound's rank key (or keys[0] for the
+	// first), the segment above contains the bound's own.
+	bounds := make([]uint64, 0, want-1)
+	for j := 1; j < want; j++ {
+		b := keys[j*len(keys)/want]
+		if b <= keys[0] || (len(bounds) > 0 && b <= bounds[len(bounds)-1]) {
+			continue
+		}
+		bounds = append(bounds, b)
+	}
+	ranges := make([]curve.KeyRange, 0, len(bounds)+1)
+	lo := uint64(0)
+	for _, b := range bounds {
+		ranges = append(ranges, curve.KeyRange{Lo: lo, Hi: b - 1})
+		lo = b
+	}
+	return append(ranges, curve.KeyRange{Lo: lo, Hi: curve.MaxKey})
+}
+
+// split partitions pts into one group per range by Hilbert key. The
+// groups reference fresh storage, not pts.
+func split(pts []geo.Point, space geo.Rect, ranges []curve.KeyRange) [][]geo.Point {
+	groups := make([][]geo.Point, len(ranges))
+	for _, p := range pts {
+		i := rangeOf(ranges, curve.HEncode(p, space))
+		groups[i] = append(groups[i], p)
+	}
+	return groups
+}
+
+// rangeOf returns the index of the range holding key. ranges must be
+// sorted, contiguous, and cover the full key space.
+//
+//elsi:noalloc
+func rangeOf(ranges []curve.KeyRange, key uint64) int {
+	lo, hi := 0, len(ranges)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ranges[mid].Hi < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// overlapsAny reports whether [lo, hi] intersects any of the sorted,
+// non-overlapping ranges rs.
+//
+//elsi:noalloc
+func overlapsAny(rs []curve.KeyRange, lo, hi uint64) bool {
+	// binary search for the first range ending at or after lo
+	a, b := 0, len(rs)
+	for a < b {
+		mid := (a + b) / 2
+		if rs[mid].Hi < lo {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	return a < len(rs) && rs[a].Lo <= hi
+}

@@ -1,0 +1,365 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"elsi/internal/curve"
+	"elsi/internal/engine"
+	"elsi/internal/geo"
+	"elsi/internal/pqueue"
+	"elsi/internal/qserve"
+	"elsi/internal/rebuild"
+)
+
+const (
+	defaultSampleCap  = 4096
+	defaultRangeDepth = 8
+	defaultMBRDepth   = 8
+)
+
+// Config sizes the router. The zero value selects the defaults.
+type Config struct {
+	// Shards is the desired shard count S (default 1). Skewed data may
+	// yield fewer effective shards: split keys that collide in the
+	// sample are dropped rather than creating empty partitions.
+	Shards int
+	// Workers bounds the per-batch parallelism, exactly like
+	// engine.Config.Workers (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// SampleCap bounds the number of build points sampled to place the
+	// equal-mass split keys (default 4096).
+	SampleCap int
+	// RangeDepth caps the Hilbert decomposition depth used to prune
+	// window scatter (default 8). Deeper decompositions prune more
+	// precisely at a higher per-query cost.
+	RangeDepth int
+	// MBRDepth caps the quadrant recursion computing each shard's
+	// key-range MBR for kNN pruning (default 8).
+	MBRDepth int
+	// MaxConcurrentBuilds bounds how many shards may run their
+	// background rebuild at once (default ⌈S/4⌉), staggering the fleet
+	// so a drift wave does not stall every shard simultaneously.
+	MaxConcurrentBuilds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.SampleCap <= 0 {
+		c.SampleCap = defaultSampleCap
+	}
+	if c.RangeDepth <= 0 {
+		c.RangeDepth = defaultRangeDepth
+	}
+	if c.MBRDepth <= 0 {
+		c.MBRDepth = defaultMBRDepth
+	}
+	if c.MaxConcurrentBuilds <= 0 {
+		c.MaxConcurrentBuilds = (c.Shards + 3) / 4
+	}
+	return c
+}
+
+// counters tracks the traffic routed to (or pruned away from) one
+// shard. All fields are atomics: queries from concurrent batches touch
+// them without any shared lock.
+type counters struct {
+	points, windows, knns atomic.Int64
+	inserts, deletes      atomic.Int64
+	winSkips, knnSkips    atomic.Int64
+}
+
+// shardState is one shard: a processor over the points whose Hilbert
+// keys fall in rng, its batch engine, and its pruning geometry.
+type shardState struct {
+	proc *rebuild.Processor
+	qe   *qserve.Engine
+	rng  curve.KeyRange
+	// mbr covers every cell with a key in rng, inflated by one grid
+	// cell so quantization rounding can never push a stored point
+	// outside it; MINDIST through it lower-bounds the distance to any
+	// point the shard can hold.
+	mbr geo.Rect
+	c   counters
+}
+
+// Router scatters the engine's queries across Hilbert-partitioned
+// shards and gathers deterministic results. It implements
+// engine.Backend (batched surface) and qserve.Source plus the append
+// forms (serial surface), so it can sit behind the engine's
+// accumulators and be queried directly in tests. All methods are safe
+// for concurrent use.
+type Router struct {
+	space      geo.Rect
+	shards     []shardState
+	selfQE     *qserve.Engine
+	rangeDepth int
+	buildSem   chan struct{}
+
+	winScratch sync.Pool // *winScratch
+	knnScratch sync.Pool // *knnScratch
+	ptScratch  sync.Pool // *pointScatter
+}
+
+// winScratch carries one window query's decomposition buffer.
+type winScratch struct {
+	ranges []curve.KeyRange
+}
+
+// knnScratch carries one kNN query's shard ordering and heaps.
+type knnScratch struct {
+	order  []int
+	dist   []float64
+	pts    []geo.Point
+	local  pqueue.KBest
+	global pqueue.KBest
+}
+
+// MakeProcessor builds the processor stack of one shard over the
+// partition's build points. Callers configure Factory, Retry, and the
+// rest exactly as for an unsharded processor; the router installs its
+// own BuildGate afterwards.
+type MakeProcessor func(pts []geo.Point) (*rebuild.Processor, error)
+
+// New partitions pts across cfg.Shards shards of space and builds one
+// processor per partition via mk.
+func New(pts []geo.Point, space geo.Rect, cfg Config, mk MakeProcessor) (*Router, error) {
+	cfg = cfg.withDefaults()
+	ranges := partition(pts, space, cfg.Shards, cfg.SampleCap)
+	groups := split(pts, space, ranges)
+
+	r := &Router{
+		space:      space,
+		shards:     make([]shardState, len(ranges)),
+		rangeDepth: cfg.RangeDepth,
+		buildSem:   make(chan struct{}, cfg.MaxConcurrentBuilds),
+	}
+	r.winScratch.New = func() any { return new(winScratch) }
+	r.knnScratch.New = func() any { return new(knnScratch) }
+	r.ptScratch.New = func() any { return new(pointScatter) }
+
+	const cells = 1 << curve.Order
+	cw := space.Width() / cells
+	ch := space.Height() / cells
+	for i, rng := range ranges {
+		proc, err := mk(groups[i])
+		if err != nil {
+			return nil, err
+		}
+		proc.BuildGate = r.gate
+		mbr := curve.HRangeMBR(rng, space, cfg.MBRDepth)
+		mbr.MinX -= cw
+		mbr.MinY -= ch
+		mbr.MaxX += cw
+		mbr.MaxY += ch
+		r.shards[i] = shardState{
+			proc: proc,
+			qe:   qserve.New(proc, cfg.Workers),
+			rng:  rng,
+			mbr:  mbr,
+		}
+	}
+	r.selfQE = qserve.New(r, cfg.Workers)
+	return r, nil
+}
+
+// gate is the shared BuildGate: a semaphore bounding concurrent
+// background builds across the fleet.
+func (r *Router) gate() (release func()) {
+	r.buildSem <- struct{}{}
+	return func() { <-r.buildSem }
+}
+
+// shardIndex returns the shard holding the given Hilbert key.
+//
+//elsi:noalloc
+func (r *Router) shardIndex(key uint64) int {
+	lo, hi := 0, len(r.shards)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.shards[mid].rng.Hi < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+//elsi:noalloc
+func (r *Router) shardOf(p geo.Point) *shardState {
+	return &r.shards[r.shardIndex(curve.HEncode(p, r.space))]
+}
+
+// NumShards returns the effective shard count (≤ Config.Shards when
+// split keys collided).
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Len returns the stored point count across all shards.
+func (r *Router) Len() int {
+	n := 0
+	for i := range r.shards {
+		n += r.shards[i].proc.Len()
+	}
+	return n
+}
+
+// WaitRebuild blocks until no shard has a background rebuild in
+// flight.
+func (r *Router) WaitRebuild() {
+	for i := range r.shards {
+		r.shards[i].proc.WaitRebuild()
+	}
+}
+
+// Quiesce settles every shard: in-flight rebuilds finish and pending
+// retries are cancelled.
+func (r *Router) Quiesce() {
+	for i := range r.shards {
+		r.shards[i].proc.Quiesce()
+	}
+}
+
+// --- serial surface (qserve.Source + append forms) ----------------------
+
+// PointQuery routes to exactly one shard.
+func (r *Router) PointQuery(p geo.Point) bool {
+	s := r.shardOf(p)
+	s.c.points.Add(1)
+	return s.proc.PointQuery(p)
+}
+
+// Insert routes to exactly one shard and reports whether it triggered
+// a rebuild there.
+func (r *Router) Insert(p geo.Point) bool {
+	s := r.shardOf(p)
+	s.c.inserts.Add(1)
+	return s.proc.Insert(p)
+}
+
+// Delete routes to exactly one shard and reports whether it triggered
+// a rebuild there.
+func (r *Router) Delete(p geo.Point) bool {
+	s := r.shardOf(p)
+	s.c.deletes.Add(1)
+	return s.proc.Delete(p)
+}
+
+// WindowQuery returns the points inside win, in canonical (X, Y)
+// order.
+func (r *Router) WindowQuery(win geo.Rect) []geo.Point {
+	return r.WindowQueryAppend(win, nil)
+}
+
+// WindowQueryAppend scatters win to the shards whose Hilbert key
+// ranges intersect the window's range decomposition — a shard whose
+// range misses every decomposed range cannot hold a point inside win,
+// because the decomposition covers every grid cell the window touches.
+// The gathered result is sorted into canonical (X, Y) order, making it
+// identical for every shard count.
+func (r *Router) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
+	start := len(out)
+	if len(r.shards) == 1 {
+		s := &r.shards[0]
+		s.c.windows.Add(1)
+		out = s.proc.WindowQueryAppend(win, out)
+		SortPointsXY(out[start:])
+		return out
+	}
+	ws := r.winScratch.Get().(*winScratch)
+	ws.ranges = curve.HRangesAppend(win, r.space, r.rangeDepth, ws.ranges[:0])
+	for i := range r.shards {
+		s := &r.shards[i]
+		if !overlapsAny(ws.ranges, s.rng.Lo, s.rng.Hi) {
+			s.c.winSkips.Add(1)
+			continue
+		}
+		s.c.windows.Add(1)
+		out = s.proc.WindowQueryAppend(win, out)
+	}
+	r.winScratch.Put(ws)
+	SortPointsXY(out[start:])
+	return out
+}
+
+// KNN returns the k nearest stored points to q in ascending distance
+// order.
+func (r *Router) KNN(q geo.Point, k int) []geo.Point {
+	return r.KNNAppend(q, k, nil)
+}
+
+// KNNAppend searches the shards best-first by MINDIST from q to each
+// shard's key-range MBR. Once k candidates are held, a shard whose
+// MINDIST is not below the current k-th best distance is pruned — and
+// so is every shard after it in the MINDIST order. Per-shard results
+// are folded into the global k-best through pqueue.KBest.MergeAppend;
+// the result is appended in ascending distance order.
+func (r *Router) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
+	if k <= 0 {
+		return out
+	}
+	ks := r.knnScratch.Get().(*knnScratch)
+	ks.order = ks.order[:0]
+	ks.dist = ks.dist[:0]
+	for i := range r.shards {
+		ks.order = append(ks.order, i)
+		ks.dist = append(ks.dist, r.shards[i].mbr.Dist2(q))
+	}
+	// insertion sort by MINDIST; strict comparison keeps equal-distance
+	// shards in index order, so the visit order is deterministic
+	for i := 1; i < len(ks.order); i++ {
+		for j := i; j > 0 && ks.dist[j] < ks.dist[j-1]; j-- {
+			ks.dist[j], ks.dist[j-1] = ks.dist[j-1], ks.dist[j]
+			ks.order[j], ks.order[j-1] = ks.order[j-1], ks.order[j]
+		}
+	}
+	ks.global.Reset(k)
+	for n, i := range ks.order {
+		if ks.global.Full() && ks.dist[n] >= ks.global.Worst() {
+			// no shard from here on can beat the k-th best: the
+			// remaining MINDISTs are at least this one
+			for _, j := range ks.order[n:] {
+				r.shards[j].c.knnSkips.Add(1)
+			}
+			break
+		}
+		s := &r.shards[i]
+		s.c.knns.Add(1)
+		ks.pts = s.proc.KNNAppend(q, k, ks.pts[:0])
+		ks.local.Reset(k)
+		for _, p := range ks.pts {
+			ks.local.Offer(p, q.Dist2(p))
+		}
+		ks.global.MergeAppend(&ks.local)
+	}
+	out = ks.global.AppendPoints(out)
+	r.knnScratch.Put(ks)
+	return out
+}
+
+// --- stats ---------------------------------------------------------------
+
+// BackendStats snapshots every shard — data and rebuild state, routed
+// traffic, and the scatter-prune counters — plus the aggregate.
+func (r *Router) BackendStats() engine.BackendStats {
+	shards := make([]engine.ShardStats, len(r.shards))
+	for i := range r.shards {
+		s := &r.shards[i]
+		st := engine.ProcStats(s.proc)
+		st.KeyLo, st.KeyHi = s.rng.Lo, s.rng.Hi
+		st.PointQueries = s.c.points.Load()
+		st.WindowQueries = s.c.windows.Load()
+		st.KNNQueries = s.c.knns.Load()
+		st.Inserts = s.c.inserts.Load()
+		st.Deletes = s.c.deletes.Load()
+		st.WindowsPruned = s.c.winSkips.Load()
+		st.KNNsPruned = s.c.knnSkips.Load()
+		shards[i] = st
+	}
+	return engine.AggregateShards(shards)
+}
+
+var _ engine.Backend = (*Router)(nil)
+var _ qserve.Source = (*Router)(nil)

@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"elsi/internal/geo"
+)
+
+// SortPointsXY sorts pts into canonical order: ascending X, ties by
+// ascending Y. The router gathers window results from shards in
+// partition order, which varies with the shard count; the canonical
+// sort makes the gathered result a pure function of the stored set, so
+// every shard count returns byte-identical windows. In-place heapsort:
+// no allocation, no closures, and — since (X, Y) is a total order with
+// only exact duplicates tied — a deterministic result for every input
+// permutation.
+//
+//elsi:noalloc
+func SortPointsXY(pts []geo.Point) {
+	n := len(pts)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftXY(pts, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		pts[0], pts[end] = pts[end], pts[0]
+		siftXY(pts, 0, end)
+	}
+}
+
+//elsi:noalloc
+func siftXY(pts []geo.Point, i, n int) {
+	for {
+		l, rt := 2*i+1, 2*i+2
+		m := i
+		if l < n && lessXY(pts[m], pts[l]) {
+			m = l
+		}
+		if rt < n && lessXY(pts[m], pts[rt]) {
+			m = rt
+		}
+		if m == i {
+			return
+		}
+		pts[i], pts[m] = pts[m], pts[i]
+		i = m
+	}
+}
+
+// lessXY orders points by (X, Y) without any float equality test.
+//
+//elsi:noalloc
+func lessXY(a, b geo.Point) bool {
+	if a.X < b.X {
+		return true
+	}
+	if b.X < a.X {
+		return false
+	}
+	return a.Y < b.Y
+}
