@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet lint bench microbench serve loadtest loadtest-shards shard-race
+.PHONY: check build test race vet lint bench microbench serve serve-durable loadtest loadtest-shards shard-race persist-race
 
 check: lint race
 
@@ -54,6 +54,13 @@ microbench:
 serve:
 	$(GO) run ./cmd/elsid -http 127.0.0.1:8080 -tcp 127.0.0.1:9090 -n 100000
 
+# serve-durable adds the persistence layer: updates are WAL-logged
+# before acknowledgement and the trained index is snapshotted on every
+# rebuild swap and on clean shutdown. Kill it and run it again — the
+# second boot recovers from elsid-data/ without training a model.
+serve-durable:
+	$(GO) run ./cmd/elsid -http 127.0.0.1:8080 -tcp 127.0.0.1:9090 -n 100000 -data elsid-data -fsync always
+
 # loadtest stands up the full serving stack in-process and drives both
 # transports with seeded open-loop Poisson arrivals, writing the
 # p50/p99/p999 latency report consumed by README's Serving section.
@@ -74,3 +81,11 @@ shard-race:
 	$(GO) test -race -short ./internal/shard/ ./internal/server/ ./internal/engine/
 	$(GO) vet ./internal/shard/
 	$(GO) run ./cmd/elsivet ./internal/shard/
+
+# persist-race is the durability gate: the WAL, snapshot, and
+# crash-recovery suites (every registered crash point × shard counts,
+# byte-identical recovery, zero trainings) under the race detector.
+persist-race:
+	$(GO) test -race -short ./internal/wal/ ./internal/snapshot/ ./internal/persist/
+	$(GO) vet ./internal/wal/ ./internal/snapshot/ ./internal/persist/
+	$(GO) run ./cmd/elsivet ./internal/wal/ ./internal/snapshot/ ./internal/persist/

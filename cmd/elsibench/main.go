@@ -27,12 +27,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"elsi/internal/bench"
 	"elsi/internal/faults"
+
+	// Registered for their fault-injection points (wal/*, snapshot/*,
+	// recover/*), so -faults list covers the durability layer too.
+	_ "elsi/internal/persist"
 )
 
 func main() {
@@ -46,9 +51,26 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		asJSON  = flag.Bool("json", false, "emit the machine-readable build/query benchmark as JSON and exit")
 		reps    = flag.Int("reps", 3, "repetitions per median with -json")
-		chaos   = flag.String("faults", "", "chaos spec: ';'-separated <point>:<mode>[:<times>] entries (mode: error, panic, budget, delay=<dur>)")
+		chaos   = flag.String("faults", "", "chaos spec: ';'-separated <point>:<mode>[:<times>] entries (mode: error, panic, budget, delay=<dur>); \"list\" prints the registered points")
 	)
 	flag.Parse()
+
+	if *chaos == "list" {
+		pts := faults.Points()
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(pts); err != nil {
+				fmt.Fprintln(os.Stderr, "elsibench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, p := range pts {
+			fmt.Printf("%-20s %s\n", p.Name, p.Desc)
+		}
+		return
+	}
 
 	if *chaos != "" {
 		if err := faults.ParseSpec(*chaos); err != nil {

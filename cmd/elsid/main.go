@@ -32,10 +32,12 @@ import (
 	"elsi/internal/engine"
 	"elsi/internal/geo"
 	"elsi/internal/index"
+	"elsi/internal/persist"
 	"elsi/internal/rebuild"
 	"elsi/internal/rmi"
 	"elsi/internal/server"
 	"elsi/internal/shard"
+	"elsi/internal/wal"
 	"elsi/internal/zm"
 )
 
@@ -53,10 +55,12 @@ func main() {
 		maxBatch = flag.Int("max-batch", 64, "flush a batch at this size")
 		flush    = flag.Duration("flush", 200*time.Microsecond, "flush a batch after this deadline")
 		inflight = flag.Int("max-inflight", 4096, "admitted in-flight request bound")
+		dataDir  = flag.String("data", "", "durable data directory: WAL + snapshots (empty = in-memory only)")
+		fsync    = flag.String("fsync", "always", "WAL fsync policy: always, none, or a group-commit interval like 5ms")
 	)
 	flag.Parse()
 
-	if err := run(*httpAddr, *tcpAddr, *family, *data, *n, *seed, *fu, *shards, engine.Config{
+	if err := run(*httpAddr, *tcpAddr, *family, *data, *dataDir, *fsync, *n, *seed, *fu, *shards, engine.Config{
 		Workers:       *workers,
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flush,
@@ -67,19 +71,25 @@ func main() {
 	}
 }
 
-func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu, shards int, cfg engine.Config) error {
+func run(httpAddr, tcpAddr, family, data, dataDir, fsync string, n int, seed int64, fu, shards int, cfg engine.Config) error {
 	log.SetPrefix("elsid: ")
 	log.SetFlags(log.Ltime)
 
-	pts, err := dataset.Generate(data, n, seed)
-	if err != nil {
-		return err
+	// With a data directory that already holds a store, the initial
+	// data set comes off disk, not the generator.
+	var pts []geo.Point
+	if dataDir == "" || !persist.Exists(dataDir) {
+		var err error
+		pts, err = dataset.Generate(data, n, seed)
+		if err != nil {
+			return err
+		}
 	}
 	if fu <= 0 {
 		fu = n / 10
 	}
 
-	be, err := buildBackend(family, pts, seed, fu, shards, cfg.Workers)
+	be, closeBE, err := buildBackend(family, pts, seed, fu, shards, cfg.Workers, dataDir, fsync)
 	if err != nil {
 		return err
 	}
@@ -113,6 +123,13 @@ func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu, shards i
 	st := eng.Stats()
 	log.Printf("drained: %d point, %d window, %d kNN queries, %d inserts, %d deletes, %d rebuilds, %d batches",
 		st.PointQueries, st.WindowQueries, st.KNNQueries, st.Inserts, st.Deletes, st.Rebuilds, st.Batches)
+	if closeBE != nil {
+		t0 := time.Now()
+		if err := closeBE(); err != nil {
+			return err
+		}
+		log.Printf("persisted: clean-shutdown snapshot + wal close in %v", time.Since(t0).Round(time.Millisecond))
+	}
 	return nil
 }
 
@@ -121,21 +138,73 @@ func run(httpAddr, tcpAddr, family, data string, n int, seed int64, fu, shards i
 // processors sharing one trained rebuild predictor. The per-shard
 // predictor check frequency is fu divided across the shards, keeping
 // the fleet-wide check cadence of the unsharded configuration.
-func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, workers int) (engine.Backend, error) {
+//
+// With a data directory the backend is the durable persist.Store —
+// recovered from disk when the directory already holds one (pts is
+// ignored), created and snapshotted otherwise. The returned closer is
+// non-nil exactly in the durable case; run calls it after the drain so
+// the clean-shutdown snapshot covers every acknowledged update.
+func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, workers int, dataDir, fsync string) (engine.Backend, func() error, error) {
 	pred, err := rebuild.TrainPredictor(
 		rebuild.HeuristicSamples(rand.New(rand.NewSource(seed)), 1000),
 		rebuild.PredictorConfig{Seed: seed})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	factory, mapKey, err := familyStack(family)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sfu := fu
 	if shards > 1 {
 		sfu = max(1, fu/shards)
 	}
+
+	if dataDir != "" {
+		pol, interval, err := wal.ParsePolicy(fsync)
+		if err != nil {
+			return nil, nil, err
+		}
+		pcfg := persist.Config{
+			Dir:     dataDir,
+			WAL:     wal.Options{Policy: pol, Interval: interval},
+			Shards:  shards,
+			Space:   geo.UnitRect,
+			Router:  shard.Config{Workers: workers},
+			Factory: factory,
+			MapKey:  mapKey,
+			Pred:    pred,
+			Fu:      sfu,
+			Configure: func(p *rebuild.Processor) {
+				p.Retry = &rebuild.RetryPolicy{}
+			},
+		}
+		if persist.Exists(dataDir) {
+			store, err := persist.Open(pcfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec := store.Recovery()
+			for _, sr := range rec.Shards {
+				torn := ""
+				if sr.TornTail {
+					torn = ", torn wal tail truncated"
+				}
+				log.Printf("recovered shard %d: snapshot @ LSN %d (%d bytes) in %v, %d wal records replayed in %v%s",
+					sr.Shard, sr.SnapshotLSN, sr.SnapshotBytes, sr.Load.Round(time.Microsecond),
+					sr.WALRecords, sr.Replay.Round(time.Microsecond), torn)
+			}
+			log.Printf("recovery complete: %d shards, no model training, %v total", len(rec.Shards), rec.Total.Round(time.Millisecond))
+			return store, store.Close, nil
+		}
+		store, err := persist.Create(pcfg, pts)
+		if err != nil {
+			return nil, nil, err
+		}
+		log.Printf("created durable store in %s (%d shards, fsync=%s)", dataDir, store.Router().NumShards(), fsync)
+		return store, store.Close, nil
+	}
+
 	mk := func(sub []geo.Point) (*rebuild.Processor, error) {
 		proc, err := rebuild.NewProcessor(factory(), pred, sub, mapKey, sfu)
 		if err != nil {
@@ -148,11 +217,15 @@ func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, worker
 	if shards <= 1 {
 		proc, err := mk(pts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return engine.NewSingle(proc, workers), nil
+		return engine.NewSingle(proc, workers), nil, nil
 	}
-	return shard.New(pts, geo.UnitRect, shard.Config{Shards: shards, Workers: workers}, mk)
+	r, err := shard.New(pts, geo.UnitRect, shard.Config{Shards: shards, Workers: workers}, mk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, nil, nil
 }
 
 // familyStack returns the index factory and sort-key extractor of an

@@ -65,7 +65,8 @@ func main() {
 		target   = flag.String("target", "", "server address: tcp://host:port or http://host:port (empty requires -inproc)")
 		inproc   = flag.Bool("inproc", false, "stand up the serving stack in-process and drive both transports")
 		rate     = flag.Float64("rate", 1000, "offered load in requests/second")
-		duration = flag.Duration("duration", 5*time.Second, "load duration per run")
+		duration = flag.Duration("duration", 5*time.Second, "measured load duration per run")
+		warmup   = flag.Duration("warmup", 0, "run the stream this long before measuring; warmup samples are excluded from the latency percentiles and throughput")
 		conns    = flag.Int("conns", 16, "connection pool size (TCP conns / HTTP concurrency bound)")
 		seed     = flag.Int64("seed", 1, "random seed for arrivals and the op mix")
 		n        = flag.Int("n", 50000, "in-process data set cardinality (-inproc)")
@@ -75,19 +76,22 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*target, *inproc, *rate, *duration, *conns, *seed, *n, *shards, *sweep, *out); err != nil {
+	if err := run(*target, *inproc, *rate, *duration, *warmup, *conns, *seed, *n, *shards, *sweep, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "elsiload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, inproc bool, rate float64, duration time.Duration, conns int, seed int64, n, shards int, sweep, out string) error {
+func run(target string, inproc bool, rate float64, duration, warmup time.Duration, conns int, seed int64, n, shards int, sweep, out string) error {
 	report := benchReport{
 		Name:     "serving-loadtest",
 		Seed:     seed,
 		RateRPS:  rate,
 		Duration: duration.String(),
 		Conns:    conns,
+	}
+	if warmup > 0 {
+		report.Warmup = warmup.String()
 	}
 
 	if sweep != "" {
@@ -102,7 +106,7 @@ func run(target string, inproc bool, rate float64, duration time.Duration, conns
 			if err != nil {
 				return err
 			}
-			res, err := runLoad("tcp://"+srv.TCPAddr(), rate, duration, conns, seed)
+			res, err := runLoad("tcp://"+srv.TCPAddr(), rate, duration, warmup, conns, seed)
 			cleanup()
 			if err != nil {
 				return err
@@ -121,7 +125,7 @@ func run(target string, inproc bool, rate float64, duration time.Duration, conns
 			if tr == "http" {
 				addr = "http://" + srv.HTTPAddr()
 			}
-			res, err := runLoad(addr, rate, duration, conns, seed)
+			res, err := runLoad(addr, rate, duration, warmup, conns, seed)
 			if err != nil {
 				return err
 			}
@@ -132,7 +136,7 @@ func run(target string, inproc bool, rate float64, duration time.Duration, conns
 		if target == "" {
 			return fmt.Errorf("need -target or -inproc")
 		}
-		res, err := runLoad(target, rate, duration, conns, seed)
+		res, err := runLoad(target, rate, duration, warmup, conns, seed)
 		if err != nil {
 			return err
 		}
@@ -241,15 +245,21 @@ func dialPool(target string, conns int) (chan apiClient, string, func(), error) 
 	}
 }
 
-// sample is one completed request.
+// sample is one completed request. warm marks arrivals inside the
+// warmup window; they drive load but never reach the summaries.
 type sample struct {
-	op  string
-	lat time.Duration
-	err error
+	op   string
+	lat  time.Duration
+	err  error
+	warm bool
 }
 
-// runLoad fires the Poisson-arrival request stream at target.
-func runLoad(target string, rate float64, duration time.Duration, conns int, seed int64) (runResult, error) {
+// runLoad fires the Poisson-arrival request stream at target. The
+// stream runs for warmup+duration; samples whose arrival falls inside
+// the warmup window are discarded before summarizing, so connection
+// setup, server JIT effects, and cold caches don't pollute the
+// percentiles.
+func runLoad(target string, rate float64, duration, warmup time.Duration, conns int, seed int64) (runResult, error) {
 	pool, transport, cleanup, err := dialPool(target, conns)
 	if err != nil {
 		return runResult{}, err
@@ -273,7 +283,7 @@ func runLoad(target string, rate float64, duration time.Duration, conns int, see
 	for {
 		// Exp(rate) inter-arrival gap from the seeded generator
 		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
-		if next.Sub(start) > duration {
+		if next.Sub(start) > warmup+duration {
 			break
 		}
 		op, call := nextOp(rng)
@@ -281,19 +291,26 @@ func runLoad(target string, rate float64, duration time.Duration, conns int, see
 			time.Sleep(wait)
 		}
 		arrival := next // latency includes any queueing for a pool slot
+		warm := arrival.Sub(start) < warmup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			c := <-pool
 			err := call(c)
 			pool <- c
-			record(sample{op: op, lat: time.Since(arrival), err: err})
+			record(sample{op: op, lat: time.Since(arrival), err: err, warm: warm})
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) - warmup
 
-	res := summarize(samples, elapsed)
+	measured := samples[:0]
+	for _, s := range samples {
+		if !s.warm {
+			measured = append(measured, s)
+		}
+	}
+	res := summarize(measured, elapsed)
 	res.Transport = transport
 	res.Target = target
 
@@ -354,6 +371,7 @@ type benchReport struct {
 	Seed     int64       `json:"seed"`
 	RateRPS  float64     `json:"rate_rps"`
 	Duration string      `json:"duration"`
+	Warmup   string      `json:"warmup,omitempty"`
 	Conns    int         `json:"conns"`
 	Runs     []runResult `json:"runs"`
 }

@@ -123,6 +123,7 @@ func (b *Direct) Name() string { return "OG" }
 func (b *Direct) BuildModel(d *SortedData) (*rmi.Bounded, BuildStats) {
 	stats := BuildStats{Method: "OG", TrainSetSize: d.Len()}
 	t0 := time.Now()
+	rmi.CountTraining()
 	m := b.Trainer(d.Keys)
 	stats.TrainTime = time.Since(t0)
 	t0 = time.Now()
@@ -169,6 +170,7 @@ func FromKeys(method string, trainer rmi.Trainer, trainKeys []float64, d *Sorted
 func FromKeysWorkers(method string, trainer rmi.Trainer, trainKeys []float64, d *SortedData, reduceTime time.Duration, workers int) (*rmi.Bounded, BuildStats) {
 	stats := BuildStats{Method: method, TrainSetSize: len(trainKeys), ReduceTime: reduceTime}
 	t0 := time.Now()
+	rmi.CountTraining()
 	m := trainer(trainKeys)
 	stats.TrainTime = time.Since(t0)
 	t0 = time.Now()

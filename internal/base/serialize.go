@@ -1,0 +1,62 @@
+package base
+
+import (
+	"time"
+
+	"elsi/internal/snapshot"
+)
+
+// BuildStats round-trips through snapshots so a recovered index's
+// /stats report still shows how its models were built — the stats
+// describe the persisted models, not the process that loaded them.
+
+// AppendBuildStats serializes one BuildStats.
+func AppendBuildStats(b []byte, s BuildStats) []byte {
+	b = snapshot.AppendString(b, s.Method)
+	b = snapshot.AppendInt(b, s.TrainSetSize)
+	b = snapshot.AppendVarint(b, int64(s.ReduceTime))
+	b = snapshot.AppendVarint(b, int64(s.TrainTime))
+	b = snapshot.AppendVarint(b, int64(s.BoundsTime))
+	b = snapshot.AppendInt(b, s.ErrWidth)
+	b = snapshot.AppendString(b, s.Selected)
+	return snapshot.AppendInt(b, s.Fallbacks)
+}
+
+// DecodeBuildStats reads one BuildStats off d.
+func DecodeBuildStats(d *snapshot.Dec) BuildStats {
+	return BuildStats{
+		Method:       d.String(),
+		TrainSetSize: d.Int(),
+		ReduceTime:   time.Duration(d.Varint()),
+		TrainTime:    time.Duration(d.Varint()),
+		BoundsTime:   time.Duration(d.Varint()),
+		ErrWidth:     d.Int(),
+		Selected:     d.String(),
+		Fallbacks:    d.Int(),
+	}
+}
+
+// AppendBuildStatsSlice serializes a counted []BuildStats.
+func AppendBuildStatsSlice(b []byte, ss []BuildStats) []byte {
+	b = snapshot.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = AppendBuildStats(b, s)
+	}
+	return b
+}
+
+// DecodeBuildStatsSlice reads a counted []BuildStats off d.
+func DecodeBuildStatsSlice(d *snapshot.Dec) []BuildStats {
+	n := d.Count(8)
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	ss := make([]BuildStats, n)
+	for i := range ss {
+		ss[i] = DecodeBuildStats(d)
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return ss
+}

@@ -345,3 +345,106 @@ func TestConcurrentUpdatesAndRebuild(t *testing.T) {
 		t.Errorf("Rebuilds = %d, want >= 3", st.Rebuilds)
 	}
 }
+
+// TestCloseRacesStatsAndFlushes slams Close into the middle of a live
+// request stream while Stats readers hammer the counters — the -race
+// run checks that shutdown, the in-flight accounting, and the batch
+// flush paths compose. After Close returns, every admitted request
+// must have been answered: no waiter may be left blocked on a batch
+// that never runs.
+func TestCloseRacesStatsAndFlushes(t *testing.T) {
+	proc := newTestProcessor(t, 800, 19)
+	// A small batch and a long deadline force Close itself to flush
+	// whatever was accumulating when it hit.
+	e := New(proc, nil, Config{MaxBatch: 4, FlushInterval: 50 * time.Millisecond})
+
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		answered int64 // requests that returned nil error
+		mu       sync.Mutex
+	)
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for {
+				q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+				var err error
+				switch rng.Intn(5) {
+				case 0:
+					_, err = e.PointQuery(q)
+				case 1:
+					_, err = e.WindowQuery(geo.Rect{MinX: q.X, MinY: q.Y, MaxX: q.X + 0.1, MaxY: q.Y + 0.1})
+				case 2:
+					_, err = e.KNN(q, 1+rng.Intn(4))
+				case 3:
+					_, err = e.Insert(q)
+				default:
+					_, err = e.Delete(q)
+				}
+				switch {
+				case err == nil:
+					mu.Lock()
+					answered++
+					mu.Unlock()
+				case errors.Is(err, ErrClosed):
+					return // shutdown reached this goroutine
+				case errors.Is(err, ErrOverloaded):
+					// acceptable under load; keep going
+				default:
+					t.Errorf("unexpected request error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := e.Stats()
+				if st.InFlight < 0 || st.Queued < 0 {
+					t.Errorf("negative accounting: InFlight=%d Queued=%d", st.InFlight, st.Queued)
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(20 * time.Millisecond) // let the stream build up
+	var cwg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cwg.Add(1)
+		go func() { defer cwg.Done(); e.Close() }() // concurrent idempotent Close
+	}
+	cwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	st := e.Stats()
+	if !st.Closed {
+		t.Error("Stats().Closed false after Close")
+	}
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Errorf("after Close: InFlight=%d Queued=%d, want 0, 0", st.InFlight, st.Queued)
+	}
+	mu.Lock()
+	got := answered
+	mu.Unlock()
+	if total := st.PointQueries + st.WindowQueries + st.KNNQueries + st.Inserts + st.Deletes; total != got {
+		t.Errorf("admitted %d requests, %d answered", total, got)
+	}
+	if st.BatchedQueries != st.PointQueries+st.WindowQueries+st.KNNQueries {
+		t.Errorf("BatchedQueries = %d, want %d: a Close-time flush dropped waiters",
+			st.BatchedQueries, st.PointQueries+st.WindowQueries+st.KNNQueries)
+	}
+}

@@ -1,0 +1,65 @@
+package faults
+
+// Point registry: every injection point in the tree self-registers a
+// name and a one-line description, so tools (elsibench -faults list)
+// can enumerate the namespace instead of making callers guess strings.
+// Registration is init-time only in practice, but the table is locked
+// so late registrations (tests) stay safe.
+
+import (
+	"sort"
+	"sync"
+)
+
+// PointInfo describes one registered injection point.
+type PointInfo struct {
+	// Name is the injection-point name passed to Hit/HitCtx/Enable.
+	Name string
+	// Desc is a one-line human-readable description of the call site.
+	Desc string
+}
+
+var (
+	regMu  sync.Mutex
+	regTab map[string]string
+)
+
+// Register records an injection-point name with a one-line description.
+// Packages that own a point call it from init. Re-registering a name
+// replaces its description.
+func Register(name, desc string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if regTab == nil {
+		regTab = make(map[string]string)
+	}
+	regTab[name] = desc
+}
+
+// Points lists every registered injection point, sorted by name.
+func Points() []PointInfo {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]PointInfo, 0, len(regTab))
+	for name, desc := range regTab {
+		out = append(out, PointInfo{Name: name, Desc: desc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// The build-pipeline points predate the registry and live in packages
+// that faults cannot import (the injection sites call into this
+// package), so they are registered here, next to the namespace doc in
+// this package's comment.
+func init() {
+	Register("build/SP", "sort-predict pool builder entry")
+	Register("build/CL", "cluster pool builder entry")
+	Register("build/MR", "map-reduce pool builder entry")
+	Register("build/RS", "range-shard pool builder entry")
+	Register("build/RL", "reinforcement pool builder entry")
+	Register("build/RSP", "radix-spline pool builder entry")
+	Register("build/OG", "original (direct) builder entry")
+	Register("bounds/scan", "empirical error-bound scan loop")
+	Register("rebuild/background", "background rebuild goroutine, pre-swap")
+}

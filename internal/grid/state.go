@@ -1,0 +1,95 @@
+package grid
+
+import (
+	"fmt"
+
+	"elsi/internal/snapshot"
+)
+
+// stateVersion is the on-disk version of the Grid state encoding.
+const stateVersion = 1
+
+// StateAppend implements snapshot.Stater: the grid resolution and
+// every cell's blocks. The space comes from the constructor.
+func (g *Grid) StateAppend(b []byte) ([]byte, error) {
+	b = snapshot.AppendU8(b, stateVersion)
+	b = snapshot.AppendInt(b, g.nx)
+	b = snapshot.AppendInt(b, g.ny)
+	b = snapshot.AppendInt(b, g.size)
+	b = snapshot.AppendBool(b, g.cells != nil)
+	if g.cells == nil {
+		return b, nil
+	}
+	for _, blocks := range g.cells {
+		b = snapshot.AppendUvarint(b, uint64(len(blocks)))
+		for _, blk := range blocks {
+			b = snapshot.AppendRect(b, blk.mbr)
+			b = snapshot.AppendPoints(b, blk.pts)
+		}
+	}
+	return b, nil
+}
+
+// RestoreState implements snapshot.Stater; the cell count must match
+// nx*ny and the block totals must match the recorded size.
+func (g *Grid) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != stateVersion {
+		return fmt.Errorf("grid: unsupported state version %d", v)
+	}
+	nx := d.Int()
+	ny := d.Int()
+	size := d.Int()
+	hasCells := d.Bool()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("grid: decode state: %w", err)
+	}
+	if size < 0 {
+		return fmt.Errorf("grid: negative size %d", size)
+	}
+	if !hasCells {
+		if err := d.Close(); err != nil {
+			return fmt.Errorf("grid: decode state: %w", err)
+		}
+		if size != 0 {
+			return fmt.Errorf("grid: %d entries without cells", size)
+		}
+		g.nx, g.ny, g.size, g.cells = nx, ny, 0, nil
+		return nil
+	}
+	if nx < 1 || ny < 1 || nx*ny > len(data) {
+		return fmt.Errorf("grid: implausible resolution %dx%d", nx, ny)
+	}
+	cells := make([][]*block, nx*ny)
+	total := 0
+	for ci := range cells {
+		blockN := d.Count(20)
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("grid: decode cell %d: %w", ci, err)
+		}
+		if blockN == 0 {
+			continue
+		}
+		blocks := make([]*block, blockN)
+		for bi := range blocks {
+			mbr := d.Rect()
+			pts := d.Points()
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("grid: decode cell %d block %d: %w", ci, bi, err)
+			}
+			blocks[bi] = &block{mbr: mbr, pts: pts}
+			total += len(pts)
+		}
+		cells[ci] = blocks
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("grid: decode state: %w", err)
+	}
+	if total != size {
+		return fmt.Errorf("grid: size %d does not match block total %d", size, total)
+	}
+	g.nx, g.ny = nx, ny
+	g.size = size
+	g.cells = cells
+	return nil
+}

@@ -1,0 +1,30 @@
+package index
+
+import (
+	"fmt"
+
+	"elsi/internal/snapshot"
+)
+
+// bruteStateVersion is the on-disk version of the BruteForce state.
+const bruteStateVersion = 1
+
+// StateAppend implements snapshot.Stater: the raw point set.
+func (b *BruteForce) StateAppend(buf []byte) ([]byte, error) {
+	buf = snapshot.AppendU8(buf, bruteStateVersion)
+	return snapshot.AppendPoints(buf, b.pts), nil
+}
+
+// RestoreState implements snapshot.Stater.
+func (b *BruteForce) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != bruteStateVersion {
+		return fmt.Errorf("index: unsupported brute-force state version %d", v)
+	}
+	pts := d.Points()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("index: decode brute-force state: %w", err)
+	}
+	b.pts = pts
+	return nil
+}

@@ -1,0 +1,113 @@
+package kdb
+
+import (
+	"fmt"
+
+	"elsi/internal/snapshot"
+)
+
+// stateVersion is the on-disk version of the KDB-tree state encoding.
+const stateVersion = 1
+
+// maxDecodeDepth caps the recursive node decode against hostile
+// snapshots. KDB splits alternate axes over real data; depth 512
+// exceeds anything the bulk loader or leaf splits can produce.
+const maxDecodeDepth = 512
+
+// StateAppend implements snapshot.Stater: the split hierarchy with
+// leaf blocks. The space comes from the constructor, not the snapshot.
+func (t *Tree) StateAppend(b []byte) ([]byte, error) {
+	b = snapshot.AppendU8(b, stateVersion)
+	b = snapshot.AppendInt(b, t.size)
+	b = snapshot.AppendBool(b, t.root != nil)
+	if t.root != nil {
+		b = appendNode(b, t.root)
+	}
+	return b, nil
+}
+
+func appendNode(b []byte, n *node) []byte {
+	b = snapshot.AppendRect(b, n.region)
+	b = snapshot.AppendBool(b, n.leaf)
+	if n.leaf {
+		return snapshot.AppendPoints(b, n.pts)
+	}
+	b = snapshot.AppendU8(b, uint8(n.axis))
+	b = snapshot.AppendF64(b, n.split)
+	b = appendNode(b, n.left)
+	return appendNode(b, n.right)
+}
+
+// RestoreState implements snapshot.Stater; the decoded tree's total
+// leaf cardinality must match the recorded size.
+func (t *Tree) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != stateVersion {
+		return fmt.Errorf("kdb: unsupported state version %d", v)
+	}
+	size := d.Int()
+	hasRoot := d.Bool()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("kdb: decode state: %w", err)
+	}
+	if size < 0 {
+		return fmt.Errorf("kdb: negative size %d", size)
+	}
+	var root *node
+	total := 0
+	if hasRoot {
+		var err error
+		root, err = decodeNode(d, 0, &total)
+		if err != nil {
+			return err
+		}
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("kdb: decode state: %w", err)
+	}
+	if total != size {
+		return fmt.Errorf("kdb: size %d does not match leaf total %d", size, total)
+	}
+	if size > 0 && root == nil {
+		return fmt.Errorf("kdb: %d entries without a root", size)
+	}
+	t.root = root
+	t.size = size
+	return nil
+}
+
+func decodeNode(d *snapshot.Dec, depth int, total *int) (*node, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("kdb: node tree deeper than %d", maxDecodeDepth)
+	}
+	n := &node{region: d.Rect()}
+	n.leaf = d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("kdb: decode node: %w", err)
+	}
+	if n.leaf {
+		n.pts = d.Points()
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("kdb: decode leaf: %w", err)
+		}
+		*total += len(n.pts)
+		return n, nil
+	}
+	axis := d.U8()
+	n.split = d.F64()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("kdb: decode node: %w", err)
+	}
+	if axis > 1 {
+		return nil, fmt.Errorf("kdb: split axis %d out of range", axis)
+	}
+	n.axis = int(axis)
+	var err error
+	if n.left, err = decodeNode(d, depth+1, total); err != nil {
+		return nil, err
+	}
+	if n.right, err = decodeNode(d, depth+1, total); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

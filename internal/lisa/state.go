@@ -1,0 +1,100 @@
+package lisa
+
+import (
+	"fmt"
+
+	"elsi/internal/base"
+	"elsi/internal/geo"
+	"elsi/internal/rmi"
+	"elsi/internal/snapshot"
+)
+
+// stateVersion is the on-disk version of the LISA state encoding.
+const stateVersion = 1
+
+// StateAppend implements snapshot.Stater: the column boundaries, the
+// shard-prediction model, and the shard-wise key/point columns. Config
+// is not serialized — construct with the same Config, then restore.
+func (ix *Index) StateAppend(b []byte) ([]byte, error) {
+	b = snapshot.AppendU8(b, stateVersion)
+	b = snapshot.AppendInt(b, ix.size)
+	b = snapshot.AppendF64s(b, ix.colBounds)
+	var err error
+	if b, err = rmi.AppendBounded(b, ix.model); err != nil {
+		return nil, err
+	}
+	b = snapshot.AppendUvarint(b, uint64(len(ix.shardKeys)))
+	for s := range ix.shardKeys {
+		b = snapshot.AppendF64s(b, ix.shardKeys[s])
+		b = snapshot.AppendPoints(b, ix.shardPts[s])
+	}
+	return base.AppendBuildStatsSlice(b, ix.stats), nil
+}
+
+// RestoreState implements snapshot.Stater, validating the shard-wise
+// invariants (parallel columns, within-shard key order, size = sum of
+// shard lengths) before mutating the index.
+func (ix *Index) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != stateVersion {
+		return fmt.Errorf("lisa: unsupported state version %d", v)
+	}
+	size := d.Int()
+	colBounds := d.F64s()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("lisa: decode state: %w", err)
+	}
+	if size < 0 {
+		return fmt.Errorf("lisa: negative size %d", size)
+	}
+	for i := 1; i < len(colBounds); i++ {
+		if colBounds[i] < colBounds[i-1] {
+			return fmt.Errorf("lisa: column bounds not sorted at %d", i)
+		}
+	}
+	model, err := rmi.DecodeBounded(d)
+	if err != nil {
+		return fmt.Errorf("lisa: decode shard model: %w", err)
+	}
+	numShards := d.Count(8)
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("lisa: decode state: %w", err)
+	}
+	shardKeys := make([][]float64, numShards)
+	shardPts := make([][]geo.Point, numShards)
+	total := 0
+	for s := 0; s < numShards; s++ {
+		ks := d.F64s()
+		ps := d.Points()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("lisa: decode shard %d: %w", s, err)
+		}
+		if len(ks) != len(ps) {
+			return fmt.Errorf("lisa: shard %d columns mismatch: %d vs %d", s, len(ks), len(ps))
+		}
+		for i := 1; i < len(ks); i++ {
+			if ks[i] < ks[i-1] {
+				return fmt.Errorf("lisa: shard %d keys not sorted at %d", s, i)
+			}
+		}
+		shardKeys[s], shardPts[s] = ks, ps
+		total += len(ks)
+	}
+	stats := base.DecodeBuildStatsSlice(d)
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("lisa: decode state: %w", err)
+	}
+	if total != size {
+		return fmt.Errorf("lisa: size %d does not match shard total %d", size, total)
+	}
+	if model == nil && size != 0 {
+		return fmt.Errorf("lisa: %d entries without a shard model", size)
+	}
+	ix.size = size
+	ix.colBounds = colBounds
+	ix.model = model
+	ix.shardKeys = shardKeys
+	ix.shardPts = shardPts
+	ix.stats = stats
+	return nil
+}

@@ -72,6 +72,7 @@ func (m *MR) Prepare() {
 		m.pool = make([]pretrained, len(sets))
 		parallel.For(len(sets), m.Workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
+				rmi.CountTraining()
 				m.pool[i] = pretrained{keys: sets[i], model: m.Trainer(sets[i])}
 			}
 		})

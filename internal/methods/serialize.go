@@ -1,0 +1,46 @@
+package methods
+
+import (
+	"fmt"
+
+	"elsi/internal/rmi"
+	"elsi/internal/snapshot"
+)
+
+// The MR method's remapModel is the one model kind defined outside
+// package rmi that can end up inside a persisted index (a pool model
+// remapped onto the data's key range), so it registers an extension
+// codec with the model serializer. Tag 64 is on-disk format — never
+// reuse it for a different kind.
+const remapModelTag = rmi.ExtTagMin
+
+func init() {
+	rmi.RegisterModelCodec(remapModelTag, rmi.ModelCodec{
+		Match: func(m rmi.Model) bool {
+			_, ok := m.(*remapModel)
+			return ok
+		},
+		Append: func(b []byte, m rmi.Model) ([]byte, error) {
+			rm := m.(*remapModel)
+			b = snapshot.AppendF64(b, rm.lo)
+			b = snapshot.AppendF64(b, rm.span)
+			return rmi.AppendModel(b, rm.inner)
+		},
+		Decode: func(d *snapshot.Dec) (rmi.Model, error) {
+			lo := d.F64()
+			span := d.F64()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			//lint:ignore floateq a serialized zero span is exactly zero; any nonzero span is usable
+			if span == 0 {
+				return nil, fmt.Errorf("methods: remap model with zero span")
+			}
+			inner, err := rmi.DecodeModel(d)
+			if err != nil {
+				return nil, err
+			}
+			return &remapModel{inner: inner, lo: lo, span: span}, nil
+		},
+	})
+}

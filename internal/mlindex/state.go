@@ -1,0 +1,94 @@
+package mlindex
+
+import (
+	"fmt"
+
+	"elsi/internal/base"
+	"elsi/internal/rmi"
+	"elsi/internal/snapshot"
+	"elsi/internal/store"
+	"elsi/internal/zm"
+)
+
+// stateVersion is the on-disk version of the ML-Index state encoding.
+const stateVersion = 1
+
+// StateAppend implements snapshot.Stater: the reference points (which
+// define the iDistance mapping), the sorted key/point columns, and the
+// trained model(s). Config is not serialized — construct with the same
+// Config, then restore.
+func (ix *Index) StateAppend(b []byte) ([]byte, error) {
+	b = snapshot.AppendU8(b, stateVersion)
+	built := ix.st != nil
+	b = snapshot.AppendBool(b, built)
+	if !built {
+		return b, nil
+	}
+	b = snapshot.AppendPoints(b, ix.refs)
+	b = snapshot.AppendF64s(b, ix.st.Keys())
+	b = snapshot.AppendPoints(b, ix.st.Points())
+	var err error
+	if b, err = rmi.AppendStaged(b, ix.staged); err != nil {
+		return nil, err
+	}
+	if b, err = rmi.AppendBounded(b, ix.single); err != nil {
+		return nil, err
+	}
+	return base.AppendBuildStatsSlice(b, ix.stats), nil
+}
+
+// RestoreState implements snapshot.Stater with the same hostile-input
+// validation as zm: column invariants are checked before the sorted
+// store adopts them, and a built state must carry exactly one model
+// form plus at least one reference point (MapKey divides by nothing,
+// but an empty reference set would make every key NaN-adjacent).
+func (ix *Index) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != stateVersion {
+		return fmt.Errorf("mlindex: unsupported state version %d", v)
+	}
+	built := d.Bool()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("mlindex: decode state: %w", err)
+	}
+	if !built {
+		if err := d.Close(); err != nil {
+			return fmt.Errorf("mlindex: decode state: %w", err)
+		}
+		ix.refs, ix.st, ix.staged, ix.single, ix.stats = nil, nil, nil, nil, nil
+		return nil
+	}
+	refs := d.Points()
+	keys := d.F64s()
+	pts := d.Points()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("mlindex: decode state: %w", err)
+	}
+	if len(refs) == 0 {
+		return fmt.Errorf("mlindex: built state without reference points")
+	}
+	if err := zm.ValidateColumns(keys, pts); err != nil {
+		return fmt.Errorf("mlindex: %w", err)
+	}
+	staged, err := rmi.DecodeStaged(d)
+	if err != nil {
+		return fmt.Errorf("mlindex: decode staged model: %w", err)
+	}
+	single, err := rmi.DecodeBounded(d)
+	if err != nil {
+		return fmt.Errorf("mlindex: decode single model: %w", err)
+	}
+	stats := base.DecodeBuildStatsSlice(d)
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("mlindex: decode state: %w", err)
+	}
+	if (staged == nil) == (single == nil) {
+		return fmt.Errorf("mlindex: built state needs exactly one of staged/single model")
+	}
+	ix.refs = refs
+	ix.st = store.NewSortedColumns(keys, pts)
+	ix.staged = staged
+	ix.single = single
+	ix.stats = stats
+	return nil
+}

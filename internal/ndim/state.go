@@ -1,0 +1,90 @@
+package ndim
+
+import (
+	"fmt"
+
+	"elsi/internal/rmi"
+	"elsi/internal/snapshot"
+)
+
+// stateVersion is the on-disk version of the ndim state encoding.
+const stateVersion = 1
+
+// StateAppend implements snapshot.Stater: the sorted key column, the
+// flattened point coordinates, and the trained model. The space,
+// trainer, and reduction config come from the constructor; the encoded
+// dimensionality is checked against the space on restore.
+func (ix *Index) StateAppend(b []byte) ([]byte, error) {
+	d := ix.space.Dim()
+	b = snapshot.AppendU8(b, stateVersion)
+	b = snapshot.AppendUvarint(b, uint64(d))
+	b = snapshot.AppendInt(b, ix.trainSize)
+	b = snapshot.AppendF64s(b, ix.keys)
+	b = snapshot.AppendUvarint(b, uint64(len(ix.pts)))
+	for _, p := range ix.pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("ndim: %d-dim point in %d-dim index", len(p), d)
+		}
+		for _, c := range p {
+			b = snapshot.AppendF64(b, c)
+		}
+	}
+	return rmi.AppendBounded(b, ix.model)
+}
+
+// RestoreState implements snapshot.Stater, validating the parallel
+// key/point columns (equal lengths, ascending keys, uniform
+// dimensionality matching the index's space) before mutating anything.
+func (ix *Index) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != stateVersion {
+		return fmt.Errorf("ndim: unsupported state version %d", v)
+	}
+	dim := int(d.Uvarint())
+	trainSize := d.Int()
+	keys := d.F64s()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("ndim: decode state: %w", err)
+	}
+	if dim != ix.space.Dim() {
+		return fmt.Errorf("ndim: state is %d-dimensional, index space is %d-dimensional", dim, ix.space.Dim())
+	}
+	if trainSize < 0 {
+		return fmt.Errorf("ndim: negative train-set size %d", trainSize)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return fmt.Errorf("ndim: keys not sorted at %d", i)
+		}
+	}
+	n := d.Count(dim * 8)
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("ndim: decode state: %w", err)
+	}
+	if n != len(keys) {
+		return fmt.Errorf("ndim: key/point columns mismatch: %d vs %d", len(keys), n)
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, dim)
+		for j := range p {
+			p[j] = d.F64()
+		}
+		pts[i] = p
+	}
+	model, err := rmi.DecodeBounded(d)
+	if err != nil {
+		return fmt.Errorf("ndim: decode model: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("ndim: decode state: %w", err)
+	}
+	if model == nil && len(keys) > 0 {
+		return fmt.Errorf("ndim: %d entries without a model", len(keys))
+	}
+	ix.keys = keys
+	ix.pts = pts
+	ix.model = model
+	ix.trainSize = trainSize
+	return nil
+}

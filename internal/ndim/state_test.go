@@ -1,0 +1,100 @@
+package ndim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"elsi/internal/rmi"
+)
+
+func stateIndex() *Index {
+	return NewIndex(UnitCube(3), rmi.PiecewiseTrainer(1.0/64), 4)
+}
+
+func statePoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, 3)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestStateRoundtrip(t *testing.T) {
+	pts := statePoints(2000, 5)
+	orig := stateIndex()
+	if err := orig.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.StateAppend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := stateIndex()
+	before := rmi.Trainings()
+	if err := restored.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := rmi.Trainings(); got != before {
+		t.Fatalf("restore trained %d models", got-before)
+	}
+	blob2, err := restored.StateAppend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encoded state differs")
+	}
+	for i, p := range pts[:100] {
+		if !restored.PointQuery(p) {
+			t.Fatalf("stored point %d missing after restore", i)
+		}
+	}
+	for i, q := range statePoints(20, 9) {
+		a, b := orig.KNN(q, 5), restored.KNN(q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("kNN %d length differs", i)
+		}
+		for j := range a {
+			for c := range a[j] {
+				if a[j][c] != b[j][c] {
+					t.Fatalf("kNN %d differs after restore", i)
+				}
+			}
+		}
+	}
+}
+
+func TestStateHostileInput(t *testing.T) {
+	pts := statePoints(500, 3)
+	orig := stateIndex()
+	if err := orig.Build(pts); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.StateAppend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(blob) / 2, len(blob) - 1} {
+		if err := stateIndex().RestoreState(blob[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Dimensionality mismatch is structural, not silent.
+	other := NewIndex(UnitCube(2), rmi.PiecewiseTrainer(1.0/64), 4)
+	if err := other.RestoreState(blob); err == nil {
+		t.Fatal("3-D state accepted by 2-D index")
+	}
+	step := len(blob)/61 + 1
+	for off := 0; off < len(blob); off += step {
+		mut := append([]byte(nil), blob...)
+		mut[off] ^= 0x08
+		_ = stateIndex().RestoreState(mut)
+	}
+}

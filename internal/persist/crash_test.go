@@ -1,0 +1,399 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"elsi/internal/base"
+	"elsi/internal/faults"
+	"elsi/internal/geo"
+	"elsi/internal/rebuild"
+	"elsi/internal/rmi"
+	"elsi/internal/snapshot"
+	"elsi/internal/wal"
+	"elsi/internal/zm"
+)
+
+// crashConfig builds a store config over the ZM family under
+// SyncAlways, so "Append returned nil" and "durable" coincide and the
+// golden reference is exact.
+func crashConfig(dir string, shards int) Config {
+	factory := func() rebuild.Rebuildable {
+		return zm.New(zm.Config{
+			Space:   geo.UnitRect,
+			Builder: &base.Direct{Trainer: rmi.PiecewiseTrainer(1.0 / 64)},
+			Fanout:  4,
+		})
+	}
+	return Config{
+		Dir:     dir,
+		WAL:     wal.Options{Policy: wal.SyncAlways, SegmentBytes: 1 << 12},
+		Shards:  shards,
+		Space:   geo.UnitRect,
+		Factory: factory,
+		MapKey:  factory().(*zm.Index).MapKey,
+	}
+}
+
+// golden is the never-crashed in-memory reference: the exact live
+// point set, updated only by acknowledged updates.
+type golden struct {
+	live map[geo.Point]bool
+}
+
+func newGolden(pts []geo.Point) *golden {
+	g := &golden{live: make(map[geo.Point]bool, len(pts))}
+	for _, p := range pts {
+		g.live[p] = true
+	}
+	return g
+}
+
+func (g *golden) insert(p geo.Point) { g.live[p] = true }
+func (g *golden) delete(p geo.Point) { delete(g.live, p) }
+
+func (g *golden) window(w geo.Rect) []geo.Point {
+	var out []geo.Point
+	for p := range g.live {
+		if w.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (g *golden) knn(q geo.Point, k int) []geo.Point {
+	type cand struct {
+		p geo.Point
+		d float64
+	}
+	cands := make([]cand, 0, len(g.live))
+	for p := range g.live {
+		dx, dy := p.X-q.X, p.Y-q.Y
+		cands = append(cands, cand{p, dx*dx + dy*dy})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		if cands[i].p.X != cands[j].p.X {
+			return cands[i].p.X < cands[j].p.X
+		}
+		return cands[i].p.Y < cands[j].p.Y
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]geo.Point, k)
+	for i := range out {
+		out[i] = cands[i].p
+	}
+	return out
+}
+
+// crashQueries is the fixed query workload both sides answer.
+type crashQueries struct {
+	probes []geo.Point // point queries: mix of live and absent
+	wins   []geo.Rect
+	knnQ   []geo.Point
+	knnK   []int
+}
+
+func makeQueries(seed int64, sample []geo.Point) crashQueries {
+	rng := rand.New(rand.NewSource(seed))
+	q := crashQueries{}
+	q.probes = append(q.probes, sample[:min(200, len(sample))]...)
+	for i := 0; i < 50; i++ {
+		q.probes = append(q.probes, geo.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	for i := 0; i < 25; i++ {
+		x, y := rng.Float64()*0.85, rng.Float64()*0.85
+		q.wins = append(q.wins, geo.Rect{MinX: x, MinY: y, MaxX: x + 0.12, MaxY: y + 0.12})
+	}
+	for i := 0; i < 25; i++ {
+		q.knnQ = append(q.knnQ, geo.Point{X: rng.Float64(), Y: rng.Float64()})
+		q.knnK = append(q.knnK, 1+rng.Intn(16))
+	}
+	return q
+}
+
+func appendCanonPts(b []byte, pts []geo.Point) []byte {
+	cp := append([]geo.Point(nil), pts...)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].X != cp[j].X {
+			return cp[i].X < cp[j].X
+		}
+		return cp[i].Y < cp[j].Y
+	})
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cp)))
+	for _, p := range cp {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p.X))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(p.Y))
+	}
+	return b
+}
+
+// canonStore serializes the store's answers to q into canonical bytes
+// (windows sorted; kNN reduced to the sorted result set).
+func canonStore(s *Store, q crashQueries) []byte {
+	var b []byte
+	outB := s.PointBatch(q.probes, make([]bool, len(q.probes)))
+	for _, v := range outB {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	for _, res := range s.WindowBatch(q.wins, make([][]geo.Point, len(q.wins))) {
+		b = appendCanonPts(b, res)
+	}
+	for _, res := range s.KNNVarBatch(q.knnQ, q.knnK, make([][]geo.Point, len(q.knnQ))) {
+		b = appendCanonPts(b, res)
+	}
+	return b
+}
+
+// canonGolden serializes the golden reference's answers to the same
+// byte form.
+func canonGolden(g *golden, q crashQueries) []byte {
+	var b []byte
+	for _, p := range q.probes {
+		if g.live[p] {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	for _, w := range q.wins {
+		b = appendCanonPts(b, g.window(w))
+	}
+	for i, qp := range q.knnQ {
+		b = appendCanonPts(b, g.knn(qp, q.knnK[i]))
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func basePoints(n int, seed int64) []geo.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+// runUpdates drives nUp mixed updates through the store, mirroring
+// every acknowledged one into the golden reference. midHook runs
+// after half the updates (the crash harness arms its fault there).
+func runUpdates(t *testing.T, s *Store, g *golden, seed int64, nUp int, midHook func()) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var live []geo.Point
+	for p := range g.live {
+		live = append(live, p)
+	}
+	sortPts(live) // map order is random; fix it for determinism
+	for i := 0; i < nUp; i++ {
+		if i == nUp/2 && midHook != nil {
+			midHook()
+		}
+		if rng.Float64() < 0.6 || len(live) == 0 {
+			p := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+			sh := s.Router().ShardIndexOf(p)
+			s.Insert(p)
+			if s.ShardDead(sh) == nil {
+				g.insert(p)
+				live = append(live, p)
+			}
+		} else {
+			j := rng.Intn(len(live))
+			p := live[j]
+			sh := s.Router().ShardIndexOf(p)
+			s.Delete(p)
+			if s.ShardDead(sh) == nil {
+				g.delete(p)
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+	}
+}
+
+// TestCrashMatrix is the acceptance property: for every registered
+// crash point and for both shard layouts, kill-then-recover yields
+// query answers byte-identical to the golden never-crashed reference,
+// and recovery trains zero models.
+func TestCrashMatrix(t *testing.T) {
+	points := []string{
+		"wal/append",
+		"wal/fsync",
+		"snapshot/write",
+		"snapshot/rename",
+		"recover/replay",
+	}
+	for _, shards := range []int{1, 4} {
+		for _, point := range points {
+			point := point
+			t.Run(point+"/shards="+string(rune('0'+shards)), func(t *testing.T) {
+				defer faults.Reset()
+				dir := t.TempDir()
+				base := basePoints(2000, 1)
+				s, err := Create(crashConfig(dir, shards), base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g := newGolden(base)
+
+				switch point {
+				case "wal/append", "wal/fsync":
+					// The crash fires on one mid-run update; that
+					// update and every later one on its shard is
+					// unacknowledged and stays out of the golden.
+					runUpdates(t, s, g, 2, 600, func() {
+						faults.Enable(point, faults.Fault{Mode: faults.ModeError, Times: 1})
+					})
+					if s.Err() == nil {
+						t.Fatal("crash point never fired")
+					}
+				default:
+					// Clean updates with a mid-run snapshot+trim, then
+					// the crash fires at the next snapshot attempt
+					// (write or rename) or during the next recovery.
+					runUpdates(t, s, g, 2, 600, func() {
+						if err := s.Snapshot(); err != nil {
+							t.Errorf("mid-run snapshot: %v", err)
+						}
+					})
+					if point != "recover/replay" {
+						faults.Enable(point, faults.Fault{Mode: faults.ModeError, Times: 1})
+						if err := s.Snapshot(); err == nil {
+							t.Fatal("snapshot survived injected crash")
+						}
+					}
+				}
+				s.Kill()
+
+				if point == "recover/replay" {
+					faults.Enable(point, faults.Fault{Mode: faults.ModeError, Times: 1})
+					if _, err := Open(crashConfig(dir, shards)); err == nil {
+						t.Fatal("open survived injected replay crash")
+					}
+				}
+				faults.Reset()
+
+				trainings := rmi.Trainings()
+				s2, err := Open(crashConfig(dir, shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s2.Close()
+				if got := rmi.Trainings(); got != trainings {
+					t.Fatalf("recovery trained %d models", got-trainings)
+				}
+				if s2.NumShards() != s.NumShards() {
+					t.Fatalf("recovered %d shards, want %d", s2.NumShards(), s.NumShards())
+				}
+
+				q := makeQueries(3, base)
+				want := canonGolden(g, q)
+				got := canonStore(s2, q)
+				if string(got) != string(want) {
+					t.Fatal("recovered store diverges from golden reference")
+				}
+
+				// The recovered store is live: more updates and another
+				// recovery cycle keep matching.
+				runUpdates(t, s2, g, 4, 100, nil)
+				if err := s2.Close(); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+				s3, err := Open(crashConfig(dir, shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s3.Close()
+				if string(canonStore(s3, q)) != string(canonGolden(g, q)) {
+					t.Fatal("second recovery diverges from golden reference")
+				}
+			})
+		}
+	}
+}
+
+// TestRecoveryCorruptWALFailsLoudly flips a bit in a non-tail WAL
+// record: recovery must fail with the typed *wal.CorruptError, never
+// silently drop the damaged suffix.
+func TestRecoveryCorruptWALFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(crashConfig(dir, 1), basePoints(500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGolden(basePoints(500, 1))
+	runUpdates(t, s, g, 2, 50, nil)
+	s.Kill()
+
+	walDir := filepath.Join(dir, shardDirName(0), walSubdir)
+	ents, err := os.ReadDir(walDir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("wal dir: %v (%d entries)", err, len(ents))
+	}
+	path := filepath.Join(walDir, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[12] ^= 0x01 // payload byte of the first record: mid-log damage
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(crashConfig(dir, 1))
+	var ce *wal.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *wal.CorruptError, got %v", err)
+	}
+}
+
+// TestRecoveryCorruptSnapshotFailsLoudly mirrors it for the snapshot:
+// a flipped bit must surface as a typed *snapshot.FormatError.
+func TestRecoveryCorruptSnapshotFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(crashConfig(dir, 1), basePoints(500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	name, _, err := snapshot.Latest(filepath.Join(dir, shardDirName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x04
+	if err := os.WriteFile(name, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(crashConfig(dir, 1))
+	var fe *snapshot.FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *snapshot.FormatError, got %v", err)
+	}
+}

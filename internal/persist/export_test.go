@@ -1,0 +1,9 @@
+package persist
+
+// ShardDead exposes shard i's sticky WAL error to the crash harness:
+// an update is acknowledged (and belongs in the golden reference) iff
+// its shard's log is alive right after the call.
+func (s *Store) ShardDead(i int) error { return s.mgrs[i].log.Dead() }
+
+// NumShards reports the store's shard count.
+func (s *Store) NumShards() int { return len(s.mgrs) }

@@ -1,0 +1,257 @@
+package persist
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"elsi/internal/faults"
+	"elsi/internal/geo"
+	"elsi/internal/index"
+	"elsi/internal/rebuild"
+	"elsi/internal/snapshot"
+)
+
+func TestCreateOpenRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	base := basePoints(1500, 1)
+	cfg := crashConfig(dir, 2)
+	s, err := Create(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(dir) {
+		t.Fatal("Exists false after Create")
+	}
+	if _, err := Create(cfg, base); err == nil {
+		t.Fatal("Create over an existing store succeeded")
+	}
+	g := newGolden(base)
+	runUpdates(t, s, g, 2, 200, nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if len(rec.Shards) != s2.NumShards() {
+		t.Fatalf("recovery info covers %d shards", len(rec.Shards))
+	}
+	for _, sr := range rec.Shards {
+		// Close snapshots every shard, so recovery replays nothing.
+		if sr.WALRecords != 0 || sr.TornTail {
+			t.Fatalf("shard %d replayed %d records after clean close", sr.Shard, sr.WALRecords)
+		}
+		if sr.SnapshotBytes == 0 {
+			t.Fatalf("shard %d recovered from an empty snapshot", sr.Shard)
+		}
+	}
+	q := makeQueries(3, base)
+	if string(canonStore(s2, q)) != string(canonGolden(g, q)) {
+		t.Fatal("reopened store diverges")
+	}
+}
+
+func TestOpenWrongFamilyRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(crashConfig(dir, 1), basePoints(300, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	cfg := crashConfig(dir, 1)
+	cfg.Factory = func() rebuild.Rebuildable { return index.NewBruteForce() }
+	cfg.MapKey = func(p geo.Point) float64 { return p.X }
+	_, err = Open(cfg)
+	if err == nil || !strings.Contains(err.Error(), "family") {
+		t.Fatalf("family mismatch not rejected: %v", err)
+	}
+}
+
+func TestOpenMissingStore(t *testing.T) {
+	if _, err := Open(crashConfig(t.TempDir(), 1)); err == nil {
+		t.Fatal("open of an empty directory succeeded")
+	}
+}
+
+// TestSnapshotOnSwap is the tentpole wiring property: a background
+// rebuild swap triggers a snapshot, after which the WAL prefix it
+// covers is trimmed, so recovery replays (at most) the post-swap tail.
+func TestSnapshotOnSwap(t *testing.T) {
+	dir := t.TempDir()
+	cfg := crashConfig(dir, 1)
+	// Tiny segments so covered segments actually become trimmable.
+	cfg.WAL.SegmentBytes = 8 * 33
+	base := basePoints(1000, 1)
+	s, err := Create(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	g := newGolden(base)
+	runUpdates(t, s, g, 2, 120, nil)
+
+	snapDir := filepath.Join(dir, shardDirName(0))
+	_, before, err := snapshot.Latest(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proc := s.Router().Processor(0)
+	proc.Rebuild() // background: swap fires OnSwap
+	proc.WaitRebuild()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, lsn, err := snapshot.Latest(snapDir)
+		if err == nil && lsn > before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no snapshot after rebuild swap (still at LSN %d)", before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replays only what arrived after the swap: nothing.
+	s.Kill()
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec := s2.Recovery(); rec.Shards[0].WALRecords != 0 {
+		t.Fatalf("replayed %d records despite post-swap snapshot", rec.Shards[0].WALRecords)
+	}
+	q := makeQueries(3, base)
+	if string(canonStore(s2, q)) != string(canonGolden(g, q)) {
+		t.Fatal("recovered store diverges after swap snapshot")
+	}
+}
+
+// TestConcurrentUpdatesAndQueries exercises the store's locking under
+// the race detector: parallel writers on all shards, batch queries,
+// and a forced snapshot in the middle.
+func TestConcurrentUpdatesAndQueries(t *testing.T) {
+	dir := t.TempDir()
+	base := basePoints(1000, 1)
+	s, err := Create(crashConfig(dir, 4), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pts := basePoints(300, int64(10+w))
+			for i, p := range pts {
+				s.Insert(p)
+				if i%3 == 0 {
+					s.Delete(p)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q := makeQueries(3, base)
+		for i := 0; i < 20; i++ {
+			canonStore(s, q)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := s.Snapshot(); err != nil {
+			t.Errorf("snapshot during load: %v", err)
+		}
+	}()
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything acknowledged under SyncAlways survives.
+	s2, err := Open(crashConfig(dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Router().Len() != s.Router().Len() {
+		t.Fatalf("recovered %d points, want %d", s2.Router().Len(), s.Router().Len())
+	}
+}
+
+// TestTornTailReportedInRecovery checks the RecoveryInfo plumbing end
+// to end: an injected append crash leaves a torn tail, and Open
+// reports it for the damaged shard.
+func TestTornTailReportedInRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(crashConfig(dir, 1), basePoints(500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Reset()
+	g := newGolden(basePoints(500, 1))
+	runUpdates(t, s, g, 2, 40, func() {
+		faults.Enable("wal/append", faults.Fault{Mode: faults.ModeError, Times: 1})
+	})
+	if s.Err() == nil {
+		t.Fatal("crash never fired")
+	}
+	s.Kill()
+
+	s2, err := Open(crashConfig(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Recovery().Shards[0].TornTail {
+		t.Fatal("torn tail not reported in recovery info")
+	}
+	q := makeQueries(3, basePoints(500, 1))
+	if string(canonStore(s2, q)) != string(canonGolden(g, q)) {
+		t.Fatal("recovered store diverges after torn tail")
+	}
+}
+
+// TestUnacknowledgedUpdateIsInvisible pins the acknowledgement
+// contract: an update whose WAL append crashed was never applied, so
+// it must not surface after recovery.
+func TestUnacknowledgedUpdateIsInvisible(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	s, err := Create(crashConfig(dir, 1), basePoints(200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable("wal/append", faults.Fault{Mode: faults.ModeError, Times: 1})
+	p := geo.Point{X: 0.123456, Y: 0.654321}
+	s.Insert(p)
+	if s.ShardDead(0) == nil {
+		t.Fatal("crash never fired")
+	}
+	s.Kill()
+	faults.Reset()
+
+	s2, err := Open(crashConfig(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.PointBatch([]geo.Point{p}, make([]bool, 1)); got[0] {
+		t.Fatal("unacknowledged insert visible after recovery")
+	}
+}

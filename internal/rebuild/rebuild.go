@@ -194,6 +194,12 @@ type Processor struct {
 	// and waiting there on other shards' builds would stall this
 	// shard's readers for unrelated work.
 	BuildGate func() (release func())
+	// OnSwap, when non-nil, is called after every successful background
+	// rebuild swap, outside the processor lock. The persistence layer
+	// installs its snapshot trigger here: a swap is the moment the
+	// learned structure absorbed its pending deltas, so capturing right
+	// after it keeps the WAL tail (and hence recovery time) short.
+	OnSwap func()
 	// BreakerThreshold is the number of consecutive rebuild failures
 	// that opens the circuit breaker (0 selects the default of 5,
 	// negative disables the breaker). While open, automatic rebuilds
@@ -511,39 +517,47 @@ func (p *Processor) startRebuildLocked() {
 			keys, n, dist = summarize(frozenPts, mapKey)
 		}
 
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		if p.generation != gen {
-			return // superseded; state belongs to a newer rebuild
-		}
-		p.rebuilding = false
-		p.rebuildErr = err
-		if err != nil {
-			// keep serving the old index; fold the overlay back into
-			// the frozen view, replaying chronologically so deletions
-			// cancel the frozen insertions they could not reach while
-			// the snapshot was immutable
-			restored := p.frozen
-			for _, r := range p.deltaList.Records() {
-				if r.Op == delta.Deleted && restored.RemoveInsertedPoint(r.Point) {
-					continue
-				}
-				restored.Adopt(r)
+		swapped := func() bool {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			if p.generation != gen {
+				return false // superseded; state belongs to a newer rebuild
 			}
-			p.deltaList = *restored
+			p.rebuilding = false
+			p.rebuildErr = err
+			if err != nil {
+				// keep serving the old index; fold the overlay back into
+				// the frozen view, replaying chronologically so deletions
+				// cancel the frozen insertions they could not reach while
+				// the snapshot was immutable
+				restored := p.frozen
+				for _, r := range p.deltaList.Records() {
+					if r.Op == delta.Deleted && restored.RemoveInsertedPoint(r.Point) {
+						continue
+					}
+					restored.Adopt(r)
+				}
+				p.deltaList = *restored
+				p.frozen = nil
+				p.recordFailureLocked(err)
+				p.scheduleRetryLocked(gen)
+				return false
+			}
+			// atomic swap: the new index already contains everything the
+			// frozen view described, so only the overlay stays pending
+			p.idx = newIdx
 			p.frozen = nil
-			p.recordFailureLocked(err)
-			p.scheduleRetryLocked(gen)
-			return
+			p.rebuilds++
+			p.builtKeys, p.builtN, p.builtDist = keys, n, dist
+			p.updatesSeen -= seenAtStart
+			p.recordSuccessLocked()
+			return true
+		}()
+		// the snapshot hook runs outside the lock: it may call back into
+		// CaptureState, which takes the read lock
+		if swapped && p.OnSwap != nil {
+			p.OnSwap()
 		}
-		// atomic swap: the new index already contains everything the
-		// frozen view described, so only the overlay stays pending
-		p.idx = newIdx
-		p.frozen = nil
-		p.rebuilds++
-		p.builtKeys, p.builtN, p.builtDist = keys, n, dist
-		p.updatesSeen -= seenAtStart
-		p.recordSuccessLocked()
 	}()
 }
 

@@ -19,6 +19,7 @@ func SafeTrain(trainer Trainer, trainKeys []float64) (m Model, err error) {
 			m, err = nil, pe
 		}
 	}()
+	CountTraining()
 	return trainer(trainKeys), nil
 }
 

@@ -141,6 +141,7 @@ func NewBounded(trainer Trainer, trainKeys, fullKeys []float64) *Bounded {
 // NewBoundedWorkers is NewBounded with an explicit worker count for the
 // error-bound scan (0 = GOMAXPROCS, 1 = serial).
 func NewBoundedWorkers(trainer Trainer, trainKeys, fullKeys []float64, workers int) *Bounded {
+	CountTraining()
 	m := trainer(trainKeys)
 	lo, hi := ErrorBoundsWorkers(m, fullKeys, workers)
 	return &Bounded{Model: m, N: len(fullKeys), ErrLo: lo, ErrHi: hi}
@@ -675,6 +676,7 @@ func NewBoundedTheoretical(sortedKeys []float64, eps float64) *Bounded {
 	if eps <= 0 {
 		eps = 1.0 / 256
 	}
+	CountTraining()
 	m := PiecewiseTrainer(eps)(sortedKeys)
 	n := len(sortedKeys)
 	bound := int(eps*float64(n)) + 1

@@ -1,0 +1,351 @@
+package rmi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"elsi/internal/nn"
+	"elsi/internal/snapshot"
+)
+
+// Model serialization for the persistence layer: every trained model a
+// snapshot can contain round-trips through AppendModel/DecodeModel
+// bit-exactly, so a recovered index predicts exactly what the
+// snapshotted one predicted — the foundation of the byte-identical
+// recovery guarantee — and recovery performs zero training (counted by
+// Trainings; the crash harness asserts the counter does not move).
+//
+// Models are tagged: rmi's own model kinds use tags below 64; models
+// defined in other packages (methods' remapped pool models) register a
+// codec with RegisterModelCodec using tags 64 and up.
+
+// Model tags. On-disk values — never renumber.
+const (
+	tagConst       = 1
+	tagLinear      = 2
+	tagPiecewise   = 3
+	tagFFN         = 4
+	tagRadixSpline = 5
+
+	// ExtTagMin is the first tag available to RegisterModelCodec.
+	ExtTagMin = 64
+)
+
+// --- training counter -----------------------------------------------
+
+var trainings atomic.Int64
+
+// Trainings returns the number of model-training invocations since
+// process start, across every trainer path (direct, safe, bounded,
+// staged, pool pretraining). Recovery-from-snapshot must not move it.
+func Trainings() int64 { return trainings.Load() }
+
+// CountTraining records one model-training invocation. Call sites are
+// the funnels that invoke a Trainer; packages that call a Trainer
+// directly (base, methods) count through this hook.
+func CountTraining() { trainings.Add(1) }
+
+// --- extension registry ----------------------------------------------
+
+// ModelCodec serializes one externally defined model kind.
+type ModelCodec struct {
+	// Match reports whether m is this codec's kind.
+	Match func(m Model) bool
+	// Append serializes m onto b.
+	Append func(b []byte, m Model) ([]byte, error)
+	// Decode reads one model off d.
+	Decode func(d *snapshot.Dec) (Model, error)
+}
+
+var (
+	extMu     sync.RWMutex
+	extCodecs map[uint8]ModelCodec
+)
+
+// RegisterModelCodec registers a codec for an externally defined model
+// kind under tag (>= ExtTagMin). Packages register from init; the tag
+// is part of the on-disk format and must never be reused for a
+// different kind.
+func RegisterModelCodec(tag uint8, c ModelCodec) {
+	if tag < ExtTagMin {
+		panic(fmt.Sprintf("rmi: model codec tag %d reserved for built-in models", tag))
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
+	if extCodecs == nil {
+		extCodecs = make(map[uint8]ModelCodec)
+	}
+	if _, dup := extCodecs[tag]; dup {
+		panic(fmt.Sprintf("rmi: duplicate model codec tag %d", tag))
+	}
+	extCodecs[tag] = c
+}
+
+func extCodecFor(m Model) (uint8, ModelCodec, bool) {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	for tag, c := range extCodecs {
+		if c.Match(m) {
+			return tag, c, true
+		}
+	}
+	return 0, ModelCodec{}, false
+}
+
+func extCodecByTag(tag uint8) (ModelCodec, bool) {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	c, ok := extCodecs[tag]
+	return c, ok
+}
+
+// --- model codec ------------------------------------------------------
+
+// AppendModel serializes m onto b. Unknown model kinds (no built-in
+// tag, no registered codec) error rather than silently dropping the
+// model.
+func AppendModel(b []byte, m Model) ([]byte, error) {
+	switch v := m.(type) {
+	case constModel:
+		b = snapshot.AppendU8(b, tagConst)
+		return snapshot.AppendF64(b, float64(v)), nil
+	case *LinearModel:
+		b = snapshot.AppendU8(b, tagLinear)
+		b = snapshot.AppendF64(b, v.Slope)
+		return snapshot.AppendF64(b, v.Intercept), nil
+	case *PiecewiseModel:
+		b = snapshot.AppendU8(b, tagPiecewise)
+		b = snapshot.AppendUvarint(b, uint64(len(v.segs)))
+		for _, s := range v.segs {
+			b = snapshot.AppendF64(b, s.startKey)
+			b = snapshot.AppendF64(b, s.slope)
+			b = snapshot.AppendF64(b, s.intercept)
+		}
+		return b, nil
+	case *FFNModel:
+		netBytes, err := v.net.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("rmi: serialize FFN model: %w", err)
+		}
+		b = snapshot.AppendU8(b, tagFFN)
+		b = snapshot.AppendF64(b, v.min)
+		b = snapshot.AppendF64(b, v.max)
+		return snapshot.AppendBytes(b, netBytes), nil
+	case *RadixSplineModel:
+		b = snapshot.AppendU8(b, tagRadixSpline)
+		b = snapshot.AppendF64s(b, v.knotX)
+		b = snapshot.AppendF64s(b, v.knotY)
+		b = snapshot.AppendInt(b, v.radixBits)
+		b = snapshot.AppendUvarint(b, uint64(len(v.table)))
+		for _, t := range v.table {
+			b = snapshot.AppendVarint(b, int64(t))
+		}
+		b = snapshot.AppendF64(b, v.min)
+		return snapshot.AppendF64(b, v.max), nil
+	}
+	if tag, c, ok := extCodecFor(m); ok {
+		b = snapshot.AppendU8(b, tag)
+		return c.Append(b, m)
+	}
+	return nil, fmt.Errorf("rmi: no serializer for model type %T", m)
+}
+
+// DecodeModel reads one model off d, validating structure as it goes.
+func DecodeModel(d *snapshot.Dec) (Model, error) {
+	tag := d.U8()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagConst:
+		v := d.F64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return constModel(v), nil
+	case tagLinear:
+		m := &LinearModel{Slope: d.F64(), Intercept: d.F64()}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case tagPiecewise:
+		n := d.Count(24)
+		segs := make([]segment, n)
+		for i := range segs {
+			segs[i] = segment{startKey: d.F64(), slope: d.F64(), intercept: d.F64()}
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].startKey < segs[i-1].startKey {
+				return nil, fmt.Errorf("rmi: piecewise segments not sorted at %d", i)
+			}
+		}
+		return &PiecewiseModel{segs: segs}, nil
+	case tagFFN:
+		min := d.F64()
+		max := d.F64()
+		netBytes := d.Bytes()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		net := &nn.Network{}
+		if err := net.UnmarshalBinary(netBytes); err != nil {
+			return nil, fmt.Errorf("rmi: decode FFN network: %w", err)
+		}
+		return &FFNModel{net: net, min: min, max: max}, nil
+	case tagRadixSpline:
+		knotX := d.F64s()
+		knotY := d.F64s()
+		radixBits := d.Int()
+		tn := d.Count(1)
+		table := make([]int32, tn)
+		for i := range table {
+			v := d.Varint()
+			table[i] = int32(v)
+			if d.Err() == nil && int64(table[i]) != v {
+				return nil, fmt.Errorf("rmi: radix table entry %d overflows int32", v)
+			}
+		}
+		lo := d.F64()
+		hi := d.F64()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(knotX) != len(knotY) {
+			return nil, fmt.Errorf("rmi: radix spline knot columns mismatch: %d vs %d", len(knotX), len(knotY))
+		}
+		if radixBits < 0 || radixBits > 30 {
+			return nil, fmt.Errorf("rmi: radix bits %d out of range", radixBits)
+		}
+		for _, t := range table {
+			if int(t) < 0 || (len(knotX) > 0 && int(t) >= len(knotX)) || (len(knotX) == 0 && t != 0) {
+				return nil, fmt.Errorf("rmi: radix table entry %d out of knot range", t)
+			}
+		}
+		return &RadixSplineModel{knotX: knotX, knotY: knotY, radixBits: radixBits, table: table, min: lo, max: hi}, nil
+	}
+	if c, ok := extCodecByTag(tag); ok {
+		return c.Decode(d)
+	}
+	return nil, fmt.Errorf("rmi: unknown model tag %d", tag)
+}
+
+// AppendBounded serializes a Bounded (model + cardinality + empirical
+// error bounds). A nil Bounded encodes as absent.
+func AppendBounded(b []byte, bd *Bounded) ([]byte, error) {
+	if bd == nil {
+		return snapshot.AppendBool(b, false), nil
+	}
+	b = snapshot.AppendBool(b, true)
+	b = snapshot.AppendInt(b, bd.N)
+	b = snapshot.AppendInt(b, bd.ErrLo)
+	b = snapshot.AppendInt(b, bd.ErrHi)
+	return AppendModel(b, bd.Model)
+}
+
+// DecodeBounded reads a Bounded written by AppendBounded; nil when it
+// was encoded as absent.
+func DecodeBounded(d *snapshot.Dec) (*Bounded, error) {
+	present := d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	n := d.Int()
+	lo := d.Int()
+	hi := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || lo < 0 || hi < 0 {
+		return nil, fmt.Errorf("rmi: negative bounded fields (n=%d lo=%d hi=%d)", n, lo, hi)
+	}
+	m, err := DecodeModel(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Bounded{Model: m, N: n, ErrLo: lo, ErrHi: hi}, nil
+}
+
+// AppendStaged serializes a Staged (root + leaves + splits). A nil
+// Staged encodes as absent.
+func AppendStaged(b []byte, s *Staged) ([]byte, error) {
+	if s == nil {
+		return snapshot.AppendBool(b, false), nil
+	}
+	b = snapshot.AppendBool(b, true)
+	b = snapshot.AppendInt(b, s.n)
+	b = snapshot.AppendInts(b, s.splits)
+	var err error
+	b, err = AppendBounded(b, s.root)
+	if err != nil {
+		return nil, err
+	}
+	b = snapshot.AppendUvarint(b, uint64(len(s.leaves)))
+	for _, leaf := range s.leaves {
+		b, err = AppendBounded(b, leaf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeStaged reads a Staged written by AppendStaged; nil when it was
+// encoded as absent. The splits table is validated against n and the
+// leaf count so a corrupted snapshot cannot produce out-of-range leaf
+// dispatch.
+func DecodeStaged(d *snapshot.Dec) (*Staged, error) {
+	present := d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	n := d.Int()
+	splits := d.Ints()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	root, err := DecodeBounded(d)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("rmi: staged model missing root")
+	}
+	leafN := d.Count(1)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || len(splits) != leafN+1 {
+		return nil, fmt.Errorf("rmi: staged splits length %d does not match %d leaves", len(splits), leafN)
+	}
+	for i, sp := range splits {
+		if sp < 0 || sp > n || (i > 0 && sp < splits[i-1]) {
+			return nil, fmt.Errorf("rmi: staged split %d invalid", sp)
+		}
+	}
+	if len(splits) > 0 && (splits[0] != 0 || splits[len(splits)-1] != n) {
+		return nil, fmt.Errorf("rmi: staged splits do not cover [0, %d]", n)
+	}
+	leaves := make([]*Bounded, leafN)
+	for i := range leaves {
+		leaf, err := DecodeBounded(d)
+		if err != nil {
+			return nil, err
+		}
+		if leaf == nil {
+			return nil, fmt.Errorf("rmi: staged model missing leaf %d", i)
+		}
+		leaves[i] = leaf
+	}
+	return &Staged{root: root, leaves: leaves, splits: splits, n: n}, nil
+}

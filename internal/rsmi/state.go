@@ -1,0 +1,169 @@
+package rsmi
+
+import (
+	"fmt"
+
+	"elsi/internal/base"
+	"elsi/internal/rmi"
+	"elsi/internal/snapshot"
+	"elsi/internal/store"
+	"elsi/internal/zm"
+)
+
+// stateVersion is the on-disk version of the RSMI state encoding.
+const stateVersion = 1
+
+// maxDecodeDepth caps the recursive node decode so a hostile snapshot
+// cannot drive unbounded recursion. Real trees are shallow (depth ~
+// log_fanout(n/leafCap)); 64 is far beyond any buildable structure.
+const maxDecodeDepth = 64
+
+// StateAppend implements snapshot.Stater: the full node hierarchy with
+// every node's trained model, leaf columns, and overflow buffers.
+func (ix *Index) StateAppend(b []byte) ([]byte, error) {
+	b = snapshot.AppendU8(b, stateVersion)
+	b = snapshot.AppendInt(b, ix.size)
+	b = snapshot.AppendInt(b, ix.localRebuilds)
+	b = snapshot.AppendBool(b, ix.root != nil)
+	if ix.root != nil {
+		var err error
+		if b, err = appendNode(b, ix.root); err != nil {
+			return nil, err
+		}
+	}
+	return base.AppendBuildStatsSlice(b, ix.stats), nil
+}
+
+func appendNode(b []byte, n *node) ([]byte, error) {
+	b = snapshot.AppendRect(b, n.keyBounds)
+	b = snapshot.AppendRect(b, n.mbr)
+	b = snapshot.AppendBool(b, n.isLeaf())
+	var err error
+	if n.isLeaf() {
+		b = snapshot.AppendF64s(b, n.st.Keys())
+		b = snapshot.AppendPoints(b, n.st.Points())
+		if b, err = rmi.AppendBounded(b, n.leafModel); err != nil {
+			return nil, err
+		}
+		return snapshot.AppendPoints(b, n.extra), nil
+	}
+	if b, err = rmi.AppendBounded(b, n.model); err != nil {
+		return nil, err
+	}
+	b = snapshot.AppendF64s(b, n.childMinKey)
+	b = snapshot.AppendUvarint(b, uint64(len(n.children)))
+	for _, c := range n.children {
+		if b, err = appendNode(b, c); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// RestoreState implements snapshot.Stater. Beyond the per-node checks
+// (column invariants, model presence, child routing table length), the
+// decoded tree's total cardinality must match the recorded size.
+func (ix *Index) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != stateVersion {
+		return fmt.Errorf("rsmi: unsupported state version %d", v)
+	}
+	size := d.Int()
+	localRebuilds := d.Int()
+	hasRoot := d.Bool()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("rsmi: decode state: %w", err)
+	}
+	if size < 0 || localRebuilds < 0 {
+		return fmt.Errorf("rsmi: negative counters (size=%d rebuilds=%d)", size, localRebuilds)
+	}
+	var root *node
+	total := 0
+	if hasRoot {
+		var err error
+		root, err = decodeNode(d, 0, &total)
+		if err != nil {
+			return err
+		}
+	}
+	stats := base.DecodeBuildStatsSlice(d)
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("rsmi: decode state: %w", err)
+	}
+	if total != size {
+		return fmt.Errorf("rsmi: size %d does not match tree total %d", size, total)
+	}
+	if size > 0 && root == nil {
+		return fmt.Errorf("rsmi: %d entries without a root", size)
+	}
+	ix.root = root
+	ix.size = size
+	ix.localRebuilds = localRebuilds
+	ix.stats = stats
+	return nil
+}
+
+func decodeNode(d *snapshot.Dec, depth int, total *int) (*node, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("rsmi: node tree deeper than %d", maxDecodeDepth)
+	}
+	n := &node{keyBounds: d.Rect(), mbr: d.Rect()}
+	leaf := d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("rsmi: decode node: %w", err)
+	}
+	if leaf {
+		keys := d.F64s()
+		pts := d.Points()
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("rsmi: decode leaf: %w", err)
+		}
+		if err := zm.ValidateColumns(keys, pts); err != nil {
+			return nil, fmt.Errorf("rsmi: leaf %w", err)
+		}
+		lm, err := rmi.DecodeBounded(d)
+		if err != nil {
+			return nil, fmt.Errorf("rsmi: decode leaf model: %w", err)
+		}
+		if lm == nil {
+			return nil, fmt.Errorf("rsmi: leaf without model")
+		}
+		extra := d.Points()
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("rsmi: decode leaf overflow: %w", err)
+		}
+		n.st = store.NewSortedColumns(keys, pts)
+		n.leafModel = lm
+		n.extra = extra
+		*total += len(keys) + len(extra)
+		return n, nil
+	}
+	m, err := rmi.DecodeBounded(d)
+	if err != nil {
+		return nil, fmt.Errorf("rsmi: decode node model: %w", err)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("rsmi: internal node without model")
+	}
+	n.model = m
+	n.childMinKey = d.F64s()
+	childN := d.Count(1)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("rsmi: decode node: %w", err)
+	}
+	if childN == 0 {
+		return nil, fmt.Errorf("rsmi: internal node without children")
+	}
+	if len(n.childMinKey) != childN {
+		return nil, fmt.Errorf("rsmi: routing table length %d does not match %d children", len(n.childMinKey), childN)
+	}
+	n.children = make([]*node, childN)
+	for i := range n.children {
+		c, err := decodeNode(d, depth+1, total)
+		if err != nil {
+			return nil, err
+		}
+		n.children[i] = c
+	}
+	return n, nil
+}

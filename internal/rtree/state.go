@@ -1,0 +1,113 @@
+package rtree
+
+import (
+	"fmt"
+
+	"elsi/internal/snapshot"
+)
+
+// stateVersion is the on-disk version of the R-tree state encoding.
+const stateVersion = 1
+
+// maxDecodeDepth caps the recursive node decode against hostile
+// snapshots; with fanout 16 a depth-64 tree is unconstructible.
+const maxDecodeDepth = 64
+
+// StateAppend implements snapshot.Stater: the node hierarchy. The
+// tree's name, space, and build mode come from its constructor
+// (NewHRR/NewRRStar), not the snapshot.
+func (t *Tree) StateAppend(b []byte) ([]byte, error) {
+	b = snapshot.AppendU8(b, stateVersion)
+	b = snapshot.AppendInt(b, t.size)
+	b = snapshot.AppendBool(b, t.root != nil)
+	if t.root != nil {
+		b = appendNode(b, t.root)
+	}
+	return b, nil
+}
+
+func appendNode(b []byte, n *node) []byte {
+	b = snapshot.AppendRect(b, n.mbr)
+	b = snapshot.AppendBool(b, n.leaf)
+	if n.leaf {
+		return snapshot.AppendPoints(b, n.pts)
+	}
+	b = snapshot.AppendUvarint(b, uint64(len(n.children)))
+	for _, c := range n.children {
+		b = appendNode(b, c)
+	}
+	return b
+}
+
+// RestoreState implements snapshot.Stater; the decoded tree's total
+// leaf cardinality must match the recorded size.
+func (t *Tree) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if v := d.U8(); d.Err() == nil && v != stateVersion {
+		return fmt.Errorf("rtree: unsupported state version %d", v)
+	}
+	size := d.Int()
+	hasRoot := d.Bool()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("rtree: decode state: %w", err)
+	}
+	if size < 0 {
+		return fmt.Errorf("rtree: negative size %d", size)
+	}
+	var root *node
+	total := 0
+	if hasRoot {
+		var err error
+		root, err = decodeNode(d, 0, &total)
+		if err != nil {
+			return err
+		}
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("rtree: decode state: %w", err)
+	}
+	if total != size {
+		return fmt.Errorf("rtree: size %d does not match leaf total %d", size, total)
+	}
+	if size > 0 && root == nil {
+		return fmt.Errorf("rtree: %d entries without a root", size)
+	}
+	t.root = root
+	t.size = size
+	return nil
+}
+
+func decodeNode(d *snapshot.Dec, depth int, total *int) (*node, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("rtree: node tree deeper than %d", maxDecodeDepth)
+	}
+	n := &node{mbr: d.Rect()}
+	n.leaf = d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("rtree: decode node: %w", err)
+	}
+	if n.leaf {
+		n.pts = d.Points()
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("rtree: decode leaf: %w", err)
+		}
+		*total += len(n.pts)
+		return n, nil
+	}
+	childN := d.Count(1)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("rtree: decode node: %w", err)
+	}
+	if childN == 0 {
+		return nil, fmt.Errorf("rtree: internal node without children")
+	}
+	n.children = make([]*node, childN)
+	for i := range n.children {
+		c, err := decodeNode(d, depth+1, total)
+		if err != nil {
+			return nil, err
+		}
+		n.children[i] = c
+	}
+	return n, nil
+}

@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"fmt"
+
+	"elsi/internal/curve"
+	"elsi/internal/geo"
+	"elsi/internal/qserve"
+	"elsi/internal/rebuild"
+)
+
+// Ranges returns the shards' inclusive Hilbert key ranges in shard
+// order. The persistence layer records them in its manifest so a
+// recovered router partitions the key space exactly as the original.
+func (r *Router) Ranges() []curve.KeyRange {
+	out := make([]curve.KeyRange, len(r.shards))
+	for i := range r.shards {
+		out[i] = r.shards[i].rng
+	}
+	return out
+}
+
+// Processor returns shard i's update processor.
+func (r *Router) Processor(i int) *rebuild.Processor {
+	return r.shards[i].proc
+}
+
+// ShardIndexOf returns the index of the shard that stores (and whose
+// write-ahead log must record) updates to p.
+//
+//elsi:noalloc
+func (r *Router) ShardIndexOf(p geo.Point) int {
+	return r.shardIndex(curve.HEncode(p, r.space))
+}
+
+// NewFromShards reassembles a Router around recovered processors, one
+// per key range, without re-partitioning or rebuilding anything: the
+// ranges come from the persisted manifest and each processor was
+// restored from its shard's snapshot + WAL. The ranges must be the
+// sorted, contiguous, space-covering partition the original router
+// produced.
+func NewFromShards(procs []*rebuild.Processor, ranges []curve.KeyRange, space geo.Rect, cfg Config) (*Router, error) {
+	if len(procs) == 0 || len(procs) != len(ranges) {
+		return nil, fmt.Errorf("shard: %d processors for %d ranges", len(procs), len(ranges))
+	}
+	if ranges[0].Lo != 0 || ranges[len(ranges)-1].Hi != curve.MaxKey {
+		return nil, fmt.Errorf("shard: ranges do not cover the key space")
+	}
+	for i, rng := range ranges {
+		if rng.Lo > rng.Hi {
+			return nil, fmt.Errorf("shard: range %d inverted", i)
+		}
+		if i > 0 && rng.Lo != ranges[i-1].Hi+1 {
+			return nil, fmt.Errorf("shard: ranges not contiguous at %d", i)
+		}
+	}
+	cfg = cfg.withDefaults()
+	r := &Router{
+		space:      space,
+		shards:     make([]shardState, len(ranges)),
+		rangeDepth: cfg.RangeDepth,
+		buildSem:   make(chan struct{}, cfg.MaxConcurrentBuilds),
+	}
+	r.winScratch.New = func() any { return new(winScratch) }
+	r.knnScratch.New = func() any { return new(knnScratch) }
+	r.ptScratch.New = func() any { return new(pointScatter) }
+
+	const cells = 1 << curve.Order
+	cw := space.Width() / cells
+	ch := space.Height() / cells
+	for i, rng := range ranges {
+		procs[i].BuildGate = r.gate
+		mbr := curve.HRangeMBR(rng, space, cfg.MBRDepth)
+		mbr.MinX -= cw
+		mbr.MinY -= ch
+		mbr.MaxX += cw
+		mbr.MaxY += ch
+		r.shards[i] = shardState{
+			proc: procs[i],
+			qe:   qserve.New(procs[i], cfg.Workers),
+			rng:  rng,
+			mbr:  mbr,
+		}
+	}
+	r.selfQE = qserve.New(r, cfg.Workers)
+	return r, nil
+}

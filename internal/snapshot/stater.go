@@ -1,0 +1,19 @@
+package snapshot
+
+// Stater is implemented by every index family that can round-trip its
+// trained state through a snapshot. StateAppend serializes the
+// family's full post-build state — SoA columns, trained model
+// parameters, build stats — onto b using this package's Append
+// primitives; RestoreState rebuilds that state on a freshly
+// constructed (same-configuration) instance WITHOUT any training.
+//
+// The configuration itself (space, builders, fanout — anything that
+// holds functions) is never serialized: restore goes through the same
+// factory that built the original, then overlays the trained state.
+// RestoreState must validate hostile input: any structural
+// inconsistency returns an error and leaves the receiver unusable
+// rather than silently wrong.
+type Stater interface {
+	StateAppend(b []byte) ([]byte, error)
+	RestoreState(data []byte) error
+}

@@ -1,0 +1,638 @@
+// Package wal is the engine's write-ahead log: a segmented,
+// length-prefixed, CRC32C-checksummed record log for the delta
+// inserts and deletes that arrive between snapshots. The durability
+// story mirrors the LSM split the rest of the engine is built on —
+// the delta list is the memtable, the built index is the learned run,
+// and this log is what makes the memtable survive a crash.
+//
+// On disk a log is a directory of segment files named by the LSN of
+// their first record ("wal-%016x.seg"). Each record is framed as
+//
+//	u32 payload length | u32 CRC32C(payload) | payload
+//
+// with a fixed 25-byte payload (u64 LSN, u8 op, 2×u64 float bits), all
+// little-endian. CRC32C (Castagnoli) comes from hash/crc32; LSNs are
+// assigned contiguously starting at 1 so replay can verify that no
+// record went missing.
+//
+// Opening a log replays it. Damage is classified, not papered over:
+// an incomplete final frame of the final segment is a torn tail — the
+// expected leftover of a crash mid-append — and is truncated away and
+// reported in ReplayStats; any other damage (a checksum mismatch, a
+// bad length, a gap in the LSN sequence, a short frame that is *not*
+// at the end of the log) is mid-log corruption and fails loudly with
+// a typed *CorruptError rather than silently dropping records.
+//
+// Fsync policy is configurable per log: SyncAlways fsyncs before
+// acknowledging every append (an acknowledged record is durable),
+// SyncInterval group-commits on a timer, SyncNone leaves flushing to
+// the OS. Crash points "wal/append" and "wal/fsync" (internal/faults)
+// simulate a kill at the two interesting instants: mid-frame-write
+// (leaving a torn tail on disk) and at fsync (losing everything since
+// the last sync, as a real power cut would lose the page cache).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"elsi/internal/faults"
+	"elsi/internal/geo"
+)
+
+func init() {
+	faults.Register("wal/append", "WAL frame write: crash leaves a torn half-written frame")
+	faults.Register("wal/fsync", "WAL fsync: crash loses everything after the last sync")
+}
+
+// Op is the kind of update a WAL record carries.
+type Op uint8
+
+const (
+	// OpInsert records a point insert.
+	OpInsert Op = 1
+	// OpDelete records a point delete.
+	OpDelete Op = 2
+)
+
+// Record is one logged update.
+type Record struct {
+	// LSN is the record's log sequence number; contiguous from 1.
+	LSN uint64
+	// Op is the update kind.
+	Op Op
+	// Pt is the point inserted or deleted.
+	Pt geo.Point
+}
+
+// SyncPolicy selects when appends are made durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append returns: an acknowledged
+	// update is a durable update. The crash-matrix tests run under
+	// this policy so "acknowledged" and "in the golden reference"
+	// coincide.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval group-commits: a background goroutine fsyncs every
+	// Options.Interval. Appends return before their record is durable.
+	SyncInterval
+	// SyncNone never fsyncs; durability is left to the OS page cache.
+	SyncNone
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy parses the -fsync flag grammar: "always", "none", or a
+// Go duration ("5ms") meaning group-commit at that interval.
+func ParsePolicy(s string) (SyncPolicy, time.Duration, error) {
+	switch s {
+	case "always":
+		return SyncAlways, 0, nil
+	case "none":
+		return SyncNone, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("wal: bad fsync policy %q (want always, none, or a positive duration)", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// Options configures a log.
+type Options struct {
+	// Policy is the fsync policy; zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the group-commit period for SyncInterval; zero
+	// defaults to 5ms.
+	Interval time.Duration
+	// SegmentBytes caps a segment file's size; appends rotate to a new
+	// segment at the cap. Zero defaults to 4 MiB.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+const (
+	frameHeader = 8          // u32 length + u32 crc
+	payloadSize = 8 + 1 + 16 // LSN + op + X/Y float bits
+	frameSize   = frameHeader + payloadSize
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// CorruptError reports mid-log corruption: a damaged record that is
+// not the torn final record of the final segment. Replay fails loudly
+// with it instead of dropping data.
+type CorruptError struct {
+	// Segment is the damaged segment file path.
+	Segment string
+	// Offset is the byte offset of the damaged frame.
+	Offset int64
+	// Reason says what check failed.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt record in %s at offset %d: %s", e.Segment, e.Offset, e.Reason)
+}
+
+// TornTailError describes an incomplete final record of the final
+// segment — the expected leftover of a crash mid-append. It is not
+// returned as an error: Open truncates the tail and records it in
+// ReplayStats.
+type TornTailError struct {
+	// Segment is the segment file that was truncated.
+	Segment string
+	// Offset is the offset the segment was truncated to.
+	Offset int64
+}
+
+// Error implements error so callers can %w-wrap it if they surface it.
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("wal: torn tail in %s truncated at offset %d", e.Segment, e.Offset)
+}
+
+// ReplayStats reports what Open found on disk.
+type ReplayStats struct {
+	// Segments is the number of segment files scanned.
+	Segments int
+	// Records is the number of valid records scanned (all segments).
+	Records int
+	// Replayed is the number of records passed to the replay callback.
+	Replayed int
+	// FirstLSN and LastLSN bound the scanned records; zero when empty.
+	FirstLSN, LastLSN uint64
+	// TornTail is non-nil when an incomplete final record was
+	// truncated away.
+	TornTail *TornTailError
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is an append-only write-ahead log over a directory of segments.
+type Log struct {
+	dir string
+	opt Options
+
+	// mu serializes appends, rotation, fsync, and trim against each
+	// other and the group-commit goroutine.
+	//
+	//elsi:lockorder
+	mu       sync.Mutex
+	f        *os.File
+	segPath  string
+	segStart uint64 // LSN of the current segment's first record
+	written  int64  // bytes written to the current segment
+	synced   int64  // bytes of the current segment known durable
+	next     uint64 // next LSN to assign
+	dead     error  // sticky fatal error (IO failure or injected crash)
+	closed   bool
+
+	stop   chan struct{}
+	syncWG sync.WaitGroup
+}
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hexpart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hexpart) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hexpart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func encodeFrame(dst []byte, r Record) []byte {
+	var payload [payloadSize]byte
+	binary.LittleEndian.PutUint64(payload[0:8], r.LSN)
+	payload[8] = byte(r.Op)
+	binary.LittleEndian.PutUint64(payload[9:17], floatBits(r.Pt.X))
+	binary.LittleEndian.PutUint64(payload[17:25], floatBits(r.Pt.Y))
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], payloadSize)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload[:], castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload[:]...)
+}
+
+func decodePayload(p []byte) Record {
+	return Record{
+		LSN: binary.LittleEndian.Uint64(p[0:8]),
+		Op:  Op(p[8]),
+		Pt: geo.Point{
+			X: bitsFloat(binary.LittleEndian.Uint64(p[9:17])),
+			Y: bitsFloat(binary.LittleEndian.Uint64(p[17:25])),
+		},
+	}
+}
+
+// Open opens (creating if needed) the log in dir, replaying what is on
+// disk. Records with LSN >= replayFrom are passed to fn in order; a
+// non-nil fn error aborts the open and is returned wrapped. When the
+// directory holds no segments — a fresh log, or one fully trimmed
+// after a snapshot — numbering starts at minNext (use snapshotLSN+1;
+// 0 is treated as 1).
+//
+// Damage handling: an incomplete final frame of the final segment is
+// truncated (reported in ReplayStats.TornTail); everything else fails
+// with a typed *CorruptError.
+func Open(dir string, opt Options, minNext uint64, replayFrom uint64, fn func(Record) error) (*Log, ReplayStats, error) {
+	opt = opt.withDefaults()
+	var stats ReplayStats
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, stats, err
+	}
+	starts, err := listSegments(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	if minNext == 0 {
+		minNext = 1
+	}
+
+	l := &Log{dir: dir, opt: opt, next: minNext}
+
+	for i, start := range starts {
+		last := i == len(starts)-1
+		path := filepath.Join(dir, segName(start))
+		if err := l.scanSegment(path, start, last, replayFrom, fn, &stats); err != nil {
+			return nil, stats, err
+		}
+		stats.Segments++
+	}
+	if stats.LastLSN >= l.next {
+		l.next = stats.LastLSN + 1
+	}
+
+	// Append into the last existing segment, or start fresh.
+	if len(starts) > 0 {
+		path := filepath.Join(dir, segName(starts[len(starts)-1]))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, stats, err
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return nil, stats, err
+		}
+		l.f = f
+		l.segPath = path
+		l.segStart = starts[len(starts)-1]
+		l.written = size
+		l.synced = size // scan read it back from disk; treat as durable
+	} else {
+		l.mu.Lock()
+		err := l.newSegmentLocked()
+		l.mu.Unlock()
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+
+	if opt.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.syncWG.Add(1)
+		//lint:ignore ctxprop the group-commit loop is bounded by Close via the stop channel, not a context
+		go l.syncLoop()
+	}
+	return l, stats, nil
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var starts []uint64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if start, ok := parseSegName(e.Name()); ok {
+			starts = append(starts, start)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts, nil
+}
+
+// scanSegment validates one segment and feeds its records to fn. In
+// the last segment a frame cut short by EOF is a torn tail and the
+// file is truncated at the frame boundary; a complete frame that fails
+// its checks is corruption regardless of position.
+func (l *Log) scanSegment(path string, start uint64, last bool, replayFrom uint64, fn func(Record) error, stats *ReplayStats) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	off := int64(0)
+	torn := func() error {
+		if !last {
+			return &CorruptError{Segment: path, Offset: off, Reason: "short frame in non-final segment"}
+		}
+		if err := os.Truncate(path, off); err != nil {
+			return err
+		}
+		stats.TornTail = &TornTailError{Segment: path, Offset: off}
+		return nil
+	}
+	for int64(len(data))-off > 0 {
+		rest := data[off:]
+		if len(rest) < frameHeader {
+			return torn()
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		if length != payloadSize {
+			return &CorruptError{Segment: path, Offset: off, Reason: fmt.Sprintf("bad payload length %d (want %d)", length, payloadSize)}
+		}
+		if len(rest) < frameSize {
+			return torn()
+		}
+		wantCRC := binary.LittleEndian.Uint32(rest[4:8])
+		payload := rest[frameHeader:frameSize]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return &CorruptError{Segment: path, Offset: off, Reason: "checksum mismatch"}
+		}
+		rec := decodePayload(payload)
+		if rec.Op != OpInsert && rec.Op != OpDelete {
+			return &CorruptError{Segment: path, Offset: off, Reason: fmt.Sprintf("unknown op %d", rec.Op)}
+		}
+		if stats.Records == 0 {
+			if rec.LSN != start {
+				return &CorruptError{Segment: path, Offset: off, Reason: fmt.Sprintf("first LSN %d does not match segment name %d", rec.LSN, start)}
+			}
+			stats.FirstLSN = rec.LSN
+		} else if rec.LSN != stats.LastLSN+1 {
+			return &CorruptError{Segment: path, Offset: off, Reason: fmt.Sprintf("LSN gap: %d after %d", rec.LSN, stats.LastLSN)}
+		} else if off == 0 && rec.LSN != start {
+			return &CorruptError{Segment: path, Offset: off, Reason: fmt.Sprintf("first LSN %d does not match segment name %d", rec.LSN, start)}
+		}
+		stats.LastLSN = rec.LSN
+		stats.Records++
+		if fn != nil && rec.LSN >= replayFrom {
+			if err := fn(rec); err != nil {
+				return fmt.Errorf("wal: replay callback at LSN %d: %w", rec.LSN, err)
+			}
+			stats.Replayed++
+		}
+		off += frameSize
+	}
+	return nil
+}
+
+// newSegmentLocked rotates to a fresh segment whose first record will
+// carry l.next. Caller holds mu (or is still constructing l).
+func (l *Log) newSegmentLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, segName(l.next))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.segPath = path
+	l.segStart = l.next
+	l.written = 0
+	l.synced = 0
+	return syncDir(l.dir)
+}
+
+// Append logs one record, assigning and returning its LSN. Under
+// SyncAlways the record is durable when Append returns nil; under the
+// other policies durability lags. Any error is fatal to the log: the
+// on-disk tail may be torn, and the log refuses further appends so the
+// caller recovers through Open instead of writing after a hole.
+func (l *Log) Append(op Op, pt geo.Point) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead != nil {
+		return 0, l.dead
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.written >= l.opt.SegmentBytes {
+		if err := l.newSegmentLocked(); err != nil {
+			l.dead = err
+			return 0, err
+		}
+	}
+	lsn := l.next
+	frame := encodeFrame(make([]byte, 0, frameSize), Record{LSN: lsn, Op: op, Pt: pt})
+	if err := faults.Hit("wal/append"); err != nil {
+		// Simulate a kill mid-write: half the frame reaches the file,
+		// then the process dies. The log goes dead; recovery will find
+		// a torn tail.
+		l.f.Write(frame[:frameSize/2])
+		l.dead = fmt.Errorf("wal: crashed appending LSN %d: %w", lsn, err)
+		return 0, l.dead
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.dead = err
+		return 0, err
+	}
+	l.written += frameSize
+	l.next++
+	if l.opt.Policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// syncLocked makes the current segment durable. Caller holds mu.
+func (l *Log) syncLocked() error {
+	if l.dead != nil {
+		return l.dead
+	}
+	if l.synced == l.written {
+		return nil
+	}
+	if err := faults.Hit("wal/fsync"); err != nil {
+		// Simulate a power cut at fsync: the page cache — everything
+		// since the last successful sync — is lost. Truncating to the
+		// synced offset models that loss deterministically.
+		l.f.Truncate(l.synced)
+		l.dead = fmt.Errorf("wal: crashed at fsync: %w", err)
+		return l.dead
+	}
+	if err := l.f.Sync(); err != nil {
+		l.dead = err
+		return err
+	}
+	l.synced = l.written
+	return nil
+}
+
+// Sync forces an fsync of the current segment (used by Close and by
+// group commit; exported for callers that need a durability barrier).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLoop() {
+	defer l.syncWG.Done()
+	t := time.NewTicker(l.opt.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dead == nil {
+				l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// NextLSN returns the LSN the next append will be assigned. The
+// snapshot cut point is NextLSN()-1: every record at or below it is in
+// the log already.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// TrimThrough deletes whole segments whose every record has LSN <=
+// lsn. Called only after a snapshot covering lsn is durable; the
+// current segment is never deleted.
+func (l *Log) TrimThrough(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	starts, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, start := range starts {
+		// A segment's records end where the next segment starts. The
+		// live segment (and anything after a gap we cannot bound) stays.
+		if start == l.segStart || i == len(starts)-1 {
+			break
+		}
+		if starts[i+1] > lsn+1 {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(start))); err != nil {
+			return err
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Close syncs and closes the log. A dead (crashed) log closes without
+// further writes.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop := l.stop
+	l.mu.Unlock()
+
+	if stop != nil {
+		close(stop)
+		l.syncWG.Wait()
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.dead == nil {
+		err = l.syncLocked()
+	}
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil && cerr != nil && l.dead == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	return err
+}
+
+// Dead reports the sticky fatal error, nil if the log is healthy. A
+// dead log must be reopened (recovered) before further use.
+func (l *Log) Dead() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,449 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"elsi/internal/faults"
+	"elsi/internal/geo"
+)
+
+func pt(i int) geo.Point { return geo.Point{X: float64(i), Y: float64(-i)} }
+
+// appendN appends n alternating insert/delete records and returns the
+// assigned LSNs.
+func appendN(t *testing.T, l *Log, n int) []uint64 {
+	t.Helper()
+	lsns := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		op := OpInsert
+		if i%3 == 2 {
+			op = OpDelete
+		}
+		lsn, err := l.Append(op, pt(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		lsns[i] = lsn
+	}
+	return lsns
+}
+
+func collect(recs *[]Record) func(Record) error {
+	return func(r Record) error {
+		*recs = append(*recs, r)
+		return nil
+	}
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, stats, err := Open(dir, Options{}, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 0 || stats.Segments != 0 {
+		t.Fatalf("fresh log scanned %+v", stats)
+	}
+	lsns := appendN(t, l, 10)
+	for i, lsn := range lsns {
+		if lsn != uint64(i+1) {
+			t.Fatalf("LSN %d assigned to record %d", lsn, i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []Record
+	l2, stats, err := Open(dir, Options{}, 1, 1, collect(&recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if stats.Records != 10 || stats.Replayed != 10 || stats.FirstLSN != 1 || stats.LastLSN != 10 {
+		t.Fatalf("replay stats %+v", stats)
+	}
+	if stats.TornTail != nil {
+		t.Fatalf("unexpected torn tail %v", stats.TornTail)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Pt != pt(i) {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+		wantOp := OpInsert
+		if i%3 == 2 {
+			wantOp = OpDelete
+		}
+		if r.Op != wantOp {
+			t.Fatalf("record %d op %d, want %d", i, r.Op, wantOp)
+		}
+	}
+	if next := l2.NextLSN(); next != 11 {
+		t.Fatalf("NextLSN after reopen = %d", next)
+	}
+}
+
+func TestReplayFromSkipsCoveredPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 8)
+	l.Close()
+
+	var recs []Record
+	l2, stats, err := Open(dir, Options{}, 1, 6, collect(&recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if stats.Records != 8 || stats.Replayed != 3 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if len(recs) != 3 || recs[0].LSN != 6 {
+		t.Fatalf("replayed %+v", recs)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Three frames per segment.
+	opt := Options{SegmentBytes: 3 * frameSize}
+	l, _, err := Open(dir, opt, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10)
+	l.Close()
+
+	starts, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) < 3 {
+		t.Fatalf("expected rotation, got segments %v", starts)
+	}
+	var recs []Record
+	l2, stats, err := Open(dir, opt, 1, 1, collect(&recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 10 || len(recs) != 10 {
+		t.Fatalf("stats %+v, %d records", stats, len(recs))
+	}
+	// Appends continue the sequence across the reopen.
+	if lsn, err := l2.Append(OpInsert, pt(99)); err != nil || lsn != 11 {
+		t.Fatalf("append after reopen: lsn %d err %v", lsn, err)
+	}
+	l2.Close()
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 5)
+	l.Close()
+
+	// Simulate a crash mid-append: a prefix of a valid frame at the end.
+	path := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := encodeFrame(nil, Record{LSN: 6, Op: OpInsert, Pt: pt(6)})
+	if _, err := f.Write(frame[:frameSize/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var recs []Record
+	l2, stats, err := Open(dir, Options{}, 1, 1, collect(&recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if stats.TornTail == nil {
+		t.Fatal("torn tail not reported")
+	}
+	if stats.Records != 5 || len(recs) != 5 {
+		t.Fatalf("lost records: stats %+v", stats)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 5*frameSize {
+		t.Fatalf("tail not truncated: size %d err %v", fi.Size(), err)
+	}
+	// The truncated slot is reused by the next append.
+	if lsn, err := l2.Append(OpInsert, pt(6)); err != nil || lsn != 6 {
+		t.Fatalf("append after torn tail: lsn %d err %v", lsn, err)
+	}
+}
+
+func TestMidLogBitFlipIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 5)
+	l.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameSize+frameHeader+3] ^= 0x40 // payload byte of record 2
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Open(dir, Options{}, 1, 1, nil)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Offset != frameSize {
+		t.Fatalf("corruption located at %d, want %d", ce.Offset, frameSize)
+	}
+}
+
+func TestShortNonFinalSegmentIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{SegmentBytes: 2 * frameSize}
+	l, _, err := Open(dir, opt, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 6)
+	l.Close()
+
+	// A short frame in a non-final segment is NOT a torn tail.
+	path := filepath.Join(dir, segName(1))
+	if err := os.Truncate(path, frameSize+4); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, opt, 1, 1, nil)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+}
+
+func TestMissingFrameIsLSNGap(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4)
+	l.Close()
+
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Excise the complete second frame: LSNs jump 1 -> 3.
+	cut := append(data[:frameSize:frameSize], data[2*frameSize:]...)
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{}, 1, 1, nil)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+}
+
+func TestTrimThrough(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{SegmentBytes: 2 * frameSize}
+	l, _, err := Open(dir, opt, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 7) // segments starting at LSN 1, 3, 5, 7
+	if err := l.TrimThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	starts, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) == 0 || starts[0] != 5 {
+		t.Fatalf("segments after trim: %v", starts)
+	}
+	l.Close()
+
+	// Replay finds only the surviving tail; numbering continues.
+	var recs []Record
+	l2, stats, err := Open(dir, opt, 1, 5, collect(&recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if stats.FirstLSN != 5 || stats.LastLSN != 7 || len(recs) != 3 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if next := l2.NextLSN(); next != 8 {
+		t.Fatalf("NextLSN %d", next)
+	}
+}
+
+func TestFreshLogStartsAtMinNext(t *testing.T) {
+	dir := t.TempDir()
+	// A fully trimmed log restarts numbering after the snapshot cut.
+	l, _, err := Open(dir, Options{}, 101, 101, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if lsn, err := l.Append(OpInsert, pt(0)); err != nil || lsn != 101 {
+		t.Fatalf("lsn %d err %v", lsn, err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		pol  SyncPolicy
+		dur  time.Duration
+		fail bool
+	}{
+		{in: "always", pol: SyncAlways},
+		{in: "none", pol: SyncNone},
+		{in: "5ms", pol: SyncInterval, dur: 5 * time.Millisecond},
+		{in: "bogus", fail: true},
+		{in: "-1s", fail: true},
+		{in: "0s", fail: true},
+	}
+	for _, c := range cases {
+		pol, dur, err := ParsePolicy(c.in)
+		if c.fail != (err != nil) {
+			t.Fatalf("%q: err %v", c.in, err)
+		}
+		if err == nil && (pol != c.pol || dur != c.dur) {
+			t.Fatalf("%q: got %v/%v", c.in, pol, dur)
+		}
+	}
+}
+
+func TestSyncIntervalGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Policy: SyncInterval, Interval: time.Millisecond}
+	l, _, err := Open(dir, opt, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 20)
+	// The group-commit goroutine catches up without an explicit Sync.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		l.mu.Lock()
+		synced := l.synced == l.written
+		l.mu.Unlock()
+		if synced {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("group commit never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append(OpInsert, pt(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append on closed log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestCrashPointAppendLeavesTornTail(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3)
+	faults.Enable("wal/append", faults.Fault{Mode: faults.ModeError})
+	if _, err := l.Append(OpInsert, pt(3)); err == nil {
+		t.Fatal("append survived injected crash")
+	}
+	if l.Dead() == nil {
+		t.Fatal("log not dead after crash")
+	}
+	// The log is sticky-dead: no writes after the hole.
+	if _, err := l.Append(OpInsert, pt(4)); err == nil {
+		t.Fatal("dead log accepted an append")
+	}
+	l.Close()
+	faults.Reset()
+
+	var recs []Record
+	l2, stats, err := Open(dir, Options{}, 1, 1, collect(&recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if stats.TornTail == nil || stats.Records != 3 {
+		t.Fatalf("recovery stats %+v", stats)
+	}
+}
+
+func TestCrashPointFsyncLosesUnsynced(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	// SyncNone: appends accumulate unsynced.
+	l, _, err := Open(dir, Options{Policy: SyncNone}, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendN2 := func() {
+		if _, err := l.Append(OpInsert, pt(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendN2()
+	appendN2()
+	faults.Enable("wal/fsync", faults.Fault{Mode: faults.ModeError})
+	if err := l.Sync(); err == nil {
+		t.Fatal("fsync survived injected crash")
+	}
+	l.Close()
+	faults.Reset()
+
+	// Everything after the last good sync is gone, like a power cut.
+	var recs []Record
+	l2, stats, err := Open(dir, Options{Policy: SyncNone}, 1, 1, collect(&recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if stats.Records != 4 || stats.LastLSN != 4 {
+		t.Fatalf("recovery stats %+v", stats)
+	}
+}
