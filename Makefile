@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet lint bench microbench serve serve-durable loadtest loadtest-shards shard-race persist-race
+.PHONY: check build test race vet lint bench microbench serve serve-durable loadtest loadtest-shards loadtest-adaptive shard-race persist-race adaptive-race
 
 check: lint race
 
@@ -73,6 +73,24 @@ loadtest:
 # GOMAXPROCS >= 4 so the per-shard parallelism is real.
 loadtest-shards:
 	GOMAXPROCS=4 $(GO) run ./cmd/elsiload -sweep-shards 1,4,16 -n 50000 -rate 2000 -duration 3s -conns 64 -o BENCH_pr8.json
+
+# loadtest-adaptive is the cache off/on comparison on the Zipf-skewed
+# read-heavy workload: identical stack and request stream in both
+# runs, the generation-stamped result cache the only variable. The
+# report (consumed by README's Adaptivity section) carries the cache
+# hit-rate and the per-shard workload monitor/profile breakdown.
+loadtest-adaptive:
+	GOMAXPROCS=4 $(GO) run ./cmd/elsiload -sweep-cache -adaptive -n 50000 -rate 2000 -duration 4s -warmup 1s -conns 64 -zipf 1.5 -hotspots 128 -mix 60:15:10:10:5 -o BENCH_pr10.json
+
+# adaptive-race is the focused adaptivity gate: the workload monitor,
+# the result cache (model fuzz + raced oracle), the engine's cached
+# serving paths, and the rebuild-time resample loop under the race
+# detector, plus the house linters over the new packages (the noalloc
+# annotations on the monitor and cache hot paths are load-bearing).
+adaptive-race:
+	$(GO) test -race -short ./internal/monitor/ ./internal/qcache/ ./internal/engine/ ./internal/rebuild/
+	$(GO) vet ./internal/monitor/ ./internal/qcache/
+	$(GO) run ./cmd/elsivet ./internal/monitor/ ./internal/qcache/ ./internal/engine/
 
 # shard-race is the focused sharding gate: the sharded-vs-unsharded
 # equivalence suite and the sharded server e2e under the race

@@ -28,13 +28,17 @@ import (
 	"time"
 
 	"elsi/internal/base"
+	"elsi/internal/core"
 	"elsi/internal/dataset"
 	"elsi/internal/engine"
 	"elsi/internal/geo"
 	"elsi/internal/index"
+	"elsi/internal/monitor"
 	"elsi/internal/persist"
+	"elsi/internal/qcache"
 	"elsi/internal/rebuild"
 	"elsi/internal/rmi"
+	"elsi/internal/scorer"
 	"elsi/internal/server"
 	"elsi/internal/shard"
 	"elsi/internal/wal"
@@ -57,21 +61,27 @@ func main() {
 		inflight = flag.Int("max-inflight", 4096, "admitted in-flight request bound")
 		dataDir  = flag.String("data", "", "durable data directory: WAL + snapshots (empty = in-memory only)")
 		fsync    = flag.String("fsync", "always", "WAL fsync policy: always, none, or a group-commit interval like 5ms")
+		cache    = flag.Bool("cache", false, "enable the hot-region result cache for point and small-window queries")
+		adaptive = flag.Bool("adaptive", false, "monitor live traffic per shard and re-select index methods on background rebuilds (zm only)")
 	)
 	flag.Parse()
 
-	if err := run(*httpAddr, *tcpAddr, *family, *data, *dataDir, *fsync, *n, *seed, *fu, *shards, engine.Config{
+	cfg := engine.Config{
 		Workers:       *workers,
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flush,
 		MaxInFlight:   *inflight,
-	}); err != nil {
+	}
+	if *cache {
+		cfg.Cache = &qcache.Config{}
+	}
+	if err := run(*httpAddr, *tcpAddr, *family, *data, *dataDir, *fsync, *n, *seed, *fu, *shards, *adaptive, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "elsid:", err)
 		os.Exit(1)
 	}
 }
 
-func run(httpAddr, tcpAddr, family, data, dataDir, fsync string, n int, seed int64, fu, shards int, cfg engine.Config) error {
+func run(httpAddr, tcpAddr, family, data, dataDir, fsync string, n int, seed int64, fu, shards int, adaptive bool, cfg engine.Config) error {
 	log.SetPrefix("elsid: ")
 	log.SetFlags(log.Ltime)
 
@@ -89,9 +99,15 @@ func run(httpAddr, tcpAddr, family, data, dataDir, fsync string, n int, seed int
 		fu = n / 10
 	}
 
-	be, closeBE, err := buildBackend(family, pts, seed, fu, shards, cfg.Workers, dataDir, fsync)
+	be, closeBE, err := buildBackend(family, pts, seed, fu, shards, cfg.Workers, dataDir, fsync, adaptive)
 	if err != nil {
 		return err
+	}
+	if adaptive {
+		log.Printf("adaptive selection on: per-shard monitors feed the ELSI scorer at every rebuild")
+	}
+	if cfg.Cache != nil {
+		log.Printf("result cache on: generation-stamped, point + small-window queries")
 	}
 	eng := engine.NewWithBackend(be, nil, cfg)
 	srv := server.New(eng)
@@ -144,7 +160,13 @@ func run(httpAddr, tcpAddr, family, data, dataDir, fsync string, n int, seed int
 // ignored), created and snapshotted otherwise. The returned closer is
 // non-nil exactly in the durable case; run calls it after the drain so
 // the clean-shutdown snapshot covers every acknowledged update.
-func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, workers int, dataDir, fsync string) (engine.Backend, func() error, error) {
+//
+// With adaptive, each shard processor gets a workload monitor and its
+// own ELSI System (learned selection over a shared heuristic-trained
+// scorer): the traffic observed since the last rebuild re-scores the
+// method pool at the next one. Wired through configure so it applies
+// identically to in-memory, created, and recovered durable backends.
+func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, workers int, dataDir, fsync string, adaptive bool) (engine.Backend, func() error, error) {
 	pred, err := rebuild.TrainPredictor(
 		rebuild.HeuristicSamples(rand.New(rand.NewSource(seed)), 1000),
 		rebuild.PredictorConfig{Seed: seed})
@@ -154,6 +176,36 @@ func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, worker
 	factory, mapKey, err := familyStack(family)
 	if err != nil {
 		return nil, nil, err
+	}
+	configure := func(p *rebuild.Processor) {
+		p.Retry = &rebuild.RetryPolicy{}
+	}
+	if adaptive {
+		if family != "zm" {
+			return nil, nil, fmt.Errorf("-adaptive needs a model-built family (zm), not %q", family)
+		}
+		sc, err := scorer.Train(scorer.HeuristicSamples(), scorer.Config{Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		configure = func(p *rebuild.Processor) {
+			p.Retry = &rebuild.RetryPolicy{}
+			sys, err := core.NewSystem(core.Config{
+				Trainer:  rmi.PiecewiseTrainer(1.0 / 256),
+				Selector: core.SelectorLearned,
+				Scorer:   sc,
+			})
+			if err != nil {
+				log.Printf("adaptive wiring failed, shard stays static: %v", err)
+				return
+			}
+			mon := monitor.New(geo.UnitRect)
+			p.Monitor = mon
+			p.Workload = &rebuild.WorkloadAdapter{Mon: mon, Sys: sys}
+			p.Factory = func() rebuild.Rebuildable {
+				return zm.New(zm.Config{Space: geo.UnitRect, Builder: sys, Fanout: 8})
+			}
+		}
 	}
 	sfu := fu
 	if shards > 1 {
@@ -166,18 +218,16 @@ func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, worker
 			return nil, nil, err
 		}
 		pcfg := persist.Config{
-			Dir:     dataDir,
-			WAL:     wal.Options{Policy: pol, Interval: interval},
-			Shards:  shards,
-			Space:   geo.UnitRect,
-			Router:  shard.Config{Workers: workers},
-			Factory: factory,
-			MapKey:  mapKey,
-			Pred:    pred,
-			Fu:      sfu,
-			Configure: func(p *rebuild.Processor) {
-				p.Retry = &rebuild.RetryPolicy{}
-			},
+			Dir:       dataDir,
+			WAL:       wal.Options{Policy: pol, Interval: interval},
+			Shards:    shards,
+			Space:     geo.UnitRect,
+			Router:    shard.Config{Workers: workers},
+			Factory:   factory,
+			MapKey:    mapKey,
+			Pred:      pred,
+			Fu:        sfu,
+			Configure: configure,
 		}
 		if persist.Exists(dataDir) {
 			store, err := persist.Open(pcfg)
@@ -211,7 +261,7 @@ func buildBackend(family string, pts []geo.Point, seed int64, fu, shards, worker
 			return nil, err
 		}
 		proc.Factory = factory
-		proc.Retry = &rebuild.RetryPolicy{}
+		configure(proc)
 		return proc, nil
 	}
 	if shards <= 1 {

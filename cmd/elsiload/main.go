@@ -15,11 +15,20 @@
 //	elsiload -target tcp://127.0.0.1:9090 -rate 2000 -duration 10s
 //	elsiload -target http://127.0.0.1:8080 -rate 500 -duration 5s
 //	elsiload -inproc -rate 3000 -duration 3s -o BENCH_pr6.json
+//	elsiload -inproc -zipf 1.2 -mix 60:15:10:10:5 -sweep-cache -o BENCH_pr10.json
 //
 // With -inproc, elsiload stands up the full elsid stack in-process on
 // ephemeral localhost ports and drives both transports back to back —
 // the one-command, no-daemon way to produce the serving benchmark
 // artifact.
+//
+// The workload shape is controlled by -mix (operation ratios) and
+// -zipf (query skew): with -zipf s > 1, query centers are drawn
+// Zipf(s) from a pool of -hotspots actual data points instead of
+// uniformly, reproducing the hot-spotted read traffic of real spatial
+// decision workloads. Identical hot queries repeat exactly, so the
+// result cache (-cache, or the off/on comparison -sweep-cache) has
+// something to hit.
 package main
 
 import (
@@ -40,11 +49,15 @@ import (
 
 	"elsi/internal/base"
 	"elsi/internal/client"
+	"elsi/internal/core"
 	"elsi/internal/dataset"
 	"elsi/internal/engine"
 	"elsi/internal/geo"
+	"elsi/internal/monitor"
+	"elsi/internal/qcache"
 	"elsi/internal/rebuild"
 	"elsi/internal/rmi"
+	"elsi/internal/scorer"
 	"elsi/internal/server"
 	"elsi/internal/shard"
 	"elsi/internal/zm"
@@ -72,29 +85,74 @@ func main() {
 		n        = flag.Int("n", 50000, "in-process data set cardinality (-inproc)")
 		shards   = flag.Int("shards", 1, "in-process spatial shard count (-inproc)")
 		sweep    = flag.String("sweep-shards", "", "comma-separated shard counts: one in-proc TCP run per count (e.g. 1,4,16)")
+		mix      = flag.String("mix", "40:10:15:20:15", "operation ratios point:window:knn[:insert:delete] (3 parts = read-only)")
+		zipfS    = flag.Float64("zipf", 0, "query-center skew: Zipf exponent over the hotspot pool (> 1 enables, 0 = uniform centers)")
+		hotspots = flag.Int("hotspots", 128, "hotspot pool size for -zipf (drawn from the data set prefix)")
+		cache    = flag.Bool("cache", false, "enable the in-process result cache (-inproc)")
+		adaptive = flag.Bool("adaptive", false, "enable in-process workload monitoring + adaptive method selection (-inproc)")
+		sweepC   = flag.Bool("sweep-cache", false, "two in-proc TCP runs, cache off then on, same workload")
 		out      = flag.String("o", "-", "output path for the JSON report (- = stdout)")
 	)
 	flag.Parse()
 
-	if err := run(*target, *inproc, *rate, *duration, *warmup, *conns, *seed, *n, *shards, *sweep, *out); err != nil {
+	mx, err := newMixer(*mix, *zipfS, *hotspots, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elsiload:", err)
+		os.Exit(1)
+	}
+	opts := inprocOpts{n: *n, shards: *shards, cache: *cache, adaptive: *adaptive}
+	if err := run(*target, *inproc, *rate, *duration, *warmup, *conns, *seed, opts, *sweep, *sweepC, mx, *mix, *zipfS, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "elsiload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, inproc bool, rate float64, duration, warmup time.Duration, conns int, seed int64, n, shards int, sweep, out string) error {
+// inprocOpts shapes the in-process serving stack.
+type inprocOpts struct {
+	n        int
+	shards   int
+	cache    bool
+	adaptive bool
+}
+
+func run(target string, inproc bool, rate float64, duration, warmup time.Duration, conns int, seed int64, opts inprocOpts, sweep string, sweepCache bool, mx *mixer, mixSpec string, zipfS float64, out string) error {
 	report := benchReport{
 		Name:     "serving-loadtest",
 		Seed:     seed,
 		RateRPS:  rate,
 		Duration: duration.String(),
 		Conns:    conns,
+		Mix:      mixSpec,
+	}
+	if zipfS > 0 {
+		report.Zipf = zipfS
+		report.Hotspots = len(mx.hot)
 	}
 	if warmup > 0 {
 		report.Warmup = warmup.String()
 	}
+	shards := opts.shards
 
-	if sweep != "" {
+	if sweepCache {
+		// cache off/on comparison: identical workload, identical stack,
+		// the cache is the only variable — the PR10 benchmark artifact.
+		for _, on := range []bool{false, true} {
+			o := opts
+			o.cache = on
+			srv, cleanup, err := startInproc(seed, o)
+			if err != nil {
+				return err
+			}
+			res, err := runLoad("tcp://"+srv.TCPAddr(), rate, duration, warmup, conns, seed, mx)
+			cleanup()
+			if err != nil {
+				return err
+			}
+			res.Shards = shards
+			res.CacheOn = on
+			report.Runs = append(report.Runs, res)
+		}
+	} else if sweep != "" {
 		// shard-count sweep: one in-proc TCP run per count, same
 		// workload, so the per-S rows are directly comparable
 		for _, f := range strings.Split(sweep, ",") {
@@ -102,11 +160,13 @@ func run(target string, inproc bool, rate float64, duration, warmup time.Duratio
 			if err != nil || s < 1 {
 				return fmt.Errorf("bad -sweep-shards entry %q", f)
 			}
-			srv, cleanup, err := startInproc(n, seed, s)
+			o := opts
+			o.shards = s
+			srv, cleanup, err := startInproc(seed, o)
 			if err != nil {
 				return err
 			}
-			res, err := runLoad("tcp://"+srv.TCPAddr(), rate, duration, warmup, conns, seed)
+			res, err := runLoad("tcp://"+srv.TCPAddr(), rate, duration, warmup, conns, seed, mx)
 			cleanup()
 			if err != nil {
 				return err
@@ -115,7 +175,7 @@ func run(target string, inproc bool, rate float64, duration, warmup time.Duratio
 			report.Runs = append(report.Runs, res)
 		}
 	} else if inproc {
-		srv, cleanup, err := startInproc(n, seed, shards)
+		srv, cleanup, err := startInproc(seed, opts)
 		if err != nil {
 			return err
 		}
@@ -125,18 +185,19 @@ func run(target string, inproc bool, rate float64, duration, warmup time.Duratio
 			if tr == "http" {
 				addr = "http://" + srv.HTTPAddr()
 			}
-			res, err := runLoad(addr, rate, duration, warmup, conns, seed)
+			res, err := runLoad(addr, rate, duration, warmup, conns, seed, mx)
 			if err != nil {
 				return err
 			}
 			res.Shards = shards
+			res.CacheOn = opts.cache
 			report.Runs = append(report.Runs, res)
 		}
 	} else {
 		if target == "" {
 			return fmt.Errorf("need -target or -inproc")
 		}
-		res, err := runLoad(target, rate, duration, warmup, conns, seed)
+		res, err := runLoad(target, rate, duration, warmup, conns, seed, mx)
 		if err != nil {
 			return err
 		}
@@ -157,13 +218,25 @@ func run(target string, inproc bool, rate float64, duration, warmup time.Duratio
 
 // startInproc builds the elsid stack on ephemeral localhost ports:
 // unsharded for shards <= 1, a Hilbert-partitioned router otherwise.
-func startInproc(n int, seed int64, shards int) (*server.Server, func(), error) {
+// With opts.adaptive, every shard gets its own workload monitor and
+// ELSI System (learned selection over a shared heuristic-trained
+// scorer), so background rebuilds re-score the method pool against the
+// traffic the shard actually saw; with opts.cache the engine answers
+// repeated hot queries from the generation-stamped result cache.
+func startInproc(seed int64, opts inprocOpts) (*server.Server, func(), error) {
+	n, shards := opts.n, opts.shards
 	pts := dataset.MustGenerate(dataset.Uniform, n, seed)
 	pred, err := rebuild.TrainPredictor(
 		rebuild.HeuristicSamples(rand.New(rand.NewSource(seed)), 1000),
 		rebuild.PredictorConfig{Seed: seed})
 	if err != nil {
 		return nil, nil, err
+	}
+	var sc *scorer.Scorer
+	if opts.adaptive {
+		if sc, err = scorer.Train(scorer.HeuristicSamples(), scorer.Config{Seed: seed}); err != nil {
+			return nil, nil, err
+		}
 	}
 	factory := func() rebuild.Rebuildable {
 		return zm.New(zm.Config{
@@ -184,6 +257,11 @@ func startInproc(n int, seed int64, shards int) (*server.Server, func(), error) 
 		}
 		proc.Factory = factory
 		proc.Retry = &rebuild.RetryPolicy{}
+		if opts.adaptive {
+			if err := adaptShard(proc, sc); err != nil {
+				return nil, err
+			}
+		}
 		return proc, nil
 	}
 	var be engine.Backend
@@ -200,12 +278,38 @@ func startInproc(n int, seed int64, shards int) (*server.Server, func(), error) 
 		}
 		be = r
 	}
-	eng := engine.NewWithBackend(be, nil, engine.Config{})
+	ecfg := engine.Config{}
+	if opts.cache {
+		ecfg.Cache = &qcache.Config{}
+	}
+	eng := engine.NewWithBackend(be, nil, ecfg)
 	srv := server.New(eng)
 	if err := srv.Start(context.Background(), "127.0.0.1:0", "127.0.0.1:0"); err != nil {
 		return nil, nil, err
 	}
 	return srv, func() { srv.Close() }, nil
+}
+
+// adaptShard wires the monitoring → re-selection loop onto one shard:
+// a fresh per-shard System (each shard adapts to its own traffic) over
+// the shared scorer, a monitor, and a rebuild factory that builds its
+// models through the System so re-ranks take effect on the next swap.
+func adaptShard(proc *rebuild.Processor, sc *scorer.Scorer) error {
+	sys, err := core.NewSystem(core.Config{
+		Trainer:  rmi.PiecewiseTrainer(1.0 / 256),
+		Selector: core.SelectorLearned,
+		Scorer:   sc,
+	})
+	if err != nil {
+		return err
+	}
+	mon := monitor.New(geo.UnitRect)
+	proc.Monitor = mon
+	proc.Workload = &rebuild.WorkloadAdapter{Mon: mon, Sys: sys}
+	proc.Factory = func() rebuild.Rebuildable {
+		return zm.New(zm.Config{Space: geo.UnitRect, Builder: sys, Fanout: 8})
+	}
+	return nil
 }
 
 // dialPool builds the bounded client pool for a target URL.
@@ -259,7 +363,7 @@ type sample struct {
 // the warmup window are discarded before summarizing, so connection
 // setup, server JIT effects, and cold caches don't pollute the
 // percentiles.
-func runLoad(target string, rate float64, duration, warmup time.Duration, conns int, seed int64) (runResult, error) {
+func runLoad(target string, rate float64, duration, warmup time.Duration, conns int, seed int64, mx *mixer) (runResult, error) {
 	pool, transport, cleanup, err := dialPool(target, conns)
 	if err != nil {
 		return runResult{}, err
@@ -286,7 +390,7 @@ func runLoad(target string, rate float64, duration, warmup time.Duration, conns 
 		if next.Sub(start) > warmup+duration {
 			break
 		}
-		op, call := nextOp(rng)
+		op, call := mx.nextOp(rng)
 		if wait := time.Until(next); wait > 0 {
 			time.Sleep(wait)
 		}
@@ -318,28 +422,108 @@ func runLoad(target string, rate float64, duration, warmup time.Duration, conns 
 	c := <-pool
 	if st, err := c.Stats(); err == nil {
 		res.ServerStats = &st
+		if st.Cache != nil {
+			res.CacheHitRate = st.Cache.HitRate
+		}
 	}
 	pool <- c
 	return res, nil
 }
 
-// nextOp draws one operation from the fixed mix: 40% point query,
-// 15% kNN, 10% window, 20% insert, 15% delete.
-func nextOp(rng *rand.Rand) (string, func(apiClient) error) {
-	q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
-	switch r := rng.Float64(); {
-	case r < 0.40:
+// mixer draws operations from the configured ratio and, with -zipf,
+// their centers Zipf-skewed from a pool of actual data points. Hot
+// point queries are the pool points themselves and hot windows are
+// fixed per-hotspot rects, so the same query repeats byte-identically
+// — the access pattern a result cache exists for. Inserts and deletes
+// always use uniform fresh coordinates: writes are not hot-spotted,
+// and a delete of a random coordinate is the (almost always) no-op it
+// was before this flag existed.
+type mixer struct {
+	cum  [5]float64 // cumulative point, window, knn, insert, delete
+	zipf *rand.Zipf // nil = uniform centers
+	hot  []geo.Point
+}
+
+// windowSizes are the per-hotspot window half-sizes; all four keep the
+// area under qcache's default small-window bound.
+var windowSizes = [4]float64{0.004, 0.008, 0.012, 0.016}
+
+// newMixer parses "p:w:k" or "p:w:k:i:d" ratios and, for s > 1, seeds
+// the Zipf hotspot pool with the first `hotspots` points of the
+// uniform data set — the same prefix startInproc serves, so hot point
+// queries are guaranteed members.
+func newMixer(mix string, s float64, hotspots int, seed int64) (*mixer, error) {
+	parts := strings.Split(mix, ":")
+	if len(parts) != 3 && len(parts) != 5 {
+		return nil, fmt.Errorf("bad -mix %q: want point:window:knn or point:window:knn:insert:delete", mix)
+	}
+	m := &mixer{}
+	total := 0.0
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix entry %q", p)
+		}
+		total += w
+		m.cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("bad -mix %q: all weights zero", mix)
+	}
+	for i := range m.cum {
+		if i >= len(parts) {
+			m.cum[i] = total // absent write weights: never drawn
+		}
+		m.cum[i] /= total
+	}
+	//lint:ignore floateq 0 is the documented -zipf off sentinel, compared exactly
+	if s != 0 {
+		if s <= 1 {
+			return nil, fmt.Errorf("bad -zipf %v: want an exponent > 1 (0 disables)", s)
+		}
+		if hotspots < 1 {
+			return nil, fmt.Errorf("bad -hotspots %d", hotspots)
+		}
+		m.hot = dataset.MustGenerate(dataset.Uniform, hotspots, seed)
+		m.zipf = rand.NewZipf(rand.New(rand.NewSource(seed+1)), s, 1, uint64(hotspots-1))
+	}
+	return m, nil
+}
+
+// center draws a query center: the i-th hottest pool point under the
+// Zipf law, or a fresh uniform point.
+func (m *mixer) center(rng *rand.Rand) (geo.Point, int) {
+	if m.zipf == nil {
+		return geo.Point{X: rng.Float64(), Y: rng.Float64()}, -1
+	}
+	i := int(m.zipf.Uint64())
+	return m.hot[i], i
+}
+
+// nextOp draws one operation from the mix.
+func (m *mixer) nextOp(rng *rand.Rand) (string, func(apiClient) error) {
+	r := rng.Float64()
+	if r >= m.cum[2] { // writes: always uniform fresh coordinates
+		q := geo.Point{X: rng.Float64(), Y: rng.Float64()}
+		if r < m.cum[3] {
+			return "insert", func(c apiClient) error { _, err := c.Insert(q); return err }
+		}
+		return "delete", func(c apiClient) error { _, err := c.Delete(q); return err }
+	}
+	q, hi := m.center(rng)
+	switch {
+	case r < m.cum[0]:
 		return "point", func(c apiClient) error { _, err := c.PointQuery(q); return err }
-	case r < 0.55:
+	case r < m.cum[1]:
+		hs := 0.02
+		if hi >= 0 {
+			hs = windowSizes[hi%len(windowSizes)] // fixed per hotspot → exact repeats
+		}
+		win := geo.Rect{MinX: q.X, MinY: q.Y, MaxX: q.X + hs, MaxY: q.Y + hs}
+		return "window", func(c apiClient) error { _, err := c.WindowQuery(win); return err }
+	default:
 		k := 1 + rng.Intn(16)
 		return "knn", func(c apiClient) error { _, err := c.KNN(q, k); return err }
-	case r < 0.65:
-		win := geo.Rect{MinX: q.X, MinY: q.Y, MaxX: q.X + 0.02, MaxY: q.Y + 0.02}
-		return "window", func(c apiClient) error { _, err := c.WindowQuery(win); return err }
-	case r < 0.85:
-		return "insert", func(c apiClient) error { _, err := c.Insert(q); return err }
-	default:
-		return "delete", func(c apiClient) error { _, err := c.Delete(q); return err }
 	}
 }
 
@@ -357,13 +541,17 @@ type latencySummary struct {
 }
 
 type runResult struct {
-	Transport   string                    `json:"transport"`
-	Target      string                    `json:"target"`
-	Shards      int                       `json:"shards,omitempty"`
-	AchievedRPS float64                   `json:"achieved_rps"`
-	Overall     latencySummary            `json:"overall"`
-	PerOp       map[string]latencySummary `json:"per_op"`
-	ServerStats *engine.Stats             `json:"server_stats,omitempty"`
+	Transport    string                    `json:"transport"`
+	Target       string                    `json:"target"`
+	Shards       int                       `json:"shards,omitempty"`
+	CacheOn      bool                      `json:"cache_on,omitempty"`
+	CacheHitRate float64                   `json:"cache_hit_rate,omitempty"`
+	AchievedRPS  float64                   `json:"achieved_rps"`
+	Overall      latencySummary            `json:"overall"`
+	PerOp        map[string]latencySummary `json:"per_op"`
+	// ServerStats is the server's own view, including the result-cache
+	// counters and the per-shard workload monitor/profile breakdown.
+	ServerStats *engine.Stats `json:"server_stats,omitempty"`
 }
 
 type benchReport struct {
@@ -373,6 +561,9 @@ type benchReport struct {
 	Duration string      `json:"duration"`
 	Warmup   string      `json:"warmup,omitempty"`
 	Conns    int         `json:"conns"`
+	Mix      string      `json:"mix,omitempty"`
+	Zipf     float64     `json:"zipf,omitempty"`
+	Hotspots int         `json:"hotspots,omitempty"`
 	Runs     []runResult `json:"runs"`
 }
 

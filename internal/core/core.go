@@ -83,6 +83,19 @@ type Config struct {
 	// piecewise rung ignores it — it is the guarantee that BuildModel
 	// always returns an index.
 	BuildTimeout time.Duration
+	// Workload, when Derived, seeds the live preference: method ranking
+	// uses its λ/wQ instead of the Lambda/WQ constants until a newer
+	// profile is adopted via ApplyWorkload. The zero value keeps the
+	// static configuration.
+	Workload WorkloadProfile
+	// LambdaHysteresis is the minimum λ move an offered profile needs
+	// to displace the active preference (ApplyWorkload); 0 means
+	// DefaultLambdaHysteresis.
+	LambdaHysteresis float64
+	// WorkloadMinSamples is the minimum operation count a profile must
+	// be derived from to be trusted; 0 means
+	// DefaultWorkloadMinSamples.
+	WorkloadMinSamples int64
 }
 
 // System is the ELSI build processor.
@@ -94,6 +107,9 @@ type System struct {
 	mu         sync.Mutex
 	selections map[string]int
 	fallbacks  map[string]int
+	workload   WorkloadProfile
+	wlApplied  int
+	wlSkipped  int
 }
 
 // NewSystem validates cfg and returns a System.
@@ -132,6 +148,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.BuildTimeout < 0 {
 		return nil, fmt.Errorf("core: negative BuildTimeout %v", cfg.BuildTimeout)
 	}
+	if err := validateWorkload(&cfg); err != nil {
+		return nil, err
+	}
 	builders := scorer.PoolBuildersWorkers(cfg.Trainer, cfg.Seed, cfg.Workers)
 	// RSP is not a pool member (it is SP's comparison baseline), but it
 	// is the ladder's standing fallback before OG.
@@ -152,6 +171,7 @@ func NewSystem(cfg Config) (*System, error) {
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		selections: map[string]int{},
 		fallbacks:  map[string]int{},
+		workload:   cfg.Workload,
 	}, nil
 }
 
@@ -296,7 +316,12 @@ func (s *System) ladder(d *base.SortedData) []string {
 		if d.Len() > 0 {
 			dist = kstest.DistanceToUniform(d.Keys, d.Keys[0], d.Keys[d.Len()-1])
 		}
-		sel := &scorer.Selector{Scorer: s.cfg.Scorer, Lambda: s.cfg.Lambda, WQ: s.cfg.WQ, Pool: s.cfg.Pool}
+		// Rank under the live preference: the adopted workload profile
+		// (ApplyWorkload) displaces the config-time constants.
+		s.mu.Lock()
+		lam, wq := s.prefLocked()
+		s.mu.Unlock()
+		sel := &scorer.Selector{Scorer: s.cfg.Scorer, Lambda: lam, WQ: wq, Pool: s.cfg.Pool}
 		ranked = sel.Rank(d.Len(), dist)
 	}
 	ranked = append(ranked, methods.NameRSP, methods.NameOG)

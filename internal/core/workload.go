@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// WorkloadProfile is a derived summary of observed traffic, in the
+// terms the method scorer understands: a preference factor λ (build
+// weight, Equation 2), a query-frequency weight wQ, and the read-mix
+// composition. Profiles are produced by DeriveWorkload from monitor
+// counter deltas and fed to a System via ApplyWorkload, which re-scores
+// the method pool on the next build with the live preference instead of
+// the config-time constant.
+type WorkloadProfile struct {
+	// Lambda is the derived build/query preference in [0, 1]: a
+	// write-heavy mix rebuilds often, so build cost weighs more.
+	Lambda float64 `json:"lambda"`
+	// WQ is the derived query-frequency weight.
+	WQ float64 `json:"wq"`
+	// PointW, WindowW, KNNW are the fractions of read traffic by query
+	// type (summing to 1 when there are reads).
+	PointW  float64 `json:"point_w"`
+	WindowW float64 `json:"window_w"`
+	KNNW    float64 `json:"knn_w"`
+	// WriteFrac is the fraction of all traffic that mutates.
+	WriteFrac float64 `json:"write_frac"`
+	// Samples is the operation count the profile was derived from —
+	// the confidence gate for ApplyWorkload.
+	Samples int64 `json:"samples"`
+	// Derived marks a profile produced from real traffic; the zero
+	// value (Derived false) never overrides configuration.
+	Derived bool `json:"derived"`
+}
+
+// DeriveWorkload turns raw operation counts (typically a
+// monitor.Snapshot delta) into a WorkloadProfile.
+//
+// λ rises linearly with the write fraction from 0.2 (pure reads: query
+// cost is everything, but a floor keeps pathological build choices off
+// the table) to 0.95 (pure writes: the index is rebuilt far more often
+// than it is probed). wQ scales with the read fraction around the
+// paper's default of 1.0 at a balanced mix, clamped to [0.25, 2].
+func DeriveWorkload(points, windows, knns, inserts, deletes int64) WorkloadProfile {
+	reads := points + windows + knns
+	writes := inserts + deletes
+	total := reads + writes
+	if total <= 0 {
+		return WorkloadProfile{}
+	}
+	writeFrac := float64(writes) / float64(total)
+	readFrac := 1 - writeFrac
+	p := WorkloadProfile{
+		Lambda:    0.2 + 0.75*writeFrac,
+		WQ:        clamp(2*readFrac, 0.25, 2),
+		WriteFrac: writeFrac,
+		Samples:   total,
+		Derived:   true,
+	}
+	if reads > 0 {
+		p.PointW = float64(points) / float64(reads)
+		p.WindowW = float64(windows) / float64(reads)
+		p.KNNW = float64(knns) / float64(reads)
+	}
+	return p
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Workload defaults; see Config.
+const (
+	// DefaultLambdaHysteresis is the minimum |λ_new − λ_current| (or
+	// equivalent wQ move) required before a derived profile replaces
+	// the active one.
+	DefaultLambdaHysteresis = 0.1
+	// DefaultWorkloadMinSamples is the minimum operation count a
+	// profile must be derived from before it is trusted.
+	DefaultWorkloadMinSamples = 256
+)
+
+// validateWorkload checks the workload-related Config fields and fills
+// defaults; called from NewSystem.
+func validateWorkload(cfg *Config) error {
+	if cfg.LambdaHysteresis < 0 {
+		return fmt.Errorf("core: negative LambdaHysteresis %v", cfg.LambdaHysteresis)
+	}
+	//lint:ignore floateq an unset config field is exactly the zero value
+	if cfg.LambdaHysteresis == 0 {
+		cfg.LambdaHysteresis = DefaultLambdaHysteresis
+	}
+	if cfg.WorkloadMinSamples < 0 {
+		return fmt.Errorf("core: negative WorkloadMinSamples %d", cfg.WorkloadMinSamples)
+	}
+	if cfg.WorkloadMinSamples == 0 {
+		cfg.WorkloadMinSamples = DefaultWorkloadMinSamples
+	}
+	if cfg.Workload.Derived {
+		if math.IsNaN(cfg.Workload.Lambda) || cfg.Workload.Lambda < 0 || cfg.Workload.Lambda > 1 {
+			return fmt.Errorf("core: workload Lambda %v outside [0, 1]", cfg.Workload.Lambda)
+		}
+		if cfg.Workload.WQ <= 0 {
+			return fmt.Errorf("core: workload WQ %v must be positive", cfg.Workload.WQ)
+		}
+	}
+	return nil
+}
+
+// ApplyWorkload offers a derived profile to the system. It is adopted —
+// and used by every subsequent build's method ranking — only when it
+// clears two gates: enough samples (Config.WorkloadMinSamples), and a
+// preference move of at least Config.LambdaHysteresis in λ (or the
+// same relative move in wQ) versus the active preference. The
+// hysteresis keeps selection from flapping between methods on workload
+// noise: a profile that would re-rank the pool identically is not worth
+// a churn of the counters, and one derived from a near-identical mix
+// cannot re-rank it at all. Returns whether the profile was adopted.
+func (s *System) ApplyWorkload(p WorkloadProfile) bool {
+	if !p.Derived || p.Samples < s.cfg.WorkloadMinSamples {
+		s.mu.Lock()
+		s.wlSkipped++
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	curLam, curWQ := s.prefLocked()
+	dLam := math.Abs(p.Lambda - curLam)
+	// wQ spans [0.25, 2]; compare its move on a log scale so a 0.25→0.5
+	// shift weighs like 1→2.
+	dWQ := math.Abs(math.Log2(p.WQ) - math.Log2(curWQ))
+	if dLam < s.cfg.LambdaHysteresis && dWQ < 2*s.cfg.LambdaHysteresis {
+		s.wlSkipped++
+		return false
+	}
+	s.workload = p
+	s.wlApplied++
+	return true
+}
+
+// prefLocked returns the effective (λ, wQ): the adopted workload's if
+// one is active, the configured constants otherwise. Caller holds s.mu.
+func (s *System) prefLocked() (lambda, wq float64) {
+	if s.workload.Derived {
+		return s.workload.Lambda, s.workload.WQ
+	}
+	return s.cfg.Lambda, s.cfg.WQ
+}
+
+// Workload returns the active profile (zero value when none has been
+// adopted and none was configured).
+func (s *System) Workload() WorkloadProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workload
+}
+
+// WorkloadCounts reports how many ApplyWorkload offers were adopted and
+// how many were rejected by the sample or hysteresis gates.
+func (s *System) WorkloadCounts() (applied, skipped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wlApplied, s.wlSkipped
+}
+
+// EffectiveLambda returns the preference factor the next build will
+// rank methods with (the adopted workload's λ, or the configured one).
+func (s *System) EffectiveLambda() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lam, _ := s.prefLocked()
+	return lam
+}

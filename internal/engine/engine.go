@@ -25,9 +25,15 @@ import (
 
 	"elsi/internal/base"
 	"elsi/internal/core"
+	"elsi/internal/faults"
 	"elsi/internal/geo"
+	"elsi/internal/qcache"
 	"elsi/internal/rebuild"
 )
+
+func init() {
+	faults.Register("qcache/invalidate", "advisory cache drop after an update (losing it leaves invalidation to the generation check)")
+}
 
 // ErrOverloaded rejects a request when the bounded in-flight count is
 // exhausted. Transports map it to their backpressure signal (HTTP 429,
@@ -53,6 +59,13 @@ type Config struct {
 	// across all operations (default 4096). Beyond it, requests fail
 	// with ErrOverloaded.
 	MaxInFlight int
+	// Cache, when non-nil, enables the hot-region result cache for
+	// point and small-window queries (see qcache): hits are answered
+	// before the batching accumulator, turning repeated reads on
+	// skewed traffic into nanosecond lookups. Invalidation is by the
+	// backend's update generations — stale entries are never served.
+	// The zero qcache.Config selects its defaults.
+	Cache *qcache.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +96,8 @@ type Engine struct {
 	sys *core.System // optional: selector counters for Stats
 	cfg Config
 
+	cache *qcache.Cache // nil = caching off
+
 	// mu guards admission state and the accumulators. It is a leaf
 	// lock on the engine's fast path: enqueue and flush release it
 	// before blocking on batch results or downstream locks.
@@ -92,6 +107,13 @@ type Engine struct {
 	closed   bool
 	inFlight int
 	wg       sync.WaitGroup // one unit per admitted request
+
+	// Lock-free mirrors of the admission/accumulator gauges, written
+	// under mu and read by Stats, so /stats polling never contends
+	// with the flush path (scraping under load used to show up as
+	// p999 spikes).
+	inFlightA atomic.Int64
+	closedA   atomic.Bool
 
 	points  acc[geo.Point, bool]
 	windows acc[geo.Rect, []geo.Point]
@@ -118,6 +140,9 @@ func New(proc *rebuild.Processor, sys *core.System, cfg Config) *Engine {
 // machinery.
 func NewWithBackend(be Backend, sys *core.System, cfg Config) *Engine {
 	e := &Engine{be: be, sys: sys, cfg: cfg.withDefaults()}
+	if cfg.Cache != nil {
+		e.cache = qcache.New(*cfg.Cache)
+	}
 	e.points.init(e, func(qs []geo.Point) []bool { return e.be.PointBatch(qs, nil) })
 	e.windows.init(e, func(qs []geo.Rect) [][]geo.Point { return e.be.WindowBatch(qs, nil) })
 	e.knns.init(e, func(reqs []knnReq) [][]geo.Point {
@@ -161,6 +186,7 @@ func (e *Engine) admit() error {
 		return ErrOverloaded
 	}
 	e.inFlight++
+	e.inFlightA.Store(int64(e.inFlight))
 	e.wg.Add(1)
 	return nil
 }
@@ -168,6 +194,7 @@ func (e *Engine) admit() error {
 func (e *Engine) release() {
 	e.mu.Lock()
 	e.inFlight--
+	e.inFlightA.Store(int64(e.inFlight))
 	e.mu.Unlock()
 	e.wg.Done()
 }
@@ -175,24 +202,56 @@ func (e *Engine) release() {
 // --- queries ------------------------------------------------------------
 
 // PointQuery reports whether pt is currently stored.
+//
+// With the result cache on, the lookup happens before the batching
+// accumulator: a hit costs two atomic loads and one shard read-lock
+// instead of a batch round-trip. The generation is read BEFORE the
+// uncached answer is computed, so a mutation racing the fill only ever
+// invalidates the entry (see qcache's package comment).
 func (e *Engine) PointQuery(pt geo.Point) (bool, error) {
 	if err := e.admit(); err != nil {
 		return false, err
 	}
 	defer e.release()
 	e.cPoints.Add(1)
-	return e.points.enqueue(pt), nil
+	if e.cache == nil {
+		return e.points.enqueue(pt), nil
+	}
+	k := qcache.PointKey(pt)
+	gen := e.be.PointGen(pt)
+	if v, ok := e.cache.GetPoint(k, gen); ok {
+		return v, nil
+	}
+	v := e.points.enqueue(pt)
+	e.cache.PutPoint(k, gen, v)
+	return v, nil
 }
 
 // WindowQuery returns the points inside win. The returned slice is
 // owned by the caller.
+//
+// Small windows (qcache.Config.MaxWindowArea) go through the result
+// cache; their entries are stamped with the backend's global
+// generation, so any update anywhere invalidates them — coarser than
+// the per-shard point stamps, but window keys cannot name their owning
+// shards without decomposing the window on every lookup.
 func (e *Engine) WindowQuery(win geo.Rect) ([]geo.Point, error) {
 	if err := e.admit(); err != nil {
 		return nil, err
 	}
 	defer e.release()
 	e.cWindows.Add(1)
-	return e.windows.enqueue(win), nil
+	if e.cache == nil || !e.cache.Cacheable(win) {
+		return e.windows.enqueue(win), nil
+	}
+	k := qcache.WindowKey(win)
+	gen := e.be.GlobalGen()
+	if out, ok := e.cache.GetWindowAppend(k, gen, nil); ok {
+		return out, nil
+	}
+	res := e.windows.enqueue(win)
+	e.cache.PutWindow(k, gen, res)
+	return res, nil
 }
 
 // KNN returns the k nearest stored points to q (fewer when fewer are
@@ -216,7 +275,24 @@ func (e *Engine) Insert(pt geo.Point) (bool, error) {
 	}
 	defer e.release()
 	e.cInserts.Add(1)
-	return e.be.Insert(pt), nil
+	reb := e.be.Insert(pt)
+	e.dropCached(pt)
+	return reb, nil
+}
+
+// dropCached eagerly frees the cache slot of a just-updated point.
+// Advisory only — the generation bump that happened inside the backend
+// already makes any entry for pt unservable, so the injected loss of
+// this signal ("qcache/invalidate") must never produce a stale read;
+// the chaos suite asserts exactly that.
+func (e *Engine) dropCached(pt geo.Point) {
+	if e.cache == nil {
+		return
+	}
+	if err := faults.Hit("qcache/invalidate"); err != nil {
+		return // invalidation signal dropped/delayed: generations cover us
+	}
+	e.cache.Drop(qcache.PointKey(pt))
 }
 
 // Delete removes pt by value. It reports whether the update triggered
@@ -227,7 +303,9 @@ func (e *Engine) Delete(pt geo.Point) (bool, error) {
 	}
 	defer e.release()
 	e.cDeletes.Add(1)
-	return e.be.Delete(pt), nil
+	reb := e.be.Delete(pt)
+	e.dropCached(pt)
+	return reb, nil
 }
 
 // --- shutdown -----------------------------------------------------------
@@ -242,6 +320,7 @@ func (e *Engine) Close() {
 	e.mu.Lock()
 	already := e.closed
 	e.closed = true
+	e.closedA.Store(true)
 	pb := e.points.detachLocked()
 	wb := e.windows.detachLocked()
 	kb := e.knns.detachLocked()
@@ -296,6 +375,9 @@ type Stats struct {
 	Selections map[string]int `json:",omitempty"`
 	Fallbacks  map[string]int `json:",omitempty"`
 
+	// result cache counters, when the cache is enabled
+	Cache *qcache.Stats `json:",omitempty"`
+
 	// per-shard breakdown: one entry for a Single backend, one per
 	// shard for the sharded router (including its scatter/prune
 	// counters)
@@ -303,15 +385,16 @@ type Stats struct {
 }
 
 // Stats snapshots the counters. It is safe to call while requests are
-// blocked inside queries (it never takes the processor's write lock).
+// blocked inside queries, and takes no engine lock at all: every gauge
+// has a lock-free mirror, so a /stats scrape never contends with the
+// admission or accumulator-flush paths (the mutex here was visible as
+// p999 spikes when polling during load).
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
 	st := Stats{
-		Queued:   e.points.queuedLocked() + e.windows.queuedLocked() + e.knns.queuedLocked(),
-		InFlight: e.inFlight,
-		Closed:   e.closed,
+		Queued:   int(e.points.queued.Load() + e.windows.queued.Load() + e.knns.queued.Load()),
+		InFlight: int(e.inFlightA.Load()),
+		Closed:   e.closedA.Load(),
 	}
-	e.mu.Unlock()
 
 	st.PointQueries = e.cPoints.Load()
 	st.WindowQueries = e.cWindows.Load()
@@ -341,6 +424,10 @@ func (e *Engine) Stats() Stats {
 		st.Selections = e.sys.Selections()
 		st.Fallbacks = e.sys.Fallbacks()
 	}
+	if e.cache != nil {
+		cs := e.cache.CacheStats()
+		st.Cache = &cs
+	}
 	return st
 }
 
@@ -357,11 +444,14 @@ type batch[Q, R any] struct {
 }
 
 // acc accumulates queries of one kind. All fields are guarded by the
-// owning engine's mutex except run, set once at init.
+// owning engine's mutex except run, set once at init, and queued, a
+// lock-free mirror of the accumulating batch's length (written under
+// the mutex, read by Stats without it).
 type acc[Q, R any] struct {
-	e   *Engine
-	run func([]Q) []R
-	cur *batch[Q, R]
+	e      *Engine
+	run    func([]Q) []R
+	cur    *batch[Q, R]
+	queued atomic.Int64
 }
 
 func (a *acc[Q, R]) init(e *Engine, run func([]Q) []R) {
@@ -386,6 +476,8 @@ func (a *acc[Q, R]) enqueue(q Q) R {
 	full := len(b.qs) >= a.e.cfg.MaxBatch
 	if full {
 		a.detachBatchLocked(b)
+	} else {
+		a.queued.Store(int64(len(b.qs)))
 	}
 	a.e.mu.Unlock()
 	if full {
@@ -424,6 +516,7 @@ func (a *acc[Q, R]) detachLocked() *batch[Q, R] {
 
 func (a *acc[Q, R]) detachBatchLocked(b *batch[Q, R]) {
 	a.cur = nil
+	a.queued.Store(0)
 	if b.timer != nil {
 		b.timer.Stop()
 	}
@@ -446,9 +539,3 @@ func (a *acc[Q, R]) runBatch(b *batch[Q, R]) {
 	close(b.done)
 }
 
-func (a *acc[Q, R]) queuedLocked() int {
-	if a.cur == nil {
-		return 0
-	}
-	return len(a.cur.qs)
-}

@@ -562,6 +562,16 @@ func (s *Store) Delete(p geo.Point) bool {
 	return s.router.Delete(p)
 }
 
+// PointGen and GlobalGen delegate to the router: durability does not
+// change visible state, so the WAL layer adds no generations of its
+// own.
+//
+//elsi:noalloc
+func (s *Store) PointGen(p geo.Point) uint64 { return s.router.PointGen(p) }
+
+//elsi:noalloc
+func (s *Store) GlobalGen() uint64 { return s.router.GlobalGen() }
+
 func (s *Store) BackendStats() engine.BackendStats {
 	return s.router.BackendStats()
 }

@@ -1,0 +1,343 @@
+// Package qcache is a sharded, bounded, generation-stamped result
+// cache for point and small-window queries.
+//
+// Correctness is by coarse invalidation, not precise tracking: the
+// index owner (rebuild.Processor) bumps a generation counter under its
+// write lock on every insert, delete, and rebuild swap. The cache never
+// interprets results — a filler reads the owner's generation BEFORE
+// computing the uncached answer and stamps the entry with that value; a
+// lookup serves an entry only when its stamp equals the generation the
+// caller read. Any mutation between the stamp read and the fill makes
+// the entry's stamp stale, so the entry is dead on arrival rather than
+// wrong; the race costs a miss, never a stale answer (the argument is
+// spelled out in DESIGN.md §15).
+//
+// Lookups take one RWMutex read-lock on one of the cache's internal
+// shards and are allocation-free on hit (append-form fill for window
+// results); fills and evictions take the write lock. Eviction is FIFO
+// per cache shard — cheap, and good enough under the skewed workloads
+// the cache exists for, where the hot set is far smaller than capacity.
+package qcache
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"elsi/internal/geo"
+)
+
+// Config sizes a Cache. The zero value selects sane defaults.
+type Config struct {
+	// Shards is the number of internal lock shards (rounded up to a
+	// power of two). Default 8.
+	Shards int
+	// MaxEntries bounds the entry count per lock shard; FIFO eviction
+	// beyond it. Default 2048 (×Shards total).
+	MaxEntries int
+	// MaxWindowPoints caps the result size a window entry may store;
+	// larger results are not cached (copying them in and out would eat
+	// the win). Default 64.
+	MaxWindowPoints int
+	// MaxWindowArea caps the area of a cacheable window query. Callers
+	// consult it via Cacheable; larger windows bypass the cache.
+	// Default 1e-3 (a 0.032×0.032 window of a unit space).
+	MaxWindowArea float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	// Round up to a power of two so shardFor can mask.
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 2048
+	}
+	if c.MaxWindowPoints <= 0 {
+		c.MaxWindowPoints = 64
+	}
+	if c.MaxWindowArea <= 0 {
+		c.MaxWindowArea = 1e-3
+	}
+	return c
+}
+
+// Operation tags for Key.Op. Exported so tests can build keys directly.
+const (
+	OpPoint  = 1
+	OpWindow = 2
+)
+
+// Key identifies a cached query. It is a comparable struct (not a byte
+// string) so map lookups on the hit path never convert or allocate.
+type Key struct {
+	Op             uint8
+	X0, Y0, X1, Y1 float64
+}
+
+// PointKey is the cache key for a point query.
+//
+//elsi:noalloc
+func PointKey(p geo.Point) Key {
+	return Key{Op: OpPoint, X0: p.X, Y0: p.Y}
+}
+
+// WindowKey is the cache key for a window query.
+//
+//elsi:noalloc
+func WindowKey(w geo.Rect) Key {
+	return Key{Op: OpWindow, X0: w.MinX, Y0: w.MinY, X1: w.MaxX, Y1: w.MaxY}
+}
+
+type entry struct {
+	gen uint64
+	hit bool        // point answer
+	pts []geo.Point // window answer (immutable once stored)
+}
+
+type cshard struct {
+	mu   sync.RWMutex
+	m    map[Key]entry
+	ring []Key // FIFO of the map's keys, insertion order
+	pos  int   // next eviction slot once ring is full
+	_    [24]byte
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Stale     int64   `json:"stale"` // generation-mismatch lookups (subset of misses)
+	Puts      int64   `json:"puts"`
+	Evictions int64   `json:"evictions"`
+	Drops     int64   `json:"drops"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Cache is a sharded generation-stamped result cache. Safe for
+// concurrent use.
+type Cache struct {
+	cfg    Config
+	shards []cshard
+	mask   uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stale     atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+	drops     atomic.Int64
+}
+
+// New builds a Cache from cfg (zero value ok).
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	c := &Cache{
+		cfg:    cfg,
+		shards: make([]cshard, cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]entry, cfg.MaxEntries)
+		c.shards[i].ring = make([]Key, 0, cfg.MaxEntries)
+	}
+	return c
+}
+
+// Cacheable reports whether a window query is small enough to cache.
+//
+//elsi:noalloc
+func (c *Cache) Cacheable(w geo.Rect) bool {
+	return c != nil && w.Area() <= c.cfg.MaxWindowArea
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a hash byte by byte.
+//
+//elsi:noalloc
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// shardFor hashes a key to its lock shard (FNV-1a over the coordinate
+// bit patterns).
+//
+//elsi:noalloc
+func (c *Cache) shardFor(k Key) *cshard {
+	h := uint64(fnvOffset)
+	h ^= uint64(k.Op)
+	h *= fnvPrime
+	h = fnvMix(h, math.Float64bits(k.X0))
+	h = fnvMix(h, math.Float64bits(k.Y0))
+	h = fnvMix(h, math.Float64bits(k.X1))
+	h = fnvMix(h, math.Float64bits(k.Y1))
+	return &c.shards[h&c.mask]
+}
+
+// GetPoint returns the cached answer for k if present and stamped with
+// exactly gen. The second result reports a usable hit.
+//
+//elsi:noalloc
+func (c *Cache) GetPoint(k Key, gen uint64) (bool, bool) {
+	if c == nil {
+		return false, false
+	}
+	s := c.shardFor(k)
+	s.mu.RLock()
+	e, ok := s.m[k]
+	s.mu.RUnlock()
+	if !ok {
+		c.misses.Add(1)
+		return false, false
+	}
+	if e.gen != gen {
+		c.stale.Add(1)
+		c.misses.Add(1)
+		return false, false
+	}
+	c.hits.Add(1)
+	return e.hit, true
+}
+
+// GetWindowAppend appends the cached result for k to out and returns
+// it, if an entry stamped with exactly gen exists. The second result
+// reports a usable hit; on miss, out is returned unchanged.
+//
+//elsi:noalloc
+func (c *Cache) GetWindowAppend(k Key, gen uint64, out []geo.Point) ([]geo.Point, bool) {
+	if c == nil {
+		return out, false
+	}
+	s := c.shardFor(k)
+	s.mu.RLock()
+	e, ok := s.m[k]
+	if ok && e.gen == gen {
+		// Copy while holding the read lock; entries are immutable but
+		// the map slot may be overwritten after release.
+		out = append(out, e.pts...)
+		s.mu.RUnlock()
+		c.hits.Add(1)
+		return out, true
+	}
+	s.mu.RUnlock()
+	if ok {
+		c.stale.Add(1)
+	}
+	c.misses.Add(1)
+	return out, false
+}
+
+// PutPoint stores the answer for a point query computed against
+// generation gen. gen must have been read from the index owner BEFORE
+// the answer was computed.
+func (c *Cache) PutPoint(k Key, gen uint64, hit bool) {
+	if c == nil {
+		return
+	}
+	c.put(k, entry{gen: gen, hit: hit})
+}
+
+// PutWindow stores a window result computed against generation gen.
+// Results larger than MaxWindowPoints are silently not cached. The
+// cache keeps its own copy; the caller retains pts.
+func (c *Cache) PutWindow(k Key, gen uint64, pts []geo.Point) {
+	if c == nil || len(pts) > c.cfg.MaxWindowPoints {
+		return
+	}
+	cp := make([]geo.Point, len(pts))
+	copy(cp, pts)
+	c.put(k, entry{gen: gen, pts: cp})
+}
+
+func (c *Cache) put(k Key, e entry) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if _, ok := s.m[k]; ok {
+		// Overwrite in place; the key keeps its ring slot.
+		s.m[k] = e
+	} else if len(s.ring) < cap(s.ring) {
+		s.ring = append(s.ring, k)
+		s.m[k] = e
+	} else {
+		// Full: evict the FIFO victim and reuse its slot.
+		delete(s.m, s.ring[s.pos])
+		s.ring[s.pos] = k
+		s.pos++
+		if s.pos == len(s.ring) {
+			s.pos = 0
+		}
+		s.m[k] = e
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+	c.puts.Add(1)
+}
+
+// Drop removes k if present. Purely advisory: generation stamps already
+// keep stale entries from being served, dropping just frees the slot
+// earlier. Callers may skip it entirely (or a fault may eat it) without
+// affecting correctness.
+func (c *Cache) Drop(k Key) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if _, ok := s.m[k]; ok {
+		delete(s.m, k)
+		// Leave the ring slot in place; eviction tolerates keys that
+		// are no longer mapped (delete of a missing key is a no-op).
+		c.drops.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Len is the live entry count across all shards.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// CacheStats snapshots the counters.
+func (c *Cache) CacheStats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stale:     c.stale.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+		Drops:     c.drops.Load(),
+		Entries:   c.Len(),
+	}
+	if tot := st.Hits + st.Misses; tot > 0 {
+		st.HitRate = float64(st.Hits) / float64(tot)
+	}
+	return st
+}

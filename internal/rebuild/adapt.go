@@ -1,0 +1,85 @@
+package rebuild
+
+import (
+	"sync"
+
+	"elsi/internal/core"
+	"elsi/internal/faults"
+	"elsi/internal/monitor"
+)
+
+func init() {
+	faults.Register("monitor/sample", "workload resample at rebuild start (dropping it keeps the previous profile)")
+}
+
+// WorkloadAdapter closes the monitoring loop: it turns the traffic a
+// monitor.Stats observed since the last sample into a
+// core.WorkloadProfile and offers it to the build System, whose method
+// ranking the next build then runs under. Install one per shard via
+// Processor.Workload; the processor calls Resample at the start of
+// every rebuild, the natural moment — re-scoring between builds would
+// change nothing, since selection only runs inside a build.
+//
+// Dropping or delaying a resample (fault point "monitor/sample") is
+// safe by design: the system simply builds with the previously adopted
+// profile, and the skipped traffic is still in the monitor's counters
+// for the next successful sample (Resample reads cumulative snapshots
+// and diffs against the last one it consumed).
+type WorkloadAdapter struct {
+	// Mon is the traffic source (typically the same monitor.Stats
+	// installed as Processor.Monitor).
+	Mon *monitor.Stats
+	// Sys is the build system whose preference the profile drives.
+	Sys *core.System
+
+	mu      sync.Mutex
+	last    monitor.Snapshot
+	sampled int
+	applied int
+}
+
+// Resample derives a profile from the traffic since the previous
+// Resample and offers it to the system (which applies its own sample
+// and hysteresis gates). It reports whether the profile was adopted.
+// Nil-safe: a nil adapter (or one missing its source or sink) is a
+// no-op, so the processor can call it unconditionally.
+func (a *WorkloadAdapter) Resample() bool {
+	if a == nil || a.Mon == nil || a.Sys == nil {
+		return false
+	}
+	if err := faults.Hit("monitor/sample"); err != nil {
+		return false // dropped sample: build with the previous profile
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snap := a.Mon.Snapshot()
+	d := snap.Sub(a.last)
+	a.last = snap
+	a.sampled++
+	p := core.DeriveWorkload(d.Points, d.Windows, d.KNNs, d.Inserts, d.Deletes)
+	if a.Sys.ApplyWorkload(p) {
+		a.applied++
+		return true
+	}
+	return false
+}
+
+// Counts reports how many resamples ran and how many of those were
+// adopted by the system.
+func (a *WorkloadAdapter) Counts() (sampled, applied int) {
+	if a == nil {
+		return 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sampled, a.applied
+}
+
+// Current returns the system's active workload profile (zero value
+// when none was ever adopted).
+func (a *WorkloadAdapter) Current() core.WorkloadProfile {
+	if a == nil || a.Sys == nil {
+		return core.WorkloadProfile{}
+	}
+	return a.Sys.Workload()
+}

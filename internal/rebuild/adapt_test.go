@@ -1,0 +1,196 @@
+package rebuild
+
+import (
+	"math"
+	"testing"
+
+	"elsi/internal/core"
+	"elsi/internal/dataset"
+	"elsi/internal/faults"
+	"elsi/internal/geo"
+	"elsi/internal/monitor"
+	"elsi/internal/rmi"
+	"elsi/internal/scorer"
+	"elsi/internal/zm"
+)
+
+// adaptiveStack builds the full loop for one shard: a zm index whose
+// models are built by an ELSI System (learned selection over the
+// heuristic scorer), a monitor, and the adapter joining them.
+func adaptiveStack(t *testing.T, n int) (*Processor, *core.System, *monitor.Stats) {
+	t.Helper()
+	sc, err := scorer.Train(scorer.HeuristicSamples(), scorer.Config{Seed: 1, Epochs: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Trainer:  rmi.PiecewiseTrainer(1.0 / 256),
+		Selector: core.SelectorLearned,
+		Scorer:   sc,
+		Lambda:   0, LambdaSet: true, // start pure-query-optimised
+		WorkloadMinSamples: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *zm.Index {
+		return zm.New(zm.Config{Space: geo.UnitRect, Builder: sys, Fanout: 2})
+	}
+	ix := mk()
+	pts := dataset.MustGenerate("uniform", n, 7)
+	p, err := NewProcessor(ix, nil, pts, zmMapKey(ix), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(geo.UnitRect)
+	p.Monitor = mon
+	p.Workload = &WorkloadAdapter{Mon: mon, Sys: sys}
+	p.Factory = func() Rebuildable { return mk() }
+	return p, sys, mon
+}
+
+func TestAdapterResampleOnRebuild(t *testing.T) {
+	p, sys, _ := adaptiveStack(t, 800)
+
+	// A write-heavy burst: inserts dominate the observed mix.
+	rng := dataset.MustGenerate("uniform", 600, 99)
+	for _, pt := range rng {
+		p.Insert(pt)
+	}
+	if got := sys.EffectiveLambda(); got != 0 {
+		t.Fatalf("λ moved to %v before any rebuild sampled the traffic", got)
+	}
+
+	p.Rebuild()
+	p.WaitRebuild()
+
+	sampled, applied := p.Workload.Counts()
+	if sampled != 1 || applied != 1 {
+		t.Fatalf("adapter counts = %d sampled, %d applied; want 1, 1", sampled, applied)
+	}
+	lam := sys.EffectiveLambda()
+	if lam < 0.8 {
+		t.Fatalf("EffectiveLambda = %v after a write storm, want ≥ 0.8", lam)
+	}
+	w := sys.Workload()
+	if !w.Derived || w.WriteFrac < 0.9 {
+		t.Fatalf("adopted profile = %+v, want a write-dominated one", w)
+	}
+
+	// A second rebuild over quiet traffic must not flap the profile:
+	// the delta since the last sample is below the sample gate.
+	p.Rebuild()
+	p.WaitRebuild()
+	if _, applied = p.Workload.Counts(); applied != 1 {
+		t.Fatalf("quiet rebuild re-applied a profile (applied = %d)", applied)
+	}
+}
+
+// TestAdapterSwitchesSelection drives the loop end to end: the same
+// system builds once under query-heavy traffic and once after a write
+// storm, and the method the ELSI ladder selects must track the λ the
+// traffic implied. Skipped if the heuristic scorer happens to rank one
+// method best at both extremes.
+func TestAdapterSwitchesSelection(t *testing.T) {
+	p, sys, mon := adaptiveStack(t, 800)
+
+	// Phase 1: pure reads, then rebuild → λ stays low.
+	q := dataset.MustGenerate("uniform", 400, 11)
+	for _, pt := range q {
+		p.PointQuery(pt)
+	}
+	p.Rebuild()
+	p.WaitRebuild()
+	readLam := sys.EffectiveLambda()
+	if math.Abs(readLam-0.2) > 1e-9 {
+		t.Fatalf("λ after pure reads = %v, want 0.2", readLam)
+	}
+	sys.ResetSelections()
+
+	// Phase 2: write storm, then rebuild → λ jumps, and the rebuild's
+	// build ran its selection under the new preference.
+	w := dataset.MustGenerate("uniform", 2000, 12)
+	for _, pt := range w {
+		p.Insert(pt)
+	}
+	p.Rebuild()
+	p.WaitRebuild()
+	writeLam := sys.EffectiveLambda()
+	if writeLam <= readLam+0.3 {
+		t.Fatalf("λ did not move with the mix: read %v, write %v", readLam, writeLam)
+	}
+	if len(sys.Selections()) == 0 {
+		t.Fatal("write-phase rebuild recorded no selections")
+	}
+	if snap := mon.Snapshot(); snap.Inserts < 1000 {
+		t.Fatalf("monitor lost inserts: %+v", snap)
+	}
+}
+
+// TestAdapterSampleFault drops the resample at rebuild start and
+// checks the build still runs with the previous profile — a delayed or
+// lost monitoring signal must never affect correctness or progress.
+func TestAdapterSampleFault(t *testing.T) {
+	p, sys, _ := adaptiveStack(t, 800)
+
+	for _, pt := range dataset.MustGenerate("uniform", 600, 42) {
+		p.Insert(pt)
+	}
+
+	faults.Reset()
+	defer faults.Reset()
+	faults.Enable("monitor/sample", faults.Fault{Mode: faults.ModeError})
+	p.Rebuild()
+	p.WaitRebuild()
+	if err := p.RebuildErr(); err != nil {
+		t.Fatalf("rebuild failed under a monitoring fault: %v", err)
+	}
+	if sampled, _ := p.Workload.Counts(); sampled != 0 {
+		t.Fatalf("sampled = %d with the fault armed, want 0", sampled)
+	}
+	if got := sys.EffectiveLambda(); got != 0 {
+		t.Fatalf("λ = %v, want the configured 0 (sample was dropped)", got)
+	}
+
+	// Disarm: the traffic is still in the cumulative counters, so the
+	// next rebuild picks it up — nothing was lost, only deferred.
+	faults.Reset()
+	p.Rebuild()
+	p.WaitRebuild()
+	if got := sys.EffectiveLambda(); got < 0.8 {
+		t.Fatalf("λ = %v after disarming, want the deferred write-heavy profile", got)
+	}
+}
+
+func TestUpdateGen(t *testing.T) {
+	p, _, _ := adaptiveStack(t, 300)
+	g0 := p.UpdateGen()
+
+	pt := geo.Point{X: 0.123, Y: 0.456}
+	p.Insert(pt)
+	g1 := p.UpdateGen()
+	if g1 != g0+1 {
+		t.Fatalf("gen after insert = %d, want %d", g1, g0+1)
+	}
+	// Re-inserting a stored point changes nothing → no bump.
+	p.Insert(pt)
+	if got := p.UpdateGen(); got != g1 {
+		t.Fatalf("gen after no-op insert = %d, want %d", got, g1)
+	}
+	// Deleting a missing point changes nothing → no bump.
+	p.Delete(geo.Point{X: 0.9999, Y: 0.9999})
+	if got := p.UpdateGen(); got != g1 {
+		t.Fatalf("gen after no-op delete = %d, want %d", got, g1)
+	}
+	p.Delete(pt)
+	g2 := p.UpdateGen()
+	if g2 != g1+1 {
+		t.Fatalf("gen after delete = %d, want %d", g2, g1+1)
+	}
+	// A swap bumps once.
+	p.Rebuild()
+	p.WaitRebuild()
+	if got := p.UpdateGen(); got != g2+1 {
+		t.Fatalf("gen after rebuild = %d, want %d", got, g2+1)
+	}
+}

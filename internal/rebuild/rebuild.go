@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"elsi/internal/base"
 	"elsi/internal/delta"
@@ -24,6 +25,7 @@ import (
 	"elsi/internal/geo"
 	"elsi/internal/index"
 	"elsi/internal/kstest"
+	"elsi/internal/monitor"
 	"elsi/internal/nn"
 	"elsi/internal/parallel"
 )
@@ -200,6 +202,16 @@ type Processor struct {
 	// learned structure absorbed its pending deltas, so capturing right
 	// after it keeps the WAL tail (and hence recovery time) short.
 	OnSwap func()
+	// Monitor, when non-nil, receives one Record* call per query and
+	// update — padded atomics only, so the hot paths stay lock-free
+	// and allocation-free. Set before the processor is shared.
+	Monitor *monitor.Stats
+	// Workload, when non-nil, is resampled at the start of every
+	// rebuild (background and inline): the traffic observed since the
+	// last sample becomes a core.WorkloadProfile offered to the build
+	// system, so the method ranking of the build about to run reflects
+	// the live mix. Set before the processor is shared.
+	Workload *WorkloadAdapter
 	// BreakerThreshold is the number of consecutive rebuild failures
 	// that opens the circuit breaker (0 selects the default of 5,
 	// negative disables the breaker). While open, automatic rebuilds
@@ -253,6 +265,24 @@ type Processor struct {
 	// processor. It is not guarded by mu: Add happens before the
 	// spawn under the write lock, Wait only in Quiesce.
 	retryWG sync.WaitGroup
+
+	// updateGen counts visible-state changes: it is bumped under the
+	// write lock together with every applied insert, applied delete,
+	// and index swap. Result caches stamp entries with it — a lookup
+	// whose stamp matches the current generation is provably reading
+	// unchanged state (the bump and the mutation are atomic under mu).
+	// No-op updates (re-insert of a stored point, delete of a missing
+	// one) leave it alone: answers did not change.
+	updateGen atomic.Uint64
+}
+
+// UpdateGen returns the current update generation. Readers that cache
+// query results read it BEFORE computing the answer and stamp the
+// cache entry with that value; see qcache.
+//
+//elsi:noalloc
+func (p *Processor) UpdateGen() uint64 {
+	return p.updateGen.Load()
 }
 
 // NewProcessor builds idx on pts and wraps it. The data set must be
@@ -301,12 +331,14 @@ func summarize(pts []geo.Point, mapKey func(geo.Point) float64) (keys []float64,
 // point twice (and the duplicate pushed a true neighbor out of kNN
 // answers).
 func (p *Processor) Insert(pt geo.Point) bool {
+	p.Monitor.RecordInsert(pt)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.pointLiveLocked(pt) {
 		return false
 	}
 	p.pts = append(p.pts, pt)
+	p.updateGen.Add(1)
 	if ins, ok := p.idx.(index.Inserter); ok && p.UseBuiltin && !p.rebuilding {
 		ins.Insert(pt)
 	} else {
@@ -326,6 +358,7 @@ func (p *Processor) Insert(pt geo.Point) bool {
 // point set, so pre- and post-rebuild answers agree even if the
 // initial build set contained duplicates.
 func (p *Processor) Delete(pt geo.Point) bool {
+	p.Monitor.RecordDelete(pt)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	removed := false
@@ -339,6 +372,7 @@ func (p *Processor) Delete(pt geo.Point) bool {
 	if !removed {
 		return false
 	}
+	p.updateGen.Add(1)
 	// a pending insertion of this point cancels out; only points
 	// living in an index (or in the frozen view an in-flight rebuild
 	// is folding in) need a deletion record
@@ -451,11 +485,15 @@ func (p *Processor) Rebuild() {
 // keeps the delta list — the pending updates are still pending, since
 // nothing absorbed them — and is recorded like a background failure.
 func (p *Processor) rebuildBlockingLocked() {
+	p.Workload.Resample()
 	if err := p.buildInlineSafe(); err != nil {
 		p.recordFailureLocked(err)
 		return
 	}
 	p.rebuilds++
+	// The rebuilt index may answer window/kNN queries in a different
+	// (equivalent) order than old-index-plus-delta did; invalidate.
+	p.updateGen.Add(1)
 	p.builtKeys, p.builtN, p.builtDist = summarize(p.pts, p.MapKey)
 	p.deltaList.Clear()
 	p.updatesSeen = 0
@@ -493,8 +531,16 @@ func (p *Processor) startRebuildLocked() {
 	mapKey := p.MapKey
 	gate := p.BuildGate
 
+	adapter := p.Workload
+
 	go func() {
 		defer close(done)
+		// Re-derive the workload profile from the traffic observed
+		// since the last sample, so the build below ranks methods under
+		// the live preference. Runs before the gate: waiting shards
+		// should build with a profile from when they queued, not one
+		// refreshed mid-wait by chance.
+		adapter.Resample()
 		// the expensive part — including the factory, which may set up
 		// builders — runs without the lock: queries and updates proceed
 		// against the old index + frozen + overlay. buildSafe recovers
@@ -548,6 +594,7 @@ func (p *Processor) startRebuildLocked() {
 			p.idx = newIdx
 			p.frozen = nil
 			p.rebuilds++
+			p.updateGen.Add(1)
 			p.builtKeys, p.builtN, p.builtDist = keys, n, dist
 			p.updatesSeen -= seenAtStart
 			p.recordSuccessLocked()
@@ -630,6 +677,7 @@ func (p *Processor) Len() int {
 //
 //elsi:noalloc
 func (p *Processor) PointQuery(pt geo.Point) bool {
+	p.Monitor.RecordPoint(pt)
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return p.pointLiveLocked(pt)
@@ -682,6 +730,7 @@ func (p *Processor) WindowQuery(win geo.Rect) []geo.Point {
 //
 //elsi:noalloc
 func (p *Processor) WindowQueryAppend(win geo.Rect, out []geo.Point) []geo.Point {
+	p.Monitor.RecordWindow(win)
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	base := len(out)
@@ -731,6 +780,7 @@ func (p *Processor) KNN(q geo.Point, k int) []geo.Point {
 //
 //elsi:noalloc
 func (p *Processor) KNNAppend(q geo.Point, k int, out []geo.Point) []geo.Point {
+	p.Monitor.RecordKNN(q, k)
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	s := knnScratchPool.Get().(*knnScratch)

@@ -247,6 +247,30 @@ func (r *Router) Delete(p geo.Point) bool {
 	return s.proc.Delete(p)
 }
 
+// PointGen implements engine.Backend: the update generation of the
+// shard that owns p's location. Point-query cache entries stamped with
+// it survive updates on other shards — only the owner's mutations
+// invalidate them.
+//
+//elsi:noalloc
+func (r *Router) PointGen(p geo.Point) uint64 {
+	return r.shardOf(p).proc.UpdateGen()
+}
+
+// GlobalGen implements engine.Backend: the sum of every shard's update
+// generation. Each is monotone and bumped only with a visible
+// mutation, so equal sums mean no shard changed in between — exactly
+// the invariant window-query cache entries need.
+//
+//elsi:noalloc
+func (r *Router) GlobalGen() uint64 {
+	var g uint64
+	for i := range r.shards {
+		g += r.shards[i].proc.UpdateGen()
+	}
+	return g
+}
+
 // WindowQuery returns the points inside win, in canonical (X, Y)
 // order.
 func (r *Router) WindowQuery(win geo.Rect) []geo.Point {
